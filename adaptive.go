@@ -1,0 +1,80 @@
+package geoind
+
+import (
+	"fmt"
+
+	"geoind/internal/adaptive"
+)
+
+// AdaptiveMSMConfig configures NewAdaptiveMSM, the prior-adaptive variant of
+// the multi-step mechanism (the paper's §8 future-work direction). Instead
+// of a uniform grid, the index is a k-d-style tree whose nodes split into
+// Fanout x Fanout cells of roughly equal prior mass, so reporting
+// granularity is fine exactly where users actually are.
+type AdaptiveMSMConfig struct {
+	// Eps is the total privacy budget (required, > 0).
+	Eps float64
+	// Region is the square planar domain.
+	Region Rect
+	// Fanout is the slices per axis at each node (children = Fanout^2).
+	Fanout int
+	// Height caps the tree depth; paths end early when the budget runs
+	// out. 0 means 3.
+	Height int
+	// Rho is the per-step same-cell probability target; 0 means 0.8.
+	Rho float64
+	// Metric is the utility metric dQ.
+	Metric Metric
+	// PriorPoints drives both the adversarial prior and the partition
+	// geometry. Empty degenerates to an equal-area partition.
+	PriorPoints []Point
+	// PriorGranularity is the resolution of the fine prior grid supplying
+	// split coordinates; 0 means 128.
+	PriorGranularity int
+	// Seed fixes the sampling randomness.
+	Seed uint64
+}
+
+// AdaptiveMSM is the adaptive-index multi-step mechanism.
+type AdaptiveMSM struct {
+	m *adaptive.Mechanism
+}
+
+// NewAdaptiveMSM builds the adaptive mechanism.
+func NewAdaptiveMSM(cfg AdaptiveMSMConfig) (*AdaptiveMSM, error) {
+	m, err := adaptive.New(adaptive.Config{
+		Eps:              cfg.Eps,
+		Region:           cfg.Region,
+		Fanout:           cfg.Fanout,
+		Height:           cfg.Height,
+		Rho:              cfg.Rho,
+		Metric:           cfg.Metric,
+		PriorPoints:      cfg.PriorPoints,
+		PriorGranularity: cfg.PriorGranularity,
+	}, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("geoind: %w", err)
+	}
+	return &AdaptiveMSM{m: m}, nil
+}
+
+// Report implements Mechanism.
+func (a *AdaptiveMSM) Report(x Point) (Point, error) { return a.m.Report(x) }
+
+// Epsilon implements Mechanism.
+func (a *AdaptiveMSM) Epsilon() float64 { return a.m.Epsilon() }
+
+// Name implements Mechanism.
+func (a *AdaptiveMSM) Name() string { return "MSM-adaptive" }
+
+// Precompute eagerly solves every node channel.
+func (a *AdaptiveMSM) Precompute() error { return a.m.Precompute() }
+
+// MeanLeafSide returns the prior-weighted mean leaf cell side (km), a
+// measure of the effective reporting granularity where users actually are.
+func (a *AdaptiveMSM) MeanLeafSide() float64 { return a.m.MeanLeafSide() }
+
+// NumNodes returns the partition-tree size.
+func (a *AdaptiveMSM) NumNodes() int { return a.m.Tree().NumNodes() }
+
+var _ Mechanism = (*AdaptiveMSM)(nil)

@@ -1,0 +1,65 @@
+package geoind
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"geoind/internal/server"
+)
+
+// ErrBudgetExhausted is returned by Budgeted.Report when a user's window
+// budget cannot cover another report.
+var ErrBudgetExhausted = server.ErrBudgetExhausted
+
+// Budgeted wraps a Mechanism with per-user privacy budget accounting. By the
+// composability property of GeoInd (§2.2 of the paper), n reports at budget
+// eps are jointly equivalent to one report at n*eps, so any deployment that
+// serves repeated reports must cap each user's total spend per time window —
+// this type enforces that cap on the client/library side (the HTTP service
+// in cmd/geoind-server enforces the same contract server-side).
+type Budgeted struct {
+	mech   Mechanism
+	ledger *server.Ledger
+}
+
+// NewBudgeted wraps mech so each user may spend at most limit epsilon per
+// window. limit must cover at least one report.
+func NewBudgeted(mech Mechanism, limit float64, window time.Duration) (*Budgeted, error) {
+	if mech == nil {
+		return nil, fmt.Errorf("geoind: nil mechanism")
+	}
+	if limit < mech.Epsilon() {
+		return nil, fmt.Errorf("geoind: budget limit %g below per-report epsilon %g", limit, mech.Epsilon())
+	}
+	l, err := server.NewLedger(limit, window, nil)
+	if err != nil {
+		return nil, fmt.Errorf("geoind: %w", err)
+	}
+	return &Budgeted{mech: mech, ledger: l}, nil
+}
+
+// Report sanitizes x on behalf of user, debiting the per-report epsilon from
+// the user's window budget first. It returns ErrBudgetExhausted (without
+// reporting anything) when the budget cannot cover the report.
+func (b *Budgeted) Report(user string, x Point) (Point, error) {
+	if err := b.ledger.Spend(user, b.mech.Epsilon()); err != nil {
+		return Point{}, err
+	}
+	return b.mech.Report(x)
+}
+
+// Remaining returns the user's unspent budget in the current window.
+func (b *Budgeted) Remaining(user string) float64 { return b.ledger.Remaining(user) }
+
+// Limit returns the per-window budget cap.
+func (b *Budgeted) Limit() float64 { return b.ledger.Limit() }
+
+// Epsilon returns the per-report budget.
+func (b *Budgeted) Epsilon() float64 { return b.mech.Epsilon() }
+
+// SaveLedger persists the accounting state as JSON.
+func (b *Budgeted) SaveLedger(w io.Writer) error { return b.ledger.Save(w) }
+
+// LoadLedger restores accounting state written by SaveLedger.
+func (b *Budgeted) LoadLedger(r io.Reader) error { return b.ledger.Load(r) }

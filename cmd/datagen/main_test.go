@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geoind/internal/dataset"
+)
+
+func smallConfig() dataset.GenConfig {
+	return dataset.GenConfig{
+		Name: "custom", Side: 20, NumUsers: 20, NumCheckIns: 500, NumPOIs: 50,
+		NumClusters: 3, CoreClusters: 1, ClusterSigma: 1, ZipfS: 1, HomeAffinity: 0.5, Seed: 1,
+	}
+}
+
+func TestRealMainCustomToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.csv")
+	if err := realMain("custom", out, smallConfig()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "user,x_km,y_km") {
+		t.Error("missing CSV header")
+	}
+	if got := strings.Count(s, "\n"); got != 502 { // metadata + header + 500 rows
+		t.Errorf("line count %d want 502", got)
+	}
+	// Round-trips through the dataset reader.
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := dataset.ReadCSV(f, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.CheckIns) != 500 || d.Side != 20 {
+		t.Errorf("reloaded %d check-ins side %g", len(d.CheckIns), d.Side)
+	}
+}
+
+func TestRealMainErrors(t *testing.T) {
+	if err := realMain("nope", "", smallConfig()); err == nil {
+		t.Error("unknown dataset should error")
+	}
+	bad := smallConfig()
+	bad.NumPOIs = 0
+	if err := realMain("custom", "", bad); err == nil {
+		t.Error("invalid custom config should error")
+	}
+	if err := realMain("custom", "/nonexistent-dir/x.csv", smallConfig()); err == nil {
+		t.Error("unwritable output should error")
+	}
+}

@@ -1,0 +1,130 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§6) on the synthetic dataset substitutes, plus the two
+// extension experiments (privacy audit, budget ablation).
+//
+// Usage:
+//
+//	experiments [flags] <experiment>...
+//
+// where <experiment> is one or more of:
+//
+//	fig3 fig5 table2 fig6 fig7 fig8 fig9 fig10 fig11 timings audit ablation
+//	adaptive spanner adversary trajectory elastic all
+//
+// Flags:
+//
+//	-requests N      workload size per measurement (default 3000, as in §6.1)
+//	-format F        output format: ascii, markdown or csv (default ascii)
+//	-fig3-max-g G    largest OPT granularity for fig3 (default 8; the paper
+//	                 sweeps to 11, which takes a few minutes here)
+//	-table2-large    include the OPT granularity-16 row of Table 2 (the run
+//	                 the paper's Gurobi setup could not finish in 72h; takes
+//	                 minutes with the structured solver)
+//	-seed N          base RNG seed (default 2019)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"geoind/internal/eval"
+	"geoind/internal/geo"
+)
+
+// tabler is any experiment result that renders as a table.
+type tabler interface{ Table() *eval.Table }
+
+func main() {
+	requests := flag.Int("requests", 3000, "workload size per measurement")
+	format := flag.String("format", "ascii", "output format: ascii, markdown or csv")
+	fig3MaxG := flag.Int("fig3-max-g", 8, "largest OPT granularity for fig3")
+	table2Large := flag.Bool("table2-large", false, "include the OPT g=16 row of Table 2")
+	seed := flag.Uint64("seed", 2019, "base RNG seed")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <fig3|fig5|table2|fig6|fig7|fig8|fig9|fig10|fig11|timings|audit|ablation|adaptive|spanner|adversary|trajectory|elastic|all>...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	ctx := eval.NewContext()
+	ctx.Requests = *requests
+	ctx.Seed = *seed
+
+	names := flag.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = []string{"fig3", "fig5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "timings", "audit", "ablation", "adaptive", "spanner", "adversary", "trajectory", "elastic"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		res, err := run(ctx, name, *fig3MaxG, *table2Large)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		t := res.Table()
+		switch *format {
+		case "markdown":
+			fmt.Println(t.Markdown())
+		case "csv":
+			fmt.Print(t.CSV())
+		default:
+			fmt.Println(t.String())
+		}
+		fmt.Fprintf(os.Stderr, "[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+}
+
+func run(ctx *eval.Context, name string, fig3MaxG int, table2Large bool) (tabler, error) {
+	epsList := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	rhoList := []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	switch name {
+	case "fig3":
+		var gs []int
+		for g := 2; g <= fig3MaxG; g++ {
+			gs = append(gs, g)
+		}
+		return ctx.RunFig3(gs)
+	case "fig5":
+		return ctx.RunFig5([]int{2, 3, 4, 5, 6, 7}, rhoList)
+	case "table2":
+		maxOpt := 9
+		if table2Large {
+			maxOpt = 16
+		}
+		return ctx.RunTable2([]int{4, 9, 16}, maxOpt)
+	case "fig6":
+		return ctx.RunEpsSweep(geo.Euclidean, epsList, []int{4, 6})
+	case "fig7":
+		return ctx.RunEpsSweep(geo.SquaredEuclidean, epsList, []int{4, 6})
+	case "fig8":
+		return ctx.RunGranularitySweep(geo.Euclidean, []int{2, 3, 4, 5, 6}, []float64{0.5, 0.7, 0.9})
+	case "fig9":
+		return ctx.RunGranularitySweep(geo.SquaredEuclidean, []int{2, 3, 4, 5, 6}, []float64{0.5, 0.7, 0.9})
+	case "fig10":
+		return ctx.RunRhoSweep(geo.Euclidean, rhoList, []int{2, 4, 6})
+	case "fig11":
+		return ctx.RunRhoSweep(geo.SquaredEuclidean, rhoList, []int{2, 4, 6})
+	case "timings":
+		return ctx.RunTimings()
+	case "audit":
+		return ctx.RunPrivacyAudit(eval.DefaultEps, 3)
+	case "ablation":
+		return ctx.RunBudgetAblation(eval.DefaultEps, 3)
+	case "adaptive":
+		return ctx.RunAdaptiveComparison([]float64{0.1, 0.5, 0.9}, 3)
+	case "spanner":
+		return ctx.RunSpannerAblation(6, eval.DefaultEps, []float64{1.1, 1.5, 2.0})
+	case "adversary":
+		return ctx.RunAdversary(9, []float64{0.1, 0.5, 0.9})
+	case "trajectory":
+		return ctx.RunTrajectory(1.0, 500)
+	case "elastic":
+		return ctx.RunElastic(6, 0.9)
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", name)
+	}
+}

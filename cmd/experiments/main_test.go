@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"geoind/internal/eval"
+)
+
+func TestRunDispatch(t *testing.T) {
+	ctx := eval.NewContext()
+	ctx.Requests = 100 // keep the fast experiments fast
+
+	// Every known name dispatches and returns a non-empty table. Only the
+	// cheap experiments are executed here; the expensive ones are covered
+	// by the eval package tests and the benchmarks.
+	for _, name := range []string{"ablation", "spanner", "trajectory"} {
+		res, err := run(ctx, name, 4, false)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tab := res.Table()
+		if len(tab.Rows) == 0 || len(tab.Columns) == 0 {
+			t.Errorf("%s: empty table", name)
+		}
+	}
+	if _, err := run(ctx, "not-an-experiment", 4, false); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunFig3RespectsMaxG(t *testing.T) {
+	ctx := eval.NewContext()
+	ctx.Requests = 100
+	res, err := run(ctx, "fig3", 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Table()
+	if len(tab.Rows) != 2 { // g = 2, 3
+		t.Errorf("fig3 rows %d want 2", len(tab.Rows))
+	}
+}

@@ -1,0 +1,203 @@
+// Command geoind-server runs the location-sanitization microservice: an
+// HTTP JSON API fronting a GeoInd mechanism with per-user privacy budget
+// accounting.
+//
+// Endpoints:
+//
+//	GET  /healthz                   liveness probe
+//	GET  /v1/info                   mechanism + budget configuration
+//	POST /v1/report                 {"user_id":"u","x":3.2,"y":11.7} -> sanitized location
+//	GET  /v1/budget?user_id=u       remaining budget in the current window
+//
+// Example:
+//
+//	geoind-server -addr :8080 -mechanism msm -eps 0.25 -g 4 -dataset gowalla \
+//	    -budget 1.0 -budget-window 24h -ledger-file /var/lib/geoind/ledger.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"geoind"
+	"geoind/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	mechName := flag.String("mechanism", "msm", "mechanism: msm, adaptive, pl or opt")
+	eps := flag.Float64("eps", 0.25, "privacy budget per report (1/km)")
+	g := flag.Int("g", 4, "grid granularity / fanout")
+	rho := flag.Float64("rho", 0.8, "per-level same-cell probability target")
+	side := flag.Float64("side", 20, "region side (km), ignored with -dataset")
+	ds := flag.String("dataset", "", "prior dataset: gowalla, yelp or a CSV path")
+	seed := flag.Uint64("seed", 0, "RNG seed (0 = time-based)")
+	budgetLimit := flag.Float64("budget", 1.0, "per-user budget per window (0 disables enforcement)")
+	budgetWindow := flag.Duration("budget-window", 24*time.Hour, "budget accounting window")
+	ledgerFile := flag.String("ledger-file", "", "optional ledger persistence file")
+	flag.Parse()
+
+	if err := run(*addr, *mechName, *eps, *g, *rho, *side, *ds, *seed,
+		*budgetLimit, *budgetWindow, *ledgerFile); err != nil {
+		log.Fatal("geoind-server: ", err)
+	}
+}
+
+func run(addr, mechName string, eps float64, g int, rho, side float64, dsName string,
+	seed uint64, budgetLimit float64, budgetWindow time.Duration, ledgerFile string) error {
+
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+
+	region := geoind.Square(side)
+	var points []geoind.Point
+	switch dsName {
+	case "":
+	case "gowalla":
+		d := geoind.GowallaSynthetic()
+		region, points = d.Region(), d.Points()
+	case "yelp":
+		d := geoind.YelpSynthetic()
+		region, points = d.Region(), d.Points()
+	default:
+		f, err := os.Open(dsName)
+		if err != nil {
+			return err
+		}
+		d, err := geoind.ReadDatasetCSV(f, dsName, side)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		region, points = d.Region(), d.Points()
+	}
+
+	var mech server.Reporter
+	switch mechName {
+	case "msm":
+		m, err := geoind.NewMSM(geoind.MSMConfig{
+			Eps: eps, Region: region, Granularity: g, Rho: rho,
+			PriorPoints: points, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		log.Printf("precomputing MSM channels (height %d, leaf %dx%d)...",
+			m.Height(), m.LeafGranularity(), m.LeafGranularity())
+		if err := m.Precompute(); err != nil {
+			return err
+		}
+		mech = m
+	case "adaptive":
+		m, err := geoind.NewAdaptiveMSM(geoind.AdaptiveMSMConfig{
+			Eps: eps, Region: region, Fanout: g, Rho: rho,
+			PriorPoints: points, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		log.Printf("precomputing adaptive channels (%d nodes)...", m.NumNodes())
+		if err := m.Precompute(); err != nil {
+			return err
+		}
+		mech = m
+	case "pl":
+		m, err := geoind.NewPlanarLaplace(geoind.LaplaceConfig{Eps: eps, Seed: seed})
+		if err != nil {
+			return err
+		}
+		mech = m
+	case "opt":
+		m, err := geoind.NewOptimal(geoind.OptimalConfig{
+			Eps: eps, Region: region, Granularity: g, PriorPoints: points, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		mech = m
+	default:
+		return fmt.Errorf("unknown mechanism %q", mechName)
+	}
+
+	var ledger *server.Ledger
+	if budgetLimit > 0 {
+		var err error
+		ledger, err = server.NewLedger(budgetLimit, budgetWindow, nil)
+		if err != nil {
+			return err
+		}
+		if ledgerFile != "" {
+			if f, err := os.Open(ledgerFile); err == nil {
+				if err := ledger.Load(f); err != nil {
+					f.Close()
+					return fmt.Errorf("restore ledger: %w", err)
+				}
+				f.Close()
+				log.Printf("restored ledger from %s (%d users)", ledgerFile, ledger.Users())
+			} else if !errors.Is(err, os.ErrNotExist) {
+				return err
+			}
+		}
+	}
+
+	srv, err := server.New(mech, ledger, region)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving %s (eps=%g/report) on %s", mech.Name(), mech.Epsilon(), addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		log.Printf("received %v, shutting down", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if ledger != nil && ledgerFile != "" {
+		f, err := os.CreateTemp(".", "ledger-*.tmp")
+		if err != nil {
+			return err
+		}
+		if err := ledger.Save(f); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(f.Name())
+			return err
+		}
+		if err := os.Rename(f.Name(), ledgerFile); err != nil {
+			os.Remove(f.Name())
+			return err
+		}
+		log.Printf("saved ledger to %s", ledgerFile)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Location-privacy microservice, end to end in one process.
+//
+// Starts the HTTP sanitization service on a local port with an MSM mechanism
+// and a per-user budget ledger, then plays a client session against it:
+// inspecting the mechanism, reporting locations until the budget runs out,
+// and checking the remaining budget. This mirrors how a mobile app backend
+// would deploy the library (see cmd/geoind-server for the standalone
+// binary).
+//
+// Run with: go run ./examples/service
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"geoind"
+	"geoind/internal/server"
+)
+
+func main() {
+	ds := geoind.YelpSynthetic()
+
+	mech, err := geoind.NewMSM(geoind.MSMConfig{
+		Eps:         0.25, // per report
+		Region:      ds.Region(),
+		Granularity: 3,
+		PriorPoints: ds.Points(),
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mech.Precompute(); err != nil {
+		log.Fatal(err)
+	}
+
+	ledger, err := server.NewLedger(0.5, 24*time.Hour, nil) // two reports/day
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(mech, ledger, ds.Region())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	fmt.Println("service listening at", ts.URL)
+
+	// --- client session ---
+	get := func(path string) map[string]any {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		return out
+	}
+	report := func(user string, x, y float64) (int, map[string]any) {
+		body, _ := json.Marshal(server.ReportRequest{UserID: user, X: x, Y: y})
+		resp, err := http.Post(ts.URL+"/v1/report", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	fmt.Printf("\nGET /v1/info\n  %v\n", get("/v1/info"))
+
+	fmt.Println("\nalice reports her location three times (budget allows two):")
+	for i := 1; i <= 3; i++ {
+		status, out := report("alice", 7.4, 12.1)
+		fmt.Printf("  report %d -> HTTP %d: %v\n", i, status, out)
+	}
+
+	fmt.Printf("\nGET /v1/budget?user_id=alice\n  %v\n", get("/v1/budget?user_id=alice"))
+	fmt.Printf("GET /v1/budget?user_id=bob\n  %v\n", get("/v1/budget?user_id=bob"))
+
+	fmt.Println("\nout-of-region and malformed requests are rejected:")
+	status, out := report("alice", 500, 500)
+	fmt.Printf("  (500,500) -> HTTP %d: %v\n", status, out)
+}

@@ -1,0 +1,280 @@
+package geoind
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"geoind/internal/core"
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+	"geoind/internal/laplace"
+	"geoind/internal/opt"
+	"geoind/internal/prior"
+)
+
+// Point is a location in planar kilometre coordinates.
+type Point = geo.Point
+
+// Rect is an axis-aligned rectangle in planar kilometre coordinates.
+type Rect = geo.Rect
+
+// LatLon is a geodetic coordinate in degrees.
+type LatLon = geo.LatLon
+
+// Metric identifies a utility-loss metric (Euclidean or SquaredEuclidean).
+type Metric = geo.Metric
+
+// Utility metrics (see §2.2 of the paper).
+const (
+	Euclidean        = geo.Euclidean
+	SquaredEuclidean = geo.SquaredEuclidean
+)
+
+// Square returns the square region [0, side) x [0, side).
+func Square(side float64) Rect { return geo.NewSquare(side) }
+
+// ProjectRegion builds a planar region from a geodetic bounding box using an
+// equirectangular projection; use its Project/Unproject to convert check-in
+// coordinates.
+func ProjectRegion(minLat, minLon, maxLat, maxLon float64) (*geo.Region, error) {
+	return geo.NewRegion(minLat, minLon, maxLat, maxLon)
+}
+
+// Mechanism is a location-sanitization mechanism satisfying eps-GeoInd.
+type Mechanism interface {
+	// Report returns a privacy-preserving version of the true location x.
+	Report(x Point) (Point, error)
+	// Epsilon returns the total privacy budget the mechanism consumes per
+	// report.
+	Epsilon() float64
+	// Name returns a short identifier for experiment output.
+	Name() string
+}
+
+// ---------------------------------------------------------------------------
+// Planar Laplace
+
+// LaplaceConfig configures NewPlanarLaplace.
+type LaplaceConfig struct {
+	// Eps is the privacy budget (required, > 0; units 1/km).
+	Eps float64
+	// Seed fixes the sampling randomness.
+	Seed uint64
+	// Remap, if true, projects outputs to the nearest cell center of a
+	// Granularity x Granularity grid over Region — the post-processing step
+	// used for the PL benchmark in the paper's evaluation.
+	Remap       bool
+	Region      Rect
+	Granularity int
+}
+
+// PlanarLaplace is the planar Laplace mechanism (optionally grid-remapped).
+type PlanarLaplace struct {
+	mech *laplace.Mechanism
+	grid *grid.Grid // nil when not remapping
+	mu   sync.Mutex
+}
+
+// NewPlanarLaplace builds a planar Laplace mechanism.
+func NewPlanarLaplace(cfg LaplaceConfig) (*PlanarLaplace, error) {
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x9d2c5680))
+	m, err := laplace.New(cfg.Eps, rng)
+	if err != nil {
+		return nil, err
+	}
+	pl := &PlanarLaplace{mech: m}
+	if cfg.Remap {
+		g, err := grid.New(cfg.Region, cfg.Granularity)
+		if err != nil {
+			return nil, fmt.Errorf("geoind: remap grid: %w", err)
+		}
+		pl.grid = g
+	}
+	return pl, nil
+}
+
+// Report implements Mechanism.
+func (p *PlanarLaplace) Report(x Point) (Point, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.grid != nil {
+		return p.mech.SampleRemapped(x, p.grid), nil
+	}
+	return p.mech.Sample(x), nil
+}
+
+// Epsilon implements Mechanism.
+func (p *PlanarLaplace) Epsilon() float64 { return p.mech.Epsilon() }
+
+// Name implements Mechanism.
+func (p *PlanarLaplace) Name() string {
+	if p.grid != nil {
+		return "PL+remap"
+	}
+	return "PL"
+}
+
+// ---------------------------------------------------------------------------
+// Optimal mechanism (OPT)
+
+// OptimalConfig configures NewOptimal.
+type OptimalConfig struct {
+	// Eps is the privacy budget (required, > 0).
+	Eps float64
+	// Region is the square planar domain.
+	Region Rect
+	// Granularity g discretizes the region into g x g candidate cells.
+	// Beware: LP cost grows steeply (the paper could not finish g=16 within
+	// 72 hours with a commercial solver; this implementation handles it in
+	// minutes, but g is still practically bounded).
+	Granularity int
+	// Metric is the utility metric dQ to optimize (default Euclidean).
+	Metric Metric
+	// PriorPoints builds the adversarial prior from check-ins; empty means
+	// uniform.
+	PriorPoints []Point
+	// Seed fixes the sampling randomness.
+	Seed uint64
+}
+
+// Optimal is the optimal GeoInd mechanism over a regular grid.
+type Optimal struct {
+	ch  *opt.Channel
+	rng *rand.Rand
+	mu  sync.Mutex
+}
+
+// NewOptimal solves the OPT linear program and returns a sampling-ready
+// mechanism.
+func NewOptimal(cfg OptimalConfig) (*Optimal, error) {
+	g, err := grid.New(cfg.Region, cfg.Granularity)
+	if err != nil {
+		return nil, fmt.Errorf("geoind: %w", err)
+	}
+	var weights []float64
+	if len(cfg.PriorPoints) > 0 {
+		weights = prior.FromPoints(g, cfg.PriorPoints).Weights()
+	} else {
+		weights = prior.Uniform(g).Weights()
+	}
+	ch, err := opt.Build(cfg.Eps, g, weights, cfg.Metric, nil)
+	if err != nil {
+		return nil, fmt.Errorf("geoind: %w", err)
+	}
+	return &Optimal{ch: ch, rng: rand.New(rand.NewPCG(cfg.Seed, 0xb5297a4d))}, nil
+}
+
+// Report implements Mechanism.
+func (o *Optimal) Report(x Point) (Point, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.ch.Sample(x, o.rng), nil
+}
+
+// Epsilon implements Mechanism.
+func (o *Optimal) Epsilon() float64 { return o.ch.Eps }
+
+// Name implements Mechanism.
+func (o *Optimal) Name() string { return "OPT" }
+
+// ExpectedLoss returns the analytic expected utility loss of the channel
+// under the construction prior.
+func (o *Optimal) ExpectedLoss() float64 { return o.ch.ExpectedLoss }
+
+// Channel returns a copy of the row-major channel matrix K(X)(Z).
+func (o *Optimal) Channel() []float64 {
+	return append([]float64(nil), o.ch.K...)
+}
+
+// VerifyGeoInd exhaustively re-checks the GeoInd constraints on the solved
+// channel and returns the maximum log-ratio excess (<= 0 means satisfied).
+func (o *Optimal) VerifyGeoInd() float64 {
+	return opt.VerifyGeoInd(o.ch.Grid, o.ch.Eps, o.ch.K)
+}
+
+// ---------------------------------------------------------------------------
+// Multi-Step Mechanism (MSM)
+
+// MSMConfig configures NewMSM.
+type MSMConfig struct {
+	// Eps is the total privacy budget (required, > 0).
+	Eps float64
+	// Region is the square planar domain.
+	Region Rect
+	// Granularity g is the per-level fanout (g x g cells per step).
+	Granularity int
+	// Rho is the per-level target probability of staying in the same cell;
+	// 0 means the paper's default 0.8.
+	Rho float64
+	// Metric is the utility metric dQ (default Euclidean).
+	Metric Metric
+	// MaxHeight optionally caps the index height.
+	MaxHeight int
+	// PriorPoints builds the adversarial prior; empty means uniform.
+	PriorPoints []Point
+	// Seed fixes the sampling randomness.
+	Seed uint64
+	// DisableCache turns off channel memoization (for benchmarking the
+	// cold path).
+	DisableCache bool
+}
+
+// MSM is the paper's multi-step mechanism.
+type MSM struct {
+	m *core.Mechanism
+}
+
+// NewMSM allocates the budget across index levels (§5) and prepares the
+// hierarchical mechanism (§4). Channels are solved lazily; call Precompute
+// to warm them eagerly.
+func NewMSM(cfg MSMConfig) (*MSM, error) {
+	m, err := core.New(core.Config{
+		Eps:          cfg.Eps,
+		G:            cfg.Granularity,
+		Region:       cfg.Region,
+		Rho:          cfg.Rho,
+		Metric:       cfg.Metric,
+		MaxHeight:    cfg.MaxHeight,
+		PriorPoints:  cfg.PriorPoints,
+		DisableCache: cfg.DisableCache,
+	}, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("geoind: %w", err)
+	}
+	return &MSM{m: m}, nil
+}
+
+// Report implements Mechanism.
+func (m *MSM) Report(x Point) (Point, error) { return m.m.Report(x) }
+
+// Epsilon implements Mechanism.
+func (m *MSM) Epsilon() float64 { return m.m.Epsilon() }
+
+// Name implements Mechanism.
+func (m *MSM) Name() string { return "MSM" }
+
+// Height returns the index height h chosen by the budget allocator.
+func (m *MSM) Height() int { return m.m.Height() }
+
+// BudgetSplit returns the per-level budgets eps_1..eps_h (summing to Eps).
+func (m *MSM) BudgetSplit() []float64 {
+	return append([]float64(nil), m.m.Allocation().Eps...)
+}
+
+// LeafGranularity returns the effective granularity g^h of the leaf level.
+func (m *MSM) LeafGranularity() int { return m.m.LeafGrid().Granularity() }
+
+// Precompute solves every channel in the index up front (the paper's
+// offline phase), so that subsequent reports only sample.
+func (m *MSM) Precompute() error { return m.m.Precompute() }
+
+// Stats returns the number of reports served and LP solves performed.
+func (m *MSM) Stats() (queries, solves int) { return m.m.Stats() }
+
+// Static interface conformance checks.
+var (
+	_ Mechanism = (*PlanarLaplace)(nil)
+	_ Mechanism = (*Optimal)(nil)
+	_ Mechanism = (*MSM)(nil)
+)

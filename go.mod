@@ -1,0 +1,3 @@
+module geoind
+
+go 1.22

@@ -1,0 +1,222 @@
+package adaptive
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+	"geoind/internal/lp"
+	"geoind/internal/opt"
+	"geoind/internal/prior"
+)
+
+// Config parameterizes the adaptive multi-step mechanism.
+type Config struct {
+	// Eps is the total privacy budget (> 0).
+	Eps float64
+	// Region is the square planar domain.
+	Region geo.Rect
+	// Fanout is the number of slices per axis at each node (children =
+	// Fanout^2), in [2, 16].
+	Fanout int
+	// Height is the maximum tree depth; paths may terminate earlier when
+	// the budget runs out. 0 means a default of 3.
+	Height int
+	// Rho is the per-step same-cell probability target; 0 means 0.8.
+	Rho float64
+	// Metric is the utility metric dQ.
+	Metric geo.Metric
+	// PriorPoints builds the adversarial prior (required: the whole point
+	// of the adaptive index is prior skew; an empty set falls back to a
+	// uniform prior, which degenerates to an equal-area partition).
+	PriorPoints []geo.Point
+	// PriorGranularity is the fine grid resolution the prior (and hence the
+	// split coordinates) use; 0 means 128.
+	PriorGranularity int
+	// LP configures the per-node solves.
+	LP *lp.IPMOptions
+}
+
+// Mechanism is the adaptive multi-step mechanism.
+type Mechanism struct {
+	cfg  Config
+	tree *Tree
+	fine *prior.Prior
+	rng  *rand.Rand
+
+	mu     sync.Mutex
+	cache  map[int]*opt.PointChannel
+	solves int
+
+	rngMu sync.Mutex
+}
+
+// New builds the adaptive mechanism: it constructs the fine prior, grows the
+// mass-balanced tree with per-node budget assignment, and prepares lazy
+// channel solving.
+func New(cfg Config, seed uint64) (*Mechanism, error) {
+	if cfg.Rho == 0 {
+		cfg.Rho = 0.8
+	}
+	if cfg.Height == 0 {
+		cfg.Height = 3
+	}
+	if cfg.PriorGranularity == 0 {
+		cfg.PriorGranularity = 128
+	}
+	if cfg.Region.Width() <= 0 || cfg.Region.Height() <= 0 {
+		return nil, fmt.Errorf("adaptive: degenerate region %v", cfg.Region)
+	}
+	if !cfg.Metric.Valid() {
+		return nil, fmt.Errorf("adaptive: unknown metric %v", cfg.Metric)
+	}
+	fineGrid, err := grid.New(cfg.Region, cfg.PriorGranularity)
+	if err != nil {
+		return nil, fmt.Errorf("adaptive: %w", err)
+	}
+	var fine *prior.Prior
+	if len(cfg.PriorPoints) > 0 {
+		fine = prior.FromPoints(fineGrid, cfg.PriorPoints)
+	} else {
+		fine = prior.Uniform(fineGrid)
+	}
+	tree, err := BuildTree(fine, cfg.Eps, cfg.Fanout, cfg.Height, cfg.Rho)
+	if err != nil {
+		return nil, err
+	}
+	return &Mechanism{
+		cfg:   cfg,
+		tree:  tree,
+		fine:  fine,
+		rng:   rand.New(rand.NewPCG(seed, 0xada9717e)),
+		cache: make(map[int]*opt.PointChannel),
+	}, nil
+}
+
+// Tree exposes the underlying partition (read-only).
+func (m *Mechanism) Tree() *Tree { return m.tree }
+
+// Epsilon returns the total budget.
+func (m *Mechanism) Epsilon() float64 { return m.cfg.Eps }
+
+// Stats returns the number of LP solves performed so far.
+func (m *Mechanism) Stats() (solves int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.solves
+}
+
+// channel returns (solving on first use) the OPT channel of a node.
+func (m *Mechanism) channel(n *Node) (*opt.PointChannel, error) {
+	m.mu.Lock()
+	if ch, ok := m.cache[n.ID()]; ok {
+		m.mu.Unlock()
+		return ch, nil
+	}
+	m.mu.Unlock()
+
+	masses := n.ChildMasses()
+	total := 0.0
+	for _, v := range masses {
+		total += v
+	}
+	if total == 0 {
+		for i := range masses {
+			masses[i] = 1
+		}
+	}
+	ch, err := opt.BuildPoints(n.Eps, n.Centers(), masses, m.cfg.Metric, &opt.Options{LP: m.cfg.LP})
+	if err != nil {
+		return nil, fmt.Errorf("adaptive: node %d: %w", n.ID(), err)
+	}
+	m.mu.Lock()
+	m.solves++
+	m.cache[n.ID()] = ch
+	m.mu.Unlock()
+	return ch, nil
+}
+
+// Report sanitizes x with the mechanism's internal RNG.
+func (m *Mechanism) Report(x geo.Point) (geo.Point, error) {
+	m.rngMu.Lock()
+	defer m.rngMu.Unlock()
+	return m.ReportWith(x, m.rng)
+}
+
+// ReportWith descends the tree: at each inner node it runs the node's OPT
+// channel on x's child cell (or a uniformly random child when x lies outside
+// the node, as in Algorithm 1 line 10) and recurses into the selected child;
+// the final selected cell's center is reported.
+func (m *Mechanism) ReportWith(x geo.Point, rng *rand.Rand) (geo.Point, error) {
+	x = m.cfg.Region.Clamp(x)
+	node := m.tree.Root
+	for node.Children != nil {
+		ch, err := m.channel(node)
+		if err != nil {
+			return geo.Point{}, err
+		}
+		xi := node.ChildContaining(x)
+		if xi < 0 {
+			xi = rng.IntN(len(node.Children))
+		}
+		node = node.Children[ch.SampleIndex(xi, rng)]
+	}
+	return node.Rect.Center(), nil
+}
+
+// Precompute eagerly solves every inner node's channel.
+func (m *Mechanism) Precompute() error {
+	var walk func(*Node) error
+	walk = func(n *Node) error {
+		if n.Children == nil {
+			return nil
+		}
+		if _, err := m.channel(n); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(m.tree.Root)
+}
+
+// PathBudget returns the total budget consumed along the root path leading
+// to the leaf containing p (every complete path consumes exactly Eps; the
+// method exists so tests can verify that invariant).
+func (m *Mechanism) PathBudget(p geo.Point) float64 {
+	p = m.cfg.Region.Clamp(p)
+	total := 0.0
+	node := m.tree.Root
+	for node.Children != nil {
+		total += node.Eps
+		xi := node.ChildContaining(p)
+		if xi < 0 {
+			xi = 0
+		}
+		node = node.Children[xi]
+	}
+	return total
+}
+
+// MeanLeafSide returns the prior-mass-weighted average leaf cell side
+// length, a compactness measure of the partition (smaller where it matters
+// means better expected utility).
+func (m *Mechanism) MeanLeafSide() float64 {
+	total, mass := 0.0, 0.0
+	for _, leaf := range m.tree.Leaves() {
+		side := math.Sqrt(leaf.Rect.Width() * leaf.Rect.Height())
+		total += leaf.Mass * side
+		mass += leaf.Mass
+	}
+	if mass == 0 {
+		return 0
+	}
+	return total / mass
+}

@@ -1,0 +1,315 @@
+package adaptive
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"geoind/internal/budget"
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+	"geoind/internal/lp"
+	"geoind/internal/opt"
+	"geoind/internal/prior"
+)
+
+// QuadConfig parameterizes the quadtree mechanism — the other index
+// structure named by the paper's future work (§8). Unlike the k-d Tree,
+// quadtree cells are uniform squares: adaptation comes from *depth*, not
+// cell shape. A node keeps splitting into 2x2 quadrants while it still
+// holds at least MassThreshold of the prior mass, the budget allows another
+// level, and MaxDepth is not reached — so dense areas get deep, fine-grained
+// subtrees while empty suburbs stay coarse.
+type QuadConfig struct {
+	// Eps is the total privacy budget (> 0).
+	Eps float64
+	// Region is the square planar domain.
+	Region geo.Rect
+	// MassThreshold stops splitting below this prior mass; 0 means 0.01.
+	MassThreshold float64
+	// MaxDepth caps the tree depth; 0 means 6.
+	MaxDepth int
+	// Rho is the per-step same-cell probability target; 0 means 0.8.
+	Rho float64
+	// Metric is the utility metric dQ.
+	Metric geo.Metric
+	// PriorPoints drives both the prior and the split decisions.
+	PriorPoints []geo.Point
+	// PriorGranularity is the fine prior grid resolution; 0 means 128
+	// (must be a power of two at least 2^MaxDepth for exact alignment).
+	PriorGranularity int
+	// LP configures the per-node solves.
+	LP *lp.IPMOptions
+}
+
+// QuadMechanism is the quadtree multi-step mechanism.
+type QuadMechanism struct {
+	cfg  QuadConfig
+	root *quadNode
+	rng  *rand.Rand
+
+	mu     sync.Mutex
+	cache  map[int]*opt.PointChannel
+	solves int
+	nodes  int
+
+	rngMu sync.Mutex
+}
+
+type quadNode struct {
+	rect     geo.Rect
+	mass     float64
+	eps      float64 // budget of the descent step performed at this node
+	children []*quadNode
+	id       int
+	depth    int
+}
+
+// NewQuad builds the quadtree mechanism.
+func NewQuad(cfg QuadConfig, seed uint64) (*QuadMechanism, error) {
+	if !(cfg.Eps > 0) || math.IsInf(cfg.Eps, 0) {
+		return nil, fmt.Errorf("adaptive: quad eps=%g must be positive and finite", cfg.Eps)
+	}
+	if cfg.Region.Width() <= 0 || cfg.Region.Height() <= 0 {
+		return nil, fmt.Errorf("adaptive: quad degenerate region %v", cfg.Region)
+	}
+	if cfg.MassThreshold == 0 {
+		cfg.MassThreshold = 0.01
+	}
+	if !(cfg.MassThreshold > 0 && cfg.MassThreshold < 1) {
+		return nil, fmt.Errorf("adaptive: quad mass threshold %g outside (0,1)", cfg.MassThreshold)
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 6
+	}
+	if cfg.MaxDepth < 1 || cfg.MaxDepth > 12 {
+		return nil, fmt.Errorf("adaptive: quad max depth %d outside [1,12]", cfg.MaxDepth)
+	}
+	if cfg.Rho == 0 {
+		cfg.Rho = 0.8
+	}
+	if !(cfg.Rho > 0 && cfg.Rho < 1) {
+		return nil, fmt.Errorf("adaptive: quad rho=%g outside (0,1)", cfg.Rho)
+	}
+	if !cfg.Metric.Valid() {
+		return nil, fmt.Errorf("adaptive: quad unknown metric %v", cfg.Metric)
+	}
+	if cfg.PriorGranularity == 0 {
+		cfg.PriorGranularity = 128
+	}
+	minG := 1 << cfg.MaxDepth
+	if cfg.PriorGranularity < minG || cfg.PriorGranularity%minG != 0 {
+		return nil, fmt.Errorf("adaptive: quad prior granularity %d must be a multiple of 2^MaxDepth = %d",
+			cfg.PriorGranularity, minG)
+	}
+
+	fineGrid, err := grid.New(cfg.Region, cfg.PriorGranularity)
+	if err != nil {
+		return nil, fmt.Errorf("adaptive: %w", err)
+	}
+	var fine *prior.Prior
+	if len(cfg.PriorPoints) > 0 {
+		fine = prior.FromPoints(fineGrid, cfg.PriorPoints)
+	} else {
+		fine = prior.Uniform(fineGrid)
+	}
+
+	m := &QuadMechanism{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewPCG(seed, 0x90ad7ee)),
+		cache: make(map[int]*opt.PointChannel),
+	}
+	root, err := m.grow(fine, 0, 0, cfg.PriorGranularity, 0, cfg.PriorGranularity, 0, cfg.Eps)
+	if err != nil {
+		return nil, err
+	}
+	m.root = root
+	return m, nil
+}
+
+// grow recursively builds the quadtree over the fine-grid index range.
+func (m *QuadMechanism) grow(p *prior.Prior, depth, rowLo, rowHi, colLo, colHi int, spent, remaining float64) (*quadNode, error) {
+	g := p.Grid()
+	n := &quadNode{
+		rect:  rectOf(g, rowLo, rowHi, colLo, colHi),
+		mass:  p.BlockMass(rowLo, colLo, rowHi-rowLo, colHi-colLo),
+		id:    m.nodes,
+		depth: depth,
+	}
+	m.nodes++
+
+	// Split? Only while dense enough, deep budget available, and the range
+	// is still divisible.
+	if depth >= m.cfg.MaxDepth || n.mass < m.cfg.MassThreshold || (rowHi-rowLo) < 2 {
+		return n, nil
+	}
+	childSide := n.rect.Width() / 2
+	need, err := budget.MinEpsilon(math.Min(childSide, n.rect.Height()/2), m.cfg.Rho)
+	if err != nil {
+		return nil, err
+	}
+	if need >= remaining {
+		// Cannot afford another informative level here: this subtree's
+		// descent ends one step below, absorbing all remaining budget.
+		n.eps = remaining
+		midR, midC := (rowLo+rowHi)/2, (colLo+colHi)/2
+		for _, r := range [][2]int{{rowLo, midR}, {midR, rowHi}} {
+			for _, c := range [][2]int{{colLo, midC}, {midC, colHi}} {
+				leaf := &quadNode{
+					rect:  rectOf(g, r[0], r[1], c[0], c[1]),
+					mass:  p.BlockMass(r[0], c[0], r[1]-r[0], c[1]-c[0]),
+					id:    m.nodes,
+					depth: depth + 1,
+				}
+				m.nodes++
+				n.children = append(n.children, leaf)
+			}
+		}
+		return n, nil
+	}
+	n.eps = need
+	midR, midC := (rowLo+rowHi)/2, (colLo+colHi)/2
+	for _, r := range [][2]int{{rowLo, midR}, {midR, rowHi}} {
+		for _, c := range [][2]int{{colLo, midC}, {midC, colHi}} {
+			child, err := m.grow(p, depth+1, r[0], r[1], c[0], c[1], spent+need, remaining-need)
+			if err != nil {
+				return nil, err
+			}
+			n.children = append(n.children, child)
+		}
+	}
+	return n, nil
+}
+
+// Epsilon returns the total budget. Paths that end early (sparse areas)
+// spend less than Epsilon; the guarantee still holds since unspent budget
+// only strengthens privacy.
+func (m *QuadMechanism) Epsilon() float64 { return m.cfg.Eps }
+
+// NumNodes returns the tree size.
+func (m *QuadMechanism) NumNodes() int { return m.nodes }
+
+// MaxDepthUsed returns the deepest node level actually present.
+func (m *QuadMechanism) MaxDepthUsed() int {
+	max := 0
+	var walk func(*quadNode)
+	walk = func(n *quadNode) {
+		if n.depth > max {
+			max = n.depth
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(m.root)
+	return max
+}
+
+// DepthAt returns the leaf depth of the subtree containing p.
+func (m *QuadMechanism) DepthAt(p geo.Point) int {
+	p = m.cfg.Region.Clamp(p)
+	node := m.root
+	for node.children != nil {
+		next := node.children[0]
+		for _, c := range node.children {
+			if c.rect.Contains(p) {
+				next = c
+				break
+			}
+		}
+		node = next
+	}
+	return node.depth
+}
+
+// channel returns (solving on first use) the 4-candidate channel of a node.
+func (m *QuadMechanism) channel(n *quadNode) (*opt.PointChannel, error) {
+	m.mu.Lock()
+	if ch, ok := m.cache[n.id]; ok {
+		m.mu.Unlock()
+		return ch, nil
+	}
+	m.mu.Unlock()
+	centers := make([]geo.Point, len(n.children))
+	masses := make([]float64, len(n.children))
+	total := 0.0
+	for i, c := range n.children {
+		centers[i] = c.rect.Center()
+		masses[i] = c.mass
+		total += c.mass
+	}
+	if total == 0 {
+		for i := range masses {
+			masses[i] = 1
+		}
+	}
+	ch, err := opt.BuildPoints(n.eps, centers, masses, m.cfg.Metric, &opt.Options{LP: m.cfg.LP})
+	if err != nil {
+		return nil, fmt.Errorf("adaptive: quad node %d: %w", n.id, err)
+	}
+	m.mu.Lock()
+	m.solves++
+	m.cache[n.id] = ch
+	m.mu.Unlock()
+	return ch, nil
+}
+
+// Report sanitizes x with the internal RNG.
+func (m *QuadMechanism) Report(x geo.Point) (geo.Point, error) {
+	m.rngMu.Lock()
+	defer m.rngMu.Unlock()
+	return m.ReportWith(x, m.rng)
+}
+
+// ReportWith descends the quadtree (Algorithm 1 over quadrants) and returns
+// the selected leaf-cell center.
+func (m *QuadMechanism) ReportWith(x geo.Point, rng *rand.Rand) (geo.Point, error) {
+	x = m.cfg.Region.Clamp(x)
+	node := m.root
+	for node.children != nil {
+		ch, err := m.channel(node)
+		if err != nil {
+			return geo.Point{}, err
+		}
+		xi := -1
+		for i, c := range node.children {
+			if c.rect.Contains(x) {
+				xi = i
+				break
+			}
+		}
+		if xi < 0 {
+			xi = rng.IntN(len(node.children))
+		}
+		node = node.children[ch.SampleIndex(xi, rng)]
+	}
+	return node.rect.Center(), nil
+}
+
+// Precompute eagerly solves every inner node's channel.
+func (m *QuadMechanism) Precompute() error {
+	var walk func(*quadNode) error
+	walk = func(n *quadNode) error {
+		if n.children == nil {
+			return nil
+		}
+		if _, err := m.channel(n); err != nil {
+			return err
+		}
+		for _, c := range n.children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(m.root)
+}
+
+// Stats returns the number of LP solves performed.
+func (m *QuadMechanism) Stats() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.solves
+}

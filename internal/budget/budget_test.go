@@ -1,0 +1,354 @@
+package budget
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestLatticeSumSeriesVsDirect cross-checks the Eq. (8) series against brute
+// force direct summation in the overlap region. This is the key numerical
+// validation of the paper's expansion (and of our zeta / Dirichlet-L
+// implementations at half-integer arguments).
+func TestLatticeSumSeriesVsDirect(t *testing.T) {
+	for _, s := range []float64{0.05, 0.1, 0.2, 0.3, 0.49, 0.8, 1.2, 2.0} {
+		direct := latticeSumDirect(s)
+		series, err := latticeSumSeries(s)
+		if err != nil {
+			t.Fatalf("s=%g: %v", s, err)
+		}
+		if rel := math.Abs(direct-series) / direct; rel > 1e-10 {
+			t.Errorf("s=%g: direct %.15g vs series %.15g (rel %g)", s, direct, series, rel)
+		}
+	}
+}
+
+func TestLatticeSumDomain(t *testing.T) {
+	for _, s := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := LatticeSum(s); err == nil {
+			t.Errorf("s=%g should error", s)
+		}
+	}
+	if _, err := latticeSumSeries(7); err == nil {
+		t.Error("series beyond 2*pi should error")
+	}
+}
+
+func TestLatticeSumLimits(t *testing.T) {
+	// As s -> infinity only the origin survives: T -> 1.
+	big, err := LatticeSum(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(big-1) > 1e-12 {
+		t.Errorf("T(60)=%g want ~1", big)
+	}
+	// As s -> 0, T ~ 2*pi/s^2.
+	small, err := LatticeSum(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lead := 2 * math.Pi / (0.01 * 0.01)
+	if math.Abs(small-lead)/lead > 0.01 {
+		t.Errorf("T(0.01)=%g want ~%g", small, lead)
+	}
+	// One-term sanity check at moderate s: T(3) = 1 + 4e^-3 + ... known to
+	// be slightly above 1 + 4e^-3.
+	mid, _ := LatticeSum(3)
+	if mid < 1+4*math.Exp(-3) || mid > 1.3 {
+		t.Errorf("T(3)=%g outside sanity range", mid)
+	}
+}
+
+func TestLatticeSumMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for s := 0.05; s < 8; s += 0.05 {
+		cur, err := LatticeSum(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur >= prev {
+			t.Fatalf("T not strictly decreasing at s=%g: %g >= %g", s, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestPhiRange(t *testing.T) {
+	f := func(rawEps, rawSide float64) bool {
+		eps := 0.01 + math.Abs(math.Mod(rawEps, 3))
+		side := 0.1 + math.Abs(math.Mod(rawSide, 30))
+		phi, err := Phi(eps, side)
+		if err != nil {
+			return false
+		}
+		// Phi is strictly below 1 mathematically, but rounds to 1.0 in
+		// float64 once the off-origin mass drops below 1 ulp.
+		return phi > 0 && phi <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := Phi(0, 1); err == nil {
+		t.Error("eps=0 should error")
+	}
+	if _, err := Phi(1, 0); err == nil {
+		t.Error("cellSide=0 should error")
+	}
+}
+
+func TestMinEpsilonSolvesProblem1(t *testing.T) {
+	for _, rho := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+		for _, side := range []float64{0.5, 2.5, 10} {
+			eps, err := MinEpsilon(side, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			phi, err := Phi(eps, side)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if phi < rho-1e-9 {
+				t.Errorf("rho=%g side=%g: Phi(MinEps)=%g < rho", rho, side, phi)
+			}
+			// Minimality: 1% less budget must fall below rho.
+			phiLess, err := Phi(eps*0.99, side)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if phiLess >= rho {
+				t.Errorf("rho=%g side=%g: eps not minimal (Phi at 0.99*eps = %g)", rho, side, phiLess)
+			}
+		}
+	}
+}
+
+// TestMinEpsilonScaling: the product eps*side is invariant, so halving the
+// cell side doubles the required budget. This is why deeper (finer) index
+// levels need geometrically more budget.
+func TestMinEpsilonScaling(t *testing.T) {
+	e1, err := MinEpsilon(4, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := MinEpsilon(2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e2-2*e1) > 1e-6*e2 {
+		t.Errorf("scaling violated: MinEps(2)=%g, 2*MinEps(4)=%g", e2, 2*e1)
+	}
+}
+
+func TestMinEpsilonMonotoneInRho(t *testing.T) {
+	prev := 0.0
+	for _, rho := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		e, err := MinEpsilon(5, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e <= prev {
+			t.Fatalf("MinEpsilon not increasing at rho=%g: %g <= %g", rho, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestMinEpsilonValidation(t *testing.T) {
+	if _, err := MinEpsilon(0, 0.5); err == nil {
+		t.Error("cellSide=0 should error")
+	}
+	for _, rho := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := MinEpsilon(1, rho); err == nil {
+			t.Errorf("rho=%g should error", rho)
+		}
+	}
+}
+
+func TestAllocateBudgetConservation(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		for _, g := range []int{2, 3, 4, 5, 6} {
+			a, err := Allocate(eps, 20, g, 0.8, 8)
+			if err != nil {
+				t.Fatalf("eps=%g g=%d: %v", eps, g, err)
+			}
+			if a.Height() < 1 {
+				t.Fatalf("eps=%g g=%d: empty allocation", eps, g)
+			}
+			if math.Abs(a.Total()-eps) > 1e-12 {
+				t.Errorf("eps=%g g=%d: total %g != eps", eps, g, a.Total())
+			}
+			for i, e := range a.Eps {
+				if e <= 0 {
+					t.Errorf("eps=%g g=%d: level %d budget %g", eps, g, i, e)
+				}
+			}
+		}
+	}
+}
+
+// TestAllocateMeetsRhoAtInnerLevels: every level except the last gets
+// exactly the minimal budget for its cell size, so Phi = rho there; the last
+// level absorbs the remainder.
+func TestAllocateMeetsRhoAtInnerLevels(t *testing.T) {
+	a, err := Allocate(0.9, 20, 3, 0.7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Height() < 2 {
+		t.Skipf("allocation too shallow (h=%d) to test inner levels", a.Height())
+	}
+	side := 20.0
+	for i := 0; i < a.Height()-1; i++ {
+		side /= 3
+		phi, err := Phi(a.Eps[i], side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(phi-0.7) > 1e-6 {
+			t.Errorf("level %d: Phi=%g want 0.7", i+1, phi)
+		}
+	}
+}
+
+// TestAllocateGeometricNeed: inner-level budgets grow by a factor g.
+func TestAllocateGeometricNeed(t *testing.T) {
+	a, err := Allocate(2.0, 20, 2, 0.6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+2 < a.Height(); i++ {
+		ratio := a.Eps[i+1] / a.Eps[i]
+		if math.Abs(ratio-2) > 1e-6 {
+			t.Errorf("levels %d->%d budget ratio %g want 2", i+1, i+2, ratio)
+		}
+	}
+}
+
+// TestAllocateHeightGrowsWithBudget: more total budget affords more levels.
+func TestAllocateHeightGrowsWithBudget(t *testing.T) {
+	prev := 0
+	for _, eps := range []float64{0.05, 0.2, 1.0, 5.0, 25.0} {
+		a, err := Allocate(eps, 20, 4, 0.8, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Height() < prev {
+			t.Fatalf("height decreased: eps=%g h=%d prev=%d", eps, a.Height(), prev)
+		}
+		prev = a.Height()
+	}
+	if prev < 2 {
+		t.Error("expected multi-level allocation at eps=25")
+	}
+}
+
+func TestAllocateMaxHeightCap(t *testing.T) {
+	a, err := Allocate(1000, 20, 2, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Height() != 3 {
+		t.Errorf("height=%d want cap 3", a.Height())
+	}
+	if math.Abs(a.Total()-1000) > 1e-9 {
+		t.Errorf("total=%g want 1000", a.Total())
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	if _, err := Allocate(0, 20, 2, 0.5, 5); err == nil {
+		t.Error("eps=0 should error")
+	}
+	if _, err := Allocate(1, 0, 2, 0.5, 5); err == nil {
+		t.Error("side=0 should error")
+	}
+	if _, err := Allocate(1, 20, 1, 0.5, 5); err == nil {
+		t.Error("g=1 should error")
+	}
+	if _, err := Allocate(1, 20, 2, 1.5, 5); err == nil {
+		t.Error("rho out of range should error")
+	}
+	if _, err := Allocate(1, 20, 2, 0.5, 0); err == nil {
+		t.Error("maxHeight=0 should error")
+	}
+}
+
+func TestAllocateFixedHeightExact(t *testing.T) {
+	for _, h := range []int{1, 2, 3} {
+		a, err := AllocateFixedHeight(0.5, 20, 3, 0.8, h)
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		if a.Height() != h {
+			t.Errorf("h=%d: got height %d", h, a.Height())
+		}
+		if math.Abs(a.Total()-0.5) > 1e-12 {
+			t.Errorf("h=%d: total %g", h, a.Total())
+		}
+		for i, e := range a.Eps {
+			if e <= 0 {
+				t.Errorf("h=%d level %d: budget %g", h, i, e)
+			}
+		}
+	}
+}
+
+// TestAllocateFixedHeightAmpleBudget: with plenty of budget, inner levels get
+// exactly their Problem-1 minimum and the leaf absorbs the rest.
+func TestAllocateFixedHeightAmpleBudget(t *testing.T) {
+	a, err := AllocateFixedHeight(10, 20, 2, 0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	need1, err := MinEpsilon(10, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Eps[0]-need1) > 1e-9 {
+		t.Errorf("level 1 budget %g want Problem-1 minimum %g", a.Eps[0], need1)
+	}
+	if math.Abs(a.Eps[1]-(10-need1)) > 1e-9 {
+		t.Errorf("leaf budget %g want remainder %g", a.Eps[1], 10-need1)
+	}
+}
+
+// TestAllocateFixedHeightScarceBudget: when the budget cannot cover the
+// requirements, every level is scaled proportionally.
+func TestAllocateFixedHeightScarceBudget(t *testing.T) {
+	a, err := AllocateFixedHeight(0.05, 20, 4, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Height() != 3 {
+		t.Fatalf("height %d", a.Height())
+	}
+	if math.Abs(a.Total()-0.05) > 1e-12 {
+		t.Errorf("total %g", a.Total())
+	}
+	// Proportional scaling preserves the geometric ratio g between levels.
+	for i := 0; i+1 < 3; i++ {
+		ratio := a.Eps[i+1] / a.Eps[i]
+		if math.Abs(ratio-4) > 1e-6 {
+			t.Errorf("levels %d->%d ratio %g want 4", i+1, i+2, ratio)
+		}
+	}
+}
+
+func TestAllocateFixedHeightValidation(t *testing.T) {
+	if _, err := AllocateFixedHeight(0, 20, 2, 0.5, 2); err == nil {
+		t.Error("eps=0 should error")
+	}
+	if _, err := AllocateFixedHeight(1, 0, 2, 0.5, 2); err == nil {
+		t.Error("side=0 should error")
+	}
+	if _, err := AllocateFixedHeight(1, 20, 1, 0.5, 2); err == nil {
+		t.Error("g=1 should error")
+	}
+	if _, err := AllocateFixedHeight(1, 20, 2, 0, 2); err == nil {
+		t.Error("rho=0 should error")
+	}
+	if _, err := AllocateFixedHeight(1, 20, 2, 0.5, 0); err == nil {
+		t.Error("h=0 should error")
+	}
+}

@@ -1,0 +1,392 @@
+// Package core implements the paper's primary contribution: the Multi-Step
+// Mechanism (MSM, §4) for geo-indistinguishable location reporting over a
+// GeoInd-preserving Hierarchical Index (GIHI).
+//
+// MSM splits the total privacy budget eps across the levels of a
+// hierarchical grid using the analytical model of §5 (package budget), then
+// descends the index top-down (Algorithm 1): at level i it builds the
+// optimal mechanism OPT (package opt) on the g x g subgrid of the cell
+// selected at level i-1, using budget eps_i and the adversarial prior
+// restricted to that subgrid, and samples the next cell from the resulting
+// channel. The center of the leaf-level cell selected at the final step is
+// reported. By the composability property of GeoInd (§2.2), the pipeline
+// satisfies eps-GeoInd with eps = sum_i eps_i.
+//
+// Each per-level channel depends only on (level, parent cell), so solved
+// channels are memoized: the first query through a region pays h small LP
+// solves, subsequent queries only sample. Precompute warms the whole cache,
+// mirroring the paper's offline-download deployment model (§3.1).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"geoind/internal/budget"
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+	"geoind/internal/lp"
+	"geoind/internal/opt"
+	"geoind/internal/prior"
+)
+
+// Default configuration values.
+const (
+	// DefaultRho is the per-level same-cell probability target (§6.1 uses
+	// 0.8 as the default).
+	DefaultRho = 0.8
+	// DefaultMaxLeafGranularity bounds g^h: the index stops deepening when
+	// the leaf grid would exceed this many cells per side.
+	DefaultMaxLeafGranularity = 1024
+	// MaxFanout bounds the per-level granularity so each LP stays small.
+	MaxFanout = 16
+)
+
+// Config parameterizes an MSM mechanism.
+type Config struct {
+	// Eps is the total privacy budget (required, > 0).
+	Eps float64
+	// G is the per-level grid granularity (fanout per side), in [2, MaxFanout].
+	G int
+	// Region is the square planar domain (side L) locations live in.
+	Region geo.Rect
+	// Rho is the per-level target for Pr[x|x]; 0 means DefaultRho.
+	Rho float64
+	// Metric is the utility metric dQ optimized at each level.
+	Metric geo.Metric
+	// MaxHeight optionally caps the index height; 0 means "as deep as the
+	// budget and DefaultMaxLeafGranularity allow".
+	MaxHeight int
+	// ForceHeight pins the index to exactly this many levels, distributing
+	// the budget with budget.AllocateFixedHeight. Used for like-for-like
+	// comparisons against OPT at a fixed effective granularity (Table 2).
+	// 0 means adaptive height (Algorithm 2).
+	ForceHeight int
+	// CustomBudgets, if non-empty, bypasses the allocation strategy
+	// entirely: level i gets CustomBudgets[i-1] and the height is the slice
+	// length. Eps is then ignored except that the total budget becomes
+	// sum(CustomBudgets). Used by the budget-allocation ablation.
+	CustomBudgets []float64
+	// Prior is the adversarial prior. Its grid must cover Region with a
+	// granularity divisible by the leaf granularity g^h. Nil means uniform
+	// (or PriorPoints, if given).
+	Prior *prior.Prior
+	// PriorPoints, if non-empty and Prior is nil, is a set of check-in
+	// locations from which the leaf-granularity empirical prior is built.
+	PriorPoints []geo.Point
+	// LP configures the per-level interior-point solves.
+	LP *lp.IPMOptions
+	// DisableCache turns off channel memoization (used by benchmarks to
+	// measure cold-path cost).
+	DisableCache bool
+}
+
+// Mechanism is a ready-to-use multi-step mechanism.
+type Mechanism struct {
+	cfg       Config
+	alloc     budget.Allocation
+	hier      *grid.Hierarchy
+	leafPrior *prior.Prior
+	rng       *rand.Rand
+
+	mu      sync.Mutex
+	cache   map[cacheKey]*opt.Channel
+	solves  int // number of LP solves performed (cache misses)
+	queries int
+
+	rngMu sync.Mutex // guards rng for Report (rand.Rand is not thread safe)
+}
+
+type cacheKey struct {
+	level  int
+	parent int
+}
+
+// New builds an MSM mechanism: it runs the budget allocation of §5 to fix
+// the index height and per-level budgets, constructs the hierarchy, and
+// prepares the leaf-granularity prior. Channels are solved lazily on first
+// use (or eagerly via Precompute). The seed makes all sampling reproducible.
+func New(cfg Config, seed uint64) (*Mechanism, error) {
+	if !(cfg.Eps > 0) || math.IsInf(cfg.Eps, 0) {
+		return nil, fmt.Errorf("msm: eps=%g must be positive and finite", cfg.Eps)
+	}
+	if cfg.G < 2 || cfg.G > MaxFanout {
+		return nil, fmt.Errorf("msm: granularity g=%d outside [2,%d]", cfg.G, MaxFanout)
+	}
+	if cfg.Region.Width() <= 0 || cfg.Region.Height() <= 0 {
+		return nil, fmt.Errorf("msm: degenerate region %v", cfg.Region)
+	}
+	if cfg.Rho == 0 {
+		cfg.Rho = DefaultRho
+	}
+	if !(cfg.Rho > 0 && cfg.Rho < 1) {
+		return nil, fmt.Errorf("msm: rho=%g outside (0,1)", cfg.Rho)
+	}
+	if !cfg.Metric.Valid() {
+		return nil, fmt.Errorf("msm: unknown metric %v", cfg.Metric)
+	}
+
+	// Height cap from the leaf-granularity bound (and the user's cap).
+	maxH := 0
+	for side := cfg.G; side <= DefaultMaxLeafGranularity; side *= cfg.G {
+		maxH++
+	}
+	if maxH == 0 {
+		maxH = 1
+	}
+	if cfg.MaxHeight > 0 && cfg.MaxHeight < maxH {
+		maxH = cfg.MaxHeight
+	}
+
+	// The paper assumes a square domain (footnote 3); use the longer side
+	// as L for allocation purposes.
+	sideL := math.Max(cfg.Region.Width(), cfg.Region.Height())
+	var (
+		alloc budget.Allocation
+		err   error
+	)
+	switch {
+	case len(cfg.CustomBudgets) > 0:
+		total := 0.0
+		for i, e := range cfg.CustomBudgets {
+			if !(e > 0) || math.IsInf(e, 0) {
+				return nil, fmt.Errorf("msm: custom budget %d is %g, must be positive and finite", i+1, e)
+			}
+			total += e
+		}
+		alloc = budget.Allocation{Rho: cfg.Rho, Eps: append([]float64(nil), cfg.CustomBudgets...)}
+		cfg.Eps = total
+	case cfg.ForceHeight > 0:
+		alloc, err = budget.AllocateFixedHeight(cfg.Eps, sideL, cfg.G, cfg.Rho, cfg.ForceHeight)
+	default:
+		alloc, err = budget.Allocate(cfg.Eps, sideL, cfg.G, cfg.Rho, maxH)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("msm: budget allocation: %w", err)
+	}
+
+	hier, err := grid.NewHierarchy(cfg.Region, cfg.G, alloc.Height())
+	if err != nil {
+		return nil, fmt.Errorf("msm: %w", err)
+	}
+
+	leafGrid := hier.LevelGrid(alloc.Height())
+	var leaf *prior.Prior
+	switch {
+	case cfg.Prior != nil:
+		leaf, err = adaptPrior(cfg.Prior, leafGrid)
+		if err != nil {
+			return nil, fmt.Errorf("msm: %w", err)
+		}
+	case len(cfg.PriorPoints) > 0:
+		leaf = prior.FromPoints(leafGrid, cfg.PriorPoints)
+	default:
+		leaf = prior.Uniform(leafGrid)
+	}
+
+	return &Mechanism{
+		cfg:       cfg,
+		alloc:     alloc,
+		hier:      hier,
+		leafPrior: leaf,
+		rng:       rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
+		cache:     make(map[cacheKey]*opt.Channel),
+	}, nil
+}
+
+// adaptPrior brings a user-supplied prior onto the leaf grid: identical
+// granularity is used as-is, a finer divisible granularity is aggregated.
+func adaptPrior(p *prior.Prior, leaf *grid.Grid) (*prior.Prior, error) {
+	pg := p.Grid()
+	if pg.Bounds() != leaf.Bounds() {
+		return nil, fmt.Errorf("prior bounds %v do not match region %v", pg.Bounds(), leaf.Bounds())
+	}
+	if pg.Granularity() == leaf.Granularity() {
+		return p, nil
+	}
+	if pg.Granularity()%leaf.Granularity() == 0 {
+		return p.Aggregate(leaf)
+	}
+	return nil, fmt.Errorf("prior granularity %d incompatible with leaf granularity %d (must be an exact multiple)",
+		pg.Granularity(), leaf.Granularity())
+}
+
+// Allocation returns the budget split chosen at construction.
+func (m *Mechanism) Allocation() budget.Allocation { return m.alloc }
+
+// Height returns the index height h.
+func (m *Mechanism) Height() int { return m.alloc.Height() }
+
+// LeafGrid returns the finest-level grid (granularity g^h).
+func (m *Mechanism) LeafGrid() *grid.Grid { return m.hier.LevelGrid(m.Height()) }
+
+// Hierarchy exposes the underlying GIHI.
+func (m *Mechanism) Hierarchy() *grid.Hierarchy { return m.hier }
+
+// Epsilon returns the total privacy budget.
+func (m *Mechanism) Epsilon() float64 { return m.cfg.Eps }
+
+// Metric returns the configured utility metric.
+func (m *Mechanism) Metric() geo.Metric { return m.cfg.Metric }
+
+// Stats reports cache behaviour: total queries answered and LP solves
+// performed (equivalently, channel-cache misses).
+func (m *Mechanism) Stats() (queries, solves int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queries, m.solves
+}
+
+// levelSubPrior returns the normalized prior over the g x g children of
+// parentIdx at the given level (0 = root). Zero-mass subdomains fall back
+// to uniform.
+func (m *Mechanism) levelSubPrior(level, parentIdx int) []float64 {
+	g := m.cfg.G
+	leafG := m.LeafGrid().Granularity()
+	childG := 1
+	for i := 0; i <= level; i++ {
+		childG *= g
+	}
+	ratio := leafG / childG // leaf cells per child cell side
+	var pRow, pCol int
+	if level > 0 {
+		pRow, pCol = m.hier.LevelGrid(level).RowCol(parentIdx)
+	}
+	baseRow := pRow * g * ratio
+	baseCol := pCol * g * ratio
+	w := make([]float64, g*g)
+	total := 0.0
+	for r := 0; r < g; r++ {
+		for c := 0; c < g; c++ {
+			mass := m.leafPrior.BlockMass(baseRow+r*ratio, baseCol+c*ratio, ratio, ratio)
+			w[r*g+c] = mass
+			total += mass
+		}
+	}
+	if total == 0 {
+		u := 1 / float64(len(w))
+		for i := range w {
+			w[i] = u
+		}
+		return w
+	}
+	inv := 1 / total
+	for i := range w {
+		w[i] *= inv
+	}
+	return w
+}
+
+// channel returns the OPT channel for descending from parentIdx at level
+// (into level+1), solving and caching it on first use.
+func (m *Mechanism) channel(level, parentIdx int) (*opt.Channel, error) {
+	key := cacheKey{level: level, parent: parentIdx}
+	if !m.cfg.DisableCache {
+		m.mu.Lock()
+		if ch, ok := m.cache[key]; ok {
+			m.mu.Unlock()
+			return ch, nil
+		}
+		m.mu.Unlock()
+	}
+	sub := m.hier.SubGrid(level, parentIdx)
+	pw := m.levelSubPrior(level, parentIdx)
+	ch, err := opt.Build(m.alloc.Eps[level], sub, pw, m.cfg.Metric, &opt.Options{LP: m.cfg.LP})
+	if err != nil {
+		return nil, fmt.Errorf("msm: level %d cell %d: %w", level+1, parentIdx, err)
+	}
+	m.mu.Lock()
+	m.solves++
+	if !m.cfg.DisableCache {
+		m.cache[key] = ch
+	}
+	m.mu.Unlock()
+	return ch, nil
+}
+
+// Report runs Algorithm 1 for the actual location x using the mechanism's
+// internal seeded RNG and returns the sanitized location (a leaf cell
+// center). Locations outside the region are clamped onto it first.
+func (m *Mechanism) Report(x geo.Point) (geo.Point, error) {
+	m.mu.Lock()
+	m.queries++
+	m.mu.Unlock()
+	m.rngMu.Lock()
+	defer m.rngMu.Unlock()
+	return m.ReportWith(x, m.rng)
+}
+
+// ReportWith is Report with a caller-supplied RNG (not counted in Stats'
+// query counter when called directly).
+func (m *Mechanism) ReportWith(x geo.Point, rng *rand.Rand) (geo.Point, error) {
+	idx, err := m.ReportCell(x, rng)
+	if err != nil {
+		return geo.Point{}, err
+	}
+	return m.LeafGrid().Center(idx), nil
+}
+
+// ReportCell runs the multi-step descent and returns the index of the
+// selected leaf cell.
+func (m *Mechanism) ReportCell(x geo.Point, rng *rand.Rand) (int, error) {
+	x = m.cfg.Region.Clamp(x)
+	parent := 0 // virtual root
+	for level := 0; level < m.Height(); level++ {
+		ch, err := m.channel(level, parent)
+		if err != nil {
+			return 0, err
+		}
+		sub := m.hier.SubGrid(level, parent)
+		// x-hat_i: the user's logical location at this level. When the
+		// actual location falls outside the selected subdomain (possible by
+		// design: the previous level may have reported a different cell),
+		// Algorithm 1 line 10 substitutes a uniformly random location.
+		xLocal, ok := sub.CellIndex(x)
+		if !ok {
+			xLocal = rng.IntN(sub.NumCells())
+		}
+		zLocal := ch.SampleIndex(xLocal, rng)
+		parent = m.hier.ChildIndex(level, parent, zLocal)
+	}
+	return parent, nil
+}
+
+// Precompute eagerly solves every channel in the index (the paper's offline
+// phase). The number of LPs is 1 + g^2 + g^4 + ... + g^{2(h-1)}.
+func (m *Mechanism) Precompute() error {
+	if m.cfg.DisableCache {
+		return fmt.Errorf("msm: cannot precompute with cache disabled")
+	}
+	parents := []int{0}
+	for level := 0; level < m.Height(); level++ {
+		var next []int
+		for _, p := range parents {
+			if _, err := m.channel(level, p); err != nil {
+				return err
+			}
+			if level+1 < m.Height() {
+				for local := 0; local < m.cfg.G*m.cfg.G; local++ {
+					next = append(next, m.hier.ChildIndex(level, p, local))
+				}
+			}
+		}
+		parents = next
+	}
+	return nil
+}
+
+// ChannelCount returns the number of cached channels.
+func (m *Mechanism) ChannelCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.cache)
+}
+
+// ClearCache drops all cached channels (benchmarking aid).
+func (m *Mechanism) ClearCache() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cache = make(map[cacheKey]*opt.Channel)
+}

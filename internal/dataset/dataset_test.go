@@ -1,0 +1,292 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"testing"
+
+	"geoind/internal/grid"
+	"geoind/internal/prior"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	base := GenConfig{
+		Name: "t", Side: 20, NumUsers: 10, NumCheckIns: 100, NumPOIs: 20,
+		NumClusters: 3, CoreClusters: 1, ClusterSigma: 1, ZipfS: 1, HomeAffinity: 0.5,
+	}
+	mods := []func(*GenConfig){
+		func(c *GenConfig) { c.Side = 0 },
+		func(c *GenConfig) { c.NumUsers = 0 },
+		func(c *GenConfig) { c.NumCheckIns = 0 },
+		func(c *GenConfig) { c.NumPOIs = 0 },
+		func(c *GenConfig) { c.NumClusters = 0 },
+		func(c *GenConfig) { c.CoreClusters = 5 },
+		func(c *GenConfig) { c.ClusterSigma = 0 },
+		func(c *GenConfig) { c.ZipfS = 0 },
+		func(c *GenConfig) { c.HomeAffinity = 1.5 },
+	}
+	for i, mod := range mods {
+		cfg := base
+		mod(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	if _, err := Generate(base); err != nil {
+		t.Fatalf("base config failed: %v", err)
+	}
+}
+
+func TestSyntheticCardinalities(t *testing.T) {
+	g := SyntheticGowalla()
+	if len(g.CheckIns) != 265571 {
+		t.Errorf("gowalla check-ins %d want 265571", len(g.CheckIns))
+	}
+	if g.NumUsers != 12155 {
+		t.Errorf("gowalla users %d want 12155", g.NumUsers)
+	}
+	if g.Side != 20 {
+		t.Errorf("gowalla side %g want 20", g.Side)
+	}
+	y := SyntheticYelp()
+	if len(y.CheckIns) != 81201 {
+		t.Errorf("yelp check-ins %d want 81201", len(y.CheckIns))
+	}
+	if y.NumUsers != 7581 {
+		t.Errorf("yelp users %d want 7581", y.NumUsers)
+	}
+}
+
+func TestAllCheckInsInsideRegion(t *testing.T) {
+	for _, d := range []*Dataset{SyntheticGowalla(), SyntheticYelp()} {
+		r := d.Region()
+		for i, c := range d.CheckIns {
+			if !r.ContainsClosed(c.Loc) {
+				t.Fatalf("%s: check-in %d at %v outside region", d.Name, i, c.Loc)
+			}
+			if c.User < 0 || c.User >= d.NumUsers {
+				t.Fatalf("%s: check-in %d has user %d outside [0,%d)", d.Name, i, c.User, d.NumUsers)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{
+		Name: "det", Side: 20, NumUsers: 100, NumCheckIns: 5000, NumPOIs: 200,
+		NumClusters: 5, CoreClusters: 2, ClusterSigma: 1, ZipfS: 1, HomeAffinity: 0.5,
+		Seed: 99,
+	}
+	d1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.CheckIns) != len(d2.CheckIns) {
+		t.Fatal("length mismatch")
+	}
+	for i := range d1.CheckIns {
+		if d1.CheckIns[i] != d2.CheckIns[i] {
+			t.Fatalf("check-in %d differs", i)
+		}
+	}
+}
+
+// TestSkewedPrior verifies that the synthetic data produces the strongly
+// non-uniform prior the paper's mechanisms exploit: the most popular decile
+// of grid cells should carry the bulk of the probability mass.
+func TestSkewedPrior(t *testing.T) {
+	for _, d := range []*Dataset{SyntheticGowalla(), SyntheticYelp()} {
+		g := grid.MustNew(d.Region(), 16)
+		p := prior.FromPoints(g, d.Points())
+		w := p.Weights()
+		sort.Sort(sort.Reverse(sort.Float64Slice(w)))
+		top := 0.0
+		for i := 0; i < len(w)/10; i++ {
+			top += w[i]
+		}
+		if top < 0.5 {
+			t.Errorf("%s: top decile of cells holds only %.2f of mass; prior not skewed", d.Name, top)
+		}
+		t.Logf("%s: top decile mass %.2f", d.Name, top)
+	}
+}
+
+func TestSampleRequests(t *testing.T) {
+	d := SyntheticYelp()
+	rng := rand.New(rand.NewPCG(5, 6))
+	reqs := d.SampleRequests(3000, rng)
+	if len(reqs) != 3000 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	// Every request must be an actual check-in location.
+	locs := map[[2]float64]bool{}
+	for _, c := range d.CheckIns {
+		locs[[2]float64{c.Loc.X, c.Loc.Y}] = true
+	}
+	for _, r := range reqs {
+		if !locs[[2]float64{r.X, r.Y}] {
+			t.Fatalf("request %v is not a check-in location", r)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := GenConfig{
+		Name: "rt", Side: 20, NumUsers: 50, NumCheckIns: 1000, NumPOIs: 100,
+		NumClusters: 4, CoreClusters: 1, ClusterSigma: 1, ZipfS: 1, HomeAffinity: 0.5,
+		Seed: 7,
+	}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "", 0) // side from metadata header
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Side != 20 {
+		t.Errorf("side %g want 20 (from header)", back.Side)
+	}
+	if back.Name != "rt" {
+		t.Errorf("name %q want rt", back.Name)
+	}
+	if len(back.CheckIns) != len(d.CheckIns) {
+		t.Fatalf("count %d want %d", len(back.CheckIns), len(d.CheckIns))
+	}
+	for i := range d.CheckIns {
+		if back.CheckIns[i].User != d.CheckIns[i].User {
+			t.Fatalf("user mismatch at %d", i)
+		}
+		if back.CheckIns[i].Loc.Dist(d.CheckIns[i].Loc) > 1e-5 {
+			t.Fatalf("location drift at %d", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "x", 20); err == nil {
+		t.Error("empty file should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n"), "x", 20); err == nil {
+		t.Error("wrong field count should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,2,3\n"), "x", 20); err == nil {
+		t.Error("bad user should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,zz,3\n"), "x", 20); err == nil {
+		t.Error("bad x should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2,zz\n"), "x", 20); err == nil {
+		t.Error("bad y should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2,3\n"), "x", 0); err == nil {
+		t.Error("unknown side should error")
+	}
+	d, err := ReadCSV(strings.NewReader("user,x_km,y_km\n1,2,3\n2,4,5\n"), "ok", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers != 2 || len(d.CheckIns) != 2 {
+		t.Errorf("users=%d checkins=%d", d.NumUsers, len(d.CheckIns))
+	}
+}
+
+// TestReadCSVNeverPanics feeds structured junk into the parser: it must
+// return an error or a valid dataset, never crash.
+func TestReadCSVNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 100))
+	alphabet := []rune("0123456789,.-# \nabcxyz_=")
+	for trial := 0; trial < 500; trial++ {
+		n := rng.IntN(200)
+		runes := make([]rune, n)
+		for i := range runes {
+			runes[i] = alphabet[rng.IntN(len(alphabet))]
+		}
+		input := string(runes)
+		d, err := ReadCSV(strings.NewReader(input), "fuzz", 20)
+		if err != nil {
+			continue
+		}
+		if len(d.CheckIns) == 0 || d.Side <= 0 {
+			t.Fatalf("trial %d: accepted dataset is invalid: %+v (input %q)", trial, d, input)
+		}
+	}
+}
+
+// TestZipfPopularity: the most popular POI receives far more check-ins than
+// the median POI.
+func TestZipfPopularity(t *testing.T) {
+	cfg := GenConfig{
+		Name: "zipf", Side: 20, NumUsers: 500, NumCheckIns: 50000, NumPOIs: 500,
+		NumClusters: 5, CoreClusters: 1, ClusterSigma: 1, ZipfS: 1.0,
+		HomeAffinity: 0, // pure popularity sampling
+		Seed:         3,
+	}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[[2]float64]int{}
+	for _, c := range d.CheckIns {
+		counts[[2]float64{c.Loc.X, c.Loc.Y}]++
+	}
+	max := 0
+	all := make([]int, 0, len(counts))
+	for _, n := range counts {
+		all = append(all, n)
+		if n > max {
+			max = n
+		}
+	}
+	sort.Ints(all)
+	median := all[len(all)/2]
+	if max < 10*median {
+		t.Errorf("popularity not heavy-tailed: max=%d median=%d", max, median)
+	}
+}
+
+// TestHomeAffinityLocality: with high affinity, a user's check-ins cluster
+// much more tightly than the global spread.
+func TestHomeAffinityLocality(t *testing.T) {
+	mk := func(aff float64) float64 {
+		cfg := GenConfig{
+			Name: "aff", Side: 20, NumUsers: 50, NumCheckIns: 20000, NumPOIs: 300,
+			NumClusters: 8, CoreClusters: 0, ClusterSigma: 0.8, ZipfS: 1.0,
+			HomeAffinity: aff, Seed: 4,
+		}
+		d, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mean distance of each user's check-ins to the user's centroid.
+		sums := map[int][3]float64{} // sx, sy, n
+		for _, c := range d.CheckIns {
+			s := sums[c.User]
+			sums[c.User] = [3]float64{s[0] + c.Loc.X, s[1] + c.Loc.Y, s[2] + 1}
+		}
+		total, n := 0.0, 0.0
+		for _, c := range d.CheckIns {
+			s := sums[c.User]
+			cx, cy := s[0]/s[2], s[1]/s[2]
+			total += math.Hypot(c.Loc.X-cx, c.Loc.Y-cy)
+			n++
+		}
+		return total / n
+	}
+	tight := mk(0.95)
+	loose := mk(0.0)
+	if tight >= loose {
+		t.Errorf("affinity 0.95 spread %.3f not tighter than affinity 0 spread %.3f", tight, loose)
+	}
+}

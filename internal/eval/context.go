@@ -1,0 +1,141 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"geoind/internal/core"
+	"geoind/internal/dataset"
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+	"geoind/internal/laplace"
+	"geoind/internal/opt"
+	"geoind/internal/prior"
+)
+
+// Context carries the datasets and workload parameters shared by all
+// experiments. The defaults mirror §6.1: 3,000 randomly selected check-in
+// requests per measurement, eps default 0.5, rho default 0.8.
+type Context struct {
+	Gowalla  *dataset.Dataset
+	Yelp     *dataset.Dataset
+	Requests int
+	Seed     uint64
+}
+
+// NewContext loads the synthetic datasets with the paper's workload size.
+func NewContext() *Context {
+	return &Context{
+		Gowalla:  dataset.SyntheticGowalla(),
+		Yelp:     dataset.SyntheticYelp(),
+		Requests: 3000,
+		Seed:     2019,
+	}
+}
+
+// Datasets returns the evaluation datasets in paper order.
+func (c *Context) Datasets() []*dataset.Dataset {
+	return []*dataset.Dataset{c.Gowalla, c.Yelp}
+}
+
+func (c *Context) rng(salt uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(c.Seed, salt))
+}
+
+func (c *Context) requests(ds *dataset.Dataset, salt uint64) []geo.Point {
+	return ds.SampleRequests(c.Requests, c.rng(salt))
+}
+
+// msmParams bundles one MSM configuration.
+type msmParams struct {
+	eps         float64
+	g           int
+	rho         float64
+	metric      geo.Metric
+	forceHeight int
+	custom      []float64
+}
+
+// buildMSM constructs the mechanism for a dataset.
+func (c *Context) buildMSM(ds *dataset.Dataset, p msmParams) (*core.Mechanism, error) {
+	return core.New(core.Config{
+		Eps:           p.eps,
+		G:             p.g,
+		Region:        ds.Region(),
+		Rho:           p.rho,
+		Metric:        p.metric,
+		PriorPoints:   ds.Points(),
+		ForceHeight:   p.forceHeight,
+		CustomBudgets: p.custom,
+	}, c.Seed)
+}
+
+// msmUtility measures the mean utility loss of an MSM configuration over the
+// standard workload.
+func (c *Context) msmUtility(ds *dataset.Dataset, p msmParams) (float64, *core.Mechanism, error) {
+	m, err := c.buildMSM(ds, p)
+	if err != nil {
+		return 0, nil, err
+	}
+	reqs := c.requests(ds, 101)
+	rng := c.rng(202)
+	loss := 0.0
+	for _, x := range reqs {
+		z, err := m.ReportWith(x, rng)
+		if err != nil {
+			return 0, nil, err
+		}
+		loss += p.metric.Loss(x, z)
+	}
+	return loss / float64(len(reqs)), m, nil
+}
+
+// plUtility measures the mean utility loss of the planar Laplace benchmark
+// with grid remapping (the paper's PL configuration).
+func (c *Context) plUtility(ds *dataset.Dataset, eps float64, g int, metric geo.Metric) (float64, error) {
+	pl, err := laplace.New(eps, c.rng(303))
+	if err != nil {
+		return 0, err
+	}
+	gr, err := grid.New(ds.Region(), g)
+	if err != nil {
+		return 0, err
+	}
+	reqs := c.requests(ds, 101)
+	loss := 0.0
+	for _, x := range reqs {
+		z := pl.SampleRemapped(x, gr)
+		loss += metric.Loss(x, z)
+	}
+	return loss / float64(len(reqs)), nil
+}
+
+// optChannel builds the OPT channel for a dataset prior, returning the solve
+// wall time.
+func (c *Context) optChannel(ds *dataset.Dataset, eps float64, g int, metric geo.Metric) (*opt.Channel, time.Duration, error) {
+	gr, err := grid.New(ds.Region(), g)
+	if err != nil {
+		return nil, 0, err
+	}
+	pw := prior.FromPoints(gr, ds.Points()).Weights()
+	start := time.Now()
+	ch, err := opt.Build(eps, gr, pw, metric, nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("OPT g=%d eps=%g: %w", g, eps, err)
+	}
+	return ch, time.Since(start), nil
+}
+
+// channelUtility measures the empirical mean utility loss of sampling from a
+// solved channel over the standard workload.
+func (c *Context) channelUtility(ch *opt.Channel, ds *dataset.Dataset, metric geo.Metric) float64 {
+	reqs := c.requests(ds, 101)
+	rng := c.rng(404)
+	loss := 0.0
+	for _, x := range reqs {
+		z := ch.Sample(x, rng)
+		loss += metric.Loss(x, z)
+	}
+	return loss / float64(len(reqs))
+}

@@ -1,0 +1,438 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"geoind/internal/geo"
+)
+
+// testContext returns a context with a reduced workload so the experiment
+// machinery is exercised quickly.
+func testContext() *Context {
+	c := NewContext()
+	c.Requests = 300
+	return c
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	s := tab.String()
+	for _, want := range []string{"== demo ==", "a    bb", "333", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, s)
+		}
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"### demo", "| a | bb |", "| 333 | 4 |", "*a note*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown output missing %q:\n%s", want, md)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n1,2\n") {
+		t.Errorf("csv output wrong:\n%s", csv)
+	}
+}
+
+func TestRunFig3Shape(t *testing.T) {
+	c := testContext()
+	res, err := c.RunFig3([]int{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	// Utility improves (falls) from g=2 to g=6; time grows.
+	if res.Rows[2].UtilityLoss >= res.Rows[0].UtilityLoss {
+		t.Errorf("utility did not improve with granularity: %v", res.Rows)
+	}
+	if res.Rows[2].BuildSeconds < res.Rows[0].BuildSeconds {
+		t.Errorf("solve time did not grow with granularity: %v", res.Rows)
+	}
+	if tab := res.Table(); len(tab.Rows) != 3 {
+		t.Error("table row count mismatch")
+	}
+}
+
+func TestRunFig5Accuracy(t *testing.T) {
+	c := testContext()
+	res, err := c.RunFig5([]int{2, 3, 4, 5}, []float64{0.5, 0.7, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The infinite-lattice estimate Phi is conservative on a finite grid:
+	// boundary cells have fewer neighbours to leak mass to, so empirical
+	// Pr[x|x] sits at or above rho and converges down towards it as g grows
+	// (this is the shape of the paper's Figure 5).
+	for i, g := range res.Gs {
+		for j, rho := range res.Rhos {
+			got := res.PrSame[i][j]
+			if got < rho-0.01 {
+				t.Errorf("g=%d rho=%g: Pr[x|x]=%.3f fell below target", g, rho, got)
+			}
+			if i > 0 && got > res.PrSame[i-1][j]+0.005 {
+				t.Errorf("rho=%g: deviation not shrinking with g (%0.3f at g=%d vs %0.3f at g=%d)",
+					rho, got, g, res.PrSame[i-1][j], res.Gs[i-1])
+			}
+		}
+	}
+	// At the largest tested granularity the estimate is within ~12% even in
+	// the worst (low-rho) case; the full g=7 run converges to the paper's
+	// +/-5% band.
+	for j, rho := range res.Rhos {
+		if dev := res.PrSame[len(res.Gs)-1][j] - rho; dev > 0.12 {
+			t.Errorf("rho=%g: deviation %.3f at g=%d too large:\n%s",
+				rho, dev, res.Gs[len(res.Gs)-1], res.Table())
+		}
+		_ = j
+	}
+	if tab := res.Table(); len(tab.Rows) != 4 || len(tab.Columns) != 4 {
+		t.Error("fig5 table malformed")
+	}
+}
+
+func TestRunTable2Shape(t *testing.T) {
+	c := testContext()
+	res, err := c.RunTable2([]int{4, 9}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.OPTSkipped {
+			t.Fatalf("OPT skipped for eff=%d", row.Eff)
+		}
+		// OPT is optimal for its grid: it must not lose to MSM by much
+		// (sampling noise aside), and MSM must be competitive (paper shows
+		// a small gap).
+		if row.MSMUtility < row.OPTUtility*0.9 {
+			t.Errorf("eff=%d: MSM %.3f suspiciously beats OPT %.3f", row.Eff, row.MSMUtility, row.OPTUtility)
+		}
+		if row.MSMUtility > row.OPTUtility*2.0 {
+			t.Errorf("eff=%d: MSM %.3f much worse than OPT %.3f", row.Eff, row.MSMUtility, row.OPTUtility)
+		}
+		if row.MSMWarmSec > row.MSMColdSec {
+			t.Errorf("eff=%d: warm %.6fs slower than cold %.6fs", row.Eff, row.MSMWarmSec, row.MSMColdSec)
+		}
+	}
+	// Skipping works.
+	res, err = c.RunTable2([]int{4, 9}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[1].OPTSkipped {
+		t.Error("eff=9 should have been skipped with maxOptEff=4")
+	}
+	if _, err := c.RunTable2([]int{5}, 25); err == nil {
+		t.Error("non-square effective granularity should error")
+	}
+}
+
+func TestRunEpsSweepShape(t *testing.T) {
+	c := testContext()
+	res, err := c.RunEpsSweep(geo.Euclidean, []float64{0.1, 0.5}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 { // 2 datasets x 1 g x 2 eps
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.MSM <= 0 || row.PL <= 0 {
+			t.Errorf("non-positive utility: %+v", row)
+		}
+		// At eps=0.1 MSM must clearly beat PL (paper: ~3x).
+		if row.Eps == 0.1 && row.MSM >= row.PL {
+			t.Errorf("%s g=%d eps=0.1: MSM %.3f not better than PL %.3f",
+				row.Dataset, row.G, row.MSM, row.PL)
+		}
+	}
+	// Loss decreases with eps for both mechanisms.
+	if res.Rows[1].MSM >= res.Rows[0].MSM {
+		t.Errorf("MSM loss not decreasing in eps: %v then %v", res.Rows[0].MSM, res.Rows[1].MSM)
+	}
+}
+
+func TestRunGranularityAndRhoSweeps(t *testing.T) {
+	c := testContext()
+	gres, err := c.RunGranularitySweep(geo.SquaredEuclidean, []int{2, 4}, []float64{0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gres.Rows) != 4 {
+		t.Fatalf("granularity rows=%d", len(gres.Rows))
+	}
+	rres, err := c.RunRhoSweep(geo.Euclidean, []float64{0.5, 0.9}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rres.Rows) != 4 {
+		t.Fatalf("rho rows=%d", len(rres.Rows))
+	}
+	for _, row := range append(gres.Rows, rres.Rows...) {
+		if row.MSM <= 0 || row.Height < 1 {
+			t.Errorf("bad row %+v", row)
+		}
+	}
+	if tab := gres.Table(); len(tab.Columns) != 5 {
+		t.Error("granularity sweep table malformed")
+	}
+	if tab := rres.Table(); len(tab.Columns) != 5 {
+		t.Error("rho sweep table malformed")
+	}
+}
+
+func TestRunTimings(t *testing.T) {
+	c := testContext()
+	res, err := c.RunTimings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, row := range res.Rows {
+		if row.Seconds < 0 {
+			t.Errorf("negative time %+v", row)
+		}
+		if _, ok := byName[row.Mechanism]; !ok {
+			byName[row.Mechanism] = row.Seconds
+		}
+	}
+	// PL must be the cheapest mechanism; warm MSM must beat cold MSM.
+	if byName["PL"] > byName["MSM(warm)"]*100 {
+		t.Errorf("PL %.6fs unexpectedly slow vs warm MSM %.6fs", byName["PL"], byName["MSM(warm)"])
+	}
+	if byName["MSM(warm)"] > byName["MSM(cold)"] {
+		t.Errorf("warm %.6fs slower than cold %.6fs", byName["MSM(warm)"], byName["MSM(cold)"])
+	}
+}
+
+func TestRunPrivacyAudit(t *testing.T) {
+	c := testContext()
+	res, err := c.RunPrivacyAudit(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	optRow, msmRow := res.Rows[0], res.Rows[1]
+	// OPT's effective epsilon must respect the nominal budget.
+	if optRow.MaxEffEps > 0.5+1e-6 {
+		t.Errorf("OPT effective eps %.4f exceeds nominal 0.5", optRow.MaxEffEps)
+	}
+	if msmRow.MaxEffEps <= 0 {
+		t.Errorf("MSM effective eps %.4f not positive", msmRow.MaxEffEps)
+	}
+}
+
+func TestRunBudgetAblation(t *testing.T) {
+	c := testContext()
+	res, err := c.RunBudgetAblation(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	var paper, reversed float64
+	for _, row := range res.Rows {
+		if row.UtilityLoss <= 0 {
+			t.Errorf("bad ablation row %+v", row)
+		}
+		switch row.Strategy {
+		case "problem-1 split (paper)":
+			paper = row.UtilityLoss
+		case "reversed split (leaf-heavy)":
+			reversed = row.UtilityLoss
+		}
+	}
+	// The paper's central finding: top-heavy allocation beats leaf-heavy.
+	if paper >= reversed {
+		t.Errorf("paper split %.3f not better than reversed split %.3f", paper, reversed)
+	}
+	if tab := res.Table(); len(tab.Rows) != 4 {
+		t.Error("ablation table malformed")
+	}
+}
+
+func TestRunAdaptiveComparison(t *testing.T) {
+	c := testContext()
+	res, err := c.RunAdaptiveComparison([]float64{0.5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 { // one eps x two datasets
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.GridLoss <= 0 || row.AdaptiveLoss <= 0 || row.QuadLoss <= 0 {
+			t.Errorf("bad row %+v", row)
+		}
+		// All variants must beat raw PL (mean 2/eps = 4 km at eps=0.5).
+		if row.AdaptiveLoss > 4 || row.QuadLoss > 4 {
+			t.Errorf("%s: adaptive %.3f / quad %.3f worse than PL baseline",
+				row.Dataset, row.AdaptiveLoss, row.QuadLoss)
+		}
+		if row.MeanLeafSide <= 0 || row.MeanLeafSide > 20 {
+			t.Errorf("bad leaf side %g", row.MeanLeafSide)
+		}
+		if row.QuadDepth < 1 {
+			t.Errorf("quad depth %d", row.QuadDepth)
+		}
+	}
+	if tab := res.Table(); len(tab.Rows) != 2 {
+		t.Error("table malformed")
+	}
+}
+
+func TestRunSpannerAblation(t *testing.T) {
+	c := testContext()
+	res, err := c.RunSpannerAblation(4, 0.5, []float64{1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	full, sp := res.Rows[0], res.Rows[1]
+	if sp.PairFamilies >= full.PairFamilies {
+		t.Errorf("spanner families %d not below full %d", sp.PairFamilies, full.PairFamilies)
+	}
+	if sp.ExpectedLoss < full.ExpectedLoss-1e-9 {
+		t.Errorf("spanner loss %g below optimal %g", sp.ExpectedLoss, full.ExpectedLoss)
+	}
+	for _, row := range res.Rows {
+		if row.GeoIndExcess > 1e-6 {
+			t.Errorf("%s violates GeoInd by %g", row.Variant, row.GeoIndExcess)
+		}
+	}
+	if tab := res.Table(); len(tab.Rows) != 2 {
+		t.Error("table malformed")
+	}
+}
+
+func TestRunAdversary(t *testing.T) {
+	c := testContext()
+	res, err := c.RunAdversary(9, []float64{0.1, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 mechanisms x 2 eps (9 = 3^2, so the MSM row is included).
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	get := func(name string, eps float64) AdversaryRow {
+		for _, row := range res.Rows {
+			if row.Mechanism == name && row.Eps == eps {
+				return row
+			}
+		}
+		t.Fatalf("row %s eps=%g missing", name, eps)
+		return AdversaryRow{}
+	}
+	for _, eps := range []float64{0.1, 0.9} {
+		pl := get("PL+remap", eps)
+		optRow := get("OPT", eps)
+		remap := get("OPT+remap", eps)
+		msm := get("MSM(h=2)", eps)
+		// OPT minimizes expected loss among channels that satisfy the GeoInd
+		// constraints AS A MATRIX. PL is in that class and cannot beat it.
+		// The MSM end-to-end channel and OPT+remap are NOT in that class
+		// (MSM's coarse levels act on snapped distances — see the privacy
+		// audit — and remap is post-processing), so both may edge out OPT
+		// marginally; neither should beat it meaningfully.
+		if pl.Utility < optRow.Utility-1e-6 {
+			t.Errorf("eps=%g: PL utility %.4f beats OPT %.4f", eps, pl.Utility, optRow.Utility)
+		}
+		for _, near := range []AdversaryRow{remap, msm} {
+			if near.Utility < optRow.Utility*0.98 {
+				t.Errorf("eps=%g: %s utility %.4f suspiciously beats OPT %.4f",
+					eps, near.Mechanism, near.Utility, optRow.Utility)
+			}
+		}
+		if remap.Utility > optRow.Utility+1e-9 {
+			t.Errorf("eps=%g: OPT+remap %.4f worse than OPT %.4f", eps, remap.Utility, optRow.Utility)
+		}
+		// Remap never hurts PL... (it equals adversary error) and adversary
+		// error is bounded below by 0.
+		for _, row := range []AdversaryRow{pl, optRow, remap, msm} {
+			if row.AdvError < 0 {
+				t.Errorf("negative adversary error %+v", row)
+			}
+		}
+	}
+	// More budget = lower adversary error for each mechanism.
+	for _, name := range []string{"PL+remap", "OPT", "MSM(h=2)"} {
+		if get(name, 0.9).AdvError > get(name, 0.1).AdvError+1e-9 {
+			t.Errorf("%s: adversary error did not shrink with eps", name)
+		}
+	}
+	if tab := res.Table(); len(tab.Rows) != 8 {
+		t.Error("table malformed")
+	}
+}
+
+func TestRunTrajectory(t *testing.T) {
+	c := testContext()
+	res, err := c.RunTrajectory(1.0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.PredSpent >= row.IndSpent {
+			t.Errorf("%s: predictive spent %.1f not below independent %.1f",
+				row.Profile, row.PredSpent, row.IndSpent)
+		}
+		if row.PredFreshShare <= 0 || row.PredFreshShare >= 1 {
+			t.Errorf("%s: fresh share %g", row.Profile, row.PredFreshShare)
+		}
+		if row.PredLoss > 3*row.IndLoss+1 {
+			t.Errorf("%s: predictive loss %.2f collapsed vs %.2f", row.Profile, row.PredLoss, row.IndLoss)
+		}
+	}
+	// Savings shrink as mobility grows.
+	if res.Rows[0].PredSpent > res.Rows[2].PredSpent {
+		t.Errorf("sedentary spend %.1f above mobile spend %.1f",
+			res.Rows[0].PredSpent, res.Rows[2].PredSpent)
+	}
+	if tab := res.Table(); len(tab.Rows) != 3 {
+		t.Error("table malformed")
+	}
+}
+
+func TestRunElastic(t *testing.T) {
+	c := testContext()
+	res, err := c.RunElastic(4, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	plain, elastic := res.Rows[0], res.Rows[1]
+	if elastic.PrSameSensitive >= plain.PrSameSensitive {
+		t.Errorf("district Pr[x|x] %.3f not reduced from %.3f",
+			elastic.PrSameSensitive, plain.PrSameSensitive)
+	}
+	if elastic.AdvErrSensitive <= plain.AdvErrSensitive {
+		t.Errorf("district adversary error %.3f not increased from %.3f",
+			elastic.AdvErrSensitive, plain.AdvErrSensitive)
+	}
+	if elastic.Utility < plain.Utility {
+		t.Errorf("extra protection should cost utility: %.3f < %.3f",
+			elastic.Utility, plain.Utility)
+	}
+	if tab := res.Table(); len(tab.Rows) != 2 {
+		t.Error("table malformed")
+	}
+}

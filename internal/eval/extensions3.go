@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"geoind/internal/geo"
+	"geoind/internal/laplace"
+	"geoind/internal/trajectory"
+)
+
+// ---------------------------------------------------------------------------
+// Extension 6: trajectory protection — independent composition vs the
+// predictive mechanism on correlated mobility traces.
+
+// TrajectoryRow compares the two trace reporters at one mobility profile.
+type TrajectoryRow struct {
+	Profile        string
+	Steps          int
+	IndSpent       float64
+	PredSpent      float64
+	IndLoss        float64
+	PredLoss       float64
+	PredFreshShare float64
+}
+
+// TrajectoryResult is the trajectory comparison.
+type TrajectoryResult struct {
+	Eps  float64
+	Rows []TrajectoryRow
+}
+
+// RunTrajectory generates mobility traces at three correlation profiles and
+// compares total budget spend and utility between independent reporting and
+// the predictive mechanism at the same per-report budget.
+func (c *Context) RunTrajectory(epsReport float64, steps int) (*TrajectoryResult, error) {
+	res := &TrajectoryResult{Eps: epsReport}
+	profiles := []struct {
+		name string
+		stay float64
+		jump float64
+	}{
+		{"sedentary (95% dwell)", 0.95, 0.02},
+		{"mixed (85% dwell)", 0.85, 0.05},
+		{"mobile (60% dwell)", 0.60, 0.15},
+	}
+	region := geo.NewSquare(20)
+	anchors := []geo.Point{{X: 5, Y: 5}, {X: 15, Y: 15}, {X: 10, Y: 3}, {X: 3, Y: 17}}
+	pcfg := trajectory.PredictiveConfig{Theta: 4.0, EpsTest: epsReport / 4}
+
+	for pi, prof := range profiles {
+		traces, err := trajectory.Generate(10, trajectory.GenConfig{
+			Region: region, Anchors: anchors, Steps: steps,
+			StayProb: prof.stay, LocalSigma: 0.05,
+			JumpProb: prof.jump, WalkSigma: 0.5,
+			Seed: c.Seed + uint64(pi),
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := TrajectoryRow{Profile: prof.name, Steps: steps}
+		for ti, tr := range traces {
+			indMech, err := laplace.New(epsReport, c.rng(uint64(1000+ti)))
+			if err != nil {
+				return nil, err
+			}
+			ind, err := trajectory.Independent(plAdapter{indMech}, tr.Points)
+			if err != nil {
+				return nil, err
+			}
+			indSum, err := trajectory.Summarize(tr.Points, ind)
+			if err != nil {
+				return nil, err
+			}
+			predMech, err := laplace.New(epsReport, c.rng(uint64(2000+ti)))
+			if err != nil {
+				return nil, err
+			}
+			pred, err := trajectory.Predictive(plAdapter{predMech}, tr.Points, pcfg,
+				rand.New(rand.NewPCG(c.Seed, uint64(3000+ti))))
+			if err != nil {
+				return nil, err
+			}
+			predSum, err := trajectory.Summarize(tr.Points, pred)
+			if err != nil {
+				return nil, err
+			}
+			row.IndSpent += indSum.TotalSpent
+			row.PredSpent += predSum.TotalSpent
+			row.IndLoss += indSum.MeanLoss
+			row.PredLoss += predSum.MeanLoss
+			row.PredFreshShare += float64(predSum.Fresh) / float64(predSum.Steps)
+		}
+		n := float64(len(traces))
+		row.IndSpent /= n
+		row.PredSpent /= n
+		row.IndLoss /= n
+		row.PredLoss /= n
+		row.PredFreshShare /= n
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// plAdapter exposes laplace.Mechanism as a trajectory.Reporter.
+type plAdapter struct{ m *laplace.Mechanism }
+
+func (a plAdapter) Report(x geo.Point) (geo.Point, error) { return a.m.Sample(x), nil }
+func (a plAdapter) Epsilon() float64                      { return a.m.Epsilon() }
+
+// Table renders the trajectory comparison.
+func (r *TrajectoryResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Extension: trajectory protection, independent vs predictive (PL, eps=%.1f/report)", r.Eps),
+		Columns: []string{"mobility profile", "steps", "ind_spent", "pred_spent",
+			"ind_loss_km", "pred_loss_km", "pred_fresh_share"},
+		Notes: []string{
+			"predictive mechanism of Chatzikokolakis et al. (PETS 2014): a cheap private test re-releases the previous report while the user dwells",
+			"savings grow with temporal correlation; utility stays comparable",
+		},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Profile, fmt.Sprintf("%d", row.Steps), f3(row.IndSpent), f3(row.PredSpent),
+			f3(row.IndLoss), f3(row.PredLoss), f3(row.PredFreshShare))
+	}
+	return t
+}

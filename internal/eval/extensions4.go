@@ -1,0 +1,151 @@
+package eval
+
+import (
+	"fmt"
+
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+	"geoind/internal/opt"
+	"geoind/internal/prior"
+)
+
+// ---------------------------------------------------------------------------
+// Extension 7: elastic distinguishability metrics (reference [6] of the
+// paper) — location-dependent privacy requirements.
+
+// ElasticRow summarizes one channel's behaviour inside and outside a
+// sensitive district.
+type ElasticRow struct {
+	Variant string
+	// PrSameSensitive / PrSameOther: mean Pr[x|x] for cells inside / outside
+	// the sensitive district (lower inside = more protection there).
+	PrSameSensitive float64
+	PrSameOther     float64
+	// AdvErrSensitive: Bayesian adversary's expected error conditioned on
+	// the true location being in the district.
+	AdvErrSensitive float64
+	// Utility is the overall expected loss.
+	Utility float64
+}
+
+// ElasticResult is the elastic-metric analysis.
+type ElasticResult struct {
+	G    int
+	Eps  float64
+	Rows []ElasticRow
+}
+
+// RunElastic compares the standard uniform-level optimal mechanism against
+// one constrained by an elastic metric that marks a 2x2 "hospital district"
+// with sensitivity factor 0.3 (distinguishability accumulates 3.3x slower
+// through it). Gowalla prior, granularity g.
+func (c *Context) RunElastic(g int, eps float64) (*ElasticResult, error) {
+	res := &ElasticResult{G: g, Eps: eps}
+	ds := c.Gowalla
+	gr, err := grid.New(ds.Region(), g)
+	if err != nil {
+		return nil, err
+	}
+	pw := prior.FromPoints(gr, ds.Points()).Weights()
+
+	// Sensitive district: the 2x2 block anchored one cell in from the
+	// bottom-left corner.
+	sensitive := map[int]bool{}
+	sens := make([]float64, gr.NumCells())
+	for i := range sens {
+		sens[i] = 1
+	}
+	for r := 1; r <= 2; r++ {
+		for col := 1; col <= 2; col++ {
+			idx := gr.Index(r, col)
+			sensitive[idx] = true
+			sens[idx] = 0.3
+		}
+	}
+
+	build := func(variant string, sensVec []float64) error {
+		ell, err := opt.ElasticMetric(gr, eps, sensVec)
+		if err != nil {
+			return err
+		}
+		ch, err := opt.BuildMetric(ell, gr, pw, geo.Euclidean, nil)
+		if err != nil {
+			return err
+		}
+		if ex := opt.VerifyMetricInd(gr.NumCells(), ell, ch.K); ex > 1e-6 {
+			return fmt.Errorf("elastic %s: constraints violated by %g", variant, ex)
+		}
+		row := ElasticRow{Variant: variant, Utility: ch.ExpectedLoss}
+		var nIn, nOut int
+		for x := 0; x < gr.NumCells(); x++ {
+			if sensitive[x] {
+				row.PrSameSensitive += ch.ProbSame(x)
+				nIn++
+			} else {
+				row.PrSameOther += ch.ProbSame(x)
+				nOut++
+			}
+		}
+		row.PrSameSensitive /= float64(nIn)
+		row.PrSameOther /= float64(nOut)
+		adv, err := districtAdversaryError(gr, ch.K, pw, sensitive)
+		if err != nil {
+			return err
+		}
+		row.AdvErrSensitive = adv
+		res.Rows = append(res.Rows, row)
+		return nil
+	}
+
+	uniform := make([]float64, gr.NumCells())
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	if err := build("uniform metric (standard GeoInd)", uniform); err != nil {
+		return nil, err
+	}
+	if err := build("elastic metric (district sens 0.3)", sens); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// districtAdversaryError computes the Bayesian adversary's expected error
+// restricted to true locations inside the district.
+func districtAdversaryError(g *grid.Grid, k, pw []float64, district map[int]bool) (float64, error) {
+	restricted := make([]float64, len(pw))
+	total := 0.0
+	for x, w := range pw {
+		if district[x] {
+			restricted[x] = w
+			total += w
+		}
+	}
+	if total == 0 {
+		// No data mass in the district; fall back to uniform over it.
+		for x := range restricted {
+			if district[x] {
+				restricted[x] = 1
+			}
+		}
+	}
+	return opt.AdversaryError(g, k, restricted, geo.Euclidean)
+}
+
+// Table renders the elastic analysis.
+func (r *ElasticResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Extension: elastic distinguishability metric (Gowalla, g=%d, eps=%.1f)", r.G, r.Eps),
+		Columns: []string{"variant", "PrSame_district", "PrSame_elsewhere",
+			"adv_error_district_km", "utility_loss_km"},
+		Notes: []string{
+			"elastic metric of Chatzikokolakis et al. [6]: a 2x2 district with sensitivity 0.3 accumulates distinguishability 3.3x slower",
+			"expected: district Pr[x|x] drops and adversary error there rises, at a modest overall utility cost",
+		},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Variant, f3(row.PrSameSensitive), f3(row.PrSameOther),
+			f3(row.AdvErrSensitive), f3(row.Utility))
+	}
+	return t
+}

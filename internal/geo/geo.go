@@ -1,0 +1,165 @@
+// Package geo provides planar geometry primitives used throughout the
+// library: points in kilometre coordinates, distances, axis-aligned
+// rectangles, and an equirectangular projection that maps a latitude /
+// longitude bounding box (a "city area" in the paper's terminology) onto a
+// planar region measured in kilometres.
+//
+// The paper (§3.1) works over a square data domain of side length L; any
+// rectangular region is scaled to fit that assumption. Project and Region
+// implement exactly that preprocessing step.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusKm is the mean Earth radius used by the equirectangular
+// projection. The paper's datasets cover 20x20 km^2 city areas, where the
+// equirectangular approximation is accurate to well under 0.1%.
+const EarthRadiusKm = 6371.0088
+
+// Point is a location in planar kilometre coordinates.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q in kilometres.
+// This is the distinguishability metric d(., .) of the paper (§2.1) and the
+// first utility-loss metric (§2.2).
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q, the second
+// utility-loss metric of the paper (§2.2).
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.4f, %.4f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle [MinX, MaxX) x [MinY, MaxY) in planar
+// kilometre coordinates.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewSquare returns the square region [0, side) x [0, side).
+func NewSquare(side float64) Rect { return Rect{0, 0, side, side} }
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Center returns the centroid of r.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// Contains reports whether p lies inside r, treating the maximum edges as
+// exclusive so that adjacent cells of a grid partition the plane.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X < r.MaxX && p.Y >= r.MinY && p.Y < r.MaxY
+}
+
+// ContainsClosed reports whether p lies inside r including all edges.
+func (r Rect) ContainsClosed(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Clamp returns the point of r closest to p.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.MinX), math.Nextafter(r.MaxX, r.MinX)),
+		Y: math.Min(math.Max(p.Y, r.MinY), math.Nextafter(r.MaxY, r.MinY)),
+	}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.3f,%.3f)x[%.3f,%.3f)", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// LatLon is a geodetic coordinate in degrees.
+type LatLon struct {
+	Lat, Lon float64
+}
+
+// Region describes a geographic bounding box together with its planar
+// projection. It is the "set of maps annotated with additional pre-computed
+// information" downloaded offline in the paper's system model (§3.1).
+type Region struct {
+	// Bounds is the geodetic bounding box.
+	Bounds struct{ MinLat, MinLon, MaxLat, MaxLon float64 }
+	// Side is the side length L (km) of the square planar domain.
+	Side float64
+	// scaleX, scaleY convert degrees to km within the box.
+	scaleX, scaleY float64
+}
+
+// NewRegion builds a Region from a geodetic bounding box. The box is
+// projected with an equirectangular projection centred on its mid-latitude
+// and then scaled (independently per axis, as the paper prescribes for
+// non-square regions) onto a square of side L = max(width, height).
+func NewRegion(minLat, minLon, maxLat, maxLon float64) (*Region, error) {
+	if maxLat <= minLat || maxLon <= minLon {
+		return nil, fmt.Errorf("geo: invalid bounding box [%g,%g]x[%g,%g]", minLat, maxLat, minLon, maxLon)
+	}
+	if minLat < -90 || maxLat > 90 || minLon < -180 || maxLon > 180 {
+		return nil, fmt.Errorf("geo: bounding box out of range [%g,%g]x[%g,%g]", minLat, maxLat, minLon, maxLon)
+	}
+	midLat := (minLat + maxLat) / 2 * math.Pi / 180
+	kmPerDegLat := EarthRadiusKm * math.Pi / 180
+	kmPerDegLon := kmPerDegLat * math.Cos(midLat)
+	widthKm := (maxLon - minLon) * kmPerDegLon
+	heightKm := (maxLat - minLat) * kmPerDegLat
+	side := math.Max(widthKm, heightKm)
+	r := &Region{Side: side}
+	r.Bounds.MinLat, r.Bounds.MinLon = minLat, minLon
+	r.Bounds.MaxLat, r.Bounds.MaxLon = maxLat, maxLon
+	// Scale each axis so the full box maps onto [0, side); this equalizes
+	// the range in each dimension exactly as footnote 3 of the paper
+	// requires.
+	r.scaleX = side / (maxLon - minLon)
+	r.scaleY = side / (maxLat - minLat)
+	return r, nil
+}
+
+// SquareRegion returns a purely planar Region of side km, for callers that
+// already work in kilometre coordinates (e.g. synthetic datasets).
+func SquareRegion(side float64) *Region {
+	r := &Region{Side: side}
+	r.Bounds.MinLat, r.Bounds.MinLon = 0, 0
+	r.Bounds.MaxLat, r.Bounds.MaxLon = 1, 1
+	r.scaleX = side
+	r.scaleY = side
+	return r
+}
+
+// Rect returns the planar extent of the region: [0, Side) x [0, Side).
+func (r *Region) Rect() Rect { return NewSquare(r.Side) }
+
+// Project maps a geodetic coordinate to planar kilometre coordinates.
+// Coordinates outside the bounding box project outside [0, Side).
+func (r *Region) Project(ll LatLon) Point {
+	return Point{
+		X: (ll.Lon - r.Bounds.MinLon) * r.scaleX,
+		Y: (ll.Lat - r.Bounds.MinLat) * r.scaleY,
+	}
+}
+
+// Unproject maps planar kilometre coordinates back to a geodetic coordinate.
+func (r *Region) Unproject(p Point) LatLon {
+	return LatLon{
+		Lat: r.Bounds.MinLat + p.Y/r.scaleY,
+		Lon: r.Bounds.MinLon + p.X/r.scaleX,
+	}
+}

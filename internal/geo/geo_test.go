@@ -1,0 +1,269 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		d    float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-1, -1}, Point{2, 3}, 5},
+		{Point{0, 0}, Point{0, 2.5}, 2.5},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); !almostEqual(got, c.d, 1e-12) {
+			t.Errorf("Dist(%v,%v)=%g want %g", c.p, c.q, got, c.d)
+		}
+		if got := c.p.Dist2(c.q); !almostEqual(got, c.d*c.d, 1e-12) {
+			t.Errorf("Dist2(%v,%v)=%g want %g", c.p, c.q, got, c.d*c.d)
+		}
+	}
+}
+
+func TestDistSymmetryAndTriangle(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := Point{math.Mod(ax, 100), math.Mod(ay, 100)}
+		b := Point{math.Mod(bx, 100), math.Mod(by, 100)}
+		c := Point{math.Mod(cx, 100), math.Mod(cy, 100)}
+		if math.IsNaN(a.X + a.Y + b.X + b.Y + c.X + c.Y) {
+			return true
+		}
+		sym := almostEqual(a.Dist(b), b.Dist(a), 1e-12)
+		tri := a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+		return sym && tri
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	if !r.Contains(Point{0, 0}) {
+		t.Error("min corner should be contained")
+	}
+	if r.Contains(Point{10, 5}) || r.Contains(Point{5, 10}) {
+		t.Error("max edges should be exclusive")
+	}
+	if !r.ContainsClosed(Point{10, 10}) {
+		t.Error("ContainsClosed should include max corner")
+	}
+	if got := r.Center(); got != (Point{5, 5}) {
+		t.Errorf("Center=%v want (5,5)", got)
+	}
+	if r.Width() != 10 || r.Height() != 10 {
+		t.Errorf("Width/Height=%g/%g want 10/10", r.Width(), r.Height())
+	}
+}
+
+func TestRectClamp(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	cases := []struct{ in, want Point }{
+		{Point{5, 5}, Point{5, 5}},
+		{Point{-3, 5}, Point{0, 5}},
+		{Point{5, -3}, Point{5, 0}},
+	}
+	for _, c := range cases {
+		got := r.Clamp(c.in)
+		if !almostEqual(got.X, c.want.X, 1e-9) || !almostEqual(got.Y, c.want.Y, 1e-9) {
+			t.Errorf("Clamp(%v)=%v want %v", c.in, got, c.want)
+		}
+	}
+	// Clamping a point past the max edge must land strictly inside.
+	got := r.Clamp(Point{20, 20})
+	if !r.Contains(got) {
+		t.Errorf("Clamp(20,20)=%v not contained in %v", got, r)
+	}
+}
+
+func TestClampAlwaysInside(t *testing.T) {
+	r := Rect{0, 0, 20, 20}
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		return r.Contains(r.Clamp(Point{x, y}))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRegionValidation(t *testing.T) {
+	if _, err := NewRegion(2, 2, 1, 3); err == nil {
+		t.Error("inverted lat box should error")
+	}
+	if _, err := NewRegion(1, 3, 2, 2); err == nil {
+		t.Error("inverted lon box should error")
+	}
+	if _, err := NewRegion(-100, 0, 0, 1); err == nil {
+		t.Error("out-of-range lat should error")
+	}
+}
+
+// TestRegionGowallaBox verifies the paper's Austin bounding box (§6.1)
+// projects to roughly a 20x20 km^2 area.
+func TestRegionGowallaBox(t *testing.T) {
+	r, err := NewRegion(30.1927, -97.8698, 30.3723, -97.6618)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Side < 18 || r.Side > 22 {
+		t.Errorf("Austin box side=%g km, want ~20", r.Side)
+	}
+}
+
+// TestRegionYelpBox verifies the paper's Las Vegas bounding box (§6.1).
+func TestRegionYelpBox(t *testing.T) {
+	r, err := NewRegion(36.0645, -115.291, 36.2442, -115.069)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Side < 18 || r.Side > 22 {
+		t.Errorf("Las Vegas box side=%g km, want ~20", r.Side)
+	}
+}
+
+func TestProjectRoundTrip(t *testing.T) {
+	r, err := NewRegion(30.1927, -97.8698, 30.3723, -97.6618)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(u, v float64) bool {
+		u = math.Abs(math.Mod(u, 1))
+		v = math.Abs(math.Mod(v, 1))
+		ll := LatLon{
+			Lat: r.Bounds.MinLat + u*(r.Bounds.MaxLat-r.Bounds.MinLat),
+			Lon: r.Bounds.MinLon + v*(r.Bounds.MaxLon-r.Bounds.MinLon),
+		}
+		p := r.Project(ll)
+		back := r.Unproject(p)
+		return almostEqual(back.Lat, ll.Lat, 1e-9) && almostEqual(back.Lon, ll.Lon, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectCorners(t *testing.T) {
+	r, err := NewRegion(30, -98, 30.2, -97.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.Project(LatLon{30, -98})
+	if !almostEqual(p.X, 0, 1e-9) || !almostEqual(p.Y, 0, 1e-9) {
+		t.Errorf("min corner projects to %v, want origin", p)
+	}
+	p = r.Project(LatLon{30.2, -97.8})
+	if !almostEqual(p.X, r.Side, 1e-9) || !almostEqual(p.Y, r.Side, 1e-9) {
+		t.Errorf("max corner projects to %v, want (%g,%g)", p, r.Side, r.Side)
+	}
+}
+
+func TestSquareRegion(t *testing.T) {
+	r := SquareRegion(20)
+	if r.Side != 20 {
+		t.Fatalf("Side=%g want 20", r.Side)
+	}
+	rect := r.Rect()
+	if rect.Width() != 20 || rect.Height() != 20 {
+		t.Errorf("Rect=%v want 20x20", rect)
+	}
+}
+
+func TestHaversineKnown(t *testing.T) {
+	// Austin to Las Vegas is roughly 1750 km.
+	austin := LatLon{Lat: 30.2672, Lon: -97.7431}
+	vegas := LatLon{Lat: 36.1699, Lon: -115.1398}
+	d := HaversineKm(austin, vegas)
+	if d < 1700 || d > 1800 {
+		t.Errorf("Austin-Las Vegas = %g km, want ~1750", d)
+	}
+	if HaversineKm(austin, austin) != 0 {
+		t.Error("zero distance expected for identical points")
+	}
+	// One degree of latitude is ~111.2 km anywhere.
+	d = HaversineKm(LatLon{Lat: 10, Lon: 50}, LatLon{Lat: 11, Lon: 50})
+	if math.Abs(d-111.2) > 0.5 {
+		t.Errorf("1 degree latitude = %g km, want ~111.2", d)
+	}
+}
+
+// TestProjectionDistortion: over the paper's city-scale boxes, planar
+// distances after projection match great-circle distances to well under 1%.
+func TestProjectionDistortion(t *testing.T) {
+	r, err := NewRegion(30.1927, -97.8698, 30.3723, -97.6618)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := func(i int) float64 { return math.Mod(float64(i)*0.6180339887, 1) }
+	worst := 0.0
+	for i := 0; i < 200; i++ {
+		a := LatLon{
+			Lat: r.Bounds.MinLat + rng(2*i)*(r.Bounds.MaxLat-r.Bounds.MinLat),
+			Lon: r.Bounds.MinLon + rng(2*i+1)*(r.Bounds.MaxLon-r.Bounds.MinLon),
+		}
+		b := LatLon{
+			Lat: r.Bounds.MinLat + rng(2*i+401)*(r.Bounds.MaxLat-r.Bounds.MinLat),
+			Lon: r.Bounds.MinLon + rng(2*i+800)*(r.Bounds.MaxLon-r.Bounds.MinLon),
+		}
+		truth := HaversineKm(a, b)
+		if truth < 0.5 {
+			continue
+		}
+		planar := r.Project(a).Dist(r.Project(b))
+		if rel := math.Abs(planar-truth) / truth; rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 0.01 {
+		t.Errorf("projection distortion %.4f%% exceeds 1%%", worst*100)
+	}
+}
+
+func TestMetricLoss(t *testing.T) {
+	a, b := Point{X: 0, Y: 0}, Point{X: 3, Y: 4}
+	if got := Euclidean.Loss(a, b); got != 5 {
+		t.Errorf("Euclidean.Loss=%g want 5", got)
+	}
+	if got := SquaredEuclidean.Loss(a, b); got != 25 {
+		t.Errorf("SquaredEuclidean.Loss=%g want 25", got)
+	}
+	// Unknown metrics fall back to Euclidean in Loss but fail Valid.
+	if !Euclidean.Valid() || !SquaredEuclidean.Valid() {
+		t.Error("standard metrics should be valid")
+	}
+	if Metric(42).Valid() {
+		t.Error("unknown metric should be invalid")
+	}
+}
+
+func TestMetricStrings(t *testing.T) {
+	if Euclidean.String() != "euclidean" || SquaredEuclidean.String() != "squared-euclidean" {
+		t.Errorf("names: %s / %s", Euclidean, SquaredEuclidean)
+	}
+	if Metric(42).String() == "" {
+		t.Error("unknown metric should still stringify")
+	}
+	if Euclidean.Unit() != "km" || SquaredEuclidean.Unit() != "km^2" {
+		t.Errorf("units: %s / %s", Euclidean.Unit(), SquaredEuclidean.Unit())
+	}
+}
+
+func TestPointAddAndString(t *testing.T) {
+	p := Point{X: 1, Y: 2}.Add(0.5, -0.5)
+	if p != (Point{X: 1.5, Y: 1.5}) {
+		t.Errorf("Add=%v", p)
+	}
+	if p.String() == "" || (Rect{}).String() == "" {
+		t.Error("String() should be non-empty")
+	}
+}

@@ -1,0 +1,52 @@
+package geo
+
+import "fmt"
+
+// Metric identifies a utility-loss metric dQ(., .) from §2.2 of the paper.
+// Note that a utility-loss metric is distinct from the distinguishability
+// metric of the GeoInd definition (which is always the Euclidean distance in
+// this library), even though Euclidean distance can serve as both.
+type Metric int
+
+const (
+	// Euclidean measures the straight-line distance (km) between the actual
+	// and reported locations: the extra distance travelled by the user.
+	Euclidean Metric = iota
+	// SquaredEuclidean measures the squared distance (km^2), a proxy for
+	// the growth of the result set the user must filter (§2.2).
+	SquaredEuclidean
+)
+
+// Loss returns the utility loss between actual location a and reported
+// location b under the metric.
+func (m Metric) Loss(a, b Point) float64 {
+	switch m {
+	case SquaredEuclidean:
+		return a.Dist2(b)
+	default:
+		return a.Dist(b)
+	}
+}
+
+// Valid reports whether m is a known metric.
+func (m Metric) Valid() bool { return m == Euclidean || m == SquaredEuclidean }
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case Euclidean:
+		return "euclidean"
+	case SquaredEuclidean:
+		return "squared-euclidean"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// Unit returns the display unit of the metric ("km" or "km^2").
+func (m Metric) Unit() string {
+	if m == SquaredEuclidean {
+		return "km^2"
+	}
+	return "km"
+}

@@ -1,0 +1,200 @@
+package laplace
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+)
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, eps := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := New(eps, rng); err == nil {
+			t.Errorf("eps=%g should error", eps)
+		}
+	}
+	if _, err := New(0.5, nil); err == nil {
+		t.Error("nil rng should error")
+	}
+	m, err := New(0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epsilon() != 0.5 {
+		t.Errorf("Epsilon=%g", m.Epsilon())
+	}
+	if m.MeanRadius() != 4 {
+		t.Errorf("MeanRadius=%g want 4", m.MeanRadius())
+	}
+}
+
+func TestRadiusCDFBasics(t *testing.T) {
+	if RadiusCDF(1, 0) != 0 || RadiusCDF(1, -1) != 0 {
+		t.Error("CDF should be 0 at r<=0")
+	}
+	if got := RadiusCDF(1, 1e9); math.Abs(got-1) > 1e-12 {
+		t.Errorf("CDF at huge r = %g", got)
+	}
+	// Monotone non-decreasing.
+	prev := 0.0
+	for r := 0.0; r <= 20; r += 0.25 {
+		cur := RadiusCDF(0.7, r)
+		if cur < prev-1e-15 {
+			t.Fatalf("CDF not monotone at r=%g", r)
+		}
+		prev = cur
+	}
+}
+
+func TestInverseRadiusCDFRoundTrip(t *testing.T) {
+	f := func(rawEps, rawP float64) bool {
+		eps := 0.05 + math.Abs(math.Mod(rawEps, 3))
+		p := math.Abs(math.Mod(rawP, 0.999))
+		r, err := InverseRadiusCDF(eps, p)
+		if err != nil {
+			return false
+		}
+		return math.Abs(RadiusCDF(eps, r)-p) <= 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverseRadiusCDFDomain(t *testing.T) {
+	if _, err := InverseRadiusCDF(0, 0.5); err == nil {
+		t.Error("eps=0 should error")
+	}
+	if _, err := InverseRadiusCDF(1, 1); err == nil {
+		t.Error("p=1 should error")
+	}
+	if _, err := InverseRadiusCDF(1, -0.1); err == nil {
+		t.Error("p<0 should error")
+	}
+	r, err := InverseRadiusCDF(1, 0)
+	if err != nil || r != 0 {
+		t.Errorf("p=0: r=%g err=%v", r, err)
+	}
+}
+
+// TestEmpiricalMeanRadius: E[r] = 2/eps for the planar Laplace radius.
+func TestEmpiricalMeanRadius(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.5, 1.0} {
+		m, err := New(eps, rand.New(rand.NewPCG(7, uint64(eps*1000))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 200000
+		sumR := 0.0
+		for i := 0; i < n; i++ {
+			dx, dy := m.SampleNoise()
+			sumR += math.Hypot(dx, dy)
+		}
+		mean := sumR / n
+		want := 2 / eps
+		if math.Abs(mean-want) > 0.02*want {
+			t.Errorf("eps=%g: empirical mean radius %g want %g", eps, mean, want)
+		}
+	}
+}
+
+// TestEmpiricalAngleUniform: the noise direction is symmetric, so mean dx
+// and dy are ~0.
+func TestEmpiricalAngleUniform(t *testing.T) {
+	m, _ := New(0.5, rand.New(rand.NewPCG(3, 4)))
+	const n = 200000
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		dx, dy := m.SampleNoise()
+		sx += dx
+		sy += dy
+	}
+	if math.Abs(sx/n) > 0.1 || math.Abs(sy/n) > 0.1 {
+		t.Errorf("noise not centred: mean=(%g,%g)", sx/n, sy/n)
+	}
+}
+
+// TestEmpiricalRadiusQuantiles compares empirical radius quantiles against
+// the analytic CDF.
+func TestEmpiricalRadiusQuantiles(t *testing.T) {
+	eps := 0.5
+	m, _ := New(eps, rand.New(rand.NewPCG(9, 10)))
+	const n = 100000
+	count := 0
+	rMedian, err := InverseRadiusCDF(eps, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		dx, dy := m.SampleNoise()
+		if math.Hypot(dx, dy) <= rMedian {
+			count++
+		}
+	}
+	frac := float64(count) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("median check: %g of samples below analytic median", frac)
+	}
+}
+
+func TestSampleDeterministicWithSeed(t *testing.T) {
+	x := geo.Point{X: 10, Y: 10}
+	m1, _ := New(0.5, rand.New(rand.NewPCG(42, 43)))
+	m2, _ := New(0.5, rand.New(rand.NewPCG(42, 43)))
+	for i := 0; i < 100; i++ {
+		a, b := m1.Sample(x), m2.Sample(x)
+		if a != b {
+			t.Fatalf("sample %d diverged: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestSampleRemappedLandsOnCenters(t *testing.T) {
+	g := grid.MustNew(geo.NewSquare(20), 6)
+	m, _ := New(0.3, rand.New(rand.NewPCG(11, 12)))
+	centers := map[geo.Point]bool{}
+	for _, c := range g.Centers() {
+		centers[c] = true
+	}
+	x := geo.Point{X: 3, Y: 17}
+	for i := 0; i < 1000; i++ {
+		z := m.SampleRemapped(x, g)
+		if !centers[z] {
+			t.Fatalf("remapped output %v is not a grid center", z)
+		}
+	}
+}
+
+// TestDensityRatioBound verifies analytically that the PL density satisfies
+// the GeoInd constraint: D(x,z)/D(x',z) = exp(eps*(d(x',z)-d(x,z))) <=
+// exp(eps*d(x,x')) by the triangle inequality.
+func TestDensityRatioBound(t *testing.T) {
+	eps := 0.8
+	density := func(x, z geo.Point) float64 {
+		return eps * eps / (2 * math.Pi) * math.Exp(-eps*x.Dist(z))
+	}
+	rng := rand.New(rand.NewPCG(13, 14))
+	for i := 0; i < 1000; i++ {
+		x := geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		xp := geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		z := geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		ratio := density(x, z) / density(xp, z)
+		bound := math.Exp(eps * x.Dist(xp))
+		if ratio > bound*(1+1e-12) {
+			t.Fatalf("density ratio %g exceeds bound %g", ratio, bound)
+		}
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	m, _ := New(0.5, rand.New(rand.NewPCG(1, 2)))
+	x := geo.Point{X: 10, Y: 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Sample(x)
+	}
+}

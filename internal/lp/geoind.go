@@ -1,0 +1,539 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"os"
+)
+
+// debugIPM enables per-iteration residual tracing via GEOIND_DEBUG_IPM=1.
+var debugIPM = os.Getenv("GEOIND_DEBUG_IPM") != ""
+
+// Pair is one ordered pair (x, x') of candidate locations participating in a
+// GeoInd constraint family. For every reported column z it induces the
+// inequality Coef*K(x)(z) - K(x')(z) <= 0, where Coef = exp(-eps*d(x, x')).
+// This is the scaled form of Eq. (4): coefficients stay in (0, 1], which
+// keeps the LP numerically well behaved even for distant pairs.
+type Pair struct {
+	X, Xp int
+	Coef  float64
+}
+
+// GeoIndProblem is the optimal-mechanism linear program of Eq. (3)-(6):
+//
+//	minimize    sum_{x,z} Obj[x*N+z] * K(x)(z)
+//	subject to  Coef_p*K(x_p)(z) - K(x'_p)(z) <= 0   for every pair p, column z
+//	            sum_z K(x)(z) = 1                     for every row x
+//	            K >= 0
+//
+// Obj[x*N+z] is typically Prior(x) * dQ(x, z).
+type GeoIndProblem struct {
+	// N is the number of candidate locations (grid cells).
+	N int
+	// Obj is the row-major objective matrix, length N*N.
+	Obj []float64
+	// Pairs lists the ordered pairs with their exp(-eps*d) coefficients.
+	Pairs []Pair
+}
+
+// IPMOptions configures the interior-point solver.
+type IPMOptions struct {
+	// Tol is the relative convergence tolerance on primal/dual residuals
+	// and the complementarity gap. Zero means 1e-7.
+	Tol float64
+	// MaxIters bounds the number of predictor-corrector iterations.
+	// Zero means 200.
+	MaxIters int
+}
+
+// GeoIndSolution is the result of solving a GeoIndProblem.
+type GeoIndSolution struct {
+	Status Status
+	// K is the row-major channel matrix, length N*N. Rows sum to 1 within
+	// the solver tolerance; entries may be very small positive numbers.
+	K []float64
+	// Obj is the objective value in the original (unscaled) units.
+	Obj float64
+	// Iters is the number of interior-point iterations performed.
+	Iters int
+	// Gap is the final average complementarity, a bound on suboptimality
+	// in scaled units.
+	Gap float64
+}
+
+// Validate checks the problem structure.
+func (p *GeoIndProblem) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("%w: N=%d", ErrBadProblem, p.N)
+	}
+	if len(p.Obj) != p.N*p.N {
+		return fmt.Errorf("%w: len(Obj)=%d want %d", ErrBadProblem, len(p.Obj), p.N*p.N)
+	}
+	for i, pr := range p.Pairs {
+		if pr.X < 0 || pr.X >= p.N || pr.Xp < 0 || pr.Xp >= p.N || pr.X == pr.Xp {
+			return fmt.Errorf("%w: pair %d indices (%d,%d)", ErrBadProblem, i, pr.X, pr.Xp)
+		}
+		if !(pr.Coef > 0 && pr.Coef <= 1) {
+			return fmt.Errorf("%w: pair %d coefficient %g not in (0,1]", ErrBadProblem, i, pr.Coef)
+		}
+	}
+	for i, c := range p.Obj {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("%w: Obj[%d]=%g", ErrBadProblem, i, c)
+		}
+	}
+	return nil
+}
+
+// Solve runs the structure-exploiting Mehrotra predictor-corrector method.
+//
+// Internal variable layout is z-major (v[z*N+x]) so that the per-column
+// normal-equation blocks and the constraint vectors are contiguous; the
+// returned K is converted back to the row-major convention of the paper.
+func (p *GeoIndProblem) Solve(opts *IPMOptions) (*GeoIndSolution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	tol, maxIters := 1e-7, 200
+	if opts != nil {
+		if opts.Tol > 0 {
+			tol = opts.Tol
+		}
+		if opts.MaxIters > 0 {
+			maxIters = opts.MaxIters
+		}
+	}
+	n := p.N
+	if n == 1 {
+		return &GeoIndSolution{Status: StatusOptimal, K: []float64{1}, Obj: p.Obj[0]}, nil
+	}
+	st := newGeoIndState(p)
+	status, iters, gap := st.run(tol, maxIters)
+	sol := &GeoIndSolution{Status: status, Iters: iters, Gap: gap, K: make([]float64, n*n)}
+	for z := 0; z < n; z++ {
+		for x := 0; x < n; x++ {
+			sol.K[x*n+z] = st.v[z*n+x]
+		}
+	}
+	sol.Obj = dot(p.Obj, sol.K)
+	return sol, nil
+}
+
+// geoIndState holds all solver vectors. Constraint index is i = z*P + p;
+// variable index is z*N + x.
+type geoIndState struct {
+	n, nn, np, mi int
+	pairs         []Pair
+	c             []float64 // z-major scaled objective
+	cScale        float64
+
+	// Primal/dual iterates.
+	v, y, zv []float64 // length nn, n, nn
+	s, zs, w []float64 // length mi
+	// Per-iteration buffers.
+	rp1, dy, rhsY              []float64 // length n
+	rd1, q, dv, dzv, dvA, dzvA []float64 // length nn
+	rp2, h, ds, dzs            []float64 // length mi
+	blocks                     []float64 // n blocks of n*n: inverse normal matrices
+	buildBuf                   []float64 // n*n scratch for block assembly
+	invScratch                 []float64 // n*n scratch for cholInverse
+	schur, schurF              []float64 // n*n
+}
+
+func newGeoIndState(p *GeoIndProblem) *geoIndState {
+	n := p.N
+	nn := n * n
+	np := len(p.Pairs)
+	mi := np * n
+	st := &geoIndState{n: n, nn: nn, np: np, mi: mi, pairs: p.Pairs}
+	st.cScale = 0
+	for _, c := range p.Obj {
+		if a := math.Abs(c); a > st.cScale {
+			st.cScale = a
+		}
+	}
+	if st.cScale == 0 {
+		st.cScale = 1
+	}
+	st.c = make([]float64, nn)
+	for x := 0; x < n; x++ {
+		for z := 0; z < n; z++ {
+			st.c[z*n+x] = p.Obj[x*n+z] / st.cScale
+		}
+	}
+	st.v = make([]float64, nn)
+	st.zv = make([]float64, nn)
+	for i := range st.v {
+		st.v[i] = 1 / float64(n)
+		st.zv[i] = 1
+	}
+	st.y = make([]float64, n)
+	st.s = make([]float64, mi)
+	st.zs = make([]float64, mi)
+	st.w = make([]float64, mi)
+	for z := 0; z < n; z++ {
+		for pi, pr := range p.Pairs {
+			i := z*np + pi
+			st.s[i] = math.Max((1-pr.Coef)/float64(n), 0.01)
+			st.zs[i] = 1
+			st.w[i] = -1
+		}
+	}
+	st.rp1 = make([]float64, n)
+	st.dy = make([]float64, n)
+	st.rhsY = make([]float64, n)
+	st.rd1 = make([]float64, nn)
+	st.q = make([]float64, nn)
+	st.dv = make([]float64, nn)
+	st.dzv = make([]float64, nn)
+	st.dvA = make([]float64, nn)
+	st.dzvA = make([]float64, nn)
+	st.rp2 = make([]float64, mi)
+	st.h = make([]float64, mi)
+	st.ds = make([]float64, mi)
+	st.dzs = make([]float64, mi)
+	st.blocks = make([]float64, n*nn)
+	st.buildBuf = make([]float64, nn)
+	st.invScratch = make([]float64, nn)
+	st.schur = make([]float64, nn)
+	st.schurF = make([]float64, nn)
+	return st
+}
+
+// run executes the main predictor-corrector loop.
+//
+// Near machine-precision convergence the scaling matrices become extremely
+// ill-conditioned and iterates can deteriorate, so the loop tracks the best
+// iterate seen (by a combined primal/dual/gap merit) and returns it; it also
+// exits early when the merit has stopped improving.
+func (st *geoIndState) run(tol float64, maxIters int) (Status, int, float64) {
+	n, np := st.n, st.np
+	total := float64(st.nn + st.mi)
+	cInf := 0.0
+	for _, c := range st.c {
+		if a := math.Abs(c); a > cInf {
+			cInf = a
+		}
+	}
+	bestMerit := math.Inf(1)
+	bestMu := math.Inf(1)
+	bestV := make([]float64, st.nn)
+	stall := 0
+	iters := 0
+	for iter := 0; iter < maxIters; iter++ {
+		iters = iter
+		// --- Residuals ---
+		// rp1 = 1 - E v
+		for x := 0; x < n; x++ {
+			st.rp1[x] = 1
+		}
+		for z := 0; z < n; z++ {
+			row := st.v[z*n:]
+			for x := 0; x < n; x++ {
+				st.rp1[x] -= row[x]
+			}
+		}
+		// rd1 = c - E'y - G'w - zv ; start with c - E'y - zv, scatter w.
+		for z := 0; z < n; z++ {
+			base := z * n
+			for x := 0; x < n; x++ {
+				st.rd1[base+x] = st.c[base+x] - st.y[x] - st.zv[base+x]
+			}
+		}
+		// rp2 = -Gv - s and G'w scatter, plus residual norms.
+		relP := inf(st.rp1)
+		relD2 := 0.0
+		for z := 0; z < n; z++ {
+			vz := st.v[z*n : z*n+n]
+			rz := st.rd1[z*n : z*n+n]
+			base := z * np
+			for pi, pr := range st.pairs {
+				i := base + pi
+				gv := pr.Coef*vz[pr.X] - vz[pr.Xp]
+				r := -gv - st.s[i]
+				st.rp2[i] = r
+				if a := math.Abs(r); a > relP {
+					relP = a
+				}
+				wi := st.w[i]
+				rz[pr.X] -= pr.Coef * wi
+				rz[pr.Xp] += wi
+				if a := math.Abs(-wi - st.zs[i]); a > relD2 {
+					relD2 = a
+				}
+			}
+		}
+		relD := math.Max(inf(st.rd1), relD2)
+		mu := (dot(st.v, st.zv) + dot(st.s, st.zs)) / total
+		merit := math.Max(math.Max(relP/2, relD/(1+cInf)), mu)
+		if debugIPM {
+			fmt.Printf("ipm iter %2d relP=%.3e relD=%.3e mu=%.3e\n", iter, relP, relD, mu)
+		}
+		if merit < bestMerit {
+			bestMerit = merit
+			bestMu = mu
+			copy(bestV, st.v)
+			stall = 0
+		} else {
+			stall++
+		}
+		if merit <= tol {
+			return StatusOptimal, iter, mu
+		}
+		if stall >= 12 {
+			break // no longer improving; best iterate stands
+		}
+
+		// --- Normal matrix blocks and Schur complement ---
+		st.factorBlocks()
+
+		// --- Affine (predictor) step ---
+		// h = rd2 + zs + (zs/s)*rp2, with rd2 = -w - zs  =>  h = -w + (zs/s)*rp2
+		for i := 0; i < st.mi; i++ {
+			st.h[i] = -st.w[i] + st.zs[i]/st.s[i]*st.rp2[i]
+		}
+		// q = G'h - zv - rd1
+		st.formQ(st.h, func(i int) float64 { return -st.zv[i] - st.rd1[i] })
+		st.solveKKT(st.dvA, st.dy)
+		for i := 0; i < st.nn; i++ {
+			st.dzvA[i] = -st.zv[i] - st.zv[i]/st.v[i]*st.dvA[i]
+		}
+		// Affine ds/dzs and affine step lengths.
+		alphaP, alphaD := maxStep(st.v, st.dvA), maxStep(st.zv, st.dzvA)
+		for z := 0; z < n; z++ {
+			dvz := st.dvA[z*n : z*n+n]
+			base := z * np
+			for pi, pr := range st.pairs {
+				i := base + pi
+				gdv := pr.Coef*dvz[pr.X] - dvz[pr.Xp]
+				dsi := st.rp2[i] - gdv
+				dwi := st.h[i] - st.zs[i]/st.s[i]*gdv
+				dzsi := (-st.w[i] - st.zs[i]) - dwi
+				st.ds[i] = dsi
+				st.dzs[i] = dzsi
+				if dsi < 0 {
+					if a := -st.s[i] / dsi; a < alphaP {
+						alphaP = a
+					}
+				}
+				if dzsi < 0 {
+					if a := -st.zs[i] / dzsi; a < alphaD {
+						alphaD = a
+					}
+				}
+			}
+		}
+		if alphaP > 1 {
+			alphaP = 1
+		}
+		if alphaD > 1 {
+			alphaD = 1
+		}
+		muAff := 0.0
+		for i := 0; i < st.nn; i++ {
+			muAff += (st.v[i] + alphaP*st.dvA[i]) * (st.zv[i] + alphaD*st.dzvA[i])
+		}
+		for i := 0; i < st.mi; i++ {
+			muAff += (st.s[i] + alphaP*st.ds[i]) * (st.zs[i] + alphaD*st.dzs[i])
+		}
+		muAff /= total
+		sigma := math.Pow(math.Max(muAff, 0)/mu, 3)
+		sigma = math.Min(math.Max(sigma, 1e-8), 1)
+
+		// --- Corrector (combined) step ---
+		// h = -w + ( -(sigma*mu - s*zs - dsA*dzsA)/s + zs/s*rp2 ) ... i.e.
+		// h = rd2 - rc2/s + (zs/s)rp2 with rc2 = sigma*mu - s.zs - dsA.dzsA.
+		smu := sigma * mu
+		for i := 0; i < st.mi; i++ {
+			rc2 := smu - st.s[i]*st.zs[i] - st.ds[i]*st.dzs[i]
+			st.h[i] = (-st.w[i] - st.zs[i]) - rc2/st.s[i] + st.zs[i]/st.s[i]*st.rp2[i]
+		}
+		st.formQ(st.h, func(i int) float64 {
+			rc1 := smu - st.v[i]*st.zv[i] - st.dvA[i]*st.dzvA[i]
+			return rc1/st.v[i] - st.rd1[i]
+		})
+		st.solveKKT(st.dv, st.dy)
+		for i := 0; i < st.nn; i++ {
+			rc1 := smu - st.v[i]*st.zv[i] - st.dvA[i]*st.dzvA[i]
+			st.dzv[i] = rc1/st.v[i] - st.zv[i]/st.v[i]*st.dv[i]
+		}
+		alphaP, alphaD = maxStep(st.v, st.dv), maxStep(st.zv, st.dzv)
+		for z := 0; z < n; z++ {
+			dvz := st.dv[z*n : z*n+n]
+			base := z * np
+			for pi, pr := range st.pairs {
+				i := base + pi
+				gdv := pr.Coef*dvz[pr.X] - dvz[pr.Xp]
+				dsi := st.rp2[i] - gdv
+				dwi := st.h[i] - st.zs[i]/st.s[i]*gdv
+				dzsi := (-st.w[i] - st.zs[i]) - dwi
+				st.ds[i] = dsi
+				st.dzs[i] = dzsi
+				st.h[i] = dwi // h is consumed; reuse it to carry dw
+				if dsi < 0 {
+					if a := -st.s[i] / dsi; a < alphaP {
+						alphaP = a
+					}
+				}
+				if dzsi < 0 {
+					if a := -st.zs[i] / dzsi; a < alphaD {
+						alphaD = a
+					}
+				}
+			}
+		}
+		tau := 0.995
+		if mu < 1e-5 {
+			tau = 0.9995
+		}
+		alphaP = math.Min(1, tau*alphaP)
+		alphaD = math.Min(1, tau*alphaD)
+
+		for i := 0; i < st.nn; i++ {
+			st.v[i] += alphaP * st.dv[i]
+			st.zv[i] += alphaD * st.dzv[i]
+		}
+		for x := 0; x < n; x++ {
+			st.y[x] += alphaD * st.dy[x]
+		}
+		for i := 0; i < st.mi; i++ {
+			st.s[i] += alphaP * st.ds[i]
+			st.zs[i] += alphaD * st.dzs[i]
+			st.w[i] += alphaD * st.h[i]
+		}
+	}
+	copy(st.v, bestV)
+	// Accept a mildly looser tolerance when iteration stopped on stall or
+	// budget: the best iterate is typically far more accurate than this.
+	if bestMerit <= math.Max(tol*100, 1e-6) {
+		return StatusOptimal, iters, bestMu
+	}
+	return StatusIterLimit, iters, bestMu
+}
+
+// factorBlocks assembles M_z = diag(zv/v)_z + G_z' diag(zs/s)_z G_z for every
+// column z, inverts each block, accumulates the Schur complement
+// S = sum_z M_z^{-1}, and factors S.
+func (st *geoIndState) factorBlocks() {
+	n, np := st.n, st.np
+	for i := range st.schur {
+		st.schur[i] = 0
+	}
+	for z := 0; z < n; z++ {
+		blk := st.buildBuf
+		for i := range blk {
+			blk[i] = 0
+		}
+		base := z * n
+		for x := 0; x < n; x++ {
+			blk[x*n+x] = st.zv[base+x] / st.v[base+x]
+		}
+		cbase := z * np
+		for pi, pr := range st.pairs {
+			i := cbase + pi
+			d := st.zs[i] / st.s[i]
+			a := pr.Coef
+			blk[pr.X*n+pr.X] += d * a * a
+			da := d * a
+			blk[pr.X*n+pr.Xp] -= da
+			blk[pr.Xp*n+pr.X] -= da
+			blk[pr.Xp*n+pr.Xp] += d
+		}
+		dst := st.blocks[z*st.nn : (z+1)*st.nn]
+		// Factor then invert in place; a failed factorization is repaired
+		// by cholFactor's internal ridge escalation.
+		if _, err := cholFactor(blk, dst, n); err != nil {
+			// As a last resort make the block strongly diagonally dominant.
+			copy(dst, blk)
+			for x := 0; x < n; x++ {
+				dst[x*n+x] = blk[x*n+x] + 1
+			}
+			tryChol(dst, n)
+		}
+		cholInverse(dst, n, st.invScratch)
+		for i := range dst {
+			st.schur[i] += dst[i]
+		}
+	}
+	if _, err := cholFactor(st.schur, st.schurF, n); err != nil {
+		copy(st.schurF, st.schur)
+		for x := 0; x < n; x++ {
+			st.schurF[x*n+x] += 1e-8
+		}
+		tryChol(st.schurF, n)
+	}
+}
+
+// formQ sets q[i] = baseFn(i) for all variables and then scatters G'h into
+// it: q[z*n+X] += Coef*h, q[z*n+Xp] -= h.
+func (st *geoIndState) formQ(h []float64, baseFn func(i int) float64) {
+	n, np := st.n, st.np
+	for i := 0; i < st.nn; i++ {
+		st.q[i] = baseFn(i)
+	}
+	for z := 0; z < n; z++ {
+		qz := st.q[z*n : z*n+n]
+		base := z * np
+		for pi, pr := range st.pairs {
+			hi := h[base+pi]
+			qz[pr.X] += pr.Coef * hi
+			qz[pr.Xp] -= hi
+		}
+	}
+}
+
+// solveKKT solves M dv - E'dy = q, E dv = rp1 using the factored blocks and
+// Schur complement. On return dv and dy hold the Newton directions.
+func (st *geoIndState) solveKKT(dv, dy []float64) {
+	n := st.n
+	// rhsY = rp1 - E M^{-1} q
+	copy(st.rhsY, st.rp1)
+	for z := 0; z < n; z++ {
+		inv := st.blocks[z*st.nn : (z+1)*st.nn]
+		qz := st.q[z*n : z*n+n]
+		for x := 0; x < n; x++ {
+			row := inv[x*n : x*n+n]
+			st.rhsY[x] -= dot(row, qz)
+		}
+	}
+	copy(dy, st.rhsY)
+	cholSolve(st.schurF, n, dy)
+	// dv = M^{-1}(q + E'dy)
+	for z := 0; z < n; z++ {
+		inv := st.blocks[z*st.nn : (z+1)*st.nn]
+		qz := st.q[z*n : z*n+n]
+		dvz := dv[z*n : z*n+n]
+		for x := 0; x < n; x++ {
+			row := inv[x*n : x*n+n]
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += row[k] * (qz[k] + dy[k])
+			}
+			dvz[x] = sum
+		}
+	}
+}
+
+// maxStep returns the largest alpha in (0, +inf] with x + alpha*dx >= 0.
+func maxStep(x, dx []float64) float64 {
+	alpha := math.Inf(1)
+	for i, d := range dx {
+		if d < 0 {
+			if a := -x[i] / d; a < alpha {
+				alpha = a
+			}
+		}
+	}
+	return alpha
+}
+
+// inf returns the infinity norm of v.
+func inf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,495 @@
+package lp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func randSPD(rng *rand.Rand, n int) []float64 {
+	b := make([]float64, n*n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b[i*n+k] * b[j*n+k]
+			}
+			a[i*n+j] = s
+		}
+		a[i*n+i] += float64(n) // well conditioned
+	}
+	return a
+}
+
+func TestCholFactorSolve(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 33} {
+		a := randSPD(rng, n)
+		f := make([]float64, n*n)
+		ridge, err := cholFactor(a, f, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if ridge != 0 {
+			t.Errorf("n=%d: unexpected ridge %g on well-conditioned matrix", n, ridge)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += a[i*n+j] * x[j]
+			}
+		}
+		cholSolve(f, n, b)
+		for i := range x {
+			if math.Abs(b[i]-x[i]) > 1e-8*(1+math.Abs(x[i])) {
+				t.Fatalf("n=%d: solve mismatch at %d: %g vs %g", n, i, b[i], x[i])
+			}
+		}
+	}
+}
+
+func TestCholInverse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, n := range []int{1, 2, 4, 7, 12, 25} {
+		a := randSPD(rng, n)
+		f := make([]float64, n*n)
+		if _, err := cholFactor(a, f, n); err != nil {
+			t.Fatal(err)
+		}
+		scratch := make([]float64, n*n)
+		cholInverse(f, n, scratch)
+		// f now holds inv(a); check a*inv = I.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += a[i*n+k] * f[k*n+j]
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(s-want) > 1e-8 {
+					t.Fatalf("n=%d: (A*inv)[%d,%d]=%g want %g", n, i, j, s, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCholFactorIndefinite(t *testing.T) {
+	// A singular matrix should be repaired with a ridge rather than NaN.
+	a := []float64{1, 1, 1, 1}
+	f := make([]float64, 4)
+	ridge, err := cholFactor(a, f, 2)
+	if err != nil {
+		t.Fatalf("expected ridge repair, got %v", err)
+	}
+	if ridge <= 0 {
+		t.Errorf("expected positive ridge, got %g", ridge)
+	}
+}
+
+func TestSimplexBasic(t *testing.T) {
+	// min -x0 - 2x1 s.t. x0 + x1 <= 4, x1 <= 2  => x=(2,2), obj -6.
+	sol, err := Solve(
+		[]float64{-1, -2},
+		[][]float64{{1, 1}, {0, 1}}, []float64{4, 2},
+		nil, nil, nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status=%v", sol.Status)
+	}
+	if math.Abs(sol.Obj-(-6)) > 1e-9 {
+		t.Errorf("obj=%g want -6", sol.Obj)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-9 || math.Abs(sol.X[1]-2) > 1e-9 {
+		t.Errorf("x=%v want (2,2)", sol.X)
+	}
+}
+
+func TestSimplexEquality(t *testing.T) {
+	// min x0 + 3x1 s.t. x0 + x1 = 2  => x=(2,0), obj 2.
+	sol, err := Solve(
+		[]float64{1, 3},
+		nil, nil,
+		[][]float64{{1, 1}}, []float64{2}, nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.Obj-2) > 1e-9 {
+		t.Fatalf("status=%v obj=%g want optimal 2", sol.Status, sol.Obj)
+	}
+}
+
+func TestSimplexMixed(t *testing.T) {
+	// min -3x -5y s.t. x<=4, 2y<=12, 3x+2y=18 => x=2? Classic problem but
+	// with equality: 3x+2y=18, x<=4, y<=6 -> best at x=2,y=6, obj=-36.
+	sol, err := Solve(
+		[]float64{-3, -5},
+		[][]float64{{1, 0}, {0, 2}}, []float64{4, 12},
+		[][]float64{{3, 2}}, []float64{18}, nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.Obj-(-36)) > 1e-8 {
+		t.Fatalf("status=%v obj=%g want optimal -36 (x=%v)", sol.Status, sol.Obj, sol.X)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	// x <= -1 with x >= 0 is infeasible.
+	sol, err := Solve([]float64{1}, [][]float64{{1}}, []float64{-1}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status=%v want infeasible", sol.Status)
+	}
+	// Contradictory equalities.
+	sol, err = Solve([]float64{1, 1},
+		nil, nil,
+		[][]float64{{1, 1}, {1, 1}}, []float64{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status=%v want infeasible", sol.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	// min -x0 s.t. x1 <= 1: x0 unbounded above.
+	sol, err := Solve([]float64{-1, 0}, [][]float64{{0, 1}}, []float64{1}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusUnbounded {
+		t.Fatalf("status=%v want unbounded", sol.Status)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// -x0 <= -2  (x0 >= 2), min x0 => 2.
+	sol, err := Solve([]float64{1}, [][]float64{{-1}}, []float64{-2}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.Obj-2) > 1e-9 {
+		t.Fatalf("status=%v obj=%g want optimal 2", sol.Status, sol.Obj)
+	}
+}
+
+func TestSimplexRedundantEquality(t *testing.T) {
+	// Duplicate equality rows exercise artificial eviction of redundant rows.
+	sol, err := Solve([]float64{1, 1},
+		nil, nil,
+		[][]float64{{1, 1}, {2, 2}}, []float64{2, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.Obj-2) > 1e-8 {
+		t.Fatalf("status=%v obj=%g want optimal 2", sol.Status, sol.Obj)
+	}
+}
+
+func TestSimplexValidation(t *testing.T) {
+	if _, err := Solve(nil, nil, nil, nil, nil, nil); err == nil {
+		t.Error("empty objective should error")
+	}
+	if _, err := Solve([]float64{1}, [][]float64{{1, 2}}, []float64{1}, nil, nil, nil); err == nil {
+		t.Error("row width mismatch should error")
+	}
+	if _, err := Solve([]float64{1}, [][]float64{{1}}, []float64{1, 2}, nil, nil, nil); err == nil {
+		t.Error("rhs length mismatch should error")
+	}
+}
+
+// --- GeoInd LP helpers ---
+
+// gridGeoIndProblem builds the OPT linear program for a g x g unit grid with
+// the given prior (length g*g, row-major) and privacy budget eps.
+func gridGeoIndProblem(g int, eps float64, prior []float64) *GeoIndProblem {
+	n := g * g
+	centers := make([][2]float64, n)
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			centers[i*g+j] = [2]float64{float64(j) + 0.5, float64(i) + 0.5}
+		}
+	}
+	dist := func(a, b int) float64 {
+		dx := centers[a][0] - centers[b][0]
+		dy := centers[a][1] - centers[b][1]
+		return math.Hypot(dx, dy)
+	}
+	p := &GeoIndProblem{N: n, Obj: make([]float64, n*n)}
+	for x := 0; x < n; x++ {
+		for z := 0; z < n; z++ {
+			p.Obj[x*n+z] = prior[x] * dist(x, z)
+		}
+	}
+	for x := 0; x < n; x++ {
+		for xp := 0; xp < n; xp++ {
+			if x == xp {
+				continue
+			}
+			p.Pairs = append(p.Pairs, Pair{X: x, Xp: xp, Coef: math.Exp(-eps * dist(x, xp))})
+		}
+	}
+	return p
+}
+
+// denseForm converts a GeoIndProblem to dense simplex inputs.
+func denseForm(p *GeoIndProblem) (c []float64, aub [][]float64, bub []float64, aeq [][]float64, beq []float64) {
+	n := p.N
+	nn := n * n
+	c = append([]float64(nil), p.Obj...)
+	for _, pr := range p.Pairs {
+		for z := 0; z < n; z++ {
+			row := make([]float64, nn)
+			row[pr.X*n+z] = pr.Coef
+			row[pr.Xp*n+z] = -1
+			aub = append(aub, row)
+			bub = append(bub, 0)
+		}
+	}
+	for x := 0; x < n; x++ {
+		row := make([]float64, nn)
+		for z := 0; z < n; z++ {
+			row[x*n+z] = 1
+		}
+		aeq = append(aeq, row)
+		beq = append(beq, 1)
+	}
+	return
+}
+
+// checkGeoIndSolution verifies stochasticity and the GeoInd constraints.
+func checkGeoIndSolution(t *testing.T, p *GeoIndProblem, k []float64, tol float64) {
+	t.Helper()
+	n := p.N
+	for x := 0; x < n; x++ {
+		sum := 0.0
+		for z := 0; z < n; z++ {
+			v := k[x*n+z]
+			if v < -tol {
+				t.Fatalf("K[%d][%d]=%g negative", x, z, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("row %d sums to %g", x, sum)
+		}
+	}
+	for _, pr := range p.Pairs {
+		for z := 0; z < n; z++ {
+			lhs := pr.Coef*k[pr.X*n+z] - k[pr.Xp*n+z]
+			if lhs > tol {
+				t.Fatalf("GeoInd violated: pair (%d,%d) z=%d excess %g", pr.X, pr.Xp, z, lhs)
+			}
+		}
+	}
+}
+
+func TestGeoIndTrivial(t *testing.T) {
+	p := &GeoIndProblem{N: 1, Obj: []float64{0}}
+	sol, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || sol.K[0] != 1 {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestGeoIndValidate(t *testing.T) {
+	cases := []*GeoIndProblem{
+		{N: 0},
+		{N: 2, Obj: []float64{1}},
+		{N: 2, Obj: make([]float64, 4), Pairs: []Pair{{X: 0, Xp: 0, Coef: 0.5}}},
+		{N: 2, Obj: make([]float64, 4), Pairs: []Pair{{X: 0, Xp: 1, Coef: 0}}},
+		{N: 2, Obj: make([]float64, 4), Pairs: []Pair{{X: 0, Xp: 1, Coef: 2}}},
+		{N: 2, Obj: make([]float64, 4), Pairs: []Pair{{X: 0, Xp: 3, Coef: 0.5}}},
+		{N: 2, Obj: []float64{0, math.NaN(), 0, 0}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+// TestGeoIndVsSimplex cross-validates the IPM against the reference simplex
+// on a 2x2 grid with a skewed prior.
+func TestGeoIndVsSimplex(t *testing.T) {
+	prior := []float64{0.4, 0.3, 0.2, 0.1}
+	for _, eps := range []float64{0.3, 0.8, 1.5} {
+		p := gridGeoIndProblem(2, eps, prior)
+		ipm, err := p.Solve(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ipm.Status != StatusOptimal {
+			t.Fatalf("eps=%g: IPM status %v", eps, ipm.Status)
+		}
+		checkGeoIndSolution(t, p, ipm.K, 1e-6)
+
+		c, aub, bub, aeq, beq := denseForm(p)
+		sx, err := Solve(c, aub, bub, aeq, beq, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sx.Status != StatusOptimal {
+			t.Fatalf("eps=%g: simplex status %v", eps, sx.Status)
+		}
+		if math.Abs(ipm.Obj-sx.Obj) > 1e-5*(1+math.Abs(sx.Obj)) {
+			t.Errorf("eps=%g: IPM obj %.10g != simplex obj %.10g", eps, ipm.Obj, sx.Obj)
+		}
+	}
+}
+
+// TestGeoIndVsSimplex3x3 does the same on a 3x3 grid (9 locations, 648
+// inequality rows) unless -short is set.
+func TestGeoIndVsSimplex3x3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3x3 simplex cross-check skipped in -short mode")
+	}
+	rng := rand.New(rand.NewPCG(7, 9))
+	prior := make([]float64, 9)
+	sum := 0.0
+	for i := range prior {
+		prior[i] = rng.Float64() + 0.05
+		sum += prior[i]
+	}
+	for i := range prior {
+		prior[i] /= sum
+	}
+	p := gridGeoIndProblem(3, 0.7, prior)
+	ipm, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipm.Status != StatusOptimal {
+		t.Fatalf("IPM status %v", ipm.Status)
+	}
+	checkGeoIndSolution(t, p, ipm.K, 1e-6)
+	c, aub, bub, aeq, beq := denseForm(p)
+	sx, err := Solve(c, aub, bub, aeq, beq, &SimplexOptions{MaxPivots: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sx.Status != StatusOptimal {
+		t.Fatalf("simplex status %v", sx.Status)
+	}
+	if math.Abs(ipm.Obj-sx.Obj) > 1e-5*(1+math.Abs(sx.Obj)) {
+		t.Errorf("IPM obj %.10g != simplex obj %.10g", ipm.Obj, sx.Obj)
+	}
+}
+
+// TestGeoIndInvariants checks stochasticity and constraint satisfaction on
+// larger instances where the simplex is too slow.
+func TestGeoIndInvariants(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for _, g := range []int{3, 4, 5} {
+		n := g * g
+		prior := make([]float64, n)
+		sum := 0.0
+		for i := range prior {
+			prior[i] = rng.Float64()*rng.Float64() + 0.01
+			sum += prior[i]
+		}
+		for i := range prior {
+			prior[i] /= sum
+		}
+		p := gridGeoIndProblem(g, 0.5, prior)
+		sol, err := p.Solve(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("g=%d: status %v (gap %g)", g, sol.Status, sol.Gap)
+		}
+		checkGeoIndSolution(t, p, sol.K, 1e-6)
+
+		// The uniform channel is feasible, so OPT must not cost more.
+		uniformObj := 0.0
+		for x := 0; x < n; x++ {
+			for z := 0; z < n; z++ {
+				uniformObj += p.Obj[x*n+z] / float64(n)
+			}
+		}
+		if sol.Obj > uniformObj+1e-6 {
+			t.Errorf("g=%d: OPT obj %g exceeds uniform obj %g", g, sol.Obj, uniformObj)
+		}
+	}
+}
+
+// TestGeoIndMonotoneInEps: more budget (larger eps) can only reduce the
+// optimal expected loss, since the feasible set grows with eps.
+func TestGeoIndMonotoneInEps(t *testing.T) {
+	prior := []float64{0.05, 0.1, 0.15, 0.2, 0.02, 0.08, 0.25, 0.1, 0.05}
+	prev := math.Inf(1)
+	for _, eps := range []float64{0.1, 0.3, 0.5, 1.0, 2.0} {
+		p := gridGeoIndProblem(3, eps, prior)
+		sol, err := p.Solve(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("eps=%g: status %v", eps, sol.Status)
+		}
+		if sol.Obj > prev+1e-6 {
+			t.Errorf("objective not monotone: eps=%g obj=%g > prev %g", eps, sol.Obj, prev)
+		}
+		prev = sol.Obj
+	}
+}
+
+// TestGeoIndHugeEps: with a very large budget the constraints are loose and
+// the mechanism can report (nearly) the true location: cost ~ 0.
+func TestGeoIndHugeEps(t *testing.T) {
+	prior := []float64{0.25, 0.25, 0.25, 0.25}
+	p := gridGeoIndProblem(2, 50, prior)
+	sol, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if sol.Obj > 1e-3 {
+		t.Errorf("obj=%g want ~0 for huge eps", sol.Obj)
+	}
+}
+
+func BenchmarkGeoIndSolve(b *testing.B) {
+	for _, g := range []int{3, 4, 5} {
+		b.Run("g="+string(rune('0'+g)), func(b *testing.B) {
+			n := g * g
+			prior := make([]float64, n)
+			for i := range prior {
+				prior[i] = 1 / float64(n)
+			}
+			p := gridGeoIndProblem(g, 0.5, prior)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Solve(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

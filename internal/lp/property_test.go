@@ -1,0 +1,159 @@
+package lp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// randomPointProblem builds a GeoInd LP over random candidate locations
+// (not a grid), with a random prior and utility metric d or d^2.
+func randomPointProblem(rng *rand.Rand, n int, eps float64, squared bool) *GeoIndProblem {
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	dist := func(a, b int) float64 {
+		return math.Hypot(pts[a].x-pts[b].x, pts[a].y-pts[b].y)
+	}
+	prior := make([]float64, n)
+	total := 0.0
+	for i := range prior {
+		prior[i] = rng.Float64() + 0.01
+		total += prior[i]
+	}
+	p := &GeoIndProblem{N: n, Obj: make([]float64, n*n)}
+	for x := 0; x < n; x++ {
+		for z := 0; z < n; z++ {
+			d := dist(x, z)
+			if squared {
+				d *= d
+			}
+			p.Obj[x*n+z] = prior[x] / total * d
+		}
+	}
+	for x := 0; x < n; x++ {
+		for xp := 0; xp < n; xp++ {
+			if x == xp {
+				continue
+			}
+			d := dist(x, xp)
+			coef := math.Exp(-eps * d)
+			if d == 0 {
+				coef = 1
+			}
+			p.Pairs = append(p.Pairs, Pair{X: x, Xp: xp, Coef: coef})
+		}
+	}
+	return p
+}
+
+// TestGeoIndRandomInstances: the IPM must reach optimality on a broad sample
+// of random instances, with stochastic rows and all constraints satisfied.
+func TestGeoIndRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2024, 6))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.IntN(8) // 2..9 candidates
+		eps := 0.05 + rng.Float64()*2
+		p := randomPointProblem(rng, n, eps, rng.Float64() < 0.5)
+		sol, err := p.Solve(nil)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d eps=%.3f): %v", trial, n, eps, err)
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("trial %d (n=%d eps=%.3f): status %v gap %g", trial, n, eps, sol.Status, sol.Gap)
+		}
+		checkGeoIndSolution(t, p, sol.K, 1e-5)
+		if sol.Obj < -1e-9 {
+			t.Fatalf("trial %d: negative objective %g", trial, sol.Obj)
+		}
+	}
+}
+
+// TestGeoIndRandomVsSimplex cross-checks objective values against the
+// reference simplex on small random instances.
+func TestGeoIndRandomVsSimplex(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 88))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.IntN(4) // 2..5 candidates
+		eps := 0.1 + rng.Float64()
+		p := randomPointProblem(rng, n, eps, false)
+		ipm, err := p.Solve(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, aub, bub, aeq, beq := denseForm(p)
+		sx, err := Solve(c, aub, bub, aeq, beq, &SimplexOptions{MaxPivots: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sx.Status != StatusOptimal {
+			t.Fatalf("trial %d: simplex status %v", trial, sx.Status)
+		}
+		if math.Abs(ipm.Obj-sx.Obj) > 1e-4*(1+math.Abs(sx.Obj)) {
+			t.Errorf("trial %d (n=%d eps=%.3f): IPM %.8g vs simplex %.8g", trial, n, eps, ipm.Obj, sx.Obj)
+		}
+	}
+}
+
+// TestSimplexRandomFeasibleBounded: randomly generated problems with a known
+// feasible point and box constraints must come back optimal with an
+// objective no worse than the known point's.
+func TestSimplexRandomFeasibleBounded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 55))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.IntN(6)
+		m := 1 + rng.IntN(6)
+		// Known point inside the box [0, 5]^n.
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = rng.Float64() * 5
+		}
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+		}
+		var aub [][]float64
+		var bub []float64
+		// Random constraints made feasible at x0 by construction.
+		for r := 0; r < m; r++ {
+			row := make([]float64, n)
+			lhs := 0.0
+			for i := range row {
+				row[i] = rng.NormFloat64()
+				lhs += row[i] * x0[i]
+			}
+			aub = append(aub, row)
+			bub = append(bub, lhs+rng.Float64())
+		}
+		// Box upper bounds keep the problem bounded.
+		for i := 0; i < n; i++ {
+			row := make([]float64, n)
+			row[i] = 1
+			aub = append(aub, row)
+			bub = append(bub, 5)
+		}
+		sol, err := Solve(c, aub, bub, nil, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		if sol.Obj > dot(c, x0)+1e-7 {
+			t.Errorf("trial %d: optimum %.8g worse than feasible point %.8g", trial, sol.Obj, dot(c, x0))
+		}
+		// Solution is feasible.
+		for r, row := range aub {
+			if dot(row, sol.X) > bub[r]+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated", trial, r)
+			}
+		}
+		for i, v := range sol.X {
+			if v < -1e-9 {
+				t.Fatalf("trial %d: x[%d]=%g negative", trial, i, v)
+			}
+		}
+	}
+}

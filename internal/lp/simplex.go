@@ -1,0 +1,277 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// SimplexOptions configures the dense simplex solver.
+type SimplexOptions struct {
+	// MaxPivots bounds the total number of pivots across both phases.
+	// Zero means a default of 50*(rows+cols).
+	MaxPivots int
+	// Tol is the numerical tolerance for feasibility and optimality tests.
+	// Zero means 1e-9.
+	Tol float64
+}
+
+func (o *SimplexOptions) withDefaults(rows, cols int) SimplexOptions {
+	out := SimplexOptions{MaxPivots: 50 * (rows + cols + 10), Tol: 1e-9}
+	if o != nil {
+		if o.MaxPivots > 0 {
+			out.MaxPivots = o.MaxPivots
+		}
+		if o.Tol > 0 {
+			out.Tol = o.Tol
+		}
+	}
+	return out
+}
+
+// Solve minimizes c'x subject to Aub x <= bub, Aeq x = beq, x >= 0 using a
+// dense two-phase primal simplex with Bland's anti-cycling rule as a
+// fallback. It is intended for small problems (hundreds of rows/columns) and
+// as a reference oracle for the interior-point solver; the GeoInd LPs used
+// in production go through GeoIndProblem.Solve instead.
+func Solve(c []float64, aub [][]float64, bub []float64, aeq [][]float64, beq []float64, opts *SimplexOptions) (*Solution, error) {
+	n := len(c)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty objective", ErrBadProblem)
+	}
+	if len(aub) != len(bub) || len(aeq) != len(beq) {
+		return nil, fmt.Errorf("%w: row/rhs length mismatch", ErrBadProblem)
+	}
+	for _, row := range aub {
+		if len(row) != n {
+			return nil, fmt.Errorf("%w: inequality row width %d != %d", ErrBadProblem, len(row), n)
+		}
+	}
+	for _, row := range aeq {
+		if len(row) != n {
+			return nil, fmt.Errorf("%w: equality row width %d != %d", ErrBadProblem, len(row), n)
+		}
+	}
+	m := len(aub) + len(aeq)
+	opt := opts.withDefaults(m, n)
+
+	// Assemble the standard form A x = b, x >= 0 with slack columns for the
+	// inequality rows, flipping rows so that b >= 0, then an artificial
+	// basis. Column layout: [x (n) | slacks (len(aub)) | artificials (m)].
+	nSlack := len(aub)
+	nTotal := n + nSlack + m
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	basis := make([]int, m)
+	for i := range a {
+		a[i] = make([]float64, nTotal)
+	}
+	for i, row := range aub {
+		copy(a[i], row)
+		a[i][n+i] = 1
+		b[i] = bub[i]
+		if b[i] < 0 {
+			for j := 0; j <= n+nSlack-1; j++ {
+				a[i][j] = -a[i][j]
+			}
+			b[i] = -b[i]
+		}
+	}
+	for k, row := range aeq {
+		i := nSlack + k
+		copy(a[i], row)
+		b[i] = beq[k]
+		if b[i] < 0 {
+			for j := 0; j < n; j++ {
+				a[i][j] = -a[i][j]
+			}
+			b[i] = -b[i]
+		}
+	}
+	// Artificial columns form the initial identity basis. For inequality
+	// rows whose slack kept coefficient +1 we could use the slack directly,
+	// but using artificials everywhere keeps the logic uniform; phase 1
+	// drives them out regardless.
+	for i := 0; i < m; i++ {
+		a[i][n+nSlack+i] = 1
+		basis[i] = n + nSlack + i
+	}
+
+	t := &tableau{a: a, b: b, basis: basis, tol: opt.Tol}
+
+	// Phase 1: minimize the sum of artificials.
+	phase1Cost := make([]float64, nTotal)
+	for j := n + nSlack; j < nTotal; j++ {
+		phase1Cost[j] = 1
+	}
+	iters1, status := t.run(phase1Cost, opt.MaxPivots, n+nSlack)
+	if status == StatusIterLimit {
+		return &Solution{Status: StatusIterLimit, Iters: iters1}, nil
+	}
+	if t.objective(phase1Cost) > opt.Tol*float64(m+1) {
+		return &Solution{Status: StatusInfeasible, Iters: iters1}, nil
+	}
+	// Drive any artificial still in the basis to a structural column (or
+	// detect a redundant row and leave the artificial at value zero).
+	t.evictArtificials(n + nSlack)
+
+	// Phase 2: original objective, artificial columns barred.
+	phase2Cost := make([]float64, nTotal)
+	copy(phase2Cost, c)
+	iters2, status := t.run(phase2Cost, opt.MaxPivots-iters1, n+nSlack)
+	sol := &Solution{Status: status, Iters: iters1 + iters2}
+	if status != StatusOptimal {
+		return sol, nil
+	}
+	sol.X = make([]float64, n)
+	for i, bv := range t.basis {
+		if bv < n {
+			sol.X[bv] = t.b[i]
+		}
+	}
+	sol.Obj = dot(c, sol.X)
+	return sol, nil
+}
+
+// tableau is a dense simplex tableau operating on A x = b with b >= 0
+// maintained invariant under pivoting.
+type tableau struct {
+	a     [][]float64
+	b     []float64
+	basis []int
+	tol   float64
+}
+
+// objective returns cost'x for the current basic solution.
+func (t *tableau) objective(cost []float64) float64 {
+	obj := 0.0
+	for i, bv := range t.basis {
+		obj += cost[bv] * t.b[i]
+	}
+	return obj
+}
+
+// reducedCosts computes cost_j - y'A_j for all columns, where y solves
+// B'y = cost_B, using the explicit tableau (which stores B^{-1}A).
+func (t *tableau) reducedCosts(cost []float64, out []float64) {
+	nTotal := len(t.a[0])
+	for j := 0; j < nTotal; j++ {
+		r := cost[j]
+		for i := range t.a {
+			r -= cost[t.basis[i]] * t.a[i][j]
+		}
+		out[j] = r
+	}
+}
+
+// run performs simplex pivots minimizing cost until optimality, the pivot
+// budget is exhausted, or unboundedness is detected. Columns at index >=
+// barFrom are only eligible while their cost is positive-coefficient phase-1
+// artificials; in phase 2 they are barred from entering.
+func (t *tableau) run(cost []float64, maxPivots, barFrom int) (int, Status) {
+	nTotal := len(t.a[0])
+	red := make([]float64, nTotal)
+	iters := 0
+	// Switch to Bland's rule after an adaptive threshold to escape cycles.
+	blandAfter := 5 * (len(t.a) + nTotal)
+	for {
+		if iters >= maxPivots {
+			return iters, StatusIterLimit
+		}
+		t.reducedCosts(cost, red)
+		enter := -1
+		if iters < blandAfter {
+			best := -t.tol
+			for j := 0; j < nTotal; j++ {
+				if j >= barFrom && cost[j] == 0 {
+					continue // barred artificial in phase 2
+				}
+				if red[j] < best {
+					best = red[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < nTotal; j++ {
+				if j >= barFrom && cost[j] == 0 {
+					continue
+				}
+				if red[j] < -t.tol {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return iters, StatusOptimal
+		}
+		// Ratio test: choose leaving row minimizing b_i / a_ie over
+		// a_ie > tol, breaking ties by smallest basis index (Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := range t.a {
+			pivot := t.a[i][enter]
+			if pivot <= t.tol {
+				continue
+			}
+			ratio := t.b[i] / pivot
+			if ratio < bestRatio-t.tol || (ratio < bestRatio+t.tol && (leave < 0 || t.basis[i] < t.basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return iters, StatusUnbounded
+		}
+		t.pivot(leave, enter)
+		iters++
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col) and updates the basis.
+func (t *tableau) pivot(row, col int) {
+	p := t.a[row][col]
+	inv := 1 / p
+	for j := range t.a[row] {
+		t.a[row][j] *= inv
+	}
+	t.b[row] *= inv
+	t.a[row][col] = 1 // exact
+	for i := range t.a {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		rowVec := t.a[row]
+		dst := t.a[i]
+		for j := range dst {
+			dst[j] -= f * rowVec[j]
+		}
+		dst[col] = 0 // exact
+		t.b[i] -= f * t.b[row]
+		if t.b[i] < 0 && t.b[i] > -t.tol {
+			t.b[i] = 0
+		}
+	}
+	t.basis[row] = col
+}
+
+// evictArtificials pivots basic artificial variables (all at value ~0 after
+// a feasible phase 1) out of the basis when a structural column with a
+// nonzero tableau entry exists in their row; rows with no such column are
+// redundant and left alone.
+func (t *tableau) evictArtificials(nStructural int) {
+	for i, bv := range t.basis {
+		if bv < nStructural {
+			continue
+		}
+		for j := 0; j < nStructural; j++ {
+			if math.Abs(t.a[i][j]) > t.tol {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}

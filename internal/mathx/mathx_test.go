@@ -1,0 +1,248 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLambertW0KnownValues(t *testing.T) {
+	cases := []struct{ x, w float64 }{
+		{0, 0},
+		{math.E, 1},
+		{2 * math.E * math.E, 2},
+		{-1 / math.E, -1},
+		{1, 0.5671432904097838}, // Omega constant
+	}
+	for _, c := range cases {
+		got, err := LambertW0(c.x)
+		if err != nil {
+			t.Fatalf("LambertW0(%g): %v", c.x, err)
+		}
+		if math.Abs(got-c.w) > 1e-10 {
+			t.Errorf("LambertW0(%g)=%.15g want %.15g", c.x, got, c.w)
+		}
+	}
+}
+
+func TestLambertWm1KnownValues(t *testing.T) {
+	cases := []struct{ x, w float64 }{
+		{-1 / math.E, -1},
+		{-2 * math.Exp(-2), -2},
+		{-5 * math.Exp(-5), -5},
+		{-0.1, -3.577152063957297},
+	}
+	for _, c := range cases {
+		got, err := LambertWm1(c.x)
+		if err != nil {
+			t.Fatalf("LambertWm1(%g): %v", c.x, err)
+		}
+		if math.Abs(got-c.w) > 1e-9*math.Abs(c.w) {
+			t.Errorf("LambertWm1(%g)=%.15g want %.15g", c.x, got, c.w)
+		}
+	}
+}
+
+func TestLambertWDomain(t *testing.T) {
+	if _, err := LambertW0(-1); err == nil {
+		t.Error("W0(-1) should be out of domain")
+	}
+	if _, err := LambertWm1(0.5); err == nil {
+		t.Error("Wm1(0.5) should be out of domain")
+	}
+	if _, err := LambertWm1(-1); err == nil {
+		t.Error("Wm1(-1) should be out of domain")
+	}
+	if _, err := LambertW0(math.NaN()); err == nil {
+		t.Error("W0(NaN) should be out of domain")
+	}
+}
+
+// Property: W0 inverts w*e^w on w >= -1.
+func TestLambertW0Inverse(t *testing.T) {
+	f := func(raw float64) bool {
+		w := math.Mod(math.Abs(raw), 20) - 1 // w in [-1, 19)
+		x := w * math.Exp(w)
+		got, err := LambertW0(x)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-w) <= 1e-8*(1+math.Abs(w))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Wm1 inverts w*e^w on w <= -1.
+func TestLambertWm1Inverse(t *testing.T) {
+	f := func(raw float64) bool {
+		w := -1 - math.Mod(math.Abs(raw), 30) // w in (-31, -1]
+		x := w * math.Exp(w)
+		if x >= 0 { // underflow to -0 for very negative w
+			return true
+		}
+		got, err := LambertWm1(x)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-w) <= 1e-8*(1+math.Abs(w))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZetaKnownValues(t *testing.T) {
+	cases := []struct{ s, want float64 }{
+		{2, math.Pi * math.Pi / 6},
+		{4, math.Pow(math.Pi, 4) / 90},
+		{6, math.Pow(math.Pi, 6) / 945},
+		{1.5, 2.6123753486854883},
+		{2.5, 1.3414872572509171},
+		{3.5, 1.1267338673170566},
+	}
+	for _, c := range cases {
+		got, err := Zeta(c.s)
+		if err != nil {
+			t.Fatalf("Zeta(%g): %v", c.s, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Zeta(%g)=%.16g want %.16g", c.s, got, c.want)
+		}
+	}
+}
+
+func TestZetaDomain(t *testing.T) {
+	for _, s := range []float64{1, 0.5, -2, math.NaN()} {
+		if _, err := Zeta(s); err == nil {
+			t.Errorf("Zeta(%g) should be out of domain", s)
+		}
+	}
+	if _, err := HurwitzZeta(2, 0); err == nil {
+		t.Error("HurwitzZeta(2,0) should be out of domain")
+	}
+}
+
+func TestDirichletBetaKnownValues(t *testing.T) {
+	cases := []struct{ s, want float64 }{
+		{2, 0.9159655941772190}, // Catalan's constant
+		{3, math.Pow(math.Pi, 3) / 32},
+		{5, 5 * math.Pow(math.Pi, 5) / 1536},
+	}
+	for _, c := range cases {
+		got, err := DirichletBeta(c.s)
+		if err != nil {
+			t.Fatalf("DirichletBeta(%g): %v", c.s, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("DirichletBeta(%g)=%.16g want %.16g", c.s, got, c.want)
+		}
+	}
+}
+
+// TestDirichletBetaVsDirectSum cross-checks the Hurwitz-based evaluation
+// against direct summation of Eq. (10) with Euler-style pairing, at the
+// half-integer arguments actually used by the budget allocator.
+func TestDirichletBetaVsDirectSum(t *testing.T) {
+	for _, s := range []float64{1.5, 2.5, 3.5, 4.5, 5.5} {
+		direct := 0.0
+		// Pair consecutive terms for an alternating series: partial sums
+		// of pairs converge monotonically.
+		for n := 0; n < 2_000_000; n += 2 {
+			a := math.Pow(float64(2*n+1), -s)
+			b := math.Pow(float64(2*n+3), -s)
+			direct += a - b
+		}
+		got, err := DirichletBeta(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-direct) > 1e-7 {
+			t.Errorf("DirichletBeta(%g)=%.12g direct=%.12g", s, got, direct)
+		}
+	}
+}
+
+func TestHurwitzZetaReducesToZeta(t *testing.T) {
+	for _, s := range []float64{1.5, 2, 3.25, 7} {
+		h, err := HurwitzZeta(s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := Zeta(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(h-z) > 1e-14 {
+			t.Errorf("HurwitzZeta(%g,1)=%g != Zeta=%g", s, h, z)
+		}
+	}
+}
+
+// Hurwitz zeta shift identity: zeta(s,a) = a^{-s} + zeta(s, a+1).
+func TestHurwitzZetaShift(t *testing.T) {
+	f := func(rawS, rawA float64) bool {
+		s := 1.1 + math.Mod(math.Abs(rawS), 8)
+		a := 0.1 + math.Mod(math.Abs(rawA), 5)
+		h1, err1 := HurwitzZeta(s, a)
+		h2, err2 := HurwitzZeta(s, a+1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(h1-(math.Pow(a, -s)+h2)) <= 1e-11*(1+math.Abs(h1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialReal(t *testing.T) {
+	cases := []struct {
+		alpha float64
+		k     int
+		want  float64
+	}{
+		{5, 2, 10},
+		{5, 0, 1},
+		{5, 5, 1},
+		{5, 6, 0},
+		{-1.5, 0, 1},
+		{-1.5, 1, -1.5},
+		{-1.5, 2, 1.875},   // (-3/2)(-5/2)/2
+		{-1.5, 3, -2.1875}, // (-3/2)(-5/2)(-7/2)/6
+		{0.5, 2, -0.125},   // (1/2)(-1/2)/2
+		{-0.5, 3, -0.3125}, // (-1/2)(-3/2)(-5/2)/6
+	}
+	for _, c := range cases {
+		got, err := BinomialReal(c.alpha, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("BinomialReal(%g,%d)=%g want %g", c.alpha, c.k, got, c.want)
+		}
+	}
+	if _, err := BinomialReal(1, -1); err == nil {
+		t.Error("negative k should error")
+	}
+}
+
+// Pascal's rule holds for generalized binomials:
+// C(a,k) = C(a-1,k) + C(a-1,k-1).
+func TestBinomialPascal(t *testing.T) {
+	f := func(rawA float64, rawK uint8) bool {
+		a := math.Mod(rawA, 10)
+		if math.IsNaN(a) {
+			return true
+		}
+		k := int(rawK%10) + 1
+		c0, _ := BinomialReal(a, k)
+		c1, _ := BinomialReal(a-1, k)
+		c2, _ := BinomialReal(a-1, k-1)
+		return math.Abs(c0-(c1+c2)) <= 1e-9*(1+math.Abs(c0))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package opt
+
+import (
+	"fmt"
+
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+)
+
+// AdversaryError computes the expected inference error of a Bayesian
+// adversary against a channel: the adversary knows the prior and the
+// channel, observes the reported cell z, and guesses the location
+//
+//	xhat(z) = argmin_{xhat} sum_x Pr[x | z] * dA(x, xhat),
+//
+// minimizing posterior expected error under the adversary metric dA. The
+// returned value is the adversary's expected error
+//
+//	sum_z Pr[z] * min_{xhat} E[dA(x, xhat) | z],
+//
+// the standard complementary privacy measure in the GeoInd literature
+// (Shokri et al.): *larger* is better for the user. k is a row-stochastic
+// channel over g's cells (row = true cell, column = reported cell).
+func AdversaryError(g *grid.Grid, k []float64, priorWeights []float64, metric geo.Metric) (float64, error) {
+	n := g.NumCells()
+	if len(k) != n*n {
+		return 0, fmt.Errorf("opt: adversary: channel size %d for %d cells", len(k), n)
+	}
+	if len(priorWeights) != n {
+		return 0, fmt.Errorf("opt: adversary: %d prior weights for %d cells", len(priorWeights), n)
+	}
+	pi, err := normalizePrior(priorWeights)
+	if err != nil {
+		return 0, fmt.Errorf("opt: adversary: %w", err)
+	}
+	if !metric.Valid() {
+		return 0, fmt.Errorf("opt: adversary: unknown metric %v", metric)
+	}
+	centers := g.Centers()
+	total := 0.0
+	for z := 0; z < n; z++ {
+		// Unnormalized posterior weights pi_x * K[x][z]; the normalizer
+		// Pr[z] cancels in the outer expectation.
+		best := -1.0
+		for xh := 0; xh < n; xh++ {
+			cost := 0.0
+			for x := 0; x < n; x++ {
+				w := pi[x] * k[x*n+z]
+				if w == 0 {
+					continue
+				}
+				cost += w * metric.Loss(centers[x], centers[xh])
+			}
+			if best < 0 || cost < best {
+				best = cost
+			}
+		}
+		total += best
+	}
+	return total, nil
+}
+
+// ExpectedLossOf computes the expected utility loss of an arbitrary channel
+// under a prior and metric (the quantity OPT minimizes, usable on any
+// channel matrix such as a PL discretization or an MSM end-to-end channel).
+func ExpectedLossOf(g *grid.Grid, k []float64, priorWeights []float64, metric geo.Metric) (float64, error) {
+	n := g.NumCells()
+	if len(k) != n*n {
+		return 0, fmt.Errorf("opt: loss: channel size %d for %d cells", len(k), n)
+	}
+	if len(priorWeights) != n {
+		return 0, fmt.Errorf("opt: loss: %d prior weights for %d cells", len(priorWeights), n)
+	}
+	pi, err := normalizePrior(priorWeights)
+	if err != nil {
+		return 0, fmt.Errorf("opt: loss: %w", err)
+	}
+	if !metric.Valid() {
+		return 0, fmt.Errorf("opt: loss: unknown metric %v", metric)
+	}
+	centers := g.Centers()
+	total := 0.0
+	for x := 0; x < n; x++ {
+		if pi[x] == 0 {
+			continue
+		}
+		for z := 0; z < n; z++ {
+			if k[x*n+z] == 0 {
+				continue
+			}
+			total += pi[x] * k[x*n+z] * metric.Loss(centers[x], centers[z])
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,146 @@
+package opt
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"geoind/internal/geo"
+)
+
+func TestAdversaryErrorValidation(t *testing.T) {
+	g := g20(3)
+	k := make([]float64, 81)
+	for x := 0; x < 9; x++ {
+		k[x*9+x] = 1
+	}
+	w := uniformWeights(9)
+	if _, err := AdversaryError(g, k[:10], w, geo.Euclidean); err == nil {
+		t.Error("bad channel size should error")
+	}
+	if _, err := AdversaryError(g, k, w[:2], geo.Euclidean); err == nil {
+		t.Error("bad prior size should error")
+	}
+	if _, err := AdversaryError(g, k, make([]float64, 9), geo.Euclidean); err == nil {
+		t.Error("zero prior should error")
+	}
+	if _, err := AdversaryError(g, k, w, geo.Metric(5)); err == nil {
+		t.Error("bad metric should error")
+	}
+}
+
+// TestAdversaryIdentityChannel: a channel that reveals the cell exactly
+// gives the adversary zero error.
+func TestAdversaryIdentityChannel(t *testing.T) {
+	g := g20(3)
+	k := make([]float64, 81)
+	for x := 0; x < 9; x++ {
+		k[x*9+x] = 1
+	}
+	e, err := AdversaryError(g, k, uniformWeights(9), geo.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1e-12 {
+		t.Errorf("identity channel adversary error %g want 0", e)
+	}
+}
+
+// TestAdversaryConstantChannel: a channel that always reports the same cell
+// carries no information, so the adversary's error equals the prior's
+// intrinsic spread (guessing the prior medoid).
+func TestAdversaryConstantChannel(t *testing.T) {
+	g := g20(3)
+	k := make([]float64, 81)
+	for x := 0; x < 9; x++ {
+		k[x*9+0] = 1 // always report cell 0
+	}
+	w := uniformWeights(9)
+	got, err := AdversaryError(g, k, w, geo.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best blind guess under a uniform prior on a symmetric grid is the
+	// center cell.
+	centers := g.Centers()
+	want := 0.0
+	for x := 0; x < 9; x++ {
+		want += centers[x].Dist(centers[4]) / 9
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("constant channel adversary error %g want %g", got, want)
+	}
+}
+
+// TestAdversaryErrorDecreasesWithEps: more budget means a more revealing
+// channel, so the optimal adversary's error shrinks.
+func TestAdversaryErrorDecreasesWithEps(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 7))
+	g := g20(3)
+	w := skewedWeights(9, rng)
+	prev := math.Inf(1)
+	for _, eps := range []float64{0.1, 0.5, 2.0} {
+		ch, err := Build(eps, g, w, geo.Euclidean, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv, err := AdversaryError(g, ch.K, w, geo.Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adv > prev+1e-9 {
+			t.Errorf("eps=%g: adversary error %g not decreasing (prev %g)", eps, adv, prev)
+		}
+		prev = adv
+	}
+}
+
+// TestAdversaryErrorVsRemap: the adversary's expected error equals the
+// expected loss of the Bayes-remapped channel when dA = dQ — the attack and
+// the utility-restoring post-processing are the same optimization.
+func TestAdversaryErrorVsRemap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 23))
+	g := g20(3)
+	w := skewedWeights(9, rng)
+	ch, err := Build(0.4, g, w, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := AdversaryError(g, ch.K, w, geo.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Remap(ch, w, geo.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(adv-re.ExpectedLoss) > 1e-9 {
+		t.Errorf("adversary error %g != remapped loss %g", adv, re.ExpectedLoss)
+	}
+}
+
+func TestExpectedLossOf(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 2))
+	g := g20(3)
+	w := skewedWeights(9, rng)
+	ch, err := Build(0.5, g, w, geo.SquaredEuclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExpectedLossOf(g, ch.K, w, geo.SquaredEuclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-ch.ExpectedLoss) > 1e-9 {
+		t.Errorf("ExpectedLossOf %g != channel's own %g", got, ch.ExpectedLoss)
+	}
+	if _, err := ExpectedLossOf(g, ch.K[:3], w, geo.Euclidean); err == nil {
+		t.Error("bad channel size should error")
+	}
+	if _, err := ExpectedLossOf(g, ch.K, w[:3], geo.Euclidean); err == nil {
+		t.Error("bad prior size should error")
+	}
+	if _, err := ExpectedLossOf(g, ch.K, w, geo.Metric(9)); err == nil {
+		t.Error("bad metric should error")
+	}
+}

@@ -1,0 +1,209 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"geoind/internal/geo"
+)
+
+func uniformSens(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 1
+	}
+	return s
+}
+
+func TestElasticMetricValidation(t *testing.T) {
+	g := g20(3)
+	if _, err := ElasticMetric(g, 0, uniformSens(9)); err == nil {
+		t.Error("eps=0 should error")
+	}
+	if _, err := ElasticMetric(g, 0.5, uniformSens(4)); err == nil {
+		t.Error("length mismatch should error")
+	}
+	bad := uniformSens(9)
+	bad[3] = 0
+	if _, err := ElasticMetric(g, 0.5, bad); err == nil {
+		t.Error("zero sensitivity should error")
+	}
+	bad[3] = 1.5
+	if _, err := ElasticMetric(g, 0.5, bad); err == nil {
+		t.Error("sensitivity > 1 should error")
+	}
+}
+
+// TestElasticMetricIsMetric: symmetric, zero diagonal, triangle inequality.
+func TestElasticMetricIsMetric(t *testing.T) {
+	g := g20(4)
+	sens := uniformSens(16)
+	sens[5], sens[6] = 0.3, 0.5 // a sensitive pocket
+	ell, err := ElasticMetric(g, 0.5, sens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 16
+	for x := 0; x < n; x++ {
+		if ell[x*n+x] != 0 {
+			t.Fatalf("diag[%d]=%g", x, ell[x*n+x])
+		}
+		for y := 0; y < n; y++ {
+			if math.Abs(ell[x*n+y]-ell[y*n+x]) > 1e-12 {
+				t.Fatalf("asymmetric at (%d,%d)", x, y)
+			}
+			for z := 0; z < n; z++ {
+				if ell[x*n+z] > ell[x*n+y]+ell[y*n+z]+1e-12 {
+					t.Fatalf("triangle violated at (%d,%d,%d)", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+// TestElasticMetricUniformApproximatesEuclid: with sensitivity 1 everywhere
+// the metric is the octile shortest path: at least eps*d, at most ~1.09x it.
+func TestElasticMetricUniformApproximatesEuclid(t *testing.T) {
+	g := g20(5)
+	eps := 0.5
+	ell, err := ElasticMetric(g, eps, uniformSens(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers := g.Centers()
+	for x := 0; x < 25; x++ {
+		for y := 0; y < 25; y++ {
+			if x == y {
+				continue
+			}
+			base := eps * centers[x].Dist(centers[y])
+			got := ell[x*25+y]
+			if got < base-1e-9 {
+				t.Fatalf("(%d,%d): elastic %g below Euclid level %g", x, y, got, base)
+			}
+			if got > base*1.0824+1e-9 {
+				t.Fatalf("(%d,%d): elastic %g exceeds octile bound of %g", x, y, got, base*1.0824)
+			}
+		}
+	}
+}
+
+// TestElasticMetricSensitiveZone: distinguishability involving sensitive
+// cells is strictly lower than under uniform sensitivity.
+func TestElasticMetricSensitiveZone(t *testing.T) {
+	g := g20(4)
+	eps := 0.5
+	plain, err := ElasticMetric(g, eps, uniformSens(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens := uniformSens(16)
+	hospital := g.Index(1, 1)
+	sens[hospital] = 0.25
+	ell, err := ElasticMetric(g, eps, sens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs touching the hospital cell become harder to distinguish.
+	for y := 0; y < 16; y++ {
+		if y == hospital {
+			continue
+		}
+		if ell[hospital*16+y] >= plain[hospital*16+y] {
+			t.Fatalf("hospital pair (%d): %g not below plain %g", y, ell[hospital*16+y], plain[hospital*16+y])
+		}
+	}
+	// Pairs far from it are unchanged.
+	a, b := g.Index(3, 3), g.Index(3, 2)
+	if math.Abs(ell[a*16+b]-plain[a*16+b]) > 1e-12 {
+		t.Errorf("far pair changed: %g vs %g", ell[a*16+b], plain[a*16+b])
+	}
+}
+
+func TestBuildMetricValidation(t *testing.T) {
+	g := g20(3)
+	ell := make([]float64, 81)
+	if _, err := BuildMetric(ell[:4], g, uniformWeights(9), geo.Euclidean, nil); err == nil {
+		t.Error("metric size mismatch should error")
+	}
+	if _, err := BuildMetric(ell, g, uniformWeights(4), geo.Euclidean, nil); err == nil {
+		t.Error("prior mismatch should error")
+	}
+	if _, err := BuildMetric(ell, g, uniformWeights(9), geo.Metric(9), nil); err == nil {
+		t.Error("bad metric should error")
+	}
+	ell[5] = -1
+	if _, err := BuildMetric(ell, g, uniformWeights(9), geo.Euclidean, nil); err == nil {
+		t.Error("negative level should error")
+	}
+}
+
+// TestBuildMetricMatchesBuild: with ell = eps*d the metric LP reproduces the
+// standard OPT objective.
+func TestBuildMetricMatchesBuild(t *testing.T) {
+	g := g20(3)
+	eps := 0.5
+	w := []float64{3, 1, 1, 1, 5, 1, 1, 1, 2}
+	centers := g.Centers()
+	ell := make([]float64, 81)
+	for x := 0; x < 9; x++ {
+		for y := 0; y < 9; y++ {
+			ell[x*9+y] = eps * centers[x].Dist(centers[y])
+		}
+	}
+	mch, err := BuildMetric(ell, g, w, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Build(eps, g, w, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mch.ExpectedLoss-ch.ExpectedLoss) > 1e-5*(1+ch.ExpectedLoss) {
+		t.Errorf("metric LP loss %g vs standard %g", mch.ExpectedLoss, ch.ExpectedLoss)
+	}
+	if ex := VerifyMetricInd(9, ell, mch.K); ex > 1e-6 {
+		t.Errorf("metric constraints violated by %g", ex)
+	}
+}
+
+// TestElasticChannelProtectsSensitiveArea: under the elastic metric the
+// mechanism blurs sensitive cells more (lower Pr[x|x]) at a measurable
+// utility cost, and still satisfies its constraints.
+func TestElasticChannelProtectsSensitiveArea(t *testing.T) {
+	g := g20(4)
+	eps := 0.9
+	w := uniformWeights(16)
+	hospital := g.Index(1, 1)
+	sens := uniformSens(16)
+	sens[hospital] = 0.25
+
+	ell, err := ElasticMetric(g, eps, sens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elastic, err := BuildMetric(ell, g, w, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := VerifyMetricInd(16, ell, elastic.K); ex > 1e-6 {
+		t.Fatalf("elastic constraints violated by %g", ex)
+	}
+
+	plainEll, err := ElasticMetric(g, eps, uniformSens(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := BuildMetric(plainEll, g, w, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elastic.ProbSame(hospital) >= plain.ProbSame(hospital) {
+		t.Errorf("hospital Pr[x|x] %g not below plain %g",
+			elastic.ProbSame(hospital), plain.ProbSame(hospital))
+	}
+	if elastic.ExpectedLoss < plain.ExpectedLoss-1e-9 {
+		t.Errorf("extra protection should not be free: %g < %g",
+			elastic.ExpectedLoss, plain.ExpectedLoss)
+	}
+}

@@ -1,0 +1,261 @@
+package opt
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+)
+
+func g20(g int) *grid.Grid { return grid.MustNew(geo.NewSquare(20), g) }
+
+func uniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func skewedWeights(n int, rng *rand.Rand) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.Float64() * rng.Float64()
+	}
+	w[rng.IntN(n)] += 3 // a popular "downtown" cell
+	return w
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := g20(3)
+	if _, err := Build(0, g, uniformWeights(9), geo.Euclidean, nil); err == nil {
+		t.Error("eps=0 should error")
+	}
+	if _, err := Build(0.5, g, uniformWeights(4), geo.Euclidean, nil); err == nil {
+		t.Error("weight length mismatch should error")
+	}
+	if _, err := Build(0.5, g, make([]float64, 9), geo.Euclidean, nil); err == nil {
+		t.Error("zero-mass prior should error")
+	}
+	bad := uniformWeights(9)
+	bad[0] = -1
+	if _, err := Build(0.5, g, bad, geo.Euclidean, nil); err == nil {
+		t.Error("negative weight should error")
+	}
+	if _, err := Build(0.5, g, uniformWeights(9), geo.Metric(99), nil); err == nil {
+		t.Error("unknown metric should error")
+	}
+}
+
+func TestChannelStochasticAndGeoInd(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	for _, tc := range []struct {
+		g      int
+		eps    float64
+		metric geo.Metric
+	}{
+		{2, 0.5, geo.Euclidean},
+		{3, 0.1, geo.Euclidean},
+		{3, 0.9, geo.SquaredEuclidean},
+		{4, 0.5, geo.Euclidean},
+		{5, 0.3, geo.SquaredEuclidean},
+	} {
+		g := g20(tc.g)
+		ch, err := Build(tc.eps, g, skewedWeights(g.NumCells(), rng), tc.metric, nil)
+		if err != nil {
+			t.Fatalf("g=%d eps=%g: %v", tc.g, tc.eps, err)
+		}
+		if e := RowSumError(ch.N(), ch.K); e > 1e-9 {
+			t.Errorf("g=%d eps=%g: row sum error %g", tc.g, tc.eps, e)
+		}
+		for i, v := range ch.K {
+			if v <= 0 {
+				t.Fatalf("g=%d eps=%g: K[%d]=%g not strictly positive", tc.g, tc.eps, i, v)
+			}
+		}
+		if ex := VerifyGeoInd(g, tc.eps, ch.K); ex > 1e-6 {
+			t.Errorf("g=%d eps=%g: GeoInd violated by %g", tc.g, tc.eps, ex)
+		}
+	}
+}
+
+// TestLowEpsConstantReport: as eps -> 0 the GeoInd constraints force every
+// column of K to be (nearly) constant across rows, i.e. the report carries no
+// information about the input. The optimal such channel reports the cell
+// minimizing the prior-weighted expected distance (the medoid) with
+// probability ~1.
+func TestLowEpsConstantReport(t *testing.T) {
+	g := g20(3)
+	ch, err := Build(0.001, g, uniformWeights(9), geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows nearly identical.
+	for x := 1; x < 9; x++ {
+		for z := 0; z < 9; z++ {
+			if math.Abs(ch.Prob(x, z)-ch.Prob(0, z)) > 0.01 {
+				t.Fatalf("rows 0 and %d differ at z=%d: %g vs %g",
+					x, z, ch.Prob(0, z), ch.Prob(x, z))
+			}
+		}
+	}
+	// Mass concentrates on the medoid: for a uniform prior on a symmetric
+	// grid that is the center cell (index 4).
+	if ch.Prob(0, 4) < 0.95 {
+		t.Errorf("Prob(., medoid)=%g want ~1", ch.Prob(0, 4))
+	}
+}
+
+// TestHighEpsNearIdentity: with a huge budget the mechanism can report the
+// true cell almost always.
+func TestHighEpsNearIdentity(t *testing.T) {
+	g := g20(3)
+	ch, err := Build(20, g, uniformWeights(9), geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 9; x++ {
+		if ch.ProbSame(x) < 0.95 {
+			t.Errorf("ProbSame(%d)=%g want near 1 at huge eps", x, ch.ProbSame(x))
+		}
+	}
+	if ch.ExpectedLoss > 0.2 {
+		t.Errorf("expected loss %g want near 0", ch.ExpectedLoss)
+	}
+}
+
+// TestExpectedLossDecreasingInEps mirrors the LP-level monotonicity test at
+// the mechanism level.
+func TestExpectedLossDecreasingInEps(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	g := g20(3)
+	w := skewedWeights(9, rng)
+	prev := math.Inf(1)
+	for _, eps := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		ch, err := Build(eps, g, w, geo.Euclidean, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.ExpectedLoss > prev+1e-6 {
+			t.Errorf("eps=%g: loss %g > previous %g", eps, ch.ExpectedLoss, prev)
+		}
+		prev = ch.ExpectedLoss
+	}
+}
+
+// TestSamplingMatchesChannel: empirical output frequencies approach K rows.
+func TestSamplingMatchesChannel(t *testing.T) {
+	g := g20(3)
+	ch, err := Build(0.5, g, uniformWeights(9), geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(81, 82))
+	const trials = 100000
+	counts := make([]int, 9)
+	for i := 0; i < trials; i++ {
+		counts[ch.SampleIndex(4, rng)]++
+	}
+	for z := 0; z < 9; z++ {
+		emp := float64(counts[z]) / trials
+		if math.Abs(emp-ch.Prob(4, z)) > 0.01 {
+			t.Errorf("z=%d: empirical %g vs channel %g", z, emp, ch.Prob(4, z))
+		}
+	}
+}
+
+func TestSampleReturnsCellCenters(t *testing.T) {
+	g := g20(4)
+	ch, err := Build(0.5, g, uniformWeights(16), geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers := map[geo.Point]bool{}
+	for _, c := range g.Centers() {
+		centers[c] = true
+	}
+	rng := rand.New(rand.NewPCG(91, 92))
+	for i := 0; i < 500; i++ {
+		z := ch.Sample(geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}, rng)
+		if !centers[z] {
+			t.Fatalf("sample %v is not a cell center", z)
+		}
+	}
+	// Out-of-bounds inputs are clamped, not rejected.
+	if z := ch.Sample(geo.Point{X: -100, Y: 300}, rng); !centers[z] {
+		t.Fatalf("clamped sample %v is not a cell center", z)
+	}
+}
+
+// TestMixingPreservesGeoInd builds without mixing, verifies, then mixes with
+// a large delta and verifies again: mixing can only loosen violations.
+func TestMixingPreservesGeoInd(t *testing.T) {
+	g := g20(3)
+	ch, err := Build(0.5, g, uniformWeights(9), geo.Euclidean, &Options{MixDelta: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := VerifyGeoInd(g, 0.5, ch.K)
+	k2 := append([]float64(nil), ch.K...)
+	mixUniform(k2, 9, 0.3)
+	after := VerifyGeoInd(g, 0.5, k2)
+	if after > math.Max(before, 0)+1e-9 {
+		t.Errorf("mixing increased violation: before %g after %g", before, after)
+	}
+	if e := RowSumError(9, k2); e > 1e-12 {
+		t.Errorf("mixing broke stochasticity: %g", e)
+	}
+}
+
+// TestVerifierCatchesViolation: a deliberately unsafe channel must be
+// flagged.
+func TestVerifierCatchesViolation(t *testing.T) {
+	g := g20(2)
+	// Identity channel: reports the true cell with certainty. Infinitely
+	// distinguishable (after flooring, still wildly over budget).
+	k := make([]float64, 16)
+	for x := 0; x < 4; x++ {
+		for z := 0; z < 4; z++ {
+			if x == z {
+				k[x*4+z] = 1 - 3e-9
+			} else {
+				k[x*4+z] = 1e-9
+			}
+		}
+	}
+	if ex := VerifyGeoInd(g, 0.5, k); ex < 1 {
+		t.Errorf("verifier missed a blatant violation: excess %g", ex)
+	}
+}
+
+// TestDroppedConstraintsStillSafe uses a large domain and large eps so that
+// far pairs are dropped, then verifies all constraints anyway.
+func TestDroppedConstraintsStillSafe(t *testing.T) {
+	big := grid.MustNew(geo.NewSquare(2000), 4) // 500km cells: eps*d up to ~2100
+	ch, err := Build(1.0, big, uniformWeights(16), geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := VerifyGeoInd(big, 1.0, ch.K); ex > 1e-6 {
+		t.Errorf("GeoInd violated with dropped constraints: %g", ex)
+	}
+}
+
+func TestProbSameUniformPriorSymmetry(t *testing.T) {
+	// Under a uniform prior on a symmetric grid, symmetric cells should have
+	// similar Pr[x|x]; spot-check the four corners of a 3x3 grid.
+	g := g20(3)
+	ch, err := Build(0.5, g, uniformWeights(9), geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corners := []int{0, 2, 6, 8}
+	base := ch.ProbSame(corners[0])
+	for _, c := range corners[1:] {
+		if math.Abs(ch.ProbSame(c)-base) > 0.01 {
+			t.Errorf("corner %d ProbSame=%g vs %g", c, ch.ProbSame(c), base)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package opt
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"geoind/internal/geo"
+)
+
+func TestBuildPointsValidation(t *testing.T) {
+	pts := []geo.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}
+	w := []float64{1, 1}
+	if _, err := BuildPoints(0, pts, w, geo.Euclidean, nil); err == nil {
+		t.Error("eps=0 should error")
+	}
+	if _, err := BuildPoints(0.5, nil, nil, geo.Euclidean, nil); err == nil {
+		t.Error("empty candidate set should error")
+	}
+	if _, err := BuildPoints(0.5, pts, w[:1], geo.Euclidean, nil); err == nil {
+		t.Error("weight mismatch should error")
+	}
+	if _, err := BuildPoints(0.5, pts, []float64{0, 0}, geo.Euclidean, nil); err == nil {
+		t.Error("zero prior should error")
+	}
+	if _, err := BuildPoints(0.5, pts, w, geo.Metric(9), nil); err == nil {
+		t.Error("bad metric should error")
+	}
+}
+
+// TestBuildPointsMatchesGridBuild: on grid centers, BuildPoints and Build
+// produce the same objective.
+func TestBuildPointsMatchesGridBuild(t *testing.T) {
+	g := g20(3)
+	w := []float64{2, 1, 1, 1, 4, 1, 1, 1, 3}
+	gridCh, err := Build(0.5, g, w, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptsCh, err := BuildPoints(0.5, g.Centers(), w, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gridCh.ExpectedLoss-ptsCh.ExpectedLoss) > 1e-6*(1+gridCh.ExpectedLoss) {
+		t.Errorf("grid %g vs points %g", gridCh.ExpectedLoss, ptsCh.ExpectedLoss)
+	}
+	if ex := VerifyGeoIndPoints(g.Centers(), 0.5, ptsCh.K); ex > 1e-6 {
+		t.Errorf("points channel violates GeoInd by %g", ex)
+	}
+}
+
+// TestBuildPointsIrregular: an irregular candidate set solves and samples
+// correctly.
+func TestBuildPointsIrregular(t *testing.T) {
+	pts := []geo.Point{{X: 0.5, Y: 0.5}, {X: 1.1, Y: 4.0}, {X: 8, Y: 2}, {X: 15, Y: 15}, {X: 16, Y: 14.5}}
+	w := []float64{5, 1, 2, 4, 3}
+	ch, err := BuildPoints(0.4, pts, w, geo.SquaredEuclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.N() != 5 {
+		t.Fatalf("N=%d", ch.N())
+	}
+	for x := 0; x < 5; x++ {
+		sum := 0.0
+		for z := 0; z < 5; z++ {
+			p := ch.Prob(x, z)
+			if p <= 0 {
+				t.Fatalf("Prob(%d,%d)=%g not strictly positive", x, z, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %g", x, sum)
+		}
+	}
+	if ex := VerifyGeoIndPoints(pts, 0.4, ch.K); ex > 1e-6 {
+		t.Errorf("GeoInd violated by %g", ex)
+	}
+	// Sampling matches row distribution.
+	rng := rand.New(rand.NewPCG(3, 4))
+	counts := make([]float64, 5)
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		counts[ch.SampleIndex(0, rng)]++
+	}
+	for z := 0; z < 5; z++ {
+		if math.Abs(counts[z]/trials-ch.Prob(0, z)) > 0.012 {
+			t.Errorf("z=%d: empirical %g vs %g", z, counts[z]/trials, ch.Prob(0, z))
+		}
+	}
+}
+
+// TestBuildPointsCoincident: duplicate candidate locations must behave
+// identically (distance zero forces equal rows).
+func TestBuildPointsCoincident(t *testing.T) {
+	pts := []geo.Point{{X: 5, Y: 5}, {X: 5, Y: 5}, {X: 12, Y: 12}}
+	w := []float64{1, 2, 3}
+	ch, err := BuildPoints(0.5, pts, w, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < 3; z++ {
+		if math.Abs(ch.Prob(0, z)-ch.Prob(1, z)) > 1e-6 {
+			t.Errorf("coincident rows differ at z=%d: %g vs %g", z, ch.Prob(0, z), ch.Prob(1, z))
+		}
+	}
+	if ex := VerifyGeoIndPoints(pts, 0.5, ch.K); ex > 1e-5 {
+		t.Errorf("GeoInd (with zero-distance pair) violated by %g", ex)
+	}
+}
+
+// TestVerifyGeoIndPointsCatchesViolation: deliberately unsafe channel.
+func TestVerifyGeoIndPointsCatchesViolation(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	k := []float64{0.99, 0.01, 0.01, 0.99}
+	if ex := VerifyGeoIndPoints(pts, 0.1, k); ex < 1 {
+		t.Errorf("verifier missed violation: %g", ex)
+	}
+}

@@ -1,0 +1,183 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+)
+
+// Remap computes the Bayesian-optimal post-processing of a channel
+// (Chatzikokolakis, ElSalamouny, Palamidessi, PoPETS 2017 — reference [5] of
+// the paper, whose evaluation applies it to the PL benchmark): every output
+// cell z is deterministically replaced by the cell minimizing the posterior
+// expected utility loss,
+//
+//	r(z) = argmin_{z'} sum_x Pr[x | z] * dQ(x, z'),
+//
+// where the posterior is computed from the construction prior by Bayes'
+// rule. Remapping acts only on the mechanism's output, so it preserves
+// eps-GeoInd exactly, and by construction it never increases the expected
+// loss under the prior it was derived for.
+//
+// The returned channel has K'[x][z'] = sum_{z: r(z)=z'} K[x][z] and shares
+// the original's grid, budget and metric. Its Sample method reports the
+// remapped cells directly.
+func Remap(c *Channel, priorWeights []float64, metric geo.Metric) (*Channel, error) {
+	n := c.N()
+	if len(priorWeights) != n {
+		return nil, fmt.Errorf("opt: remap: %d prior weights for %d cells", len(priorWeights), n)
+	}
+	pi, err := normalizePrior(priorWeights)
+	if err != nil {
+		return nil, fmt.Errorf("opt: remap: %w", err)
+	}
+	if !metric.Valid() {
+		return nil, fmt.Errorf("opt: remap: unknown metric %v", metric)
+	}
+	centers := c.Grid.Centers()
+
+	// joint[x][z] = pi_x * K[x][z]; column sums give the output marginal.
+	mapping := make([]int, n)
+	for z := 0; z < n; z++ {
+		best, bestCost := z, math.Inf(1)
+		for zp := 0; zp < n; zp++ {
+			cost := 0.0
+			for x := 0; x < n; x++ {
+				w := pi[x] * c.K[x*n+z]
+				if w == 0 {
+					continue
+				}
+				cost += w * metric.Loss(centers[x], centers[zp])
+			}
+			if cost < bestCost {
+				best, bestCost = zp, cost
+			}
+		}
+		mapping[z] = best
+	}
+
+	k := make([]float64, n*n)
+	for x := 0; x < n; x++ {
+		for z := 0; z < n; z++ {
+			k[x*n+mapping[z]] += c.K[x*n+z]
+		}
+	}
+	out := &Channel{Grid: c.Grid, Eps: c.Eps, Metric: metric, K: k, Iters: c.Iters}
+	for x := 0; x < n; x++ {
+		if pi[x] == 0 {
+			continue
+		}
+		for z := 0; z < n; z++ {
+			if k[x*n+z] == 0 {
+				continue
+			}
+			out.ExpectedLoss += pi[x] * k[x*n+z] * metric.Loss(centers[x], centers[z])
+		}
+	}
+	out.buildCum()
+	return out, nil
+}
+
+// PLChannel discretizes the planar Laplace mechanism onto a grid: entry
+// [x][z] is the probability that x's cell center plus PL noise, snapped into
+// the grid (out-of-bounds outputs clamp to the boundary), lands in cell z —
+// exactly the distribution of laplace.SampleRemapped from a cell center.
+//
+// Cell masses come from a sub x sub midpoint rule per cell, computed over an
+// extended virtual grid with a margin wide enough to capture all but e^-30
+// of the noise mass; a margin cell's area clamps entirely into the nearest
+// boundary cell (clamping is the componentwise nearest point), so folding
+// margin cells onto boundary cells is exact. This is the "PL + remapping"
+// benchmark of the paper's evaluation in channel-matrix form, which the
+// Bayesian adversary module consumes.
+func PLChannel(eps float64, g *grid.Grid, sub int) (*Channel, error) {
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("opt: pl channel: eps=%g must be positive and finite", eps)
+	}
+	if sub < 1 {
+		return nil, fmt.Errorf("opt: pl channel: sub=%d must be >= 1", sub)
+	}
+	n := g.NumCells()
+	gg := g.Granularity()
+	centers := g.Centers()
+	cw, chh := g.CellSize()
+	bounds := g.Bounds()
+	// Margin in cells capturing e^-30 of radial mass.
+	reach := 30 / eps
+	margin := int(reach/math.Min(cw, chh)) + 1
+	cellDiag := math.Hypot(cw, chh)
+	density := eps * eps / (2 * math.Pi)
+	area := (cw / float64(sub)) * (chh / float64(sub))
+
+	k := make([]float64, n*n)
+	for x := 0; x < n; x++ {
+		row := k[x*n : (x+1)*n]
+		c := centers[x]
+		for er := -margin; er < gg+margin; er++ {
+			for ec := -margin; ec < gg+margin; ec++ {
+				minX := bounds.MinX + float64(ec)*cw
+				minY := bounds.MinY + float64(er)*chh
+				cellCenter := geo.Point{X: minX + cw/2, Y: minY + chh/2}
+				if c.Dist(cellCenter) > reach+cellDiag {
+					continue
+				}
+				mass := 0.0
+				for i := 0; i < sub; i++ {
+					for j := 0; j < sub; j++ {
+						p := geo.Point{
+							X: minX + (float64(j)+0.5)*cw/float64(sub),
+							Y: minY + (float64(i)+0.5)*chh/float64(sub),
+						}
+						mass += density * math.Exp(-eps*c.Dist(p))
+					}
+				}
+				// Clamp the (possibly virtual) cell onto the grid.
+				tr, tc := clampInt(er, 0, gg-1), clampInt(ec, 0, gg-1)
+				row[g.Index(tr, tc)] += mass * area
+			}
+		}
+		// Remove the e^-30 truncation residue exactly.
+		total := 0.0
+		for _, v := range row {
+			total += v
+		}
+		inv := 1 / total
+		for z := range row {
+			row[z] *= inv
+		}
+	}
+	ch := &Channel{Grid: g, Eps: eps, Metric: geo.Euclidean, K: k}
+	ch.buildCum()
+	return ch, nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// normalizePrior validates and normalizes a weight vector.
+func normalizePrior(w []float64) ([]float64, error) {
+	total := 0.0
+	for i, v := range w {
+		if v < 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("invalid prior weight %g at cell %d", v, i)
+		}
+		total += v
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("prior has zero mass")
+	}
+	out := make([]float64, len(w))
+	for i, v := range w {
+		out[i] = v / total
+	}
+	return out, nil
+}

@@ -1,0 +1,182 @@
+package opt
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+	"geoind/internal/lp"
+)
+
+// BuildSpanner solves the optimal-mechanism LP with the constraint-reduction
+// technique of Bordenabe et al. (CCS 2014, reference [2] of the paper):
+// instead of one GeoInd constraint family per ordered pair of locations
+// (O(n^2) families), constraints are imposed only on the edges of a greedy
+// delta-spanner of the cell centers, each tightened by the stretch factor:
+//
+//	K(u)(z) <= exp((eps/delta) * d(u, v)) * K(v)(z)   for spanner edges (u,v).
+//
+// Chaining edge constraints along a spanner path of length <= delta*d(x,x')
+// yields K(x)(z) <= exp(eps*d(x,x')) * K(x')(z) for every pair, so the
+// result satisfies eps-GeoInd exactly — it is merely (slightly) conservative
+// for nearby pairs, trading a little utility for a much smaller LP. With
+// stretch -> 1 the spanner degenerates to the complete graph and the result
+// coincides with Build.
+func BuildSpanner(eps float64, g *grid.Grid, priorWeights []float64, metric geo.Metric, stretch float64, opts *Options) (*Channel, error) {
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("opt: eps must be positive and finite, got %g", eps)
+	}
+	if !(stretch >= 1) || math.IsInf(stretch, 0) {
+		return nil, fmt.Errorf("opt: spanner stretch %g must be >= 1", stretch)
+	}
+	if !metric.Valid() {
+		return nil, fmt.Errorf("opt: unknown metric %v", metric)
+	}
+	n := g.NumCells()
+	if len(priorWeights) != n {
+		return nil, fmt.Errorf("opt: %d prior weights for %d cells", len(priorWeights), n)
+	}
+	pi, err := normalizePrior(priorWeights)
+	if err != nil {
+		return nil, fmt.Errorf("opt: %w", err)
+	}
+	centers := g.Centers()
+
+	edges := GreedySpanner(centers, stretch)
+
+	prob := &lp.GeoIndProblem{N: n, Obj: make([]float64, n*n)}
+	for x := 0; x < n; x++ {
+		for z := 0; z < n; z++ {
+			prob.Obj[x*n+z] = pi[x] * metric.Loss(centers[x], centers[z])
+		}
+	}
+	epsEdge := eps / stretch
+	for _, e := range edges {
+		d := centers[e[0]].Dist(centers[e[1]])
+		coef := math.Exp(-epsEdge * d)
+		// Both directions; no dropping — the chaining argument needs every
+		// edge constraint present.
+		prob.Pairs = append(prob.Pairs,
+			lp.Pair{X: e[0], Xp: e[1], Coef: coef},
+			lp.Pair{X: e[1], Xp: e[0], Coef: coef})
+	}
+
+	var lpOpts *lp.IPMOptions
+	delta := (opts).mixDelta()
+	if opts != nil {
+		lpOpts = opts.LP
+	}
+	sol, err := prob.Solve(lpOpts)
+	if err != nil {
+		return nil, fmt.Errorf("opt: spanner: %w", err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		return nil, fmt.Errorf("opt: spanner LP did not converge: %v (gap %.3g)", sol.Status, sol.Gap)
+	}
+	k := sol.K
+	cleanup(k, n)
+	if delta > 0 {
+		mixUniform(k, n, delta)
+	}
+	ch := &Channel{Grid: g, Eps: eps, Metric: metric, K: k, Iters: sol.Iters, PairFamilies: len(prob.Pairs)}
+	for x := 0; x < n; x++ {
+		if pi[x] == 0 {
+			continue
+		}
+		for z := 0; z < n; z++ {
+			ch.ExpectedLoss += pi[x] * k[x*n+z] * metric.Loss(centers[x], centers[z])
+		}
+	}
+	ch.buildCum()
+	return ch, nil
+}
+
+// GreedySpanner builds a delta-spanner over the points with the classic
+// greedy algorithm: consider pairs in increasing distance order and add an
+// edge whenever the current graph distance exceeds delta times the metric
+// distance. The result satisfies dG(u, v) <= delta * d(u, v) for all pairs.
+func GreedySpanner(pts []geo.Point, stretch float64) [][2]int {
+	n := len(pts)
+	type pair struct {
+		u, v int
+		d    float64
+	}
+	pairs := make([]pair, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, pair{u, v, pts[u].Dist(pts[v])})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].d < pairs[j].d })
+
+	adj := make([][]spEdge, n)
+	var edges [][2]int
+	dist := make([]float64, n)
+	for _, p := range pairs {
+		if dijkstraBounded(adj, p.u, p.v, stretch*p.d, dist) <= stretch*p.d {
+			continue
+		}
+		adj[p.u] = append(adj[p.u], spEdge{to: p.v, w: p.d})
+		adj[p.v] = append(adj[p.v], spEdge{to: p.u, w: p.d})
+		edges = append(edges, [2]int{p.u, p.v})
+	}
+	return edges
+}
+
+type spEdge struct {
+	to int
+	w  float64
+}
+
+// dijkstraBounded returns the shortest-path distance from src to dst in the
+// weighted graph, abandoning the search once all frontier nodes exceed
+// bound (in which case it returns +Inf). dist is scratch space of length n.
+func dijkstraBounded(adj [][]spEdge, src, dst int, bound float64, dist []float64) float64 {
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &spHeap{{node: src, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(spItem)
+		if item.d > dist[item.node] {
+			continue
+		}
+		if item.node == dst {
+			return item.d
+		}
+		if item.d > bound {
+			return math.Inf(1)
+		}
+		for _, e := range adj[item.node] {
+			nd := item.d + e.w
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(pq, spItem{node: e.to, d: nd})
+			}
+		}
+	}
+	return dist[dst]
+}
+
+type spItem struct {
+	node int
+	d    float64
+}
+
+type spHeap []spItem
+
+func (h spHeap) Len() int            { return len(h) }
+func (h spHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h spHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *spHeap) Push(x interface{}) { *h = append(*h, x.(spItem)) }
+func (h *spHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,176 @@
+package opt
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"geoind/internal/geo"
+)
+
+// floydDistances computes all-pairs shortest paths of a spanner edge list.
+func floydDistances(pts []geo.Point, edges [][2]int) [][]float64 {
+	n := len(pts)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for _, e := range edges {
+		w := pts[e[0]].Dist(pts[e[1]])
+		d[e[0]][e[1]] = w
+		d[e[1]][e[0]] = w
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d[i][k]+d[k][j] < d[i][j] {
+					d[i][j] = d[i][k] + d[k][j]
+				}
+			}
+		}
+	}
+	return d
+}
+
+// TestGreedySpannerStretch verifies the defining property: graph distance
+// <= stretch * metric distance for every pair.
+func TestGreedySpannerStretch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 14))
+	for _, stretch := range []float64{1.1, 1.5, 2.0} {
+		pts := make([]geo.Point, 40)
+		for i := range pts {
+			pts[i] = geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		}
+		edges := GreedySpanner(pts, stretch)
+		dg := floydDistances(pts, edges)
+		for i := range pts {
+			for j := range pts {
+				if i == j {
+					continue
+				}
+				want := stretch * pts[i].Dist(pts[j])
+				if dg[i][j] > want*(1+1e-9) {
+					t.Fatalf("stretch=%g: pair (%d,%d) graph dist %g > %g", stretch, i, j, dg[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+// TestGreedySpannerSparser: larger stretch produces fewer edges than the
+// complete graph, and stretch 1.5 fewer than 1.05.
+func TestGreedySpannerSparser(t *testing.T) {
+	g := g20(6)
+	pts := g.Centers()
+	tight := GreedySpanner(pts, 1.05)
+	loose := GreedySpanner(pts, 2.0)
+	complete := len(pts) * (len(pts) - 1) / 2
+	if len(tight) >= complete {
+		t.Errorf("stretch 1.05 produced a complete graph (%d edges)", len(tight))
+	}
+	if len(loose) >= len(tight) {
+		t.Errorf("stretch 2.0 (%d edges) not sparser than 1.05 (%d edges)", len(loose), len(tight))
+	}
+	t.Logf("36 points: complete=%d, stretch1.05=%d, stretch2=%d edges", complete, len(tight), len(loose))
+}
+
+func TestBuildSpannerValidation(t *testing.T) {
+	g := g20(3)
+	w := uniformWeights(9)
+	if _, err := BuildSpanner(0, g, w, geo.Euclidean, 1.5, nil); err == nil {
+		t.Error("eps=0 should error")
+	}
+	if _, err := BuildSpanner(0.5, g, w, geo.Euclidean, 0.5, nil); err == nil {
+		t.Error("stretch<1 should error")
+	}
+	if _, err := BuildSpanner(0.5, g, w[:4], geo.Euclidean, 1.5, nil); err == nil {
+		t.Error("weight mismatch should error")
+	}
+	if _, err := BuildSpanner(0.5, g, w, geo.Metric(9), 1.5, nil); err == nil {
+		t.Error("bad metric should error")
+	}
+}
+
+// TestBuildSpannerSatisfiesFullGeoInd: the reduced-constraint channel must
+// satisfy the FULL set of GeoInd constraints — the whole point of the
+// chaining argument.
+func TestBuildSpannerSatisfiesFullGeoInd(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 15))
+	for _, stretch := range []float64{1.2, 1.5, 2.0} {
+		g := g20(4)
+		w := skewedWeights(16, rng)
+		ch, err := BuildSpanner(0.5, g, w, geo.Euclidean, stretch, nil)
+		if err != nil {
+			t.Fatalf("stretch=%g: %v", stretch, err)
+		}
+		if ex := VerifyGeoInd(g, 0.5, ch.K); ex > 1e-6 {
+			t.Errorf("stretch=%g: full GeoInd violated by %g", stretch, ex)
+		}
+		if e := RowSumError(16, ch.K); e > 1e-9 {
+			t.Errorf("stretch=%g: row sum error %g", stretch, e)
+		}
+	}
+}
+
+// TestBuildSpannerConservative: the spanner channel is feasible for the full
+// LP, so its expected loss is >= OPT's, and approaches it as stretch -> 1.
+func TestBuildSpannerConservative(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 4))
+	g := g20(4)
+	w := skewedWeights(16, rng)
+	full, err := Build(0.5, g, w, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, stretch := range []float64{2.0, 1.5, 1.1} {
+		ch, err := BuildSpanner(0.5, g, w, geo.Euclidean, stretch, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.ExpectedLoss < full.ExpectedLoss-1e-6 {
+			t.Errorf("stretch=%g: spanner loss %g below OPT %g", stretch, ch.ExpectedLoss, full.ExpectedLoss)
+		}
+		if ch.ExpectedLoss > prev+1e-6 {
+			t.Errorf("stretch=%g: loss %g worse than looser stretch %g", stretch, ch.ExpectedLoss, prev)
+		}
+		prev = ch.ExpectedLoss
+	}
+	// The loss premium at stretch 1.1 is bounded (every edge budget is
+	// scaled by 1/1.1, so the channel is at worst the optimum for a ~9%
+	// smaller eps plus discretization effects).
+	if prev > full.ExpectedLoss*1.3 {
+		t.Errorf("stretch 1.1 loss %g too far above OPT %g", prev, full.ExpectedLoss)
+	}
+	// As stretch -> 1 the formulation converges to the full LP.
+	almost, err := BuildSpanner(0.5, g, w, geo.Euclidean, 1.001, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if almost.ExpectedLoss > full.ExpectedLoss*1.02 {
+		t.Errorf("stretch 1.001 loss %g did not converge to OPT %g", almost.ExpectedLoss, full.ExpectedLoss)
+	}
+}
+
+// TestBuildSpannerFewerConstraints: the constraint families shrink.
+func TestBuildSpannerFewerConstraints(t *testing.T) {
+	g := g20(5)
+	w := uniformWeights(25)
+	full, err := Build(0.5, g, w, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := BuildSpanner(0.5, g, w, geo.Euclidean, 1.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.PairFamilies >= full.PairFamilies {
+		t.Errorf("spanner families %d not fewer than full %d", sp.PairFamilies, full.PairFamilies)
+	}
+	t.Logf("constraint families: full=%d spanner(1.5)=%d", full.PairFamilies, sp.PairFamilies)
+}

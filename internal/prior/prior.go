@@ -1,0 +1,192 @@
+// Package prior models the adversary's background knowledge as a probability
+// distribution over grid cells, following §6.1 of the paper: check-in counts
+// on a fine grid, normalized, and aggregated onto coarser (aligned) grids.
+//
+// A Prior carries a 2-D prefix-sum table so that the mass of any aligned
+// block of cells — a cell of any coarser level of the hierarchical index —
+// is computed in O(1). This implements the paper's "store a global prior on
+// the finest effective granularity grid ... and aggregate this information to
+// obtain priors on coarser grids".
+package prior
+
+import (
+	"fmt"
+
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+)
+
+// Prior is a probability distribution over the cells of a regular grid.
+type Prior struct {
+	g       *grid.Grid
+	weights []float64 // normalized to sum 1
+	cum     []float64 // (g+1)x(g+1) prefix sums of weights
+}
+
+// Uniform returns the uniform prior over g's cells.
+func Uniform(g *grid.Grid) *Prior {
+	w := make([]float64, g.NumCells())
+	u := 1 / float64(len(w))
+	for i := range w {
+		w[i] = u
+	}
+	p, _ := FromWeights(g, w)
+	return p
+}
+
+// FromPoints builds the empirical prior from check-in locations: the weight
+// of a cell is its share of the in-bounds points. Points outside the grid
+// bounds are ignored. If no point falls inside, the uniform prior is
+// returned (the paper's mechanisms require a fully supported prior only for
+// utility, not privacy, so this fallback is always safe).
+func FromPoints(g *grid.Grid, pts []geo.Point) *Prior {
+	w := make([]float64, g.NumCells())
+	n := 0
+	for _, p := range pts {
+		if idx, ok := g.CellIndex(p); ok {
+			w[idx]++
+			n++
+		}
+	}
+	if n == 0 {
+		return Uniform(g)
+	}
+	inv := 1 / float64(n)
+	for i := range w {
+		w[i] *= inv
+	}
+	p, _ := FromWeights(g, w)
+	return p
+}
+
+// FromWeights builds a prior from nonnegative weights (one per cell); the
+// weights are normalized to sum 1. An error is returned for negative
+// weights, a length mismatch, or all-zero weights.
+func FromWeights(g *grid.Grid, weights []float64) (*Prior, error) {
+	if len(weights) != g.NumCells() {
+		return nil, fmt.Errorf("prior: %d weights for %d cells", len(weights), g.NumCells())
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || w != w {
+			return nil, fmt.Errorf("prior: invalid weight %g at cell %d", w, i)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("prior: all weights are zero")
+	}
+	p := &Prior{g: g, weights: make([]float64, len(weights))}
+	for i, w := range weights {
+		p.weights[i] = w / total
+	}
+	p.buildPrefix()
+	return p, nil
+}
+
+func (p *Prior) buildPrefix() {
+	n := p.g.Granularity()
+	p.cum = make([]float64, (n+1)*(n+1))
+	for r := 0; r < n; r++ {
+		rowSum := 0.0
+		for c := 0; c < n; c++ {
+			rowSum += p.weights[p.g.Index(r, c)]
+			p.cum[(r+1)*(n+1)+(c+1)] = p.cum[r*(n+1)+(c+1)] + rowSum
+		}
+	}
+}
+
+// Grid returns the underlying grid.
+func (p *Prior) Grid() *grid.Grid { return p.g }
+
+// Weight returns the probability mass of cell idx.
+func (p *Prior) Weight(idx int) float64 { return p.weights[idx] }
+
+// Weights returns a copy of the full weight vector.
+func (p *Prior) Weights() []float64 {
+	return append([]float64(nil), p.weights...)
+}
+
+// BlockMass returns the total mass of the cell block
+// rows [row0, row0+rows) x cols [col0, col0+cols), clipped to the grid.
+func (p *Prior) BlockMass(row0, col0, rows, cols int) float64 {
+	n := p.g.Granularity()
+	r0, c0 := clamp(row0, 0, n), clamp(col0, 0, n)
+	r1, c1 := clamp(row0+rows, 0, n), clamp(col0+cols, 0, n)
+	if r1 <= r0 || c1 <= c0 {
+		return 0
+	}
+	w := n + 1
+	m := p.cum[r1*w+c1] - p.cum[r0*w+c1] - p.cum[r1*w+c0] + p.cum[r0*w+c0]
+	if m < 0 {
+		// Cancellation in the inclusion-exclusion can leave a tiny negative
+		// residue for zero-mass blocks.
+		return 0
+	}
+	return m
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Aggregate returns the prior induced on a coarser grid whose granularity
+// divides this prior's granularity exactly (aligned nesting, as in the
+// hierarchical index). The coarser grid must share this grid's bounds.
+func (p *Prior) Aggregate(coarse *grid.Grid) (*Prior, error) {
+	fineG := p.g.Granularity()
+	coarseG := coarse.Granularity()
+	if coarse.Bounds() != p.g.Bounds() {
+		return nil, fmt.Errorf("prior: aggregate bounds mismatch")
+	}
+	if coarseG <= 0 || fineG%coarseG != 0 {
+		return nil, fmt.Errorf("prior: granularity %d does not divide %d", coarseG, fineG)
+	}
+	ratio := fineG / coarseG
+	w := make([]float64, coarse.NumCells())
+	for r := 0; r < coarseG; r++ {
+		for c := 0; c < coarseG; c++ {
+			w[coarse.Index(r, c)] = p.BlockMass(r*ratio, c*ratio, ratio, ratio)
+		}
+	}
+	return FromWeights(coarse, w)
+}
+
+// SubPrior returns the normalized prior over an aligned block of cells,
+// flattened row-major as a plain weight vector of length rows*cols. If the
+// block carries zero mass the result is uniform — MSM needs a usable prior
+// for every visited subdomain even when the adversary assigns it no mass.
+func (p *Prior) SubPrior(row0, col0, rows, cols int) []float64 {
+	out := make([]float64, rows*cols)
+	total := 0.0
+	n := p.g.Granularity()
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			gr, gc := row0+r, col0+c
+			if gr < 0 || gr >= n || gc < 0 || gc >= n {
+				continue
+			}
+			w := p.weights[p.g.Index(gr, gc)]
+			out[r*cols+c] = w
+			total += w
+		}
+	}
+	if total == 0 {
+		u := 1 / float64(len(out))
+		for i := range out {
+			out[i] = u
+		}
+		return out
+	}
+	inv := 1 / total
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}

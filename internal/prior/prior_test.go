@@ -1,0 +1,240 @@
+package prior
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+)
+
+func g20(g int) *grid.Grid { return grid.MustNew(geo.NewSquare(20), g) }
+
+func sum(w []float64) float64 {
+	s := 0.0
+	for _, v := range w {
+		s += v
+	}
+	return s
+}
+
+func TestUniform(t *testing.T) {
+	p := Uniform(g20(4))
+	for i := 0; i < 16; i++ {
+		if math.Abs(p.Weight(i)-1.0/16) > 1e-15 {
+			t.Fatalf("Weight(%d)=%g", i, p.Weight(i))
+		}
+	}
+	if math.Abs(sum(p.Weights())-1) > 1e-12 {
+		t.Error("weights do not sum to 1")
+	}
+}
+
+func TestFromPoints(t *testing.T) {
+	g := g20(2)
+	pts := []geo.Point{
+		{X: 1, Y: 1}, {X: 2, Y: 2}, // cell 0 (bottom-left)
+		{X: 15, Y: 15},   // cell 3 (top-right)
+		{X: 100, Y: 100}, // outside: ignored
+	}
+	p := FromPoints(g, pts)
+	if math.Abs(p.Weight(0)-2.0/3) > 1e-12 {
+		t.Errorf("cell0=%g want 2/3", p.Weight(0))
+	}
+	if math.Abs(p.Weight(3)-1.0/3) > 1e-12 {
+		t.Errorf("cell3=%g want 1/3", p.Weight(3))
+	}
+	if p.Weight(1) != 0 || p.Weight(2) != 0 {
+		t.Error("empty cells should have zero mass")
+	}
+}
+
+func TestFromPointsAllOutside(t *testing.T) {
+	p := FromPoints(g20(3), []geo.Point{{X: -5, Y: -5}})
+	for i := 0; i < 9; i++ {
+		if math.Abs(p.Weight(i)-1.0/9) > 1e-15 {
+			t.Fatal("expected uniform fallback")
+		}
+	}
+}
+
+func TestFromWeightsValidation(t *testing.T) {
+	g := g20(2)
+	if _, err := FromWeights(g, []float64{1, 2, 3}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FromWeights(g, []float64{1, -1, 1, 1}); err == nil {
+		t.Error("negative weight should error")
+	}
+	if _, err := FromWeights(g, []float64{0, 0, 0, 0}); err == nil {
+		t.Error("all-zero weights should error")
+	}
+	if _, err := FromWeights(g, []float64{1, math.NaN(), 0, 0}); err == nil {
+		t.Error("NaN weight should error")
+	}
+	p, err := FromWeights(g, []float64{2, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Weight(3)-0.5) > 1e-15 {
+		t.Errorf("normalization wrong: %g", p.Weight(3))
+	}
+}
+
+func TestBlockMassMatchesDirectSum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	g := g20(8)
+	w := make([]float64, 64)
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	p, err := FromWeights(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c, d uint8) bool {
+		r0, c0 := int(a%10)-1, int(b%10)-1 // may be slightly out of range
+		rows, cols := int(c%9), int(d%9)
+		direct := 0.0
+		for r := r0; r < r0+rows; r++ {
+			for cc := c0; cc < c0+cols; cc++ {
+				if r >= 0 && r < 8 && cc >= 0 && cc < 8 {
+					direct += p.Weight(g.Index(r, cc))
+				}
+			}
+		}
+		return math.Abs(p.BlockMass(r0, c0, rows, cols)-direct) <= 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockMassWholeGrid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for _, n := range []int{1, 2, 5, 16} {
+		g := g20(n)
+		w := make([]float64, n*n)
+		for i := range w {
+			w[i] = rng.Float64() + 0.01
+		}
+		p, err := FromWeights(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := p.BlockMass(0, 0, n, n); math.Abs(m-1) > 1e-12 {
+			t.Errorf("n=%d: whole-grid mass %g", n, m)
+		}
+	}
+}
+
+func TestAggregateConservesMass(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	fine := g20(12)
+	w := make([]float64, 144)
+	for i := range w {
+		w[i] = rng.Float64() * rng.Float64()
+	}
+	p, err := FromWeights(fine, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cg := range []int{1, 2, 3, 4, 6, 12} {
+		coarse := g20(cg)
+		agg, err := p.Aggregate(coarse)
+		if err != nil {
+			t.Fatalf("cg=%d: %v", cg, err)
+		}
+		if math.Abs(sum(agg.Weights())-1) > 1e-12 {
+			t.Errorf("cg=%d: mass %g", cg, sum(agg.Weights()))
+		}
+		// Each coarse cell's mass equals the direct sum over its fine cells.
+		ratio := 12 / cg
+		for r := 0; r < cg; r++ {
+			for c := 0; c < cg; c++ {
+				direct := 0.0
+				for fr := r * ratio; fr < (r+1)*ratio; fr++ {
+					for fc := c * ratio; fc < (c+1)*ratio; fc++ {
+						direct += p.Weight(fine.Index(fr, fc))
+					}
+				}
+				if math.Abs(agg.Weight(coarse.Index(r, c))-direct) > 1e-12 {
+					t.Fatalf("cg=%d cell (%d,%d): %g vs %g", cg, r, c, agg.Weight(coarse.Index(r, c)), direct)
+				}
+			}
+		}
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	p := Uniform(g20(6))
+	if _, err := p.Aggregate(g20(4)); err == nil {
+		t.Error("4 does not divide 6: should error")
+	}
+	other := grid.MustNew(geo.NewSquare(10), 3)
+	if _, err := p.Aggregate(other); err == nil {
+		t.Error("bounds mismatch should error")
+	}
+}
+
+func TestSubPrior(t *testing.T) {
+	g := g20(4)
+	w := make([]float64, 16)
+	w[g.Index(0, 0)] = 1
+	w[g.Index(0, 1)] = 3
+	w[g.Index(1, 0)] = 4
+	w[g.Index(1, 1)] = 2
+	w[g.Index(3, 3)] = 10
+	p, err := FromWeights(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := p.SubPrior(0, 0, 2, 2)
+	want := []float64{0.1, 0.3, 0.4, 0.2}
+	for i := range want {
+		if math.Abs(sub[i]-want[i]) > 1e-12 {
+			t.Errorf("sub[%d]=%g want %g", i, sub[i], want[i])
+		}
+	}
+	// A zero-mass block falls back to uniform.
+	sub = p.SubPrior(2, 0, 2, 2)
+	for i := range sub {
+		if math.Abs(sub[i]-0.25) > 1e-12 {
+			t.Errorf("zero-mass sub[%d]=%g want 0.25", i, sub[i])
+		}
+	}
+	// Out-of-range rows contribute zero weight but keep vector shape.
+	sub = p.SubPrior(3, 3, 2, 2)
+	if len(sub) != 4 {
+		t.Fatalf("len=%d", len(sub))
+	}
+	if math.Abs(sub[0]-1) > 1e-12 {
+		t.Errorf("corner sub=%v want mass concentrated at local 0", sub)
+	}
+}
+
+func TestSubPriorAlwaysNormalized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	g := g20(9)
+	w := make([]float64, 81)
+	for i := range w {
+		if rng.Float64() < 0.5 {
+			w[i] = rng.Float64()
+		}
+	}
+	w[0] = 1 // ensure nonzero
+	p, err := FromWeights(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint8) bool {
+		r0, c0 := int(a%9), int(b%9)
+		sub := p.SubPrior(r0, c0, 3, 3)
+		return math.Abs(sum(sub)-1) <= 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package server provides a production-style location-sanitization service
+// around the library's mechanisms: an HTTP JSON API plus a per-user privacy
+// budget ledger enforcing the composability accounting of §2.2 — n reports
+// at budget eps are equivalent to one report at n*eps, so a deployment must
+// cap each user's total spend per time window.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ErrBudgetExhausted is returned by Spend when a user's window budget cannot
+// cover the request.
+var ErrBudgetExhausted = fmt.Errorf("privacy budget exhausted for this window")
+
+// Ledger tracks per-user privacy budget consumption over rolling windows.
+// The zero value is not usable; call NewLedger.
+type Ledger struct {
+	limit  float64
+	window time.Duration
+	now    func() time.Time
+
+	mu    sync.Mutex
+	users map[string]*ledgerEntry
+}
+
+type ledgerEntry struct {
+	Spent       float64   `json:"spent"`
+	WindowStart time.Time `json:"window_start"`
+}
+
+// NewLedger creates a ledger allowing each user to spend at most limit
+// epsilon per window. A nil clock uses time.Now.
+func NewLedger(limit float64, window time.Duration, clock func() time.Time) (*Ledger, error) {
+	if !(limit > 0) {
+		return nil, fmt.Errorf("server: ledger limit %g must be positive", limit)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("server: ledger window %v must be positive", window)
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Ledger{
+		limit:  limit,
+		window: window,
+		now:    clock,
+		users:  make(map[string]*ledgerEntry),
+	}, nil
+}
+
+// Limit returns the per-window budget.
+func (l *Ledger) Limit() float64 { return l.limit }
+
+// Window returns the accounting window.
+func (l *Ledger) Window() time.Duration { return l.window }
+
+// entry returns the user's current-window entry, rolling the window if it
+// has elapsed. Caller must hold l.mu.
+func (l *Ledger) entry(user string) *ledgerEntry {
+	now := l.now()
+	e := l.users[user]
+	if e == nil {
+		e = &ledgerEntry{WindowStart: now}
+		l.users[user] = e
+	} else if now.Sub(e.WindowStart) >= l.window {
+		e.Spent = 0
+		e.WindowStart = now
+	}
+	return e
+}
+
+// Spend debits eps from the user's window budget, or returns
+// ErrBudgetExhausted (leaving the ledger unchanged) when the remaining
+// budget is insufficient.
+func (l *Ledger) Spend(user string, eps float64) error {
+	if !(eps > 0) {
+		return fmt.Errorf("server: spend amount %g must be positive", eps)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.entry(user)
+	if e.Spent+eps > l.limit+1e-12 {
+		return ErrBudgetExhausted
+	}
+	e.Spent += eps
+	return nil
+}
+
+// Remaining returns the user's unspent budget in the current window.
+func (l *Ledger) Remaining(user string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.entry(user)
+	if r := l.limit - e.Spent; r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Users returns the number of users with ledger entries.
+func (l *Ledger) Users() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.users)
+}
+
+// ledgerSnapshot is the serialized ledger state.
+type ledgerSnapshot struct {
+	Limit  float64                 `json:"limit"`
+	Window time.Duration           `json:"window_ns"`
+	Users  map[string]*ledgerEntry `json:"users"`
+}
+
+// Save writes the ledger state as JSON.
+func (l *Ledger) Save(w io.Writer) error {
+	l.mu.Lock()
+	snap := ledgerSnapshot{Limit: l.limit, Window: l.window, Users: make(map[string]*ledgerEntry, len(l.users))}
+	for u, e := range l.users {
+		cp := *e
+		snap.Users[u] = &cp
+	}
+	l.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Load restores ledger state saved by Save. Limit and window of the
+// snapshot must match the ledger's configuration; entries are replaced.
+func (l *Ledger) Load(r io.Reader) error {
+	var snap ledgerSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("server: ledger load: %w", err)
+	}
+	if snap.Limit != l.limit || snap.Window != l.window {
+		return fmt.Errorf("server: ledger load: snapshot limit/window (%g, %v) do not match (%g, %v)",
+			snap.Limit, snap.Window, l.limit, l.window)
+	}
+	for u, e := range snap.Users {
+		if e == nil || e.Spent < 0 {
+			return fmt.Errorf("server: ledger load: invalid entry for user %q", u)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.users = make(map[string]*ledgerEntry, len(snap.Users))
+	for u, e := range snap.Users {
+		cp := *e
+		l.users[u] = &cp
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"geoind/internal/geo"
+)
+
+// Reporter is the mechanism interface the server fronts. The public
+// geoind.Mechanism satisfies it (geoind.Point is an alias of geo.Point).
+type Reporter interface {
+	Report(x geo.Point) (geo.Point, error)
+	Epsilon() float64
+	Name() string
+}
+
+// Server is the HTTP sanitization service: it owns a mechanism, a per-user
+// budget ledger, and the region bounds used for input validation.
+type Server struct {
+	mech   Reporter
+	ledger *Ledger
+	region geo.Rect
+	mux    *http.ServeMux
+}
+
+// New assembles a server. The ledger may be nil, in which case budgets are
+// not enforced (useful for trusted single-user deployments).
+func New(mech Reporter, ledger *Ledger, region geo.Rect) (*Server, error) {
+	if mech == nil {
+		return nil, fmt.Errorf("server: nil mechanism")
+	}
+	if region.Width() <= 0 || region.Height() <= 0 {
+		return nil, fmt.Errorf("server: degenerate region %v", region)
+	}
+	if ledger != nil && ledger.Limit() < mech.Epsilon() {
+		return nil, fmt.Errorf("server: ledger limit %g below per-report epsilon %g: no request could ever succeed",
+			ledger.Limit(), mech.Epsilon())
+	}
+	s := &Server{mech: mech, ledger: ledger, region: region, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/info", s.handleInfo)
+	s.mux.HandleFunc("/v1/report", s.handleReport)
+	s.mux.HandleFunc("/v1/budget", s.handleBudget)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ReportRequest is the /v1/report request body.
+type ReportRequest struct {
+	// UserID identifies the budget account (required when budgets are
+	// enforced).
+	UserID string `json:"user_id"`
+	// X, Y are the true planar coordinates in km.
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// ReportResponse is the /v1/report response body.
+type ReportResponse struct {
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	EpsSpent float64 `json:"eps_spent"`
+	// Remaining is present only when budget enforcement is enabled.
+	Remaining *float64 `json:"remaining_budget,omitempty"`
+	Mechanism string   `json:"mechanism"`
+}
+
+// InfoResponse is the /v1/info response body.
+type InfoResponse struct {
+	Mechanism    string  `json:"mechanism"`
+	Epsilon      float64 `json:"epsilon_per_report"`
+	RegionSideKm float64 `json:"region_side_km"`
+	BudgetLimit  float64 `json:"budget_limit,omitempty"`
+	BudgetWindow string  `json:"budget_window,omitempty"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	info := InfoResponse{
+		Mechanism:    s.mech.Name(),
+		Epsilon:      s.mech.Epsilon(),
+		RegionSideKm: s.region.Width(),
+	}
+	if s.ledger != nil {
+		info.BudgetLimit = s.ledger.Limit()
+		info.BudgetWindow = s.ledger.Window().String()
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	if s.ledger == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"budget enforcement disabled"})
+		return
+	}
+	user := r.URL.Query().Get("user_id")
+	if user == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"user_id query parameter required"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"user_id":          user,
+		"remaining_budget": s.ledger.Remaining(user),
+		"limit":            s.ledger.Limit(),
+	})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	var req ReportRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"invalid JSON: " + err.Error()})
+		return
+	}
+	x := geo.Point{X: req.X, Y: req.Y}
+	if !s.region.ContainsClosed(x) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			fmt.Sprintf("location %v outside service region %v", x, s.region)})
+		return
+	}
+	if s.ledger != nil {
+		if req.UserID == "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"user_id required"})
+			return
+		}
+		if err := s.ledger.Spend(req.UserID, s.mech.Epsilon()); err != nil {
+			if errors.Is(err, ErrBudgetExhausted) {
+				writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+				return
+			}
+			writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+			return
+		}
+	}
+	z, err := s.mech.Report(x)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	resp := ReportResponse{X: z.X, Y: z.Y, EpsSpent: s.mech.Epsilon(), Mechanism: s.mech.Name()}
+	if s.ledger != nil {
+		rem := s.ledger.Remaining(req.UserID)
+		resp.Remaining = &rem
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
