@@ -1,0 +1,30 @@
+# Development and CI entry points. `make ci` is the full gate every PR must
+# pass: formatting, vet, build, the race-instrumented test suite and a short
+# benchmark smoke run.
+
+GO ?= go
+
+.PHONY: ci fmt-check vet build test race bench-smoke
+
+ci: fmt-check vet build race bench-smoke
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run xxx -bench 'MSMReportParallel|AdaptiveReportParallel' -benchtime 50x .

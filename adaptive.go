@@ -33,6 +33,11 @@ type AdaptiveMSMConfig struct {
 	PriorGranularity int
 	// Seed fixes the sampling randomness.
 	Seed uint64
+	// Workers bounds the parallelism of the channel pipeline (LP block
+	// solves, Precompute fan-out, lock-free per-query sampling streams when
+	// greater than one). 0 or 1 is fully sequential; negative means one
+	// worker per CPU.
+	Workers int
 }
 
 // AdaptiveMSM is the adaptive-index multi-step mechanism.
@@ -51,6 +56,7 @@ func NewAdaptiveMSM(cfg AdaptiveMSMConfig) (*AdaptiveMSM, error) {
 		Metric:           cfg.Metric,
 		PriorPoints:      cfg.PriorPoints,
 		PriorGranularity: cfg.PriorGranularity,
+		Workers:          cfg.Workers,
 	}, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)

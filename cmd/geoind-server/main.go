@@ -40,19 +40,20 @@ func main() {
 	side := flag.Float64("side", 20, "region side (km), ignored with -dataset")
 	ds := flag.String("dataset", "", "prior dataset: gowalla, yelp or a CSV path")
 	seed := flag.Uint64("seed", 0, "RNG seed (0 = time-based)")
+	workers := flag.Int("workers", -1, "channel-pipeline parallelism: LP block solves, precompute fan-out and concurrent sampling (0 or 1 = sequential, negative = one per CPU)")
 	budgetLimit := flag.Float64("budget", 1.0, "per-user budget per window (0 disables enforcement)")
 	budgetWindow := flag.Duration("budget-window", 24*time.Hour, "budget accounting window")
 	ledgerFile := flag.String("ledger-file", "", "optional ledger persistence file")
 	flag.Parse()
 
-	if err := run(*addr, *mechName, *eps, *g, *rho, *side, *ds, *seed,
+	if err := run(*addr, *mechName, *eps, *g, *rho, *side, *ds, *seed, *workers,
 		*budgetLimit, *budgetWindow, *ledgerFile); err != nil {
 		log.Fatal("geoind-server: ", err)
 	}
 }
 
 func run(addr, mechName string, eps float64, g int, rho, side float64, dsName string,
-	seed uint64, budgetLimit float64, budgetWindow time.Duration, ledgerFile string) error {
+	seed uint64, workers int, budgetLimit float64, budgetWindow time.Duration, ledgerFile string) error {
 
 	if seed == 0 {
 		seed = uint64(time.Now().UnixNano())
@@ -86,7 +87,7 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 	case "msm":
 		m, err := geoind.NewMSM(geoind.MSMConfig{
 			Eps: eps, Region: region, Granularity: g, Rho: rho,
-			PriorPoints: points, Seed: seed,
+			PriorPoints: points, Seed: seed, Workers: workers,
 		})
 		if err != nil {
 			return err
@@ -100,7 +101,7 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 	case "adaptive":
 		m, err := geoind.NewAdaptiveMSM(geoind.AdaptiveMSMConfig{
 			Eps: eps, Region: region, Fanout: g, Rho: rho,
-			PriorPoints: points, Seed: seed,
+			PriorPoints: points, Seed: seed, Workers: workers,
 		})
 		if err != nil {
 			return err
@@ -119,6 +120,7 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 	case "opt":
 		m, err := geoind.NewOptimal(geoind.OptimalConfig{
 			Eps: eps, Region: region, Granularity: g, PriorPoints: points, Seed: seed,
+			Workers: workers,
 		})
 		if err != nil {
 			return err

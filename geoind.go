@@ -9,6 +9,7 @@ import (
 	"geoind/internal/geo"
 	"geoind/internal/grid"
 	"geoind/internal/laplace"
+	"geoind/internal/lp"
 	"geoind/internal/opt"
 	"geoind/internal/prior"
 )
@@ -136,6 +137,10 @@ type OptimalConfig struct {
 	PriorPoints []Point
 	// Seed fixes the sampling randomness.
 	Seed uint64
+	// Workers bounds the parallelism of the LP solve's per-column block
+	// factorizations. 0 or 1 solves serially; negative uses one worker per
+	// CPU. The solution is bit-identical for every worker count.
+	Workers int
 }
 
 // Optimal is the optimal GeoInd mechanism over a regular grid.
@@ -158,7 +163,9 @@ func NewOptimal(cfg OptimalConfig) (*Optimal, error) {
 	} else {
 		weights = prior.Uniform(g).Weights()
 	}
-	ch, err := opt.Build(cfg.Eps, g, weights, cfg.Metric, nil)
+	ch, err := opt.Build(cfg.Eps, g, weights, cfg.Metric, &opt.Options{
+		LP: &lp.IPMOptions{Workers: cfg.Workers},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
 	}
@@ -218,6 +225,14 @@ type MSMConfig struct {
 	// DisableCache turns off channel memoization (for benchmarking the
 	// cold path).
 	DisableCache bool
+	// Workers bounds the parallelism of the channel pipeline: LP block
+	// factorizations, Precompute fan-out across the hierarchy, and — when
+	// greater than one — lock-free per-query sampling streams so concurrent
+	// Reports scale with cores. 0 or 1 keeps the fully sequential historical
+	// behaviour (bit-identical outputs for a fixed seed); a negative value
+	// uses one worker per CPU. Same seed + same worker count ⇒ identical
+	// outputs.
+	Workers int
 }
 
 // MSM is the paper's multi-step mechanism.
@@ -238,6 +253,7 @@ func NewMSM(cfg MSMConfig) (*MSM, error) {
 		MaxHeight:    cfg.MaxHeight,
 		PriorPoints:  cfg.PriorPoints,
 		DisableCache: cfg.DisableCache,
+		Workers:      cfg.Workers,
 	}, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
@@ -271,6 +287,14 @@ func (m *MSM) Precompute() error { return m.m.Precompute() }
 
 // Stats returns the number of reports served and LP solves performed.
 func (m *MSM) Stats() (queries, solves int) { return m.m.Stats() }
+
+// CacheStats reports channel-store behaviour: lookups satisfied without a
+// solve (hits, including requests deduplicated against an in-flight solve),
+// solves performed (misses), and resident channels.
+func (m *MSM) CacheStats() (hits, misses, entries int64) {
+	st := m.m.StoreStats()
+	return st.Hits, st.Misses, st.Entries
+}
 
 // Static interface conformance checks.
 var (

@@ -5,12 +5,24 @@ import (
 	"math"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 
+	"geoind/internal/channel"
 	"geoind/internal/geo"
 	"geoind/internal/grid"
 	"geoind/internal/lp"
 	"geoind/internal/opt"
 	"geoind/internal/prior"
+)
+
+// Store namespaces for the two adaptive index families sharing a channel
+// store, and the PCG stream salt of the lock-free sampling path (distinct
+// from internal/core's so per-query streams never overlap between
+// mechanisms built from one seed).
+const (
+	kdNamespace      = "adaptive"
+	quadNamespace    = "quad"
+	reportStreamSalt = 0xbb67ae8584caa73b
 )
 
 // Config parameterizes the adaptive multi-step mechanism.
@@ -38,6 +50,13 @@ type Config struct {
 	PriorGranularity int
 	// LP configures the per-node solves.
 	LP *lp.IPMOptions
+	// Workers bounds pipeline parallelism (LP block solves, Precompute
+	// fan-out, and — when > 1 — lock-free per-query sampling streams).
+	// 0 or 1 keeps the historical sequential behaviour; negative means one
+	// worker per CPU.
+	Workers int
+	// Store optionally injects a shared channel store; nil means private.
+	Store *channel.Store
 }
 
 // Mechanism is the adaptive multi-step mechanism.
@@ -45,12 +64,15 @@ type Mechanism struct {
 	cfg  Config
 	tree *Tree
 	fine *prior.Prior
-	rng  *rand.Rand
+	seed uint64
 
-	mu     sync.Mutex
-	cache  map[int]*opt.PointChannel
-	solves int
+	store     *channel.Store
+	priorHash uint64
 
+	solves   atomic.Int64
+	queryIdx atomic.Uint64
+
+	rng   *rand.Rand
 	rngMu sync.Mutex
 }
 
@@ -87,13 +109,28 @@ func New(cfg Config, seed uint64) (*Mechanism, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Mechanism{
+	m := &Mechanism{
 		cfg:   cfg,
 		tree:  tree,
 		fine:  fine,
+		seed:  seed,
 		rng:   rand.New(rand.NewPCG(seed, 0xada9717e)),
-		cache: make(map[int]*opt.PointChannel),
-	}, nil
+		store: cfg.Store,
+	}
+	if m.store == nil {
+		m.store = channel.New(channel.Options{})
+	}
+	h := channel.NewHasher()
+	h.Int(cfg.Fanout)
+	h.Int(cfg.Height)
+	h.Float64(cfg.Rho)
+	h.Float64(cfg.Region.MinX)
+	h.Float64(cfg.Region.MinY)
+	h.Float64(cfg.Region.MaxX)
+	h.Float64(cfg.Region.MaxY)
+	h.Floats(fine.Weights())
+	m.priorHash = h.Sum()
+	return m, nil
 }
 
 // Tree exposes the underlying partition (read-only).
@@ -102,22 +139,43 @@ func (m *Mechanism) Tree() *Tree { return m.tree }
 // Epsilon returns the total budget.
 func (m *Mechanism) Epsilon() float64 { return m.cfg.Eps }
 
-// Stats returns the number of LP solves performed so far.
+// Stats returns the number of LP solves performed so far (maintained
+// atomically, safe under concurrent load).
 func (m *Mechanism) Stats() (solves int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.solves
+	return int(m.solves.Load())
 }
 
-// channel returns (solving on first use) the OPT channel of a node.
-func (m *Mechanism) channel(n *Node) (*opt.PointChannel, error) {
-	m.mu.Lock()
-	if ch, ok := m.cache[n.ID()]; ok {
-		m.mu.Unlock()
-		return ch, nil
-	}
-	m.mu.Unlock()
+// StoreStats returns a snapshot of the channel store's counters.
+func (m *Mechanism) StoreStats() channel.Stats { return m.store.Stats() }
 
+// lpOpts resolves interior-point options, defaulting the worker count to
+// the pipeline's.
+func (m *Mechanism) lpOpts() *lp.IPMOptions {
+	var o lp.IPMOptions
+	if m.cfg.LP != nil {
+		o = *m.cfg.LP
+	}
+	if o.Workers == 0 {
+		o.Workers = m.cfg.Workers
+	}
+	return &o
+}
+
+// channel returns the OPT channel of a node through the singleflight store:
+// concurrent requests for one node perform exactly one solve.
+func (m *Mechanism) channel(n *Node) (*opt.PointChannel, error) {
+	key := channel.NewKey(kdNamespace, 0, n.ID(), n.Eps, int(m.cfg.Metric), m.priorHash)
+	v, _, err := m.store.GetOrCompute(key, func() (any, error) {
+		return m.solveChannel(n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*opt.PointChannel), nil
+}
+
+// solveChannel performs the LP solve for one inner node.
+func (m *Mechanism) solveChannel(n *Node) (*opt.PointChannel, error) {
 	masses := n.ChildMasses()
 	total := 0.0
 	for _, v := range masses {
@@ -128,22 +186,27 @@ func (m *Mechanism) channel(n *Node) (*opt.PointChannel, error) {
 			masses[i] = 1
 		}
 	}
-	ch, err := opt.BuildPoints(n.Eps, n.Centers(), masses, m.cfg.Metric, &opt.Options{LP: m.cfg.LP})
+	ch, err := opt.BuildPoints(n.Eps, n.Centers(), masses, m.cfg.Metric, &opt.Options{LP: m.lpOpts()})
 	if err != nil {
 		return nil, fmt.Errorf("adaptive: node %d: %w", n.ID(), err)
 	}
-	m.mu.Lock()
-	m.solves++
-	m.cache[n.ID()] = ch
-	m.mu.Unlock()
+	m.solves.Add(1)
 	return ch, nil
 }
 
-// Report sanitizes x with the mechanism's internal RNG.
+// Report sanitizes x with the mechanism's seeded randomness. Workers <= 1
+// reproduces the historical shared-RNG stream under a mutex; Workers > 1
+// gives each query its own PCG stream split by arrival index, so concurrent
+// reports never serialize on a lock.
 func (m *Mechanism) Report(x geo.Point) (geo.Point, error) {
-	m.rngMu.Lock()
-	defer m.rngMu.Unlock()
-	return m.ReportWith(x, m.rng)
+	if channel.Workers(m.cfg.Workers) <= 1 {
+		m.rngMu.Lock()
+		defer m.rngMu.Unlock()
+		return m.ReportWith(x, m.rng)
+	}
+	qi := m.queryIdx.Add(1) - 1
+	rng := rand.New(rand.NewPCG(m.seed, reportStreamSalt^qi))
+	return m.ReportWith(x, rng)
 }
 
 // ReportWith descends the tree: at each inner node it runs the node's OPT
@@ -167,24 +230,25 @@ func (m *Mechanism) ReportWith(x geo.Point, rng *rand.Rand) (geo.Point, error) {
 	return node.Rect.Center(), nil
 }
 
-// Precompute eagerly solves every inner node's channel.
+// Precompute eagerly solves every inner node's channel, fanning the
+// independent solves out across up to Workers goroutines.
 func (m *Mechanism) Precompute() error {
-	var walk func(*Node) error
-	walk = func(n *Node) error {
+	var inner []*Node
+	var walk func(*Node)
+	walk = func(n *Node) {
 		if n.Children == nil {
-			return nil
+			return
 		}
-		if _, err := m.channel(n); err != nil {
-			return err
-		}
+		inner = append(inner, n)
 		for _, c := range n.Children {
-			if err := walk(c); err != nil {
-				return err
-			}
+			walk(c)
 		}
-		return nil
 	}
-	return walk(m.tree.Root)
+	walk(m.tree.Root)
+	return channel.ForEach(channel.Workers(m.cfg.Workers), len(inner), func(i int) error {
+		_, err := m.channel(inner[i])
+		return err
+	})
 }
 
 // PathBudget returns the total budget consumed along the root path leading

@@ -5,8 +5,10 @@ import (
 	"math"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 
 	"geoind/internal/budget"
+	"geoind/internal/channel"
 	"geoind/internal/geo"
 	"geoind/internal/grid"
 	"geoind/internal/lp"
@@ -41,19 +43,27 @@ type QuadConfig struct {
 	PriorGranularity int
 	// LP configures the per-node solves.
 	LP *lp.IPMOptions
+	// Workers bounds pipeline parallelism (LP block solves, Precompute
+	// fan-out, and — when > 1 — lock-free per-query sampling streams).
+	Workers int
+	// Store optionally injects a shared channel store; nil means private.
+	Store *channel.Store
 }
 
 // QuadMechanism is the quadtree multi-step mechanism.
 type QuadMechanism struct {
-	cfg  QuadConfig
-	root *quadNode
-	rng  *rand.Rand
+	cfg   QuadConfig
+	root  *quadNode
+	seed  uint64
+	nodes int
 
-	mu     sync.Mutex
-	cache  map[int]*opt.PointChannel
-	solves int
-	nodes  int
+	store     *channel.Store
+	priorHash uint64
 
+	solves   atomic.Int64
+	queryIdx atomic.Uint64
+
+	rng   *rand.Rand
 	rngMu sync.Mutex
 }
 
@@ -117,14 +127,28 @@ func NewQuad(cfg QuadConfig, seed uint64) (*QuadMechanism, error) {
 
 	m := &QuadMechanism{
 		cfg:   cfg,
+		seed:  seed,
 		rng:   rand.New(rand.NewPCG(seed, 0x90ad7ee)),
-		cache: make(map[int]*opt.PointChannel),
+		store: cfg.Store,
+	}
+	if m.store == nil {
+		m.store = channel.New(channel.Options{})
 	}
 	root, err := m.grow(fine, 0, 0, cfg.PriorGranularity, 0, cfg.PriorGranularity, 0, cfg.Eps)
 	if err != nil {
 		return nil, err
 	}
 	m.root = root
+	h := channel.NewHasher()
+	h.Int(cfg.MaxDepth)
+	h.Float64(cfg.MassThreshold)
+	h.Float64(cfg.Rho)
+	h.Float64(cfg.Region.MinX)
+	h.Float64(cfg.Region.MinY)
+	h.Float64(cfg.Region.MaxX)
+	h.Float64(cfg.Region.MaxY)
+	h.Floats(fine.Weights())
+	m.priorHash = h.Sum()
 	return m, nil
 }
 
@@ -223,14 +247,34 @@ func (m *QuadMechanism) DepthAt(p geo.Point) int {
 	return node.depth
 }
 
-// channel returns (solving on first use) the 4-candidate channel of a node.
-func (m *QuadMechanism) channel(n *quadNode) (*opt.PointChannel, error) {
-	m.mu.Lock()
-	if ch, ok := m.cache[n.id]; ok {
-		m.mu.Unlock()
-		return ch, nil
+// lpOpts resolves interior-point options, defaulting the worker count to
+// the pipeline's.
+func (m *QuadMechanism) lpOpts() *lp.IPMOptions {
+	var o lp.IPMOptions
+	if m.cfg.LP != nil {
+		o = *m.cfg.LP
 	}
-	m.mu.Unlock()
+	if o.Workers == 0 {
+		o.Workers = m.cfg.Workers
+	}
+	return &o
+}
+
+// channel returns the 4-candidate channel of a node through the
+// singleflight store: concurrent requests perform exactly one solve.
+func (m *QuadMechanism) channel(n *quadNode) (*opt.PointChannel, error) {
+	key := channel.NewKey(quadNamespace, n.depth, n.id, n.eps, int(m.cfg.Metric), m.priorHash)
+	v, _, err := m.store.GetOrCompute(key, func() (any, error) {
+		return m.solveChannel(n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*opt.PointChannel), nil
+}
+
+// solveChannel performs the LP solve for one inner node.
+func (m *QuadMechanism) solveChannel(n *quadNode) (*opt.PointChannel, error) {
 	centers := make([]geo.Point, len(n.children))
 	masses := make([]float64, len(n.children))
 	total := 0.0
@@ -244,22 +288,25 @@ func (m *QuadMechanism) channel(n *quadNode) (*opt.PointChannel, error) {
 			masses[i] = 1
 		}
 	}
-	ch, err := opt.BuildPoints(n.eps, centers, masses, m.cfg.Metric, &opt.Options{LP: m.cfg.LP})
+	ch, err := opt.BuildPoints(n.eps, centers, masses, m.cfg.Metric, &opt.Options{LP: m.lpOpts()})
 	if err != nil {
 		return nil, fmt.Errorf("adaptive: quad node %d: %w", n.id, err)
 	}
-	m.mu.Lock()
-	m.solves++
-	m.cache[n.id] = ch
-	m.mu.Unlock()
+	m.solves.Add(1)
 	return ch, nil
 }
 
-// Report sanitizes x with the internal RNG.
+// Report sanitizes x with the mechanism's seeded randomness (see
+// Mechanism.Report for the Workers-dependent RNG mode).
 func (m *QuadMechanism) Report(x geo.Point) (geo.Point, error) {
-	m.rngMu.Lock()
-	defer m.rngMu.Unlock()
-	return m.ReportWith(x, m.rng)
+	if channel.Workers(m.cfg.Workers) <= 1 {
+		m.rngMu.Lock()
+		defer m.rngMu.Unlock()
+		return m.ReportWith(x, m.rng)
+	}
+	qi := m.queryIdx.Add(1) - 1
+	rng := rand.New(rand.NewPCG(m.seed, reportStreamSalt^qi))
+	return m.ReportWith(x, rng)
 }
 
 // ReportWith descends the quadtree (Algorithm 1 over quadrants) and returns
@@ -287,29 +334,32 @@ func (m *QuadMechanism) ReportWith(x geo.Point, rng *rand.Rand) (geo.Point, erro
 	return node.rect.Center(), nil
 }
 
-// Precompute eagerly solves every inner node's channel.
+// Precompute eagerly solves every inner node's channel, fanning the
+// independent solves out across up to Workers goroutines.
 func (m *QuadMechanism) Precompute() error {
-	var walk func(*quadNode) error
-	walk = func(n *quadNode) error {
+	var inner []*quadNode
+	var walk func(*quadNode)
+	walk = func(n *quadNode) {
 		if n.children == nil {
-			return nil
+			return
 		}
-		if _, err := m.channel(n); err != nil {
-			return err
-		}
+		inner = append(inner, n)
 		for _, c := range n.children {
-			if err := walk(c); err != nil {
-				return err
-			}
+			walk(c)
 		}
-		return nil
 	}
-	return walk(m.root)
+	walk(m.root)
+	return channel.ForEach(channel.Workers(m.cfg.Workers), len(inner), func(i int) error {
+		_, err := m.channel(inner[i])
+		return err
+	})
 }
 
-// Stats returns the number of LP solves performed.
+// Stats returns the number of LP solves performed (atomic; safe under
+// concurrent load).
 func (m *QuadMechanism) Stats() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.solves
+	return int(m.solves.Load())
 }
+
+// StoreStats returns a snapshot of the channel store's counters.
+func (m *QuadMechanism) StoreStats() channel.Stats { return m.store.Stats() }

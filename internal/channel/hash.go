@@ -1,0 +1,50 @@
+package channel
+
+import "math"
+
+// Hasher builds the PriorHash component of a Key: a deterministic FNV-1a
+// fingerprint of everything a mechanism's channels depend on beyond the
+// per-key fields — prior weights, partition geometry, region bounds. Two
+// mechanisms sharing one Store collide on a key only if every fingerprinted
+// input is identical, in which case the channels genuinely are
+// interchangeable.
+type Hasher struct {
+	h uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// NewHasher returns a Hasher in its initial state.
+func NewHasher() *Hasher { return &Hasher{h: fnvOffset} }
+
+func (h *Hasher) byte(b byte) {
+	h.h ^= uint64(b)
+	h.h *= fnvPrime
+}
+
+// Uint64 mixes v into the hash.
+func (h *Hasher) Uint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+
+// Int mixes v into the hash.
+func (h *Hasher) Int(v int) { h.Uint64(uint64(v)) }
+
+// Float64 mixes the exact bit pattern of f into the hash.
+func (h *Hasher) Float64(f float64) { h.Uint64(math.Float64bits(f)) }
+
+// Floats mixes a slice of float64 values (with its length) into the hash.
+func (h *Hasher) Floats(fs []float64) {
+	h.Int(len(fs))
+	for _, f := range fs {
+		h.Float64(f)
+	}
+}
+
+// Sum returns the accumulated fingerprint.
+func (h *Hasher) Sum() uint64 { return h.h }

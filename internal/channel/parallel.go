@@ -1,0 +1,66 @@
+package channel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count option to an effective parallelism degree:
+// n <= 0 selects one worker per CPU minus the convention that 0 means
+// "serial" (historical behaviour); concretely 0 and 1 mean serial, n > 1
+// means up to n workers, and n < 0 means runtime.NumCPU().
+func Workers(n int) int {
+	switch {
+	case n < 0:
+		return runtime.NumCPU()
+	case n <= 1:
+		return 1
+	default:
+		return n
+	}
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines and
+// returns the first error encountered (by completion order). Remaining
+// iterations are skipped once an error is observed, but iterations already
+// in flight run to completion. workers <= 1 runs inline in submission order.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		once   sync.Once
+		first  error
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					once.Do(func() { first = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

@@ -1,0 +1,325 @@
+// Package channel owns the channel lifecycle shared by every mechanism in
+// the repository: the Multi-Step Mechanism (internal/core), the adaptive
+// k-d-style index and the quadtree index (internal/adaptive) all construct
+// per-(level, cell) optimal channels by solving the OPT linear program and
+// then reuse them for every subsequent query. The paper treats these solves
+// as pure post-processing-safe precomputation (§4, §6.2): a channel depends
+// only on the subdomain geometry, the level budget eps_i, the utility metric
+// and the restricted prior — never on user locations — so caching and
+// sharing them across queries (and across users, in the server deployment)
+// does not affect the GeoInd guarantee.
+//
+// Store is a sharded, singleflight-deduplicated concurrent cache keyed by
+// exactly those inputs. Concurrent requests for the same key perform one LP
+// solve: the first caller computes while the rest wait on the entry's done
+// channel. Shards keep unrelated keys from contending on a single lock, so
+// the warm path (pure map lookups) scales with cores. Optional cost-aware
+// eviction bounds resident channel mass for long-lived servers with very
+// large hierarchies.
+package channel
+
+import (
+	"hash/maphash"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one solved channel. All the inputs the solve depends on
+// participate, so distinct mechanisms (or distinct priors) sharing one Store
+// can never collide: Namespace separates mechanism families, Level/Cell
+// locate the subdomain in the index, EpsBits is the exact level budget,
+// Metric the utility metric, and PriorHash fingerprints the prior (plus any
+// partition geometry derived from it).
+type Key struct {
+	// Namespace separates mechanism families sharing a store ("msm",
+	// "adaptive", "quad", ...).
+	Namespace string
+	// Level is the index level (0 = descent from the virtual root) or tree
+	// depth of the node.
+	Level int
+	// Cell is the parent cell index at Level (grid mechanisms) or the node
+	// ID (tree mechanisms).
+	Cell int
+	// EpsBits is math.Float64bits of the budget the channel satisfies.
+	EpsBits uint64
+	// Metric is the utility metric identifier.
+	Metric int
+	// PriorHash fingerprints the adversarial prior (and, for adaptive
+	// indexes, the partition geometry derived from it).
+	PriorHash uint64
+}
+
+// NewKey assembles a Key, converting eps to its exact bit pattern.
+func NewKey(namespace string, level, cell int, eps float64, metric int, priorHash uint64) Key {
+	return Key{
+		Namespace: namespace,
+		Level:     level,
+		Cell:      cell,
+		EpsBits:   math.Float64bits(eps),
+		Metric:    metric,
+		PriorHash: priorHash,
+	}
+}
+
+// Stats is a snapshot of store behaviour. Hits+Misses equals the number of
+// GetOrCompute calls that completed; Misses equals the number of solves
+// actually performed (deduplicated waiters count as hits).
+type Stats struct {
+	// Hits counts lookups satisfied without a new solve (including calls
+	// that waited on an in-flight solve for the same key).
+	Hits int64
+	// Misses counts lookups that performed the solve.
+	Misses int64
+	// Inflight is the number of solves currently executing.
+	Inflight int64
+	// Entries is the number of resident channels.
+	Entries int64
+	// Cost is the total resident cost (CostFn units).
+	Cost int64
+	// Evictions counts entries removed by the cost-aware eviction policy.
+	Evictions int64
+}
+
+// Options configures a Store.
+type Options struct {
+	// MaxCost bounds the total resident cost; 0 means unbounded. When an
+	// insert pushes the total above MaxCost, least-recently-used entries are
+	// evicted (approximately: eviction scans shards independently) until the
+	// store fits again. In-flight entries are never evicted.
+	MaxCost int64
+	// CostFn assigns a cost to a computed value; nil means every entry costs
+	// 1 (MaxCost then bounds the entry count).
+	CostFn func(v any) int64
+}
+
+const numShards = 32
+
+// Store is the sharded singleflight channel cache. The zero value is not
+// usable; construct with New.
+type Store struct {
+	shards  [numShards]shard
+	seed    maphash.Seed
+	costFn  func(v any) int64
+	maxCost int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	inflight  atomic.Int64
+	entries   atomic.Int64
+	cost      atomic.Int64
+	evictions atomic.Int64
+	clock     atomic.Int64 // logical time for LRU ordering
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[Key]*entry
+}
+
+type entry struct {
+	done     chan struct{} // closed when val/err are set
+	val      any
+	err      error
+	cost     int64
+	lastUsed atomic.Int64
+}
+
+// New builds an empty store.
+func New(opts Options) *Store {
+	s := &Store{
+		seed:    maphash.MakeSeed(),
+		maxCost: opts.MaxCost,
+		costFn:  opts.CostFn,
+	}
+	if s.costFn == nil {
+		s.costFn = func(any) int64 { return 1 }
+	}
+	for i := range s.shards {
+		s.shards[i].m = make(map[Key]*entry)
+	}
+	return s
+}
+
+func (s *Store) shardFor(k Key) *shard {
+	var h maphash.Hash
+	h.SetSeed(s.seed)
+	h.WriteString(k.Namespace)
+	var buf [40]byte
+	put64 := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(v >> (8 * i))
+		}
+	}
+	put64(0, uint64(k.Level))
+	put64(8, uint64(k.Cell))
+	put64(16, k.EpsBits)
+	put64(24, uint64(k.Metric))
+	put64(32, k.PriorHash)
+	h.Write(buf[:])
+	return &s.shards[h.Sum64()%numShards]
+}
+
+// GetOrCompute returns the channel for key, invoking solve exactly once per
+// key across all concurrent callers (singleflight). The second return value
+// reports whether the call was a cache hit. A failed solve is not cached:
+// the error is delivered to every caller that joined the flight, and a later
+// call retries.
+func (s *Store) GetOrCompute(key Key, solve func() (any, error)) (any, bool, error) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			// The flight we joined failed; its entry has already been
+			// removed by the computing goroutine, so retrying is safe.
+			return nil, false, e.err
+		}
+		e.lastUsed.Store(s.clock.Add(1))
+		s.hits.Add(1)
+		return e.val, true, nil
+	}
+	e := &entry{done: make(chan struct{})}
+	e.lastUsed.Store(s.clock.Add(1))
+	sh.m[key] = e
+	sh.mu.Unlock()
+
+	s.inflight.Add(1)
+	e.val, e.err = solve()
+	s.inflight.Add(-1)
+	if e.err != nil {
+		sh.mu.Lock()
+		delete(sh.m, key)
+		sh.mu.Unlock()
+		close(e.done)
+		return nil, false, e.err
+	}
+	e.cost = s.costFn(e.val)
+	s.entries.Add(1)
+	total := s.cost.Add(e.cost)
+	close(e.done)
+	s.misses.Add(1)
+	if s.maxCost > 0 && total > s.maxCost {
+		s.evict(total - s.maxCost)
+	}
+	return e.val, false, nil
+}
+
+// Get returns the channel for key if resident and fully computed.
+func (s *Store) Get(key Key) (any, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.m[key]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+	default:
+		return nil, false // still computing
+	}
+	if e.err != nil {
+		return nil, false
+	}
+	e.lastUsed.Store(s.clock.Add(1))
+	return e.val, true
+}
+
+// evict removes completed entries in least-recently-used order until at
+// least need cost has been reclaimed. It scans all shards to rank entries;
+// entries still in flight are skipped.
+func (s *Store) evict(need int64) {
+	type victim struct {
+		sh   *shard
+		key  Key
+		e    *entry
+		used int64
+	}
+	var victims []victim
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			select {
+			case <-e.done:
+				if e.err == nil {
+					victims = append(victims, victim{sh, k, e, e.lastUsed.Load()})
+				}
+			default:
+			}
+		}
+		sh.mu.Unlock()
+	}
+	// Selection sort over the (small) victim set ordered by recency.
+	for need > 0 && len(victims) > 0 {
+		oldest := 0
+		for i := 1; i < len(victims); i++ {
+			if victims[i].used < victims[oldest].used {
+				oldest = i
+			}
+		}
+		v := victims[oldest]
+		victims[oldest] = victims[len(victims)-1]
+		victims = victims[:len(victims)-1]
+		v.sh.mu.Lock()
+		if cur, ok := v.sh.m[v.key]; ok && cur == v.e {
+			delete(v.sh.m, v.key)
+			v.sh.mu.Unlock()
+			s.entries.Add(-1)
+			s.cost.Add(-v.e.cost)
+			s.evictions.Add(1)
+			need -= v.e.cost
+		} else {
+			v.sh.mu.Unlock()
+		}
+	}
+}
+
+// Len returns the number of resident channels (including in-flight solves).
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Clear drops every resident channel. Solves in flight complete normally but
+// their results are discarded from the cache.
+func (s *Store) Clear() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			select {
+			case <-e.done:
+				if e.err == nil {
+					s.entries.Add(-1)
+					s.cost.Add(-e.cost)
+				}
+				delete(sh.m, k)
+			default:
+				// Leave in-flight entries: their computing goroutine still
+				// owns the map slot and will complete the flight.
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Inflight:  s.inflight.Load(),
+		Entries:   s.entries.Load(),
+		Cost:      s.cost.Load(),
+		Evictions: s.evictions.Load(),
+	}
+}

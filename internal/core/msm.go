@@ -23,8 +23,10 @@ import (
 	"math"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 
 	"geoind/internal/budget"
+	"geoind/internal/channel"
 	"geoind/internal/geo"
 	"geoind/internal/grid"
 	"geoind/internal/lp"
@@ -79,9 +81,32 @@ type Config struct {
 	// LP configures the per-level interior-point solves.
 	LP *lp.IPMOptions
 	// DisableCache turns off channel memoization (used by benchmarks to
-	// measure cold-path cost).
+	// measure cold-path cost): every descent step re-solves its LP, and the
+	// channel store is bypassed entirely.
 	DisableCache bool
+	// Workers bounds the parallelism of the whole channel pipeline: the
+	// per-column block factorizations inside each LP solve (unless LP
+	// already pins its own worker count), the Precompute fan-out across the
+	// hierarchy, and — when greater than one — the warm sampling path, which
+	// switches from one mutex-guarded RNG to an independent seeded PCG
+	// stream per query so concurrent Reports never serialize. 0 or 1 keeps
+	// the historical fully sequential behaviour (bit-identical outputs);
+	// negative means one worker per CPU.
+	Workers int
+	// Store optionally injects a shared channel store (e.g. one store for
+	// several mechanisms in a server). Nil means a private store. Keys
+	// include the level budget, metric and a prior fingerprint, so distinct
+	// mechanisms sharing a store never collide.
+	Store *channel.Store
 }
+
+// storeNamespace is the Key namespace of MSM grid channels.
+const storeNamespace = "msm"
+
+// reportStreamSalt derives the per-query PCG stream sequence numbers used by
+// the lock-free sampling path (Workers > 1). The sequential path keeps the
+// historical stream constant, so the two modes can never collide.
+const reportStreamSalt = 0x6a09e667f3bcc909
 
 // Mechanism is a ready-to-use multi-step mechanism.
 type Mechanism struct {
@@ -89,19 +114,17 @@ type Mechanism struct {
 	alloc     budget.Allocation
 	hier      *grid.Hierarchy
 	leafPrior *prior.Prior
-	rng       *rand.Rand
+	seed      uint64
 
-	mu      sync.Mutex
-	cache   map[cacheKey]*opt.Channel
-	solves  int // number of LP solves performed (cache misses)
-	queries int
+	store     *channel.Store
+	priorHash uint64
 
-	rngMu sync.Mutex // guards rng for Report (rand.Rand is not thread safe)
-}
+	queries  atomic.Int64
+	solves   atomic.Int64 // LP solves performed (store misses + bypass solves)
+	queryIdx atomic.Uint64
 
-type cacheKey struct {
-	level  int
-	parent int
+	rng   *rand.Rand
+	rngMu sync.Mutex // guards rng for sequential-mode Report
 }
 
 // New builds an MSM mechanism: it runs the budget allocation of §5 to fix
@@ -186,14 +209,30 @@ func New(cfg Config, seed uint64) (*Mechanism, error) {
 		leaf = prior.Uniform(leafGrid)
 	}
 
-	return &Mechanism{
+	m := &Mechanism{
 		cfg:       cfg,
 		alloc:     alloc,
 		hier:      hier,
 		leafPrior: leaf,
+		seed:      seed,
 		rng:       rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
-		cache:     make(map[cacheKey]*opt.Channel),
-	}, nil
+		store:     cfg.Store,
+	}
+	if m.store == nil {
+		m.store = channel.New(channel.Options{})
+	}
+	// Fingerprint everything the per-key fields don't already capture:
+	// geometry, fanout, height and the exact leaf prior.
+	h := channel.NewHasher()
+	h.Int(cfg.G)
+	h.Int(alloc.Height())
+	h.Float64(cfg.Region.MinX)
+	h.Float64(cfg.Region.MinY)
+	h.Float64(cfg.Region.MaxX)
+	h.Float64(cfg.Region.MaxY)
+	h.Floats(leaf.Weights())
+	m.priorHash = h.Sum()
+	return m, nil
 }
 
 // adaptPrior brings a user-supplied prior onto the leaf grid: identical
@@ -232,12 +271,20 @@ func (m *Mechanism) Epsilon() float64 { return m.cfg.Eps }
 func (m *Mechanism) Metric() geo.Metric { return m.cfg.Metric }
 
 // Stats reports cache behaviour: total queries answered and LP solves
-// performed (equivalently, channel-cache misses).
+// performed (equivalently, channel-store misses; with DisableCache, every
+// descent step). Both counters are maintained atomically, so Stats is safe
+// and accurate under concurrent Report/Precompute load.
 func (m *Mechanism) Stats() (queries, solves int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.queries, m.solves
+	return int(m.queries.Load()), int(m.solves.Load())
 }
+
+// StoreStats returns a snapshot of the underlying channel store's counters
+// (hits, misses, in-flight solves, resident entries). With an injected
+// shared store the numbers aggregate every mechanism using it.
+func (m *Mechanism) StoreStats() channel.Stats { return m.store.Stats() }
+
+// Workers returns the effective parallelism degree of the pipeline.
+func (m *Mechanism) Workers() int { return channel.Workers(m.cfg.Workers) }
 
 // levelSubPrior returns the normalized prior over the g x g children of
 // parentIdx at the given level (0 = root). Zero-mass subdomains fall back
@@ -279,43 +326,71 @@ func (m *Mechanism) levelSubPrior(level, parentIdx int) []float64 {
 	return w
 }
 
-// channel returns the OPT channel for descending from parentIdx at level
-// (into level+1), solving and caching it on first use.
-func (m *Mechanism) channel(level, parentIdx int) (*opt.Channel, error) {
-	key := cacheKey{level: level, parent: parentIdx}
-	if !m.cfg.DisableCache {
-		m.mu.Lock()
-		if ch, ok := m.cache[key]; ok {
-			m.mu.Unlock()
-			return ch, nil
-		}
-		m.mu.Unlock()
+// lpOpts resolves the interior-point options for one solve: an explicit
+// Config.LP wins field by field, with the pipeline worker count filled in
+// when LP does not pin its own.
+func (m *Mechanism) lpOpts() *lp.IPMOptions {
+	var o lp.IPMOptions
+	if m.cfg.LP != nil {
+		o = *m.cfg.LP
 	}
+	if o.Workers == 0 {
+		o.Workers = m.cfg.Workers
+	}
+	return &o
+}
+
+// channel returns the OPT channel for descending from parentIdx at level
+// (into level+1). The shared store deduplicates concurrent solves of the
+// same key (singleflight), so a cold channel is solved exactly once no
+// matter how many goroutines race for it; with DisableCache the store is
+// bypassed and every call re-solves.
+func (m *Mechanism) channel(level, parentIdx int) (*opt.Channel, error) {
+	if m.cfg.DisableCache {
+		return m.solveChannel(level, parentIdx)
+	}
+	key := channel.NewKey(storeNamespace, level, parentIdx, m.alloc.Eps[level], int(m.cfg.Metric), m.priorHash)
+	v, _, err := m.store.GetOrCompute(key, func() (any, error) {
+		return m.solveChannel(level, parentIdx)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*opt.Channel), nil
+}
+
+// solveChannel performs the LP solve for one (level, parent) subdomain.
+func (m *Mechanism) solveChannel(level, parentIdx int) (*opt.Channel, error) {
 	sub := m.hier.SubGrid(level, parentIdx)
 	pw := m.levelSubPrior(level, parentIdx)
-	ch, err := opt.Build(m.alloc.Eps[level], sub, pw, m.cfg.Metric, &opt.Options{LP: m.cfg.LP})
+	ch, err := opt.Build(m.alloc.Eps[level], sub, pw, m.cfg.Metric, &opt.Options{LP: m.lpOpts()})
 	if err != nil {
 		return nil, fmt.Errorf("msm: level %d cell %d: %w", level+1, parentIdx, err)
 	}
-	m.mu.Lock()
-	m.solves++
-	if !m.cfg.DisableCache {
-		m.cache[key] = ch
-	}
-	m.mu.Unlock()
+	m.solves.Add(1)
 	return ch, nil
 }
 
 // Report runs Algorithm 1 for the actual location x using the mechanism's
-// internal seeded RNG and returns the sanitized location (a leaf cell
+// seeded randomness and returns the sanitized location (a leaf cell
 // center). Locations outside the region are clamped onto it first.
+//
+// With Workers <= 1 all reports draw from one shared RNG under a mutex,
+// reproducing the historical sequential output stream bit for bit. With
+// Workers > 1 the i-th report (in arrival order) draws from its own PCG
+// stream split off the seed by the query index, so concurrent reports are
+// lock-free on the sampling path while remaining deterministic: the same
+// seed and the same arrival order produce the same outputs.
 func (m *Mechanism) Report(x geo.Point) (geo.Point, error) {
-	m.mu.Lock()
-	m.queries++
-	m.mu.Unlock()
-	m.rngMu.Lock()
-	defer m.rngMu.Unlock()
-	return m.ReportWith(x, m.rng)
+	m.queries.Add(1)
+	if channel.Workers(m.cfg.Workers) <= 1 {
+		m.rngMu.Lock()
+		defer m.rngMu.Unlock()
+		return m.ReportWith(x, m.rng)
+	}
+	qi := m.queryIdx.Add(1) - 1
+	rng := rand.New(rand.NewPCG(m.seed, reportStreamSalt^qi))
+	return m.ReportWith(x, rng)
 }
 
 // ReportWith is Report with a caller-supplied RNG (not counted in Stats'
@@ -354,19 +429,29 @@ func (m *Mechanism) ReportCell(x geo.Point, rng *rand.Rand) (int, error) {
 }
 
 // Precompute eagerly solves every channel in the index (the paper's offline
-// phase). The number of LPs is 1 + g^2 + g^4 + ... + g^{2(h-1)}.
+// phase). The number of LPs is 1 + g^2 + g^4 + ... + g^{2(h-1)}. Each
+// level's solves fan out across up to Workers goroutines — the cold path is
+// then bounded by the slowest level sum instead of the serial total — and
+// the store's singleflight keeps concurrent Precompute/Report traffic from
+// duplicating work.
 func (m *Mechanism) Precompute() error {
 	if m.cfg.DisableCache {
 		return fmt.Errorf("msm: cannot precompute with cache disabled")
 	}
+	workers := channel.Workers(m.cfg.Workers)
 	parents := []int{0}
 	for level := 0; level < m.Height(); level++ {
+		level := level
+		ps := parents
+		if err := channel.ForEach(workers, len(ps), func(i int) error {
+			_, err := m.channel(level, ps[i])
+			return err
+		}); err != nil {
+			return err
+		}
 		var next []int
-		for _, p := range parents {
-			if _, err := m.channel(level, p); err != nil {
-				return err
-			}
-			if level+1 < m.Height() {
+		if level+1 < m.Height() {
+			for _, p := range ps {
 				for local := 0; local < m.cfg.G*m.cfg.G; local++ {
 					next = append(next, m.hier.ChildIndex(level, p, local))
 				}
@@ -377,16 +462,17 @@ func (m *Mechanism) Precompute() error {
 	return nil
 }
 
-// ChannelCount returns the number of cached channels.
+// ChannelCount returns the number of resident channels. With an injected
+// shared store the count covers every mechanism using that store.
 func (m *Mechanism) ChannelCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.cache)
+	if m.cfg.DisableCache {
+		return 0
+	}
+	return m.store.Len()
 }
 
-// ClearCache drops all cached channels (benchmarking aid).
+// ClearCache drops all cached channels (benchmarking aid). With an injected
+// shared store this clears the other users' channels too.
 func (m *Mechanism) ClearCache() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.cache = make(map[cacheKey]*opt.Channel)
+	m.store.Clear()
 }

@@ -10,6 +10,7 @@ import (
 	"geoind/internal/geo"
 	"geoind/internal/grid"
 	"geoind/internal/laplace"
+	"geoind/internal/lp"
 	"geoind/internal/opt"
 	"geoind/internal/prior"
 )
@@ -22,6 +23,11 @@ type Context struct {
 	Yelp     *dataset.Dataset
 	Requests int
 	Seed     uint64
+	// Workers bounds LP block-solve parallelism during mechanism
+	// construction. Experiments keep the sequential default; the IPM is
+	// bit-identical for any worker count, so raising it only changes wall
+	// time.
+	Workers int
 }
 
 // NewContext loads the synthetic datasets with the paper's workload size.
@@ -31,6 +37,7 @@ func NewContext() *Context {
 		Yelp:     dataset.SyntheticYelp(),
 		Requests: 3000,
 		Seed:     2019,
+		Workers:  1,
 	}
 }
 
@@ -68,6 +75,7 @@ func (c *Context) buildMSM(ds *dataset.Dataset, p msmParams) (*core.Mechanism, e
 		PriorPoints:   ds.Points(),
 		ForceHeight:   p.forceHeight,
 		CustomBudgets: p.custom,
+		Workers:       c.Workers,
 	}, c.Seed)
 }
 
@@ -120,7 +128,9 @@ func (c *Context) optChannel(ds *dataset.Dataset, eps float64, g int, metric geo
 	}
 	pw := prior.FromPoints(gr, ds.Points()).Weights()
 	start := time.Now()
-	ch, err := opt.Build(eps, gr, pw, metric, nil)
+	ch, err := opt.Build(eps, gr, pw, metric, &opt.Options{
+		LP: &lp.IPMOptions{Workers: c.Workers},
+	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("OPT g=%d eps=%g: %w", g, eps, err)
 	}

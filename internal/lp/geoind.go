@@ -44,6 +44,13 @@ type IPMOptions struct {
 	// MaxIters bounds the number of predictor-corrector iterations.
 	// Zero means 200.
 	MaxIters int
+	// Workers bounds the parallelism of the per-column block factorizations
+	// (the dominant per-iteration cost). 0 or 1 runs serially, n > 1 uses up
+	// to n workers, and a negative value uses one worker per CPU. The solver
+	// output is bit-identical for every worker count: only the independent
+	// per-block work is parallelized, while cross-block floating-point
+	// accumulations stay serial in fixed column order.
+	Workers int
 }
 
 // GeoIndSolution is the result of solving a GeoIndProblem.
@@ -94,7 +101,7 @@ func (p *GeoIndProblem) Solve(opts *IPMOptions) (*GeoIndSolution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	tol, maxIters := 1e-7, 200
+	tol, maxIters, workers := 1e-7, 200, 1
 	if opts != nil {
 		if opts.Tol > 0 {
 			tol = opts.Tol
@@ -102,12 +109,17 @@ func (p *GeoIndProblem) Solve(opts *IPMOptions) (*GeoIndSolution, error) {
 		if opts.MaxIters > 0 {
 			maxIters = opts.MaxIters
 		}
+		workers = resolveWorkers(opts.Workers)
 	}
 	n := p.N
 	if n == 1 {
 		return &GeoIndSolution{Status: StatusOptimal, K: []float64{1}, Obj: p.Obj[0]}, nil
 	}
-	st := newGeoIndState(p)
+	if workers > n {
+		workers = n
+	}
+	st := newGeoIndState(p, workers)
+	defer st.pool.close()
 	status, iters, gap := st.run(tol, maxIters)
 	sol := &GeoIndSolution{Status: status, Iters: iters, Gap: gap, K: make([]float64, n*n)}
 	for z := 0; z < n; z++ {
@@ -131,21 +143,33 @@ type geoIndState struct {
 	v, y, zv []float64 // length nn, n, nn
 	s, zs, w []float64 // length mi
 	// Per-iteration buffers.
-	rp1, dy, rhsY              []float64 // length n
-	rd1, q, dv, dzv, dvA, dzvA []float64 // length nn
-	rp2, h, ds, dzs            []float64 // length mi
-	blocks                     []float64 // n blocks of n*n: inverse normal matrices
-	buildBuf                   []float64 // n*n scratch for block assembly
-	invScratch                 []float64 // n*n scratch for cholInverse
-	schur, schurF              []float64 // n*n
+	rp1, dy, rhsY              []float64   // length n
+	rd1, q, dv, dzv, dvA, dzvA []float64   // length nn
+	rp2, h, ds, dzs            []float64   // length mi
+	blocks                     []float64   // n blocks of n*n: inverse normal matrices
+	buildBuf                   [][]float64 // per-worker n*n scratch for block assembly
+	invScratch                 [][]float64 // per-worker n*n scratch for cholInverse
+	schur, schurF              []float64   // n*n
+
+	pool *blockPool // nil when running serially
 }
 
-func newGeoIndState(p *GeoIndProblem) *geoIndState {
+func newGeoIndState(p *GeoIndProblem, workers int) *geoIndState {
 	n := p.N
 	nn := n * n
 	np := len(p.Pairs)
 	mi := np * n
 	st := &geoIndState{n: n, nn: nn, np: np, mi: mi, pairs: p.Pairs}
+	st.pool = newBlockPool(workers)
+	if workers < 1 {
+		workers = 1
+	}
+	st.buildBuf = make([][]float64, workers)
+	st.invScratch = make([][]float64, workers)
+	for w := 0; w < workers; w++ {
+		st.buildBuf[w] = make([]float64, nn)
+		st.invScratch[w] = make([]float64, nn)
+	}
 	st.cScale = 0
 	for _, c := range p.Obj {
 		if a := math.Abs(c); a > st.cScale {
@@ -193,8 +217,6 @@ func newGeoIndState(p *GeoIndProblem) *geoIndState {
 	st.ds = make([]float64, mi)
 	st.dzs = make([]float64, mi)
 	st.blocks = make([]float64, n*nn)
-	st.buildBuf = make([]float64, nn)
-	st.invScratch = make([]float64, nn)
 	st.schur = make([]float64, nn)
 	st.schurF = make([]float64, nn)
 	return st
@@ -414,13 +436,16 @@ func (st *geoIndState) run(tol float64, maxIters int) (Status, int, float64) {
 // factorBlocks assembles M_z = diag(zv/v)_z + G_z' diag(zs/s)_z G_z for every
 // column z, inverts each block, accumulates the Schur complement
 // S = sum_z M_z^{-1}, and factors S.
+//
+// The per-column blocks are independent (constraints couple only same-z
+// variables), so assembly, factorization and inversion fan out across the
+// worker pool; the Schur accumulation runs serially afterwards in fixed z
+// order so the sum — and hence the whole solve — is bit-identical for any
+// worker count.
 func (st *geoIndState) factorBlocks() {
 	n, np := st.n, st.np
-	for i := range st.schur {
-		st.schur[i] = 0
-	}
-	for z := 0; z < n; z++ {
-		blk := st.buildBuf
+	st.pool.forEachBlock(n, func(worker, z int) {
+		blk := st.buildBuf[worker]
 		for i := range blk {
 			blk[i] = 0
 		}
@@ -450,7 +475,13 @@ func (st *geoIndState) factorBlocks() {
 			}
 			tryChol(dst, n)
 		}
-		cholInverse(dst, n, st.invScratch)
+		cholInverse(dst, n, st.invScratch[worker])
+	})
+	for i := range st.schur {
+		st.schur[i] = 0
+	}
+	for z := 0; z < n; z++ {
+		dst := st.blocks[z*st.nn : (z+1)*st.nn]
 		for i := range dst {
 			st.schur[i] += dst[i]
 		}
@@ -498,8 +529,10 @@ func (st *geoIndState) solveKKT(dv, dy []float64) {
 	}
 	copy(dy, st.rhsY)
 	cholSolve(st.schurF, n, dy)
-	// dv = M^{-1}(q + E'dy)
-	for z := 0; z < n; z++ {
+	// dv = M^{-1}(q + E'dy); per-z segments are disjoint, so the back-
+	// substitution fans out across the worker pool (bit-identical: each
+	// segment's arithmetic is unchanged).
+	st.pool.forEachBlock(n, func(_, z int) {
 		inv := st.blocks[z*st.nn : (z+1)*st.nn]
 		qz := st.q[z*n : z*n+n]
 		dvz := dv[z*n : z*n+n]
@@ -511,7 +544,7 @@ func (st *geoIndState) solveKKT(dv, dy []float64) {
 			}
 			dvz[x] = sum
 		}
-	}
+	})
 }
 
 // maxStep returns the largest alpha in (0, +inf] with x + alpha*dx >= 0.

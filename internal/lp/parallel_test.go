@@ -1,0 +1,99 @@
+package lp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// randomGeoIndProblem builds a well-posed random instance shaped like the
+// OPT linear program: objective = prior-weighted distances over an n-point
+// configuration, constraints = all ordered pairs with exp(-eps d)
+// coefficients.
+func randomGeoIndProblem(n int, seed uint64) *GeoIndProblem {
+	rng := rand.New(rand.NewPCG(seed, 7))
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	w := make([]float64, n)
+	total := 0.0
+	for i := range w {
+		w[i] = 0.1 + rng.Float64()
+		total += w[i]
+	}
+	dist := func(a, b pt) float64 { return math.Hypot(a.x-b.x, a.y-b.y) }
+	p := &GeoIndProblem{N: n, Obj: make([]float64, n*n)}
+	for x := 0; x < n; x++ {
+		for z := 0; z < n; z++ {
+			p.Obj[x*n+z] = w[x] / total * dist(pts[x], pts[z])
+		}
+	}
+	const eps = 0.5
+	for x := 0; x < n; x++ {
+		for xp := 0; xp < n; xp++ {
+			if x == xp {
+				continue
+			}
+			p.Pairs = append(p.Pairs, Pair{X: x, Xp: xp, Coef: math.Exp(-eps * dist(pts[x], pts[xp]))})
+		}
+	}
+	return p
+}
+
+// TestSolveWorkersBitIdentical verifies the parallel IPM's core guarantee:
+// the per-column blocks are processed independently and every cross-block
+// accumulation is serial in fixed order, so Workers=N returns the exact same
+// floating-point result as Workers=1.
+func TestSolveWorkersBitIdentical(t *testing.T) {
+	for _, n := range []int{4, 9, 16} {
+		p := randomGeoIndProblem(n, uint64(n))
+		ref, err := p.Solve(&IPMOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Status != StatusOptimal {
+			t.Fatalf("n=%d reference did not converge: %v", n, ref.Status)
+		}
+		for _, workers := range []int{2, 4, -1} {
+			got, err := p.Solve(&IPMOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Status != ref.Status || got.Iters != ref.Iters {
+				t.Errorf("n=%d workers=%d status/iters (%v,%d) differ from serial (%v,%d)",
+					n, workers, got.Status, got.Iters, ref.Status, ref.Iters)
+			}
+			for i := range ref.K {
+				if got.K[i] != ref.K[i] {
+					t.Fatalf("n=%d workers=%d K[%d]=%g differs from serial %g (must be bit-identical)",
+						n, workers, i, got.K[i], ref.K[i])
+				}
+			}
+			if got.Obj != ref.Obj {
+				t.Errorf("n=%d workers=%d obj %g != serial %g", n, workers, got.Obj, ref.Obj)
+			}
+		}
+	}
+}
+
+// TestSolveWorkersRepeated guards against pool-lifecycle bugs: many solves
+// through the same options must neither leak worker goroutines per solve
+// (the pool is closed with its state) nor corrupt results.
+func TestSolveWorkersRepeated(t *testing.T) {
+	p := randomGeoIndProblem(9, 3)
+	ref, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got, err := p.Solve(&IPMOptions{Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Obj != ref.Obj {
+			t.Fatalf("solve %d: obj %g != %g", i, got.Obj, ref.Obj)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package lp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// blockPool is the bounded fork-join worker pool used by the interior-point
+// method to process the n independent per-column normal-equation blocks in
+// parallel. The blocks are independent by construction (the GeoInd
+// inequality constraints couple variables only within one reported column z,
+// see DESIGN.md §4), so each can be assembled, factored and inverted on its
+// own core. Workers are persistent goroutines living for the duration of one
+// Solve call: factorBlocks and solveKKT dispatch to them every iteration
+// without re-spawning.
+//
+// Determinism: every parallel section writes only to per-z disjoint
+// destinations (block z's inverse, dv's z-th segment); all floating-point
+// accumulations that cross blocks (the Schur complement sum, the rhsY
+// reduction) stay serial and in fixed z order. The solver output is
+// therefore bit-identical for every worker count.
+type blockPool struct {
+	workers int
+	tasks   chan blockTask
+	wg      sync.WaitGroup
+}
+
+type blockTask struct {
+	lo, hi int // half-open z range
+	fn     func(worker, z int)
+	done   *sync.WaitGroup
+	worker int
+}
+
+// resolveWorkers maps the IPMOptions.Workers convention onto an effective
+// worker count: 0 and 1 mean serial, n > 1 means n workers, n < 0 means one
+// per CPU.
+func resolveWorkers(n int) int {
+	switch {
+	case n < 0:
+		return runtime.NumCPU()
+	case n <= 1:
+		return 1
+	default:
+		return n
+	}
+}
+
+// newBlockPool starts a pool with the given effective worker count; a count
+// of one returns nil (callers run inline).
+func newBlockPool(workers int) *blockPool {
+	if workers <= 1 {
+		return nil
+	}
+	p := &blockPool{workers: workers, tasks: make(chan blockTask)}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for t := range p.tasks {
+				for z := t.lo; z < t.hi; z++ {
+					t.fn(t.worker, z)
+				}
+				t.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// close terminates the worker goroutines.
+func (p *blockPool) close() {
+	if p != nil {
+		close(p.tasks)
+		p.wg.Wait()
+	}
+}
+
+// forEachBlock runs fn(worker, z) for every z in [0, n), partitioned into
+// one contiguous span per worker. fn receives the span's worker index so it
+// can use per-worker scratch buffers; spans never overlap, so writes to
+// per-z destinations are race-free. With a nil pool it runs inline as
+// worker 0.
+func (p *blockPool) forEachBlock(n int, fn func(worker, z int)) {
+	if p == nil || n < 2 {
+		for z := 0; z < n; z++ {
+			fn(0, z)
+		}
+		return
+	}
+	spans := p.workers
+	if spans > n {
+		spans = n
+	}
+	var done sync.WaitGroup
+	done.Add(spans)
+	for w := 0; w < spans; w++ {
+		lo := w * n / spans
+		hi := (w + 1) * n / spans
+		p.tasks <- blockTask{lo: lo, hi: hi, fn: fn, done: &done, worker: w}
+	}
+	done.Wait()
+}
