@@ -1,10 +1,12 @@
 # Development and CI entry points. `make ci` is the full gate every PR must
 # pass: formatting, vet, build, the race-instrumented test suite and a short
-# benchmark smoke run.
+# benchmark smoke run. `make bench-json` records the batch benchmarks as
+# BENCH_batch.json; `make bench-diff` compares a fresh run against the
+# committed baseline (warn-only).
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench-smoke
+.PHONY: ci fmt-check vet build test race bench-smoke bench-json bench-diff
 
 ci: fmt-check vet build race bench-smoke
 
@@ -27,4 +29,18 @@ race:
 	$(GO) test -race ./...
 
 bench-smoke:
-	$(GO) test -run xxx -bench 'MSMReportParallel|AdaptiveReportParallel' -benchtime 50x .
+	$(GO) test -run xxx -bench 'MSMReportParallel|AdaptiveReportParallel|ReportBatch/msm|ReportLoop/msm' -benchtime 50x .
+
+# Record the batch benchmark sweep as JSON (the committed baseline lives at
+# BENCH_batch.json; regenerate it deliberately, on a quiet machine).
+bench-json:
+	$(GO) test -run xxx -bench 'ReportBatch|ReportLoop|ServerBatchThroughput|ServerSingleReports' \
+		-benchtime 300x -benchmem . ./internal/server/ | $(GO) run ./cmd/benchjson > BENCH_batch.json
+	@echo wrote BENCH_batch.json
+
+# Compare a fresh benchmark run against the committed baseline. Warn-only:
+# regressions above 20% are flagged but never fail the target.
+bench-diff:
+	$(GO) test -run xxx -bench 'ReportBatch|ReportLoop|ServerBatchThroughput|ServerSingleReports' \
+		-benchtime 300x -benchmem . ./internal/server/ | $(GO) run ./cmd/benchjson > /tmp/bench_current.json
+	$(GO) run ./cmd/benchjson -diff -threshold 20 BENCH_batch.json /tmp/bench_current.json

@@ -67,6 +67,14 @@ func NewAdaptiveMSM(cfg AdaptiveMSMConfig) (*AdaptiveMSM, error) {
 // Report implements Mechanism.
 func (a *AdaptiveMSM) Report(x Point) (Point, error) { return a.m.Report(x) }
 
+// ReportBatch implements BatchMechanism: the batch acquires the sampling
+// stream once and, with Workers > 1, fans the tree descents across the
+// worker pool. Results come back in input order, identical to a sequential
+// Report loop for the same seed and arrival order at any worker count.
+func (a *AdaptiveMSM) ReportBatch(points []Point) ([]Point, error) {
+	return a.m.ReportBatch(points)
+}
+
 // Epsilon implements Mechanism.
 func (a *AdaptiveMSM) Epsilon() float64 { return a.m.Epsilon() }
 
@@ -83,4 +91,7 @@ func (a *AdaptiveMSM) MeanLeafSide() float64 { return a.m.MeanLeafSide() }
 // NumNodes returns the partition-tree size.
 func (a *AdaptiveMSM) NumNodes() int { return a.m.Tree().NumNodes() }
 
-var _ Mechanism = (*AdaptiveMSM)(nil)
+var (
+	_ Mechanism      = (*AdaptiveMSM)(nil)
+	_ BatchMechanism = (*AdaptiveMSM)(nil)
+)

@@ -49,6 +49,22 @@ func (b *Budgeted) Report(user string, x Point) (Point, error) {
 	return b.mech.Report(x)
 }
 
+// ReportBatch sanitizes a batch of points on behalf of user, debiting
+// len(points) * Epsilon() from the user's window budget atomically before
+// any sampling happens: either the whole batch is charged and reported, or
+// ErrBudgetExhausted is returned and the ledger is left unchanged — a batch
+// can never be partially charged. This is the client-side counterpart of the
+// server's POST /v1/report:batch all-or-nothing rule.
+func (b *Budgeted) ReportBatch(user string, points []Point) ([]Point, error) {
+	if len(points) == 0 {
+		return []Point{}, nil
+	}
+	if err := b.ledger.Spend(user, float64(len(points))*b.mech.Epsilon()); err != nil {
+		return nil, err
+	}
+	return ReportBatch(b.mech, points)
+}
+
 // Remaining returns the user's unspent budget in the current window.
 func (b *Budgeted) Remaining(user string) float64 { return b.ledger.Remaining(user) }
 

@@ -1,0 +1,244 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document and diffs two such documents for benchmark regressions.
+//
+// Convert (reads benchmark output from stdin, writes JSON to stdout):
+//
+//	go test -run xxx -bench ReportBatch -benchmem . | benchjson > BENCH_batch.json
+//
+// Diff (warn-only: always exits 0; regressions are reported, not fatal):
+//
+//	benchjson -diff -threshold 20 BENCH_batch.json new.json
+//
+// The trailing "-<GOMAXPROCS>" suffix of each benchmark name is stripped so
+// baselines recorded on machines with different core counts diff cleanly;
+// the procs value is kept once at the top level instead. Cases are sorted by
+// name so the JSON is deterministic and diffs are minimal.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Case is one benchmark measurement.
+type Case struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the JSON document: the machine's GOMAXPROCS at record time plus
+// the sorted benchmark cases.
+type Report struct {
+	GoMaxProcs int    `json:"go_max_procs"`
+	Cases      []Case `json:"cases"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkReportBatch/msm/w=all/n=256-8   300   14345 ns/op   4160 B/op   2 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+func main() {
+	diff := flag.Bool("diff", false, "diff two JSON reports: benchjson -diff OLD NEW")
+	threshold := flag.Float64("threshold", 20, "regression threshold in percent for -diff")
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff OLD.json NEW.json [-threshold PCT]")
+			os.Exit(2)
+		}
+		if err := runDiff(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Cases) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// Parse reads `go test -bench` output and returns the structured report.
+// Non-benchmark lines are ignored. When the same case name appears more than
+// once (e.g. -count > 1) the last measurement wins.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	byName := map[string]Case{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		c := Case{Name: m[1]}
+		if m[2] != "" {
+			if p, err := strconv.Atoi(m[2]); err == nil {
+				rep.GoMaxProcs = p
+			}
+		}
+		c.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+		c.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		c.BytesPerOp = metric(m[5], "B/op")
+		c.AllocsPerOp = metric(m[5], "allocs/op")
+		byName[c.Name] = c
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, c := range byName {
+		rep.Cases = append(rep.Cases, c)
+	}
+	// `go test` omits the -N name suffix entirely when GOMAXPROCS is 1.
+	if rep.GoMaxProcs == 0 && len(rep.Cases) > 0 {
+		rep.GoMaxProcs = 1
+	}
+	sort.Slice(rep.Cases, func(i, j int) bool { return rep.Cases[i].Name < rep.Cases[j].Name })
+	return rep, nil
+}
+
+// metric extracts the value preceding a unit token (e.g. "B/op") from the
+// tail of a benchmark line; 0 if the unit is absent.
+func metric(tail, unit string) float64 {
+	fields := strings.Fields(tail)
+	for i := 1; i < len(fields); i++ {
+		if fields[i] == unit {
+			v, _ := strconv.ParseFloat(fields[i-1], 64)
+			return v
+		}
+	}
+	return 0
+}
+
+// DiffLine is one case comparison in a diff report.
+type DiffLine struct {
+	Name     string
+	OldNs    float64
+	NewNs    float64
+	DeltaPct float64
+}
+
+// Diff compares two reports on ns/op. It returns every case present in both,
+// sorted worst-regression first, plus the names only found in one of them.
+func Diff(old, cur *Report) (lines []DiffLine, onlyOld, onlyNew []string) {
+	oldBy := map[string]Case{}
+	for _, c := range old.Cases {
+		oldBy[c.Name] = c
+	}
+	seen := map[string]bool{}
+	for _, c := range cur.Cases {
+		o, ok := oldBy[c.Name]
+		if !ok {
+			onlyNew = append(onlyNew, c.Name)
+			continue
+		}
+		seen[c.Name] = true
+		d := DiffLine{Name: c.Name, OldNs: o.NsPerOp, NewNs: c.NsPerOp}
+		if o.NsPerOp > 0 {
+			d.DeltaPct = (c.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		lines = append(lines, d)
+	}
+	for _, c := range old.Cases {
+		if !seen[c.Name] {
+			onlyOld = append(onlyOld, c.Name)
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].DeltaPct > lines[j].DeltaPct })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return lines, onlyOld, onlyNew
+}
+
+// runDiff loads the two reports, prints the human-readable comparison to w,
+// and mirrors it to $GITHUB_STEP_SUMMARY when set. Warn-only by design:
+// regressions never produce a non-zero exit (benchmarks on shared CI runners
+// are too noisy to gate merges on), they just get flagged loudly.
+func runDiff(oldPath, newPath string, threshold float64, w io.Writer) error {
+	old, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	lines, onlyOld, onlyNew := Diff(old, cur)
+
+	var b strings.Builder
+	regressions := 0
+	fmt.Fprintf(&b, "benchmark diff: %s -> %s (threshold %.0f%%)\n", oldPath, newPath, threshold)
+	if old.GoMaxProcs != cur.GoMaxProcs {
+		fmt.Fprintf(&b, "note: GOMAXPROCS differs (baseline %d, current %d) — deltas are indicative only\n",
+			old.GoMaxProcs, cur.GoMaxProcs)
+	}
+	for _, d := range lines {
+		mark := " "
+		if d.DeltaPct > threshold {
+			mark = "!"
+			regressions++
+		} else if d.DeltaPct < -threshold {
+			mark = "+"
+		}
+		fmt.Fprintf(&b, "%s %-60s %12.1f -> %12.1f ns/op  %+7.1f%%\n", mark, d.Name, d.OldNs, d.NewNs, d.DeltaPct)
+	}
+	for _, n := range onlyOld {
+		fmt.Fprintf(&b, "- %s: only in baseline\n", n)
+	}
+	for _, n := range onlyNew {
+		fmt.Fprintf(&b, "? %s: not in baseline\n", n)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(&b, "WARNING: %d case(s) regressed more than %.0f%% (warn-only, not failing the build)\n",
+			regressions, threshold)
+	} else {
+		fmt.Fprintf(&b, "no regressions above %.0f%%\n", threshold)
+	}
+	out := b.String()
+	fmt.Fprint(w, out)
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "```\n%s```\n", out)
+			f.Close()
+		}
+	}
+	return nil
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

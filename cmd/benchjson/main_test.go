@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: geoind
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkReportBatch/msm/w=all/n=256-8         	     300	     14345 ns/op	  17849454 reports/s	    4160 B/op	       2 allocs/op
+BenchmarkReportBatch/msm/w=1/n=1-8             	     300	       331.0 ns/op	   3029202 reports/s	      80 B/op	       2 allocs/op
+BenchmarkReportLoop/msm/w=all/n=256-8          	     300	     44447 ns/op	   5760627 reports/s	   16384 B/op	     256 allocs/op
+PASS
+ok  	geoind	4.401s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoMaxProcs != 8 {
+		t.Errorf("GoMaxProcs = %d, want 8", rep.GoMaxProcs)
+	}
+	if len(rep.Cases) != 3 {
+		t.Fatalf("%d cases, want 3", len(rep.Cases))
+	}
+	// Sorted by name; the -8 procs suffix must be stripped.
+	want := []string{
+		"BenchmarkReportBatch/msm/w=1/n=1",
+		"BenchmarkReportBatch/msm/w=all/n=256",
+		"BenchmarkReportLoop/msm/w=all/n=256",
+	}
+	for i, c := range rep.Cases {
+		if c.Name != want[i] {
+			t.Errorf("case %d name = %q, want %q", i, c.Name, want[i])
+		}
+	}
+	c := rep.Cases[1] // the msm/w=all/n=256 batch case
+	if c.NsPerOp != 14345 || c.Iterations != 300 || c.BytesPerOp != 4160 || c.AllocsPerOp != 2 {
+		t.Errorf("unexpected case values: %+v", c)
+	}
+	if f := rep.Cases[0].NsPerOp; f != 331.0 {
+		t.Errorf("fractional ns/op = %v, want 331.0", f)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	rep, err := Parse(strings.NewReader("hello\nnot a bench line\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cases) != 0 {
+		t.Errorf("parsed %d cases from noise", len(rep.Cases))
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := &Report{Cases: []Case{
+		{Name: "A", NsPerOp: 100},
+		{Name: "B", NsPerOp: 100},
+		{Name: "Gone", NsPerOp: 5},
+	}}
+	cur := &Report{Cases: []Case{
+		{Name: "A", NsPerOp: 150}, // +50% regression
+		{Name: "B", NsPerOp: 90},  // -10% improvement
+		{Name: "New", NsPerOp: 7},
+	}}
+	lines, onlyOld, onlyNew := Diff(old, cur)
+	if len(lines) != 2 {
+		t.Fatalf("%d diff lines, want 2", len(lines))
+	}
+	// Worst regression first.
+	if lines[0].Name != "A" || lines[0].DeltaPct != 50 {
+		t.Errorf("lines[0] = %+v, want A +50%%", lines[0])
+	}
+	if lines[1].Name != "B" || lines[1].DeltaPct != -10 {
+		t.Errorf("lines[1] = %+v, want B -10%%", lines[1])
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "Gone" {
+		t.Errorf("onlyOld = %v, want [Gone]", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "New" {
+		t.Errorf("onlyNew = %v, want [New]", onlyNew)
+	}
+}
+
+func TestRunDiffWarnOnly(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := dir + "/old.json"
+	newPath := dir + "/new.json"
+	writeJSON(t, oldPath, `{"go_max_procs":1,"cases":[{"name":"A","iterations":10,"ns_per_op":100}]}`)
+	writeJSON(t, newPath, `{"go_max_procs":1,"cases":[{"name":"A","iterations":10,"ns_per_op":200}]}`)
+
+	var out strings.Builder
+	// A 100% regression at threshold 20 must be reported but NOT error.
+	if err := runDiff(oldPath, newPath, 20, &out); err != nil {
+		t.Fatalf("runDiff errored on a regression: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "WARNING: 1 case(s) regressed") {
+		t.Errorf("diff output missing regression warning:\n%s", s)
+	}
+	if !strings.Contains(s, "+100.0%") {
+		t.Errorf("diff output missing delta:\n%s", s)
+	}
+}
+
+func writeJSON(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,6 +21,9 @@
 //	                 the paper's Gurobi setup could not finish in 72h; takes
 //	                 minutes with the structured solver)
 //	-seed N          base RNG seed (default 2019)
+//	-workers N       LP block-solve parallelism during mechanism construction
+//	                 (default 1; the solver is bit-identical for any worker
+//	                 count, so this only changes wall time, never output)
 package main
 
 import (
@@ -42,6 +45,7 @@ func main() {
 	fig3MaxG := flag.Int("fig3-max-g", 8, "largest OPT granularity for fig3")
 	table2Large := flag.Bool("table2-large", false, "include the OPT g=16 row of Table 2")
 	seed := flag.Uint64("seed", 2019, "base RNG seed")
+	workers := flag.Int("workers", 1, "LP block-solve parallelism (output is identical for any value)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -53,6 +57,7 @@ func main() {
 	ctx := eval.NewContext()
 	ctx.Requests = *requests
 	ctx.Seed = *seed
+	ctx.Workers = *workers
 
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {

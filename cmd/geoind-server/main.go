@@ -7,6 +7,9 @@
 //	GET  /healthz                   liveness probe
 //	GET  /v1/info                   mechanism + budget configuration
 //	POST /v1/report                 {"user_id":"u","x":3.2,"y":11.7} -> sanitized location
+//	POST /v1/report:batch           [{"user_id":"u","x":...,"y":...}, ...] -> sanitized
+//	                                locations in input order; the whole batch budget
+//	                                (len x eps) is charged atomically or not at all
 //	GET  /v1/budget?user_id=u       remaining budget in the current window
 //
 // Example:

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 
+	"geoind/internal/channel"
 	"geoind/internal/core"
 	"geoind/internal/geo"
 	"geoind/internal/grid"
@@ -51,6 +53,40 @@ type Mechanism interface {
 	Epsilon() float64
 	// Name returns a short identifier for experiment output.
 	Name() string
+}
+
+// BatchMechanism is a Mechanism with a pooled batch path: ReportBatch
+// sanitizes a slice of locations in one call, amortizing per-report overhead
+// (lock acquisitions, RNG stream setup) and — for the hierarchical mechanisms
+// with Workers > 1 — fanning the points across the worker pool. Results are
+// always returned in input order, deterministically for any worker count:
+// at Workers <= 1 the output is bit-identical to calling Report in a loop,
+// and at Workers > 1 it matches a sequential Report loop in the same arrival
+// order. Every mechanism in this package implements BatchMechanism.
+type BatchMechanism interface {
+	Mechanism
+	// ReportBatch returns privacy-preserving versions of all points, in
+	// input order. The privacy cost is len(points) * Epsilon().
+	ReportBatch(points []Point) ([]Point, error)
+}
+
+// ReportBatch sanitizes a slice of points with any Mechanism: mechanisms
+// implementing BatchMechanism use their pooled batch path, everything else
+// falls back to a sequential Report loop. The privacy cost is
+// len(points) * m.Epsilon() either way.
+func ReportBatch(m Mechanism, points []Point) ([]Point, error) {
+	if bm, ok := m.(BatchMechanism); ok {
+		return bm.ReportBatch(points)
+	}
+	out := make([]Point, len(points))
+	for i, x := range points {
+		z, err := m.Report(x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = z
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -105,6 +141,15 @@ func (p *PlanarLaplace) Report(x Point) (Point, error) {
 	return p.mech.Sample(x), nil
 }
 
+// ReportBatch implements BatchMechanism: the RNG mutex is acquired once for
+// the whole batch and the points are sampled sequentially, so the output is
+// bit-identical to a Report loop.
+func (p *PlanarLaplace) ReportBatch(points []Point) ([]Point, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mech.SampleBatch(points, p.grid), nil
+}
+
 // Epsilon implements Mechanism.
 func (p *PlanarLaplace) Epsilon() float64 { return p.mech.Epsilon() }
 
@@ -143,11 +188,20 @@ type OptimalConfig struct {
 	Workers int
 }
 
+// optBatchStreamSalt derives the per-point PCG stream sequence numbers of
+// Optimal.ReportBatch with Workers > 1 (distinct from the internal/core and
+// internal/adaptive salts, so streams never overlap across mechanisms built
+// from one seed).
+const optBatchStreamSalt = 0x3c6ef372fe94f82b
+
 // Optimal is the optimal GeoInd mechanism over a regular grid.
 type Optimal struct {
-	ch  *opt.Channel
-	rng *rand.Rand
-	mu  sync.Mutex
+	ch      *opt.Channel
+	rng     *rand.Rand
+	mu      sync.Mutex
+	seed    uint64
+	workers int
+	pointID atomic.Uint64
 }
 
 // NewOptimal solves the OPT linear program and returns a sampling-ready
@@ -169,7 +223,12 @@ func NewOptimal(cfg OptimalConfig) (*Optimal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
 	}
-	return &Optimal{ch: ch, rng: rand.New(rand.NewPCG(cfg.Seed, 0xb5297a4d))}, nil
+	return &Optimal{
+		ch:      ch,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, 0xb5297a4d)),
+		seed:    cfg.Seed,
+		workers: cfg.Workers,
+	}, nil
 }
 
 // Report implements Mechanism.
@@ -177,6 +236,35 @@ func (o *Optimal) Report(x Point) (Point, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.ch.Sample(x, o.rng), nil
+}
+
+// ReportBatch implements BatchMechanism. With Workers <= 1 the batch holds
+// the RNG mutex once and samples sequentially (bit-identical to a Report
+// loop); with Workers > 1 it reserves a contiguous block of point indices
+// and fans the samples across the worker pool, each point drawing from the
+// PCG stream of its own index, so the output is order-deterministic for any
+// worker count.
+func (o *Optimal) ReportBatch(points []Point) ([]Point, error) {
+	out := make([]Point, len(points))
+	if len(points) == 0 {
+		return out, nil
+	}
+	workers := channel.Workers(o.workers)
+	if workers <= 1 {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		for i, x := range points {
+			out[i] = o.ch.Sample(x, o.rng)
+		}
+		return out, nil
+	}
+	base := o.pointID.Add(uint64(len(points))) - uint64(len(points))
+	_ = channel.ForEach(workers, len(points), func(i int) error {
+		rng := rand.New(rand.NewPCG(o.seed, optBatchStreamSalt^(base+uint64(i))))
+		out[i] = o.ch.Sample(points[i], rng)
+		return nil
+	})
+	return out, nil
 }
 
 // Epsilon implements Mechanism.
@@ -264,6 +352,12 @@ func NewMSM(cfg MSMConfig) (*MSM, error) {
 // Report implements Mechanism.
 func (m *MSM) Report(x Point) (Point, error) { return m.m.Report(x) }
 
+// ReportBatch implements BatchMechanism: the batch acquires the sampling
+// stream once and, with Workers > 1, fans the descents across the worker
+// pool. Results come back in input order, identical to a sequential Report
+// loop for the same seed and arrival order at any worker count.
+func (m *MSM) ReportBatch(points []Point) ([]Point, error) { return m.m.ReportBatch(points) }
+
 // Epsilon implements Mechanism.
 func (m *MSM) Epsilon() float64 { return m.m.Epsilon() }
 
@@ -298,7 +392,10 @@ func (m *MSM) CacheStats() (hits, misses, entries int64) {
 
 // Static interface conformance checks.
 var (
-	_ Mechanism = (*PlanarLaplace)(nil)
-	_ Mechanism = (*Optimal)(nil)
-	_ Mechanism = (*MSM)(nil)
+	_ Mechanism      = (*PlanarLaplace)(nil)
+	_ Mechanism      = (*Optimal)(nil)
+	_ Mechanism      = (*MSM)(nil)
+	_ BatchMechanism = (*PlanarLaplace)(nil)
+	_ BatchMechanism = (*Optimal)(nil)
+	_ BatchMechanism = (*MSM)(nil)
 )

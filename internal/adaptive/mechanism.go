@@ -209,6 +209,72 @@ func (m *Mechanism) Report(x geo.Point) (geo.Point, error) {
 	return m.ReportWith(x, rng)
 }
 
+// ReportBatch sanitizes a slice of locations in one call and returns the
+// results in input order. Workers <= 1 holds the shared RNG mutex once for
+// the whole batch and processes points sequentially (bit-identical to a
+// Report loop); Workers > 1 reserves a contiguous block of query indices and
+// fans the points across the worker pool, each point drawing from the PCG
+// stream of its own index, so the output is independent of the worker count
+// and matches a sequential Report loop in the same arrival order.
+func (m *Mechanism) ReportBatch(xs []geo.Point) ([]geo.Point, error) {
+	out := make([]geo.Point, len(xs))
+	if len(xs) == 0 {
+		return out, nil
+	}
+	workers := channel.Workers(m.cfg.Workers)
+	if workers <= 1 {
+		m.rngMu.Lock()
+		defer m.rngMu.Unlock()
+		if err := m.reportBatchSeq(xs, out, m.rng); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	base := m.queryIdx.Add(uint64(len(xs))) - uint64(len(xs))
+	if err := channel.ForEach(workers, len(xs), func(i int) error {
+		rng := rand.New(rand.NewPCG(m.seed, reportStreamSalt^(base+uint64(i))))
+		z, err := m.ReportWith(xs[i], rng)
+		if err != nil {
+			return err
+		}
+		out[i] = z
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// reportBatchSeq is the sequential batch descent: points in input order, all
+// samples drawn from rng, bit-identical to a ReportWith loop. Each inner
+// node's channel is fetched from the store once per batch and memoized by
+// node — the fetch consumes no randomness, so the draw stream is unchanged.
+func (m *Mechanism) reportBatchSeq(xs, out []geo.Point, rng *rand.Rand) error {
+	cache := make(map[*Node]*opt.PointChannel)
+	for i, x := range xs {
+		x = m.cfg.Region.Clamp(x)
+		node := m.tree.Root
+		for node.Children != nil {
+			ch, ok := cache[node]
+			if !ok {
+				var err error
+				ch, err = m.channel(node)
+				if err != nil {
+					return err
+				}
+				cache[node] = ch
+			}
+			xi := node.ChildContaining(x)
+			if xi < 0 {
+				xi = rng.IntN(len(node.Children))
+			}
+			node = node.Children[ch.SampleIndex(xi, rng)]
+		}
+		out[i] = node.Rect.Center()
+	}
+	return nil
+}
+
 // ReportWith descends the tree: at each inner node it runs the node's OPT
 // channel on x's child cell (or a uniformly random child when x lies outside
 // the node, as in Algorithm 1 line 10) and recurses into the selected child;

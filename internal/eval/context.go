@@ -87,14 +87,16 @@ func (c *Context) msmUtility(ds *dataset.Dataset, p msmParams) (float64, *core.M
 		return 0, nil, err
 	}
 	reqs := c.requests(ds, 101)
-	rng := c.rng(202)
+	// Batch path: ReportBatchWith draws from the shared RNG sequentially in
+	// input order, so the measured losses are bit-identical to the historical
+	// per-point ReportWith loop.
+	zs, err := m.ReportBatchWith(reqs, c.rng(202))
+	if err != nil {
+		return 0, nil, err
+	}
 	loss := 0.0
-	for _, x := range reqs {
-		z, err := m.ReportWith(x, rng)
-		if err != nil {
-			return 0, nil, err
-		}
-		loss += p.metric.Loss(x, z)
+	for i, x := range reqs {
+		loss += p.metric.Loss(x, zs[i])
 	}
 	return loss / float64(len(reqs)), m, nil
 }
@@ -111,10 +113,10 @@ func (c *Context) plUtility(ds *dataset.Dataset, eps float64, g int, metric geo.
 		return 0, err
 	}
 	reqs := c.requests(ds, 101)
+	zs := pl.SampleBatch(reqs, gr)
 	loss := 0.0
-	for _, x := range reqs {
-		z := pl.SampleRemapped(x, gr)
-		loss += metric.Loss(x, z)
+	for i, x := range reqs {
+		loss += metric.Loss(x, zs[i])
 	}
 	return loss / float64(len(reqs)), nil
 }
@@ -141,11 +143,12 @@ func (c *Context) optChannel(ds *dataset.Dataset, eps float64, g int, metric geo
 // solved channel over the standard workload.
 func (c *Context) channelUtility(ch *opt.Channel, ds *dataset.Dataset, metric geo.Metric) float64 {
 	reqs := c.requests(ds, 101)
-	rng := c.rng(404)
+	// SampleBatch consumes the RNG exactly as a Sample loop would, keeping
+	// the measurement bit-identical to the historical per-point path.
+	zs := ch.SampleBatch(reqs, c.rng(404))
 	loss := 0.0
-	for _, x := range reqs {
-		z := ch.Sample(x, rng)
-		loss += metric.Loss(x, z)
+	for i, x := range reqs {
+		loss += metric.Loss(x, zs[i])
 	}
 	return loss / float64(len(reqs))
 }

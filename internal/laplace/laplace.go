@@ -92,6 +92,22 @@ func (m *Mechanism) Sample(x geo.Point) geo.Point {
 	return x.Add(dx, dy)
 }
 
+// SampleBatch perturbs every point of xs in input order, drawing from the
+// mechanism's RNG exactly as a Sample loop would (so batching never changes
+// output). When g is non-nil every report is remapped to its nearest cell
+// center, matching SampleRemapped.
+func (m *Mechanism) SampleBatch(xs []geo.Point, g *grid.Grid) []geo.Point {
+	out := make([]geo.Point, len(xs))
+	for i, x := range xs {
+		if g != nil {
+			out[i] = m.SampleRemapped(x, g)
+		} else {
+			out[i] = m.Sample(x)
+		}
+	}
+	return out
+}
+
 // SampleRemapped reports a perturbed version of x projected to the center of
 // the nearest cell of g (outputs falling outside the grid are clamped to the
 // boundary cell first). Remapping is post-processing of a GeoInd mechanism

@@ -246,6 +246,18 @@ func (c *Channel) Sample(x geo.Point, rng *rand.Rand) geo.Point {
 	return c.Grid.Center(c.SampleIndex(xi, rng))
 }
 
+// SampleBatch runs Sample for every point in xs sequentially against one
+// RNG and returns the reports in input order. The draws are exactly those a
+// Sample loop would make, so batching never changes output — it only saves
+// the per-call overhead of the callers that loop over large workloads.
+func (c *Channel) SampleBatch(xs []geo.Point, rng *rand.Rand) []geo.Point {
+	out := make([]geo.Point, len(xs))
+	for i, x := range xs {
+		out[i] = c.Sample(x, rng)
+	}
+	return out
+}
+
 // VerifyGeoInd exhaustively checks the channel against the GeoInd definition
 // (Eq. 1) for all ordered pairs of cells and all outputs. It returns the
 // maximum violation, measured as ln K(x)(z) - ln K(x')(z) - eps*d(x, x');

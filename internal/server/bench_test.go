@@ -1,0 +1,99 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"geoind/internal/geo"
+	"geoind/internal/laplace"
+)
+
+// benchServer assembles an unbudgeted server over a fast PL reporter with a
+// pooled batch path, so the benchmark isolates the HTTP + handler overhead
+// the batch endpoint amortizes.
+func benchServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	m, err := laplace.New(0.5, rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(&batchCountingReporter{plReporter: plReporter{m: m}}, nil, geo.NewSquare(20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func benchPost(b *testing.B, client *http.Client, url string, body []byte) {
+	b.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServerBatchThroughput posts one n-point batch per op; ns/op ÷ n is
+// the amortized per-report cost. Compare with BenchmarkServerSingleReports,
+// which pays a full round-trip per point.
+func BenchmarkServerBatchThroughput(b *testing.B) {
+	for _, n := range []int{16, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ts := benchServer(b)
+			reqs := make([]ReportRequest, n)
+			for i := range reqs {
+				reqs[i] = ReportRequest{X: float64(i%20) + 0.5, Y: float64(i%20) + 0.5}
+			}
+			body, err := json.Marshal(reqs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			url := ts.URL + "/v1/report:batch"
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchPost(b, ts.Client(), url, body)
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+		})
+	}
+}
+
+// BenchmarkServerSingleReports posts n individual /v1/report requests per op:
+// the round-trip-per-point baseline the batch endpoint is measured against.
+func BenchmarkServerSingleReports(b *testing.B) {
+	for _, n := range []int{16, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ts := benchServer(b)
+			bodies := make([][]byte, n)
+			for i := range bodies {
+				body, err := json.Marshal(ReportRequest{X: float64(i%20) + 0.5, Y: float64(i%20) + 0.5})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bodies[i] = body
+			}
+			url := ts.URL + "/v1/report"
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, body := range bodies {
+					benchPost(b, ts.Client(), url, body)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+		})
+	}
+}

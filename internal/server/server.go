@@ -17,6 +17,17 @@ type Reporter interface {
 	Name() string
 }
 
+// BatchReporter is optionally implemented by mechanisms with a pooled batch
+// path (every public geoind mechanism is one). The batch handler uses it
+// when available and falls back to a sequential Report loop otherwise.
+type BatchReporter interface {
+	ReportBatch(xs []geo.Point) ([]geo.Point, error)
+}
+
+// MaxBatchSize bounds the number of points one /v1/report:batch request may
+// carry; larger batches are rejected with 413 before any budget is charged.
+const MaxBatchSize = 1024
+
 // Server is the HTTP sanitization service: it owns a mechanism, a per-user
 // budget ledger, and the region bounds used for input validation.
 type Server struct {
@@ -43,6 +54,7 @@ func New(mech Reporter, ledger *Ledger, region geo.Rect) (*Server, error) {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/info", s.handleInfo)
 	s.mux.HandleFunc("/v1/report", s.handleReport)
+	s.mux.HandleFunc("/v1/report:batch", s.handleReportBatch)
 	s.mux.HandleFunc("/v1/budget", s.handleBudget)
 	return s, nil
 }
@@ -64,6 +76,24 @@ type ReportRequest struct {
 type ReportResponse struct {
 	X        float64 `json:"x"`
 	Y        float64 `json:"y"`
+	EpsSpent float64 `json:"eps_spent"`
+	// Remaining is present only when budget enforcement is enabled.
+	Remaining *float64 `json:"remaining_budget,omitempty"`
+	Mechanism string   `json:"mechanism"`
+}
+
+// BatchPoint is one sanitized location of a batch response.
+type BatchPoint struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// BatchReportResponse is the /v1/report:batch response body.
+type BatchReportResponse struct {
+	// Results holds one sanitized location per input point, in input order.
+	Results []BatchPoint `json:"results"`
+	// EpsSpent is the total privacy cost of the batch:
+	// len(Results) * per-report epsilon.
 	EpsSpent float64 `json:"eps_spent"`
 	// Remaining is present only when budget enforcement is enabled.
 	Remaining *float64 `json:"remaining_budget,omitempty"`
@@ -175,4 +205,103 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		resp.Remaining = &rem
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReportBatch sanitizes a JSON array of report requests in one round
+// trip. Validation covers every entry before anything is charged or sampled;
+// with budget enforcement the whole batch must belong to one user and its
+// total cost len(batch) * epsilon is debited atomically — when the remaining
+// budget cannot cover it, the request is refused with 429 and the ledger is
+// left unchanged (all-or-nothing: a batch is never partially charged).
+func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	var reqs []ReportRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&reqs); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"invalid JSON: " + err.Error()})
+		return
+	}
+	if len(reqs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"empty batch"})
+		return
+	}
+	if len(reqs) > MaxBatchSize {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			fmt.Sprintf("batch of %d exceeds limit %d", len(reqs), MaxBatchSize)})
+		return
+	}
+	xs := make([]geo.Point, len(reqs))
+	for i, req := range reqs {
+		x := geo.Point{X: req.X, Y: req.Y}
+		if !s.region.ContainsClosed(x) {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				fmt.Sprintf("entry %d: location %v outside service region %v", i, x, s.region)})
+			return
+		}
+		xs[i] = x
+	}
+	user := reqs[0].UserID
+	if s.ledger != nil {
+		if user == "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"entry 0: user_id required"})
+			return
+		}
+		for i, req := range reqs[1:] {
+			if req.UserID != user {
+				writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf(
+					"mixed-user batch: entry %d has user_id %q, entry 0 has %q (a batch is charged to one budget account)",
+					i+1, req.UserID, user)})
+				return
+			}
+		}
+		if err := s.ledger.Spend(user, float64(len(reqs))*s.mech.Epsilon()); err != nil {
+			if errors.Is(err, ErrBudgetExhausted) {
+				writeJSON(w, http.StatusTooManyRequests, errorResponse{fmt.Sprintf(
+					"batch cost %g exceeds remaining budget %g: %v (no budget was charged)",
+					float64(len(reqs))*s.mech.Epsilon(), s.ledger.Remaining(user), err)})
+				return
+			}
+			writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+			return
+		}
+	}
+	zs, err := s.reportAll(xs)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	resp := BatchReportResponse{
+		Results:   make([]BatchPoint, len(zs)),
+		EpsSpent:  float64(len(zs)) * s.mech.Epsilon(),
+		Mechanism: s.mech.Name(),
+	}
+	for i, z := range zs {
+		resp.Results[i] = BatchPoint{X: z.X, Y: z.Y}
+	}
+	if s.ledger != nil {
+		rem := s.ledger.Remaining(user)
+		resp.Remaining = &rem
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// reportAll runs the mechanism over a validated batch, using the pooled
+// batch path when the mechanism provides one.
+func (s *Server) reportAll(xs []geo.Point) ([]geo.Point, error) {
+	if br, ok := s.mech.(BatchReporter); ok {
+		return br.ReportBatch(xs)
+	}
+	zs := make([]geo.Point, len(xs))
+	for i, x := range xs {
+		z, err := s.mech.Report(x)
+		if err != nil {
+			return nil, err
+		}
+		zs[i] = z
+	}
+	return zs, nil
 }

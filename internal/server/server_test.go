@@ -362,6 +362,185 @@ func TestServerWithoutLedger(t *testing.T) {
 	}
 }
 
+// batchCountingReporter wraps plReporter and counts pooled-batch calls so
+// tests can assert the handler prefers ReportBatch over a Report loop.
+type batchCountingReporter struct {
+	plReporter
+	batchCalls int
+	batchPts   int
+}
+
+func (b *batchCountingReporter) ReportBatch(xs []geo.Point) ([]geo.Point, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.batchCalls++
+	b.batchPts += len(xs)
+	out := make([]geo.Point, len(xs))
+	for i, x := range xs {
+		out[i] = b.m.Sample(x)
+	}
+	return out, nil
+}
+
+func postBatch(t *testing.T, url string, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/report:batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestServerBatchReport(t *testing.T) {
+	m, err := laplace.New(0.5, rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &batchCountingReporter{plReporter: plReporter{m: m}}
+	ledger, _ := NewLedger(2.0, time.Hour, nil)
+	s, err := New(rep, ledger, geo.NewSquare(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	resp, out := postBatch(t, ts.URL,
+		`[{"user_id":"alice","x":5,"y":5},{"user_id":"alice","x":6,"y":6},{"user_id":"alice","x":7,"y":7}]`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch: %d (%v)", resp.StatusCode, out)
+	}
+	results := out["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("results len %d want 3", len(results))
+	}
+	if got := out["eps_spent"].(float64); got != 1.5 {
+		t.Errorf("eps_spent %g want 1.5 (3 * 0.5)", got)
+	}
+	if got := out["remaining_budget"].(float64); got != 0.5 {
+		t.Errorf("remaining %g want 0.5", got)
+	}
+	if rep.batchCalls != 1 || rep.batchPts != 3 {
+		t.Errorf("pooled path not used: %d calls / %d points, want 1 / 3", rep.batchCalls, rep.batchPts)
+	}
+	// The single-report endpoint agrees with the batch ledger state.
+	if r := ledger.Remaining("alice"); r != 0.5 {
+		t.Errorf("ledger remaining %g want 0.5", r)
+	}
+}
+
+func TestServerBatchAllOrNothing(t *testing.T) {
+	ledger, _ := NewLedger(1.0, time.Hour, nil)
+	ts := newTestServer(t, ledger)
+
+	// Batch cost 3*0.5 = 1.5 > limit 1.0: refused, ledger untouched.
+	resp, out := postBatch(t, ts.URL,
+		`[{"user_id":"u","x":1,"y":1},{"user_id":"u","x":2,"y":2},{"user_id":"u","x":3,"y":3}]`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget batch: %d want 429 (%v)", resp.StatusCode, out)
+	}
+	if r := ledger.Remaining("u"); r != 1.0 {
+		t.Errorf("ledger changed on rejected batch: remaining %g want 1.0", r)
+	}
+
+	// A batch that exactly fits succeeds and drains the budget to zero.
+	resp, out = postBatch(t, ts.URL, `[{"user_id":"u","x":1,"y":1},{"user_id":"u","x":2,"y":2}]`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("exact-fit batch: %d (%v)", resp.StatusCode, out)
+	}
+	if r := ledger.Remaining("u"); r > 1e-9 {
+		t.Errorf("remaining %g want 0", r)
+	}
+
+	// Even a single-point batch is now refused; ledger still at zero spend.
+	resp, _ = postBatch(t, ts.URL, `[{"user_id":"u","x":1,"y":1}]`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("post-exhaustion batch: %d want 429", resp.StatusCode)
+	}
+}
+
+func TestServerBatchBadRequests(t *testing.T) {
+	ledger, _ := NewLedger(100, time.Hour, nil)
+	ts := newTestServer(t, ledger)
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"ok", `[{"user_id":"u","x":5,"y":5}]`, 200},
+		{"empty batch", `[]`, 400},
+		{"not json", `nonsense`, 400},
+		{"object not array", `{"user_id":"u","x":5,"y":5}`, 400},
+		{"malformed entry", `[{"user_id":"u","x":"five","y":5}]`, 400},
+		{"unknown field", `[{"user_id":"u","x":5,"y":5,"zz":1}]`, 400},
+		{"missing user", `[{"x":5,"y":5}]`, 400},
+		{"mixed users", `[{"user_id":"u","x":5,"y":5},{"user_id":"v","x":6,"y":6}]`, 400},
+		{"out of region", `[{"user_id":"u","x":5,"y":5},{"user_id":"u","x":500,"y":5}]`, 400},
+	}
+	for _, c := range cases {
+		resp, out := postBatch(t, ts.URL, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d want %d (%v)", c.name, resp.StatusCode, c.want, out)
+		}
+	}
+	// Nothing but the one valid batch may have been charged.
+	if r := ledger.Remaining("u"); r != 99.5 {
+		t.Errorf("remaining %g want 99.5: a rejected batch was charged", r)
+	}
+	if r := ledger.Remaining("v"); r != 100 {
+		t.Errorf("user v remaining %g want 100", r)
+	}
+
+	// Oversized batch: MaxBatchSize+1 valid entries, rejected with 413.
+	var sb strings.Builder
+	sb.WriteString("[")
+	for i := 0; i <= MaxBatchSize; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"user_id":"u","x":5,"y":5}`)
+	}
+	sb.WriteString("]")
+	resp, _ := postBatch(t, ts.URL, sb.String())
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: %d want 413", resp.StatusCode)
+	}
+	if r := ledger.Remaining("u"); r != 99.5 {
+		t.Errorf("oversized batch charged the ledger: remaining %g want 99.5", r)
+	}
+
+	// Wrong method.
+	resp2, err := http.Get(ts.URL + "/v1/report:batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/report:batch: %d want 405", resp2.StatusCode)
+	}
+}
+
+func TestServerBatchWithoutLedger(t *testing.T) {
+	ts := newTestServer(t, nil)
+	// user_id is not required (and mixed entries are fine) without budgets.
+	resp, out := postBatch(t, ts.URL, `[{"x":5,"y":5},{"user_id":"anyone","x":6,"y":6}]`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch: %d (%v)", resp.StatusCode, out)
+	}
+	if len(out["results"].([]any)) != 2 {
+		t.Errorf("results: %v", out["results"])
+	}
+	if _, ok := out["remaining_budget"]; ok {
+		t.Error("remaining_budget should be omitted without ledger")
+	}
+}
+
 func TestServerReportsArePerturbed(t *testing.T) {
 	ts := newTestServer(t, nil)
 	distinct := map[string]bool{}
