@@ -1,14 +1,15 @@
 # Development and CI entry points. `make ci` is the full gate every PR must
-# pass: formatting, vet, build, the race-instrumented test suite and a short
-# benchmark smoke run. `make bench-json` records the batch benchmarks as
-# BENCH_batch.json; `make bench-diff` compares a fresh run against the
-# committed baseline (warn-only).
+# pass: formatting, vet, build, the race-instrumented test suite (including a
+# focused pass over the snapshot-persistence paths) and a short benchmark
+# smoke run. `make bench-json` records the batch and persistence benchmarks
+# as BENCH_batch.json / BENCH_persist.json; `make bench-diff` compares a
+# fresh run against the committed baselines (warn-only).
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench-smoke bench-json bench-diff
+.PHONY: ci fmt-check vet build test race race-persist bench-smoke bench-json bench-diff
 
-ci: fmt-check vet build race bench-smoke
+ci: fmt-check vet build race race-persist bench-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -28,6 +29,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the persistence layer: concurrent DirCache writers,
+# write-behind goroutines and warm-restart loads run with -count=2 so the
+# second round exercises the populated-directory paths.
+race-persist:
+	$(GO) test -race -count=2 -run 'Snapshot|DirCache|Backing|WarmRestart|CacheBytes' \
+		./internal/channel ./internal/opt .
+
 bench-smoke:
 	$(GO) test -run xxx -bench 'MSMReportParallel|AdaptiveReportParallel|ReportBatch/msm|ReportLoop/msm' -benchtime 50x .
 
@@ -37,6 +45,9 @@ bench-json:
 	$(GO) test -run xxx -bench 'ReportBatch|ReportLoop|ServerBatchThroughput|ServerSingleReports' \
 		-benchtime 300x -benchmem . ./internal/server/ | $(GO) run ./cmd/benchjson > BENCH_batch.json
 	@echo wrote BENCH_batch.json
+	$(GO) test -run xxx -bench 'ColdStart|WarmRestart' \
+		-benchtime 3x -benchmem . | $(GO) run ./cmd/benchjson > BENCH_persist.json
+	@echo wrote BENCH_persist.json
 
 # Compare a fresh benchmark run against the committed baseline. Warn-only:
 # regressions above 20% are flagged but never fail the target.
@@ -44,3 +55,6 @@ bench-diff:
 	$(GO) test -run xxx -bench 'ReportBatch|ReportLoop|ServerBatchThroughput|ServerSingleReports' \
 		-benchtime 300x -benchmem . ./internal/server/ | $(GO) run ./cmd/benchjson > /tmp/bench_current.json
 	$(GO) run ./cmd/benchjson -diff -threshold 20 BENCH_batch.json /tmp/bench_current.json
+	$(GO) test -run xxx -bench 'ColdStart|WarmRestart' \
+		-benchtime 3x -benchmem . | $(GO) run ./cmd/benchjson > /tmp/bench_persist_current.json
+	$(GO) run ./cmd/benchjson -diff -threshold 50 BENCH_persist.json /tmp/bench_persist_current.json

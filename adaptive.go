@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"geoind/internal/adaptive"
+	"geoind/internal/channel"
 )
 
 // AdaptiveMSMConfig configures NewAdaptiveMSM, the prior-adaptive variant of
@@ -38,6 +39,13 @@ type AdaptiveMSMConfig struct {
 	// greater than one). 0 or 1 is fully sequential; negative means one
 	// worker per CPU.
 	Workers int
+	// CacheDir, when non-empty, persists solved node channels as checksummed
+	// snapshot files under this directory and reloads verified snapshots
+	// instead of re-solving (see MSMConfig.CacheDir).
+	CacheDir string
+	// CacheBytes bounds resident channel-matrix bytes with LRU eviction;
+	// 0 means unbounded (see MSMConfig.CacheBytes).
+	CacheBytes int64
 }
 
 // AdaptiveMSM is the adaptive-index multi-step mechanism.
@@ -47,6 +55,10 @@ type AdaptiveMSM struct {
 
 // NewAdaptiveMSM builds the adaptive mechanism.
 func NewAdaptiveMSM(cfg AdaptiveMSMConfig) (*AdaptiveMSM, error) {
+	store, err := newChannelStore(cfg.CacheDir, cfg.CacheBytes)
+	if err != nil {
+		return nil, fmt.Errorf("geoind: %w", err)
+	}
 	m, err := adaptive.New(adaptive.Config{
 		Eps:              cfg.Eps,
 		Region:           cfg.Region,
@@ -57,6 +69,7 @@ func NewAdaptiveMSM(cfg AdaptiveMSMConfig) (*AdaptiveMSM, error) {
 		PriorPoints:      cfg.PriorPoints,
 		PriorGranularity: cfg.PriorGranularity,
 		Workers:          cfg.Workers,
+		Store:            store,
 	}, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
@@ -90,6 +103,15 @@ func (a *AdaptiveMSM) MeanLeafSide() float64 { return a.m.MeanLeafSide() }
 
 // NumNodes returns the partition-tree size.
 func (a *AdaptiveMSM) NumNodes() int { return a.m.Tree().NumNodes() }
+
+// StoreStats returns the full channel-store counter snapshot, including
+// snapshot-persistence activity (disk hits and write-behind writes).
+func (a *AdaptiveMSM) StoreStats() channel.Stats { return a.m.StoreStats() }
+
+// FlushCache blocks until every solved channel handed to the persistent
+// snapshot cache (AdaptiveMSMConfig.CacheDir) has been written to disk; a
+// no-op without a cache directory.
+func (a *AdaptiveMSM) FlushCache() { a.m.SyncStore() }
 
 var (
 	_ Mechanism      = (*AdaptiveMSM)(nil)

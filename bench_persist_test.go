@@ -1,0 +1,80 @@
+package geoind_test
+
+// Persistence benchmarks: full mechanism construction + precompute with and
+// without a populated snapshot cache. BenchmarkColdStart solves every channel
+// from scratch each iteration; BenchmarkWarmRestart loads verified snapshots
+// from a directory populated once before the timer — the difference is the
+// entire LP solve phase. The committed baseline lives at BENCH_persist.json
+// (`make bench-json` regenerates it alongside BENCH_batch.json).
+
+import (
+	"testing"
+
+	"geoind"
+)
+
+// benchPersistConfig is a deliberately non-trivial startup: granularity 4
+// (16-cell channels) over a skewed prior, so the solve phase dominates.
+func benchPersistConfig(cacheDir string) geoind.MSMConfig {
+	var pts []geoind.Point
+	for i := 0; i < 60; i++ {
+		pts = append(pts, geoind.Point{
+			X: float64(i%9) * 2.1,
+			Y: float64(i%7) * 2.6,
+		})
+	}
+	return geoind.MSMConfig{
+		Eps:         0.5,
+		Region:      geoind.Square(20),
+		Granularity: 4,
+		PriorPoints: pts,
+		Seed:        7,
+		CacheDir:    cacheDir,
+	}
+}
+
+// BenchmarkColdStart measures process startup with an empty cache: every
+// channel of the hierarchy is solved by the LP.
+func BenchmarkColdStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := geoind.NewMSM(benchPersistConfig(""))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Precompute(); err != nil {
+			b.Fatal(err)
+		}
+		_, solves := m.Stats()
+		if solves == 0 {
+			b.Fatal("cold start performed no solves")
+		}
+	}
+}
+
+// BenchmarkWarmRestart measures process startup against a populated snapshot
+// directory: construction + precompute with zero LP solves.
+func BenchmarkWarmRestart(b *testing.B) {
+	dir := b.TempDir()
+	warm, err := geoind.NewMSM(benchPersistConfig(dir))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := warm.Precompute(); err != nil {
+		b.Fatal(err)
+	}
+	warm.FlushCache()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := geoind.NewMSM(benchPersistConfig(dir))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Precompute(); err != nil {
+			b.Fatal(err)
+		}
+		if _, solves := m.Stats(); solves != 0 {
+			b.Fatalf("warm restart performed %d solves", solves)
+		}
+	}
+}

@@ -11,11 +11,18 @@
 //	                                locations in input order; the whole batch budget
 //	                                (len x eps) is charged atomically or not at all
 //	GET  /v1/budget?user_id=u       remaining budget in the current window
+//	GET  /v1/stats                  channel-cache counters (hits, solves,
+//	                                persistent-cache disk hits/writes)
 //
 // Example:
 //
 //	geoind-server -addr :8080 -mechanism msm -eps 0.25 -g 4 -dataset gowalla \
-//	    -budget 1.0 -budget-window 24h -ledger-file /var/lib/geoind/ledger.json
+//	    -budget 1.0 -budget-window 24h -ledger-file /var/lib/geoind/ledger.json \
+//	    -cache-dir /var/lib/geoind/channels
+//
+// With -cache-dir, every solved channel is persisted as a checksummed
+// snapshot; a restart (or another replica sharing the volume) reloads them
+// and performs zero LP solves during precompute.
 package main
 
 import (
@@ -31,8 +38,20 @@ import (
 	"time"
 
 	"geoind"
+	"geoind/internal/channel"
 	"geoind/internal/server"
 )
+
+// logCacheStats reports how much of the precompute phase was served from the
+// persistent snapshot cache: on a warm restart every channel is a disk hit
+// and zero LPs are solved.
+func logCacheStats(cacheDir string, st channel.Stats) {
+	if cacheDir == "" {
+		return
+	}
+	log.Printf("channel cache: %d LP solves, %d loaded from %s, %d queued for persistence",
+		st.Misses, st.BackingHits, cacheDir, st.BackingWrites)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -47,16 +66,19 @@ func main() {
 	budgetLimit := flag.Float64("budget", 1.0, "per-user budget per window (0 disables enforcement)")
 	budgetWindow := flag.Duration("budget-window", 24*time.Hour, "budget accounting window")
 	ledgerFile := flag.String("ledger-file", "", "optional ledger persistence file")
+	cacheDir := flag.String("cache-dir", "", "persistent channel snapshot directory (restarts and replicas sharing it skip the LP solve phase)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "resident channel-matrix byte budget with LRU eviction (0 = unbounded; evicted channels reload from -cache-dir)")
 	flag.Parse()
 
 	if err := run(*addr, *mechName, *eps, *g, *rho, *side, *ds, *seed, *workers,
-		*budgetLimit, *budgetWindow, *ledgerFile); err != nil {
+		*budgetLimit, *budgetWindow, *ledgerFile, *cacheDir, *cacheBytes); err != nil {
 		log.Fatal("geoind-server: ", err)
 	}
 }
 
 func run(addr, mechName string, eps float64, g int, rho, side float64, dsName string,
-	seed uint64, workers int, budgetLimit float64, budgetWindow time.Duration, ledgerFile string) error {
+	seed uint64, workers int, budgetLimit float64, budgetWindow time.Duration,
+	ledgerFile, cacheDir string, cacheBytes int64) error {
 
 	if seed == 0 {
 		seed = uint64(time.Now().UnixNano())
@@ -86,11 +108,13 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 	}
 
 	var mech server.Reporter
+	var flush func() // drains write-behind snapshot persistence, nil when N/A
 	switch mechName {
 	case "msm":
 		m, err := geoind.NewMSM(geoind.MSMConfig{
 			Eps: eps, Region: region, Granularity: g, Rho: rho,
 			PriorPoints: points, Seed: seed, Workers: workers,
+			CacheDir: cacheDir, CacheBytes: cacheBytes,
 		})
 		if err != nil {
 			return err
@@ -100,11 +124,13 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 		if err := m.Precompute(); err != nil {
 			return err
 		}
-		mech = m
+		logCacheStats(cacheDir, m.StoreStats())
+		mech, flush = m, m.FlushCache
 	case "adaptive":
 		m, err := geoind.NewAdaptiveMSM(geoind.AdaptiveMSMConfig{
 			Eps: eps, Region: region, Fanout: g, Rho: rho,
 			PriorPoints: points, Seed: seed, Workers: workers,
+			CacheDir: cacheDir, CacheBytes: cacheBytes,
 		})
 		if err != nil {
 			return err
@@ -113,7 +139,8 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 		if err := m.Precompute(); err != nil {
 			return err
 		}
-		mech = m
+		logCacheStats(cacheDir, m.StoreStats())
+		mech, flush = m, m.FlushCache
 	case "pl":
 		m, err := geoind.NewPlanarLaplace(geoind.LaplaceConfig{Eps: eps, Seed: seed})
 		if err != nil {
@@ -183,6 +210,9 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		return err
+	}
+	if flush != nil {
+		flush() // make sure every solved channel reached the snapshot cache
 	}
 	if ledger != nil && ledgerFile != "" {
 		f, err := os.CreateTemp(".", "ledger-*.tmp")

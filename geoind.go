@@ -321,6 +321,26 @@ type MSMConfig struct {
 	// uses one worker per CPU. Same seed + same worker count ⇒ identical
 	// outputs.
 	Workers int
+	// CacheDir, when non-empty, persists every solved channel as a
+	// checksummed snapshot file under this directory and reloads matching
+	// snapshots instead of re-solving — a restarted process (or a fleet of
+	// processes sharing the volume) skips the LP solve phase entirely.
+	// Snapshots are verified (full key + CRC) before use; any mismatch
+	// falls back to solving. Sampling from a loaded channel is bit-identical
+	// to sampling from the channel it mirrors.
+	CacheDir string
+	// CacheBytes bounds the resident bytes of cached channel matrices
+	// (K + cumulative rows); least-recently-used channels are evicted when
+	// the bound is exceeded. 0 means unbounded. With CacheDir set, evicted
+	// channels remain loadable from disk.
+	CacheBytes int64
+	// SpannerStretch, when > 0 (must then be >= 1), solves each per-level
+	// channel with the spanner-reduced constraint set at this stretch factor
+	// instead of the full O(n^2) pair families — same eps-GeoInd guarantee,
+	// slightly conservative for nearby pairs, much smaller LP. Reduced
+	// channels are cached and persisted under a distinct key variant so they
+	// never alias exact ones. 0 keeps the exact formulation.
+	SpannerStretch float64
 }
 
 // MSM is the paper's multi-step mechanism.
@@ -332,21 +352,46 @@ type MSM struct {
 // hierarchical mechanism (§4). Channels are solved lazily; call Precompute
 // to warm them eagerly.
 func NewMSM(cfg MSMConfig) (*MSM, error) {
+	store, err := newChannelStore(cfg.CacheDir, cfg.CacheBytes)
+	if err != nil {
+		return nil, fmt.Errorf("geoind: %w", err)
+	}
 	m, err := core.New(core.Config{
-		Eps:          cfg.Eps,
-		G:            cfg.Granularity,
-		Region:       cfg.Region,
-		Rho:          cfg.Rho,
-		Metric:       cfg.Metric,
-		MaxHeight:    cfg.MaxHeight,
-		PriorPoints:  cfg.PriorPoints,
-		DisableCache: cfg.DisableCache,
-		Workers:      cfg.Workers,
+		Eps:            cfg.Eps,
+		G:              cfg.Granularity,
+		Region:         cfg.Region,
+		Rho:            cfg.Rho,
+		Metric:         cfg.Metric,
+		MaxHeight:      cfg.MaxHeight,
+		PriorPoints:    cfg.PriorPoints,
+		DisableCache:   cfg.DisableCache,
+		Workers:        cfg.Workers,
+		Store:          store,
+		SpannerStretch: cfg.SpannerStretch,
 	}, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
 	}
 	return &MSM{m: m}, nil
+}
+
+// newChannelStore builds the channel store implied by the facade cache
+// settings: nil (each mechanism gets a private in-memory store) when both are
+// zero, otherwise a store with snapshot-byte cost accounting and, with a
+// cache directory, read-through/write-behind snapshot persistence.
+func newChannelStore(cacheDir string, cacheBytes int64) (*channel.Store, error) {
+	if cacheDir == "" && cacheBytes == 0 {
+		return nil, nil
+	}
+	opts := channel.Options{MaxCost: cacheBytes, CostFn: opt.SnapshotCost}
+	if cacheDir != "" {
+		dc, err := channel.NewDirCache(cacheDir, opt.SnapshotCodec{})
+		if err != nil {
+			return nil, err
+		}
+		opts.Backing = dc
+	}
+	return channel.New(opts), nil
 }
 
 // Report implements Mechanism.
@@ -389,6 +434,16 @@ func (m *MSM) CacheStats() (hits, misses, entries int64) {
 	st := m.m.StoreStats()
 	return st.Hits, st.Misses, st.Entries
 }
+
+// StoreStats returns the full channel-store counter snapshot, including
+// snapshot-persistence activity (disk hits and write-behind writes).
+func (m *MSM) StoreStats() channel.Stats { return m.m.StoreStats() }
+
+// FlushCache blocks until every solved channel handed to the persistent
+// snapshot cache (MSMConfig.CacheDir) has been written to disk. A no-op
+// without a cache directory. Call after Precompute, or before shutdown, to
+// guarantee the next process finds a fully populated cache.
+func (m *MSM) FlushCache() { m.m.SyncStore() }
 
 // Static interface conformance checks.
 var (

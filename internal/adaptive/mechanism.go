@@ -148,6 +148,10 @@ func (m *Mechanism) Stats() (solves int) {
 // StoreStats returns a snapshot of the channel store's counters.
 func (m *Mechanism) StoreStats() channel.Stats { return m.store.Stats() }
 
+// SyncStore blocks until the store's write-behind persistence goroutines
+// (if a backing cache is configured) have drained.
+func (m *Mechanism) SyncStore() { m.store.Sync() }
+
 // lpOpts resolves interior-point options, defaulting the worker count to
 // the pipeline's.
 func (m *Mechanism) lpOpts() *lp.IPMOptions {
@@ -171,7 +175,13 @@ func (m *Mechanism) channel(n *Node) (*opt.PointChannel, error) {
 	if err != nil {
 		return nil, err
 	}
-	return v.(*opt.PointChannel), nil
+	// Persisted snapshots are checksum- and key-verified, but never trust a
+	// foreign backing value over a fresh solve if the shape is wrong.
+	ch, ok := v.(*opt.PointChannel)
+	if !ok || ch.N() != len(n.Children) {
+		return m.solveChannel(n)
+	}
+	return ch, nil
 }
 
 // solveChannel performs the LP solve for one inner node.

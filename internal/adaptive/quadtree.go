@@ -270,7 +270,13 @@ func (m *QuadMechanism) channel(n *quadNode) (*opt.PointChannel, error) {
 	if err != nil {
 		return nil, err
 	}
-	return v.(*opt.PointChannel), nil
+	// Persisted snapshots are checksum- and key-verified, but never trust a
+	// foreign backing value over a fresh solve if the shape is wrong.
+	ch, ok := v.(*opt.PointChannel)
+	if !ok || ch.N() != len(n.children) {
+		return m.solveChannel(n)
+	}
+	return ch, nil
 }
 
 // solveChannel performs the LP solve for one inner node.
@@ -363,3 +369,7 @@ func (m *QuadMechanism) Stats() int {
 
 // StoreStats returns a snapshot of the channel store's counters.
 func (m *QuadMechanism) StoreStats() channel.Stats { return m.store.Stats() }
+
+// SyncStore blocks until the store's write-behind persistence goroutines
+// (if a backing cache is configured) have drained.
+func (m *QuadMechanism) SyncStore() { m.store.Sync() }

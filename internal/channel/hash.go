@@ -35,6 +35,15 @@ func (h *Hasher) Uint64(v uint64) {
 // Int mixes v into the hash.
 func (h *Hasher) Int(v int) { h.Uint64(uint64(v)) }
 
+// String mixes s (with its length, so concatenations cannot collide) into
+// the hash.
+func (h *Hasher) String(s string) {
+	h.Int(len(s))
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}
+
 // Float64 mixes the exact bit pattern of f into the hash.
 func (h *Hasher) Float64(f float64) { h.Uint64(math.Float64bits(f)) }
 

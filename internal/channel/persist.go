@@ -1,0 +1,308 @@
+// Channel persistence: content-addressed snapshots of solved channels.
+//
+// The paper's central performance claim (§4, §6.2) is that channels are pure
+// precomputation — each depends only on subdomain geometry, level budget,
+// metric and prior, never on user locations — so the O(n^4)-per-iteration
+// IPM solves can be done once, offline, and reused forever. The Store makes
+// that reuse concurrent within a process; this file makes it survive the
+// process. A DirCache mirrors solved channels to a directory of
+// self-verifying snapshot files keyed by a content hash of the full store
+// key, so a restarted server — or a fleet of servers sharing a volume —
+// skips the LP solve phase entirely: cold start drops from minutes of
+// interior-point iterations to milliseconds of file reads.
+//
+// Snapshot file layout (version 1, all integers little-endian):
+//
+//	offset  size      field
+//	0       4         magic "GICH"
+//	4       4         format version (uint32, currently 1)
+//	8       4         namespace length (uint32)
+//	12      ns        namespace bytes
+//	...     8         Level   (int64)
+//	...     8         Cell    (int64)
+//	...     8         EpsBits (uint64)
+//	...     8         Metric  (int64)
+//	...     8         PriorHash (uint64)
+//	...     8         Variant (uint64)
+//	...     8         payload length (uint64)
+//	...     payload   codec-encoded channel value
+//	...     4         CRC-32 (IEEE) of every preceding byte
+//
+// The snapshot embeds the FULL key, not just the hash used for the file
+// name: Load verifies every key field and the checksum before the payload is
+// trusted, so a hash collision, a stale file from an older configuration, a
+// torn write or bit rot all degrade to a cache miss (the caller re-solves
+// and overwrites). Writers stage into a temp file in the destination
+// directory and publish with an atomic rename, so concurrent writers on a
+// shared volume never expose partial files to readers.
+package channel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// SnapshotVersion is the current snapshot format version. Load rejects
+// snapshots written by any other version.
+const SnapshotVersion = 1
+
+// snapshotMagic identifies snapshot files ("Geo-Ind CHannel").
+const snapshotMagic = "GICH"
+
+// ErrSnapshot is wrapped by every Load failure, so callers can distinguish
+// "not a usable snapshot" from I/O plumbing errors with errors.Is.
+var ErrSnapshot = errors.New("invalid channel snapshot")
+
+// Backing is a secondary, typically persistent, channel source consulted by
+// the Store: read-through on a miss (before solving) and write-behind after
+// each successful solve. Implementations must be safe for concurrent use.
+// Load returning ok=false for any reason — absent, corrupt, mismatched —
+// makes the store fall back to solving, so a Backing can never turn a
+// cache problem into a query failure.
+type Backing interface {
+	Load(key Key) (any, bool)
+	Store(key Key, v any)
+}
+
+// Codec serializes cached channel values for a Backing. Decode must validate
+// its input defensively: it receives bytes that passed the snapshot checksum
+// and key check but could still have been written by a buggy or foreign
+// producer, and a decoding error is reported as a cache miss, not a failure.
+type Codec interface {
+	Encode(v any) ([]byte, error)
+	Decode(data []byte) (any, error)
+}
+
+// Snapshot frames a codec payload for key as a self-verifying snapshot file
+// image (see the package comment for the layout).
+func Snapshot(key Key, payload []byte) []byte {
+	buf := make([]byte, 0, 4+4+4+len(key.Namespace)+6*8+8+len(payload)+4)
+	buf = append(buf, snapshotMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, SnapshotVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key.Namespace)))
+	buf = append(buf, key.Namespace...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(key.Level))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(key.Cell))
+	buf = binary.LittleEndian.AppendUint64(buf, key.EpsBits)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(key.Metric))
+	buf = binary.LittleEndian.AppendUint64(buf, key.PriorHash)
+	buf = binary.LittleEndian.AppendUint64(buf, key.Variant)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf
+}
+
+// Load verifies a snapshot image against the expected key and returns the
+// embedded codec payload. Every failure mode — short file, bad magic,
+// foreign version, checksum mismatch, any key field differing from want —
+// returns an error wrapping ErrSnapshot.
+func Load(data []byte, want Key) ([]byte, error) {
+	const fixed = 4 + 4 + 4 // magic + version + namespace length
+	if len(data) < fixed+6*8+8+4 {
+		return nil, fmt.Errorf("%w: truncated (%d bytes)", ErrSnapshot, len(data))
+	}
+	if string(data[:4]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrSnapshot, data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != SnapshotVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrSnapshot, v, SnapshotVersion)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrSnapshot)
+	}
+	nsLen := int(binary.LittleEndian.Uint32(data[8:]))
+	if nsLen < 0 || fixed+nsLen+6*8+8 > len(body) {
+		return nil, fmt.Errorf("%w: namespace length %d exceeds snapshot", ErrSnapshot, nsLen)
+	}
+	off := fixed
+	got := Key{Namespace: string(data[off : off+nsLen])}
+	off += nsLen
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		return v
+	}
+	got.Level = int(int64(u64()))
+	got.Cell = int(int64(u64()))
+	got.EpsBits = u64()
+	got.Metric = int(int64(u64()))
+	got.PriorHash = u64()
+	got.Variant = u64()
+	if got != want {
+		return nil, fmt.Errorf("%w: key mismatch (snapshot holds %+v)", ErrSnapshot, got)
+	}
+	payLen := u64()
+	if payLen != uint64(len(body)-off) {
+		return nil, fmt.Errorf("%w: payload length %d, have %d bytes", ErrSnapshot, payLen, len(body)-off)
+	}
+	return body[off:], nil
+}
+
+// DirStats is a snapshot of DirCache behaviour.
+type DirStats struct {
+	// Loads counts Load calls; Hits of them returned a usable channel.
+	Loads int64
+	Hits  int64
+	// Errors counts loads that found a file but rejected it (corrupt,
+	// truncated, wrong version, key mismatch, undecodable payload). An
+	// absent file is a plain miss, not an error.
+	Errors int64
+	// Writes counts snapshots successfully published; WriteErrors counts
+	// encode or I/O failures (the entry simply stays memory-only).
+	Writes      int64
+	WriteErrors int64
+}
+
+// DirCache is a Backing that persists channels as snapshot files under
+// <dir>/<namespace>/<keyhash>.chan. The key hash is a deterministic FNV-1a
+// fingerprint (stable across processes, unlike the store's seeded shard
+// hash), making the directory content-addressed: any process that derives
+// the same key reads the same file. Safe for concurrent use within and
+// across processes sharing one directory.
+type DirCache struct {
+	dir   string
+	codec Codec
+
+	loads       atomic.Int64
+	hits        atomic.Int64
+	errors      atomic.Int64
+	writes      atomic.Int64
+	writeErrors atomic.Int64
+}
+
+// NewDirCache opens (creating if needed) a snapshot directory.
+func NewDirCache(dir string, codec Codec) (*DirCache, error) {
+	if codec == nil {
+		return nil, fmt.Errorf("channel: nil codec for cache dir %q", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("channel: cache dir: %w", err)
+	}
+	return &DirCache{dir: dir, codec: codec}, nil
+}
+
+// Dir returns the cache directory root.
+func (d *DirCache) Dir() string { return d.dir }
+
+// Path returns the snapshot file path for key.
+func (d *DirCache) Path(key Key) string {
+	return filepath.Join(d.dir, pathComponent(key.Namespace), fmt.Sprintf("%016x.chan", contentHash(key)))
+}
+
+// contentHash fingerprints the full key with the package's process-stable
+// FNV-1a hasher. Collisions are harmless: the snapshot embeds the full key,
+// so a colliding file fails Load's key check and reads as a miss.
+func contentHash(key Key) uint64 {
+	h := NewHasher()
+	h.String(key.Namespace)
+	h.Int(key.Level)
+	h.Int(key.Cell)
+	h.Uint64(key.EpsBits)
+	h.Int(key.Metric)
+	h.Uint64(key.PriorHash)
+	h.Uint64(key.Variant)
+	return h.Sum()
+}
+
+// pathComponent maps a namespace onto a safe directory name.
+func pathComponent(ns string) string {
+	if ns == "" {
+		return "_"
+	}
+	out := make([]byte, len(ns))
+	for i := 0; i < len(ns); i++ {
+		switch c := ns[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+			out[i] = c
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// Load implements Backing: it reads, verifies and decodes the snapshot for
+// key. Any defect — missing file, corruption, version or key mismatch,
+// undecodable payload — reads as a miss so the store falls back to solving.
+func (d *DirCache) Load(key Key) (any, bool) {
+	d.loads.Add(1)
+	data, err := os.ReadFile(d.Path(key))
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			d.errors.Add(1)
+		}
+		return nil, false
+	}
+	payload, err := Load(data, key)
+	if err != nil {
+		d.errors.Add(1)
+		return nil, false
+	}
+	v, err := d.codec.Decode(payload)
+	if err != nil {
+		d.errors.Add(1)
+		return nil, false
+	}
+	d.hits.Add(1)
+	return v, true
+}
+
+// Store implements Backing: it encodes v and publishes the snapshot with a
+// temp-file write followed by an atomic rename, so concurrent writers (other
+// goroutines, other processes on a shared volume) never expose a partial
+// file and the last completed writer wins. Failures are counted and
+// swallowed: persistence is an optimization, never a correctness dependency.
+func (d *DirCache) Store(key Key, v any) {
+	payload, err := d.codec.Encode(v)
+	if err != nil {
+		d.writeErrors.Add(1)
+		return
+	}
+	path := d.Path(key)
+	nsDir := filepath.Dir(path)
+	if err := os.MkdirAll(nsDir, 0o755); err != nil {
+		d.writeErrors.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(nsDir, ".chan-*.tmp")
+	if err != nil {
+		d.writeErrors.Add(1)
+		return
+	}
+	data := Snapshot(key, payload)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		d.writeErrors.Add(1)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		d.writeErrors.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		d.writeErrors.Add(1)
+		return
+	}
+	d.writes.Add(1)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (d *DirCache) Stats() DirStats {
+	return DirStats{
+		Loads:       d.loads.Load(),
+		Hits:        d.hits.Load(),
+		Errors:      d.errors.Load(),
+		Writes:      d.writes.Load(),
+		WriteErrors: d.writeErrors.Load(),
+	}
+}

@@ -1,0 +1,376 @@
+package channel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stringCodec is a trivial Codec over string values: payload = raw bytes
+// prefixed with a marker so Decode can reject foreign payloads.
+type stringCodec struct{}
+
+func (stringCodec) Encode(v any) ([]byte, error) {
+	s, ok := v.(string)
+	if !ok {
+		return nil, fmt.Errorf("stringCodec: %T", v)
+	}
+	return append([]byte("S:"), s...), nil
+}
+
+func (stringCodec) Decode(data []byte) (any, error) {
+	if len(data) < 2 || string(data[:2]) != "S:" {
+		return nil, fmt.Errorf("stringCodec: bad payload")
+	}
+	return string(data[2:]), nil
+}
+
+func testKey(cell int) Key {
+	return NewKey("test", 1, cell, 0.5, 0, 0xfeedface).WithVariant(7)
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	key := testKey(3)
+	payload := []byte("the quick brown fox")
+	img := Snapshot(key, payload)
+	got, err := Load(img, key)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload round-trip: got %q want %q", got, payload)
+	}
+	if _, err := Load(img, testKey(4)); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("wrong-key Load: got %v, want ErrSnapshot", err)
+	}
+}
+
+func TestSnapshotEmptyNamespaceAndPayload(t *testing.T) {
+	key := Key{}
+	img := Snapshot(key, nil)
+	got, err := Load(img, key)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("want empty payload, got %d bytes", len(got))
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	key := testKey(1)
+	img := Snapshot(key, []byte("payload-bytes"))
+
+	cases := map[string]func([]byte) []byte{
+		"truncated-header": func(b []byte) []byte { return b[:8] },
+		"truncated-tail":   func(b []byte) []byte { return b[:len(b)-3] },
+		"empty":            func(b []byte) []byte { return nil },
+		"bad-magic": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] ^= 0xff
+			return c
+		},
+		"wrong-version": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			binary.LittleEndian.PutUint32(c[4:], SnapshotVersion+1)
+			return c
+		},
+		"flipped-payload-bit": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-10] ^= 0x01
+			return c
+		},
+		"flipped-key-bit": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[20] ^= 0x01
+			return c
+		},
+		"flipped-crc": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0x01
+			return c
+		},
+	}
+	for name, mutate := range cases {
+		if _, err := Load(mutate(img), key); !errors.Is(err, ErrSnapshot) {
+			t.Errorf("%s: got %v, want ErrSnapshot", name, err)
+		}
+	}
+}
+
+func TestDirCacheRoundTrip(t *testing.T) {
+	dc, err := NewDirCache(t.TempDir(), stringCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(5)
+	if _, ok := dc.Load(key); ok {
+		t.Fatal("Load hit on empty cache")
+	}
+	dc.Store(key, "hello channels")
+	v, ok := dc.Load(key)
+	if !ok || v.(string) != "hello channels" {
+		t.Fatalf("Load after Store: %v, %v", v, ok)
+	}
+	st := dc.Stats()
+	if st.Writes != 1 || st.Hits != 1 || st.Loads != 2 || st.Errors != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The file lands where Path says, inside the namespace subdirectory.
+	if _, err := os.Stat(dc.Path(key)); err != nil {
+		t.Fatalf("snapshot file: %v", err)
+	}
+	if !strings.HasPrefix(dc.Path(key), filepath.Join(dc.Dir(), "test")) {
+		t.Fatalf("path %q not under namespace dir", dc.Path(key))
+	}
+}
+
+func TestDirCacheRejectsTamperedFiles(t *testing.T) {
+	dc, err := NewDirCache(t.TempDir(), stringCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(6)
+	dc.Store(key, "pristine")
+
+	path := dc.Path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one payload byte: CRC check must reject, Load must miss.
+	data[len(data)-8] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dc.Load(key); ok {
+		t.Fatal("Load accepted a corrupted snapshot")
+	}
+	if st := dc.Stats(); st.Errors == 0 {
+		t.Fatalf("corruption not counted: %+v", st)
+	}
+}
+
+func TestDirCacheFullKeyCheckBeatsFilenameHash(t *testing.T) {
+	dc, err := NewDirCache(t.TempDir(), stringCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyA, keyB := testKey(10), testKey(11)
+	dc.Store(keyA, "channel A")
+	// Simulate a filename-hash collision: put A's snapshot at B's path. The
+	// embedded full key must reject it even though the file parses fine.
+	if err := os.MkdirAll(filepath.Dir(dc.Path(keyB)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dc.Path(keyA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dc.Path(keyB), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dc.Load(keyB); ok {
+		t.Fatal("Load trusted a snapshot whose embedded key differs")
+	}
+	if v, ok := dc.Load(keyA); !ok || v.(string) != "channel A" {
+		t.Fatalf("original key: %v, %v", v, ok)
+	}
+}
+
+func TestStoreBackingReadThroughAndWriteBehind(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := NewDirCache(dir, stringCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solves := 0
+	s := New(Options{Backing: dc})
+	key := testKey(20)
+	solve := func() (any, error) { solves++; return "solved-value", nil }
+
+	v, hit, err := s.GetOrCompute(key, solve)
+	if err != nil || hit || v.(string) != "solved-value" {
+		t.Fatalf("first call: %v %v %v", v, hit, err)
+	}
+	s.Sync()
+	st := s.Stats()
+	if st.Misses != 1 || st.BackingWrites != 1 || st.BackingHits != 0 {
+		t.Fatalf("after solve: %+v", st)
+	}
+
+	// A second store over the same directory loads instead of solving.
+	dc2, err := NewDirCache(dir, stringCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Options{Backing: dc2})
+	v, hit, err = s2.GetOrCompute(key, func() (any, error) {
+		t.Error("solve called on warm restart")
+		return nil, nil
+	})
+	if err != nil || !hit || v.(string) != "solved-value" {
+		t.Fatalf("warm call: %v %v %v", v, hit, err)
+	}
+	st = s2.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.BackingHits != 1 || st.BackingWrites != 0 {
+		t.Fatalf("warm stats: %+v", st)
+	}
+	if solves != 1 {
+		t.Fatalf("solves = %d", solves)
+	}
+}
+
+func TestStoreBackingCorruptFallsBackToSolve(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := NewDirCache(dir, stringCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(21)
+	dc.Store(key, "good")
+	path := dc.Path(key)
+	if err := os.WriteFile(path, []byte("garbage, not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Backing: dc})
+	v, hit, err := s.GetOrCompute(key, func() (any, error) { return "re-solved", nil })
+	if err != nil || hit || v.(string) != "re-solved" {
+		t.Fatalf("fallback: %v %v %v", v, hit, err)
+	}
+	s.Sync()
+	// The write-behind overwrote the garbage with a valid snapshot.
+	if v, ok := dc.Load(key); !ok || v.(string) != "re-solved" {
+		t.Fatalf("repaired snapshot: %v %v", v, ok)
+	}
+}
+
+func TestStoreEvictedEntryReloadsFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := NewDirCache(dir, stringCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each entry costs 1; capacity 2 forces eviction on the third insert.
+	s := New(Options{MaxCost: 2, Backing: dc})
+	for cell := 0; cell < 3; cell++ {
+		cell := cell
+		if _, _, err := s.GetOrCompute(testKey(cell), func() (any, error) {
+			return fmt.Sprintf("value-%d", cell), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Sync()
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatalf("no eviction at MaxCost 2: %+v", st)
+	}
+	// Every key — including the evicted one — now resolves without a solve.
+	for cell := 0; cell < 3; cell++ {
+		v, _, err := s.GetOrCompute(testKey(cell), func() (any, error) {
+			return nil, fmt.Errorf("unexpected solve for cell %d", cell)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(string) != fmt.Sprintf("value-%d", cell) {
+			t.Fatalf("cell %d: %v", cell, v)
+		}
+	}
+}
+
+// TestDirCacheConcurrentWriters hammers one shared directory from several
+// stores and goroutines (run with -race): atomic renames must keep every
+// load either a clean miss or a fully consistent snapshot.
+func TestDirCacheConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	const stores, keys, rounds = 4, 8, 10
+	var wg sync.WaitGroup
+	for si := 0; si < stores; si++ {
+		si := si
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dc, err := NewDirCache(dir, stringCodec{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s := New(Options{Backing: dc})
+			for r := 0; r < rounds; r++ {
+				for cell := 0; cell < keys; cell++ {
+					cell := cell
+					v, _, err := s.GetOrCompute(testKey(cell), func() (any, error) {
+						return fmt.Sprintf("value-%d", cell), nil
+					})
+					if err != nil {
+						t.Errorf("store %d: %v", si, err)
+						return
+					}
+					if v.(string) != fmt.Sprintf("value-%d", cell) {
+						t.Errorf("store %d cell %d: got %v", si, cell, v)
+						return
+					}
+				}
+			}
+			s.Sync()
+		}()
+	}
+	wg.Wait()
+
+	// Every surviving snapshot file must verify.
+	dc, err := NewDirCache(dir, stringCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cell := 0; cell < keys; cell++ {
+		if v, ok := dc.Load(testKey(cell)); !ok || v.(string) != fmt.Sprintf("value-%d", cell) {
+			t.Fatalf("cell %d after concurrent writers: %v %v", cell, v, ok)
+		}
+	}
+	// No temp files leaked.
+	entries, err := os.ReadDir(filepath.Join(dir, "test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("leaked temp file %s", e.Name())
+		}
+	}
+}
+
+func TestNewDirCacheValidation(t *testing.T) {
+	if _, err := NewDirCache(t.TempDir(), nil); err == nil {
+		t.Fatal("nil codec accepted")
+	}
+	// A directory that cannot be created fails construction, not use.
+	bad := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(bad, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDirCache(filepath.Join(bad, "sub"), stringCodec{}); err == nil {
+		t.Fatal("uncreatable dir accepted")
+	}
+}
+
+func TestKeyVariantSeparation(t *testing.T) {
+	s := New(Options{})
+	base := NewKey("v", 0, 0, 1.0, 0, 1)
+	va := base.WithVariant(1)
+	if base == va {
+		t.Fatal("WithVariant did not change the key")
+	}
+	if _, _, err := s.GetOrCompute(base, func() (any, error) { return "exact", nil }); err != nil {
+		t.Fatal(err)
+	}
+	v, hit, err := s.GetOrCompute(va, func() (any, error) { return "reduced", nil })
+	if err != nil || hit || v.(string) != "reduced" {
+		t.Fatalf("variant key collided with base: %v %v %v", v, hit, err)
+	}
+}

@@ -48,6 +48,12 @@ type Key struct {
 	// PriorHash fingerprints the adversarial prior (and, for adaptive
 	// indexes, the partition geometry derived from it).
 	PriorHash uint64
+	// Variant distinguishes alternative constructions of the same
+	// subdomain channel: 0 is the exact full-constraint LP; a
+	// spanner-reduced channel stores math.Float64bits of its stretch
+	// factor. Reduced and exact channels thereby share singleflight,
+	// stats, eviction and persistence without colliding.
+	Variant uint64
 }
 
 // NewKey assembles a Key, converting eps to its exact bit pattern.
@@ -60,6 +66,14 @@ func NewKey(namespace string, level, cell int, eps float64, metric int, priorHas
 		Metric:    metric,
 		PriorHash: priorHash,
 	}
+}
+
+// WithVariant returns a copy of k tagged with the given variant bits
+// (conventionally math.Float64bits of a spanner stretch factor; 0 means the
+// exact channel).
+func (k Key) WithVariant(variant uint64) Key {
+	k.Variant = variant
+	return k
 }
 
 // Stats is a snapshot of store behaviour. Hits+Misses equals the number of
@@ -79,6 +93,12 @@ type Stats struct {
 	Cost int64
 	// Evictions counts entries removed by the cost-aware eviction policy.
 	Evictions int64
+	// BackingHits counts lookups satisfied by the backing cache instead of
+	// a solve (counted as Hits, not Misses: no solve happened).
+	BackingHits int64
+	// BackingWrites counts freshly solved channels handed to the backing
+	// cache for write-behind persistence.
+	BackingWrites int64
 }
 
 // Options configures a Store.
@@ -91,6 +111,11 @@ type Options struct {
 	// CostFn assigns a cost to a computed value; nil means every entry costs
 	// 1 (MaxCost then bounds the entry count).
 	CostFn func(v any) int64
+	// Backing, when non-nil, is consulted read-through on every miss before
+	// solving and written behind (asynchronously) after every successful
+	// solve. Evicted entries therefore remain loadable: a later miss for the
+	// same key reloads from the backing instead of re-solving.
+	Backing Backing
 }
 
 const numShards = 32
@@ -102,14 +127,19 @@ type Store struct {
 	seed    maphash.Seed
 	costFn  func(v any) int64
 	maxCost int64
+	backing Backing
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	inflight  atomic.Int64
-	entries   atomic.Int64
-	cost      atomic.Int64
-	evictions atomic.Int64
-	clock     atomic.Int64 // logical time for LRU ordering
+	hits          atomic.Int64
+	misses        atomic.Int64
+	inflight      atomic.Int64
+	entries       atomic.Int64
+	cost          atomic.Int64
+	evictions     atomic.Int64
+	backingHits   atomic.Int64
+	backingWrites atomic.Int64
+	clock         atomic.Int64 // logical time for LRU ordering
+
+	backingWG sync.WaitGroup // tracks in-flight write-behind goroutines
 }
 
 type shard struct {
@@ -131,6 +161,7 @@ func New(opts Options) *Store {
 		seed:    maphash.MakeSeed(),
 		maxCost: opts.MaxCost,
 		costFn:  opts.CostFn,
+		backing: opts.Backing,
 	}
 	if s.costFn == nil {
 		s.costFn = func(any) int64 { return 1 }
@@ -145,7 +176,7 @@ func (s *Store) shardFor(k Key) *shard {
 	var h maphash.Hash
 	h.SetSeed(s.seed)
 	h.WriteString(k.Namespace)
-	var buf [40]byte
+	var buf [48]byte
 	put64 := func(off int, v uint64) {
 		for i := 0; i < 8; i++ {
 			buf[off+i] = byte(v >> (8 * i))
@@ -156,15 +187,23 @@ func (s *Store) shardFor(k Key) *shard {
 	put64(16, k.EpsBits)
 	put64(24, uint64(k.Metric))
 	put64(32, k.PriorHash)
+	put64(40, k.Variant)
 	h.Write(buf[:])
 	return &s.shards[h.Sum64()%numShards]
 }
 
 // GetOrCompute returns the channel for key, invoking solve exactly once per
 // key across all concurrent callers (singleflight). The second return value
-// reports whether the call was a cache hit. A failed solve is not cached:
-// the error is delivered to every caller that joined the flight, and a later
+// reports whether the call was satisfied without solving (resident entry,
+// joined flight, or backing-cache load). A failed solve is not cached: the
+// error is delivered to every caller that joined the flight, and a later
 // call retries.
+//
+// With a Backing configured, a miss first attempts a read-through load —
+// still under the singleflight, so concurrent callers share one disk read —
+// and only solves if the backing declines. Freshly solved values are handed
+// to the backing asynchronously (write-behind); call Sync to wait for those
+// writes, e.g. before process exit.
 func (s *Store) GetOrCompute(key Key, solve func() (any, error)) (any, bool, error) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
@@ -186,7 +225,16 @@ func (s *Store) GetOrCompute(key Key, solve func() (any, error)) (any, bool, err
 	sh.mu.Unlock()
 
 	s.inflight.Add(1)
-	e.val, e.err = solve()
+	fromBacking := false
+	if s.backing != nil {
+		if v, ok := s.backing.Load(key); ok {
+			e.val = v
+			fromBacking = true
+		}
+	}
+	if !fromBacking {
+		e.val, e.err = solve()
+	}
 	s.inflight.Add(-1)
 	if e.err != nil {
 		sh.mu.Lock()
@@ -199,11 +247,32 @@ func (s *Store) GetOrCompute(key Key, solve func() (any, error)) (any, bool, err
 	s.entries.Add(1)
 	total := s.cost.Add(e.cost)
 	close(e.done)
-	s.misses.Add(1)
+	if fromBacking {
+		s.hits.Add(1)
+		s.backingHits.Add(1)
+	} else {
+		s.misses.Add(1)
+		if s.backing != nil {
+			s.backingWrites.Add(1)
+			s.backingWG.Add(1)
+			val := e.val
+			go func() {
+				defer s.backingWG.Done()
+				s.backing.Store(key, val)
+			}()
+		}
+	}
 	if s.maxCost > 0 && total > s.maxCost {
 		s.evict(total - s.maxCost)
 	}
-	return e.val, false, nil
+	return e.val, fromBacking, nil
+}
+
+// Sync blocks until every write-behind persistence goroutine started so far
+// has completed. It does not prevent new writes from starting; callers
+// should quiesce queries first (e.g. after Precompute, or during shutdown).
+func (s *Store) Sync() {
+	s.backingWG.Wait()
 }
 
 // Get returns the channel for key if resident and fully computed.
@@ -315,11 +384,13 @@ func (s *Store) Clear() {
 // Stats returns a snapshot of the store counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Inflight:  s.inflight.Load(),
-		Entries:   s.entries.Load(),
-		Cost:      s.cost.Load(),
-		Evictions: s.evictions.Load(),
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Inflight:      s.inflight.Load(),
+		Entries:       s.entries.Load(),
+		Cost:          s.cost.Load(),
+		Evictions:     s.evictions.Load(),
+		BackingHits:   s.backingHits.Load(),
+		BackingWrites: s.backingWrites.Load(),
 	}
 }

@@ -98,6 +98,14 @@ type Config struct {
 	// include the level budget, metric and a prior fingerprint, so distinct
 	// mechanisms sharing a store never collide.
 	Store *channel.Store
+	// SpannerStretch, when > 0, replaces each per-level full-constraint LP
+	// with the spanner-reduced formulation of Bordenabe et al. at this
+	// stretch factor (>= 1; stretch -> 1 recovers the exact LP). Reduced
+	// channels satisfy eps-GeoInd exactly but are keyed separately in the
+	// store (Key.Variant carries the stretch bits), so exact and reduced
+	// channels — including persisted snapshots — never alias. 0 keeps the
+	// exact formulation.
+	SpannerStretch float64
 }
 
 // storeNamespace is the Key namespace of MSM grid channels.
@@ -149,6 +157,9 @@ func New(cfg Config, seed uint64) (*Mechanism, error) {
 	}
 	if !cfg.Metric.Valid() {
 		return nil, fmt.Errorf("msm: unknown metric %v", cfg.Metric)
+	}
+	if cfg.SpannerStretch != 0 && (!(cfg.SpannerStretch >= 1) || math.IsInf(cfg.SpannerStretch, 0)) {
+		return nil, fmt.Errorf("msm: spanner stretch %g must be 0 (exact) or >= 1", cfg.SpannerStretch)
 	}
 
 	// Height cap from the leaf-granularity bound (and the user's cap).
@@ -283,6 +294,11 @@ func (m *Mechanism) Stats() (queries, solves int) {
 // shared store the numbers aggregate every mechanism using it.
 func (m *Mechanism) StoreStats() channel.Stats { return m.store.Stats() }
 
+// SyncStore blocks until the store's write-behind persistence goroutines
+// (if a backing cache is configured) have drained. Call after Precompute or
+// before shutdown to guarantee solved channels reached disk.
+func (m *Mechanism) SyncStore() { m.store.Sync() }
+
 // Workers returns the effective parallelism degree of the pipeline.
 func (m *Mechanism) Workers() int { return channel.Workers(m.cfg.Workers) }
 
@@ -350,20 +366,39 @@ func (m *Mechanism) channel(level, parentIdx int) (*opt.Channel, error) {
 		return m.solveChannel(level, parentIdx)
 	}
 	key := channel.NewKey(storeNamespace, level, parentIdx, m.alloc.Eps[level], int(m.cfg.Metric), m.priorHash)
+	if m.cfg.SpannerStretch > 0 {
+		key = key.WithVariant(math.Float64bits(m.cfg.SpannerStretch))
+	}
 	v, _, err := m.store.GetOrCompute(key, func() (any, error) {
 		return m.solveChannel(level, parentIdx)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.(*opt.Channel), nil
+	// A persisted snapshot passed checksum, key and codec validation, but a
+	// foreign backing could in principle hand back the wrong shape; never
+	// trust it over a fresh solve.
+	ch, ok := v.(*opt.Channel)
+	if !ok || ch.N() != m.cfg.G*m.cfg.G {
+		return m.solveChannel(level, parentIdx)
+	}
+	return ch, nil
 }
 
-// solveChannel performs the LP solve for one (level, parent) subdomain.
+// solveChannel performs the LP solve for one (level, parent) subdomain,
+// using the spanner-reduced formulation when SpannerStretch is set.
 func (m *Mechanism) solveChannel(level, parentIdx int) (*opt.Channel, error) {
 	sub := m.hier.SubGrid(level, parentIdx)
 	pw := m.levelSubPrior(level, parentIdx)
-	ch, err := opt.Build(m.alloc.Eps[level], sub, pw, m.cfg.Metric, &opt.Options{LP: m.lpOpts()})
+	var (
+		ch  *opt.Channel
+		err error
+	)
+	if m.cfg.SpannerStretch > 0 {
+		ch, err = opt.BuildSpanner(m.alloc.Eps[level], sub, pw, m.cfg.Metric, m.cfg.SpannerStretch, &opt.Options{LP: m.lpOpts()})
+	} else {
+		ch, err = opt.Build(m.alloc.Eps[level], sub, pw, m.cfg.Metric, &opt.Options{LP: m.lpOpts()})
+	}
 	if err != nil {
 		return nil, fmt.Errorf("msm: level %d cell %d: %w", level+1, parentIdx, err)
 	}

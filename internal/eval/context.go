@@ -3,8 +3,10 @@ package eval
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync"
 	"time"
 
+	"geoind/internal/channel"
 	"geoind/internal/core"
 	"geoind/internal/dataset"
 	"geoind/internal/geo"
@@ -28,6 +30,16 @@ type Context struct {
 	// bit-identical for any worker count, so raising it only changes wall
 	// time.
 	Workers int
+	// CacheDir, when non-empty, routes the harness's directly built OPT and
+	// spanner channels through a snapshot-persisted channel store, so
+	// repeated experiment runs reuse solved channels from disk instead of
+	// repeating the LP solves. Empty keeps the historical direct-solve path
+	// (measured solve times and outputs unchanged).
+	CacheDir string
+
+	storeMu  sync.Mutex
+	store    *channel.Store
+	storeErr error
 }
 
 // NewContext loads the synthetic datasets with the paper's workload size.
@@ -121,18 +133,90 @@ func (c *Context) plUtility(ds *dataset.Dataset, eps float64, g int, metric geo.
 	return loss / float64(len(reqs)), nil
 }
 
+// channelStore lazily builds the harness's shared channel store: snapshot
+// persistence under CacheDir when set, in-memory only otherwise.
+func (c *Context) channelStore() (*channel.Store, error) {
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	if c.store != nil || c.storeErr != nil {
+		return c.store, c.storeErr
+	}
+	opts := channel.Options{CostFn: opt.SnapshotCost}
+	if c.CacheDir != "" {
+		dc, err := channel.NewDirCache(c.CacheDir, opt.SnapshotCodec{})
+		if err != nil {
+			c.storeErr = err
+			return nil, err
+		}
+		opts.Backing = dc
+	}
+	c.store = channel.New(opts)
+	return c.store, nil
+}
+
+// SyncCache blocks until pending write-behind snapshot writes reach disk;
+// a no-op when no channel was routed through the store.
+func (c *Context) SyncCache() {
+	c.storeMu.Lock()
+	s := c.store
+	c.storeMu.Unlock()
+	if s != nil {
+		s.Sync()
+	}
+}
+
+// optKey is the store key of a directly built evaluation channel: the
+// dataset name, region and prior are fingerprinted, granularity rides in the
+// Level field, and variant carries the spanner stretch bits (0 = full LP).
+func optKey(dsName string, region geo.Rect, pw []float64, eps float64, g int, metric geo.Metric, variant uint64) channel.Key {
+	h := channel.NewHasher()
+	h.String(dsName)
+	h.Float64(region.MinX)
+	h.Float64(region.MinY)
+	h.Float64(region.MaxX)
+	h.Float64(region.MaxY)
+	h.Floats(pw)
+	return channel.NewKey("opt", g, 0, eps, int(metric), h.Sum()).WithVariant(variant)
+}
+
+// storedChannel routes one channel build through the shared store (and hence
+// the snapshot cache when CacheDir is set): a verified snapshot load replaces
+// the solve, and a fresh solve is persisted for the next run.
+func (c *Context) storedChannel(key channel.Key, solve func() (*opt.Channel, error)) (*opt.Channel, error) {
+	store, err := c.channelStore()
+	if err != nil {
+		return nil, err
+	}
+	v, _, err := store.GetOrCompute(key, func() (any, error) { return solve() })
+	if err != nil {
+		return nil, err
+	}
+	if ch, ok := v.(*opt.Channel); ok {
+		return ch, nil
+	}
+	return solve()
+}
+
 // optChannel builds the OPT channel for a dataset prior, returning the solve
-// wall time.
+// wall time (snapshot-load time when CacheDir serves a prior run's solve).
 func (c *Context) optChannel(ds *dataset.Dataset, eps float64, g int, metric geo.Metric) (*opt.Channel, time.Duration, error) {
 	gr, err := grid.New(ds.Region(), g)
 	if err != nil {
 		return nil, 0, err
 	}
 	pw := prior.FromPoints(gr, ds.Points()).Weights()
+	solve := func() (*opt.Channel, error) {
+		return opt.Build(eps, gr, pw, metric, &opt.Options{
+			LP: &lp.IPMOptions{Workers: c.Workers},
+		})
+	}
 	start := time.Now()
-	ch, err := opt.Build(eps, gr, pw, metric, &opt.Options{
-		LP: &lp.IPMOptions{Workers: c.Workers},
-	})
+	var ch *opt.Channel
+	if c.CacheDir != "" {
+		ch, err = c.storedChannel(optKey(ds.Name, ds.Region(), pw, eps, g, metric, 0), solve)
+	} else {
+		ch, err = solve()
+	}
 	if err != nil {
 		return nil, 0, fmt.Errorf("OPT g=%d eps=%g: %w", g, eps, err)
 	}

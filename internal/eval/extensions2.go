@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"geoind/internal/adaptive"
@@ -126,7 +127,11 @@ type SpannerResult struct {
 }
 
 // RunSpannerAblation compares the full OPT LP against spanner-reduced
-// variants on the Gowalla prior at granularity g.
+// variants on the Gowalla prior at granularity g. Exact and reduced channels
+// both go through the shared channel store — reduced ones keyed by their
+// stretch-factor variant — so with a Context.CacheDir a repeated run reloads
+// every variant from its snapshot instead of re-solving (SolveSeconds then
+// measures the load).
 func (c *Context) RunSpannerAblation(g int, eps float64, stretches []float64) (*SpannerResult, error) {
 	res := &SpannerResult{G: g, Eps: eps}
 	gr, err := grid.New(c.Gowalla.Region(), g)
@@ -136,7 +141,9 @@ func (c *Context) RunSpannerAblation(g int, eps float64, stretches []float64) (*
 	pw := prior.FromPoints(gr, c.Gowalla.Points()).Weights()
 
 	start := time.Now()
-	full, err := opt.Build(eps, gr, pw, geo.Euclidean, nil)
+	full, err := c.storedChannel(
+		optKey(c.Gowalla.Name, c.Gowalla.Region(), pw, eps, g, geo.Euclidean, 0),
+		func() (*opt.Channel, error) { return opt.Build(eps, gr, pw, geo.Euclidean, nil) })
 	if err != nil {
 		return nil, err
 	}
@@ -148,8 +155,11 @@ func (c *Context) RunSpannerAblation(g int, eps float64, stretches []float64) (*
 		GeoIndExcess: opt.VerifyGeoInd(gr, eps, full.K),
 	})
 	for _, st := range stretches {
+		st := st
 		start = time.Now()
-		ch, err := opt.BuildSpanner(eps, gr, pw, geo.Euclidean, st, nil)
+		ch, err := c.storedChannel(
+			optKey(c.Gowalla.Name, c.Gowalla.Region(), pw, eps, g, geo.Euclidean, math.Float64bits(st)),
+			func() (*opt.Channel, error) { return opt.BuildSpanner(eps, gr, pw, geo.Euclidean, st, nil) })
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,303 @@
+package opt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+)
+
+// Snapshot payload encoding for solved channels (the bytes framed by
+// internal/channel's versioned, checksummed snapshot files). The encoding is
+// little-endian and fully self-describing: a one-byte kind tag, the grid
+// geometry (or candidate set), the solve parameters, and the length-prefixed
+// row-major K matrix plus its cumulative-row companion. Decode rebuilds and
+// revalidates everything — grid bounds and granularity, metric, row
+// stochasticity, strict positivity and finiteness of K, and bit-exact
+// agreement of the stored cumulative rows with a recomputation from K — so a
+// loaded channel samples identically to the solved channel it mirrors, and
+// malformed bytes (even ones that pass the outer checksum) are rejected
+// rather than served.
+
+const (
+	snapKindGrid   = 1 // *Channel over a regular grid
+	snapKindPoints = 2 // *PointChannel over an arbitrary candidate set
+)
+
+// rowSumTol bounds the acceptable deviation of a decoded row sum from 1.
+// Freshly built channels are renormalized exactly, so any larger deviation
+// indicates foreign or damaged bytes.
+const rowSumTol = 1e-6
+
+// SnapshotCodec implements internal/channel's Codec for the two channel
+// types this repository caches: *Channel (grid mechanisms: MSM, quadtree)
+// and *PointChannel (the adaptive k-d index).
+type SnapshotCodec struct{}
+
+// SnapshotCost is a channel.Options.CostFn measuring resident bytes of the
+// sampling-critical payload (K plus cumulative rows) of a cached channel.
+// Unknown values cost 1 so a misconfigured store still bounds entry count.
+func SnapshotCost(v any) int64 {
+	switch c := v.(type) {
+	case *Channel:
+		return int64(len(c.K)+len(c.cum)) * 8
+	case *PointChannel:
+		return int64(len(c.K)+len(c.cum)) * 8
+	default:
+		return 1
+	}
+}
+
+// Encode serializes a *Channel or *PointChannel.
+func (SnapshotCodec) Encode(v any) ([]byte, error) {
+	switch c := v.(type) {
+	case *Channel:
+		buf := make([]byte, 0, 1+4*8+4+8+8+8+4+4+2*(8+len(c.K)*8))
+		buf = append(buf, snapKindGrid)
+		b := c.Grid.Bounds()
+		buf = appendFloat(buf, b.MinX)
+		buf = appendFloat(buf, b.MinY)
+		buf = appendFloat(buf, b.MaxX)
+		buf = appendFloat(buf, b.MaxY)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Grid.Granularity()))
+		buf = appendFloat(buf, c.Eps)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(c.Metric)))
+		buf = appendFloat(buf, c.ExpectedLoss)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Iters))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.PairFamilies))
+		buf = appendFloats(buf, c.K)
+		buf = appendFloats(buf, c.cum)
+		return buf, nil
+	case *PointChannel:
+		buf := make([]byte, 0, 1+4+len(c.Centers)*16+8+8+8+4+2*(8+len(c.K)*8))
+		buf = append(buf, snapKindPoints)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Centers)))
+		for _, p := range c.Centers {
+			buf = appendFloat(buf, p.X)
+			buf = appendFloat(buf, p.Y)
+		}
+		buf = appendFloat(buf, c.Eps)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(c.Metric)))
+		buf = appendFloat(buf, c.ExpectedLoss)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Iters))
+		buf = appendFloats(buf, c.K)
+		buf = appendFloats(buf, c.cum)
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("opt: cannot snapshot %T", v)
+	}
+}
+
+// Decode parses and validates a snapshot payload, returning a *Channel or
+// *PointChannel ready to sample (cumulative rows verified bit-exact against
+// a recomputation from K).
+func (SnapshotCodec) Decode(data []byte) (any, error) {
+	r := &snapReader{data: data}
+	kind := r.byte()
+	switch kind {
+	case snapKindGrid:
+		return decodeGrid(r)
+	case snapKindPoints:
+		return decodePoints(r)
+	default:
+		return nil, fmt.Errorf("opt: unknown snapshot kind %d", kind)
+	}
+}
+
+func decodeGrid(r *snapReader) (*Channel, error) {
+	bounds := geo.Rect{MinX: r.float(), MinY: r.float(), MaxX: r.float(), MaxY: r.float()}
+	gran := int(r.uint32())
+	eps := r.float()
+	metric := geo.Metric(int64(r.uint64()))
+	loss := r.float()
+	iters := int(r.uint32())
+	pairFamilies := int(r.uint32())
+	k := r.floats()
+	cum := r.floats()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("opt: %d trailing snapshot bytes", r.remaining())
+	}
+	for _, f := range []float64{bounds.MinX, bounds.MinY, bounds.MaxX, bounds.MaxY} {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("opt: non-finite grid bounds in snapshot")
+		}
+	}
+	g, err := grid.New(bounds, gran)
+	if err != nil {
+		return nil, fmt.Errorf("opt: snapshot geometry: %w", err)
+	}
+	ch := &Channel{
+		Grid: g, Eps: eps, Metric: metric, K: k,
+		ExpectedLoss: loss, Iters: iters, PairFamilies: pairFamilies, cum: cum,
+	}
+	if iters < 0 || pairFamilies < 0 {
+		return nil, fmt.Errorf("opt: negative solve metadata in snapshot")
+	}
+	if err := validateChannel(g.NumCells(), eps, metric, loss, k, cum); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+func decodePoints(r *snapReader) (*PointChannel, error) {
+	n := int(r.uint32())
+	if r.err == nil && (n < 1 || n > grid.MaxCellsPerSide*grid.MaxCellsPerSide) {
+		return nil, fmt.Errorf("opt: snapshot candidate count %d out of range", n)
+	}
+	centers := make([]geo.Point, 0, min(n, 1<<16))
+	for i := 0; i < n && r.err == nil; i++ {
+		centers = append(centers, geo.Point{X: r.float(), Y: r.float()})
+	}
+	eps := r.float()
+	metric := geo.Metric(int64(r.uint64()))
+	loss := r.float()
+	iters := int(r.uint32())
+	k := r.floats()
+	cum := r.floats()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("opt: %d trailing snapshot bytes", r.remaining())
+	}
+	for _, p := range centers {
+		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+			return nil, fmt.Errorf("opt: non-finite candidate location in snapshot")
+		}
+	}
+	if iters < 0 {
+		return nil, fmt.Errorf("opt: negative solve metadata in snapshot")
+	}
+	if err := validateChannel(n, eps, metric, loss, k, cum); err != nil {
+		return nil, err
+	}
+	return &PointChannel{
+		Centers: centers, Eps: eps, Metric: metric, K: k,
+		ExpectedLoss: loss, Iters: iters, cum: cum,
+	}, nil
+}
+
+// validateChannel checks the invariants every freshly built channel holds:
+// positive finite eps, known metric, finite nonnegative loss, an n x n
+// matrix of finite nonnegative entries with row sums within rowSumTol of 1,
+// and cumulative rows that are a bit-exact prefix-sum recomputation of K
+// (float64 addition is deterministic, so solved and loaded channels must
+// agree on every bit or sampling could diverge).
+func validateChannel(n int, eps float64, metric geo.Metric, loss float64, k, cum []float64) error {
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return fmt.Errorf("opt: snapshot eps %g out of range", eps)
+	}
+	if !metric.Valid() {
+		return fmt.Errorf("opt: snapshot has unknown metric %v", metric)
+	}
+	if math.IsNaN(loss) || math.IsInf(loss, 0) || loss < 0 {
+		return fmt.Errorf("opt: snapshot expected loss %g out of range", loss)
+	}
+	if len(k) != n*n {
+		return fmt.Errorf("opt: snapshot K has %d entries, want %d", len(k), n*n)
+	}
+	if len(cum) != n*n {
+		return fmt.Errorf("opt: snapshot cum has %d entries, want %d", len(cum), n*n)
+	}
+	for i, v := range k {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("opt: snapshot K[%d] = %g out of range", i, v)
+		}
+	}
+	for x := 0; x < n; x++ {
+		s := 0.0
+		for z := 0; z < n; z++ {
+			s += k[x*n+z]
+			if cum[x*n+z] != s {
+				return fmt.Errorf("opt: snapshot cum[%d] diverges from prefix sum of K", x*n+z)
+			}
+		}
+		if math.Abs(s-1) > rowSumTol {
+			return fmt.Errorf("opt: snapshot row %d sums to %g", x, s)
+		}
+	}
+	return nil
+}
+
+func appendFloat(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+func appendFloats(buf []byte, fs []float64) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(fs)))
+	for _, f := range fs {
+		buf = appendFloat(buf, f)
+	}
+	return buf
+}
+
+// snapReader is a bounds-checked little-endian cursor. The first short read
+// latches an error; subsequent reads return zero values, so decode paths can
+// read a full record and check err once.
+type snapReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *snapReader) remaining() int { return len(r.data) - r.off }
+
+func (r *snapReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.remaining() < n {
+		r.err = fmt.Errorf("opt: snapshot truncated at offset %d", r.off)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *snapReader) byte() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *snapReader) uint32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *snapReader) uint64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *snapReader) float() float64 { return math.Float64frombits(r.uint64()) }
+
+func (r *snapReader) floats() []float64 {
+	n := r.uint64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.remaining())/8 {
+		r.err = fmt.Errorf("opt: snapshot float slice length %d exceeds remaining bytes", n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.float()
+	}
+	return out
+}

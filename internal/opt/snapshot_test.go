@@ -1,0 +1,209 @@
+package opt
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+)
+
+func snapshotTestChannel(t *testing.T) *Channel {
+	t.Helper()
+	g, err := grid.New(geo.Rect{MaxX: 10, MaxY: 10}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := make([]float64, g.NumCells())
+	for i := range pw {
+		pw[i] = float64(i + 1)
+	}
+	ch, err := Build(0.7, g, pw, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestSnapshotCodecChannelRoundTrip(t *testing.T) {
+	ch := snapshotTestChannel(t)
+	codec := SnapshotCodec{}
+	data, err := codec.Encode(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := codec.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.(*Channel)
+	if !ok {
+		t.Fatalf("decoded %T", v)
+	}
+
+	if got.Eps != ch.Eps || got.Metric != ch.Metric || got.ExpectedLoss != ch.ExpectedLoss ||
+		got.Iters != ch.Iters || got.PairFamilies != ch.PairFamilies {
+		t.Fatalf("scalar fields differ: %+v vs %+v", got, ch)
+	}
+	if got.Grid.Bounds() != ch.Grid.Bounds() || got.Grid.NumCells() != ch.Grid.NumCells() {
+		t.Fatal("grid geometry differs")
+	}
+	for i := range ch.K {
+		if got.K[i] != ch.K[i] {
+			t.Fatalf("K[%d]: %v vs %v (not bit-equal)", i, got.K[i], ch.K[i])
+		}
+	}
+	for i := range ch.cum {
+		if got.cum[i] != ch.cum[i] {
+			t.Fatalf("cum[%d]: %v vs %v (not bit-equal)", i, got.cum[i], ch.cum[i])
+		}
+	}
+
+	// Bit-equal cum rows mean the sampled index sequence is identical for the
+	// same RNG stream — the warm-restart acceptance criterion.
+	rngA := rand.New(rand.NewPCG(11, 22))
+	rngB := rand.New(rand.NewPCG(11, 22))
+	n := ch.N()
+	for i := 0; i < 500; i++ {
+		x := i % n
+		if a, b := ch.SampleIndex(x, rngA), got.SampleIndex(x, rngB); a != b {
+			t.Fatalf("draw %d: original sampled %d, decoded sampled %d", i, a, b)
+		}
+	}
+}
+
+func TestSnapshotCodecPointChannelRoundTrip(t *testing.T) {
+	centers := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0.5}, {X: 2.5, Y: 3}, {X: 4, Y: 1}}
+	pw := []float64{1, 2, 3, 4}
+	ch, err := BuildPoints(0.9, centers, pw, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := SnapshotCodec{}
+	data, err := codec.Encode(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := codec.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.(*PointChannel)
+	if !ok {
+		t.Fatalf("decoded %T", v)
+	}
+	if got.Eps != ch.Eps || got.Metric != ch.Metric || got.ExpectedLoss != ch.ExpectedLoss || got.Iters != ch.Iters {
+		t.Fatal("scalar fields differ")
+	}
+	for i := range ch.Centers {
+		if got.Centers[i] != ch.Centers[i] {
+			t.Fatalf("center %d differs", i)
+		}
+	}
+	for i := range ch.K {
+		if got.K[i] != ch.K[i] || got.cum[i] != ch.cum[i] {
+			t.Fatalf("matrix entry %d not bit-equal", i)
+		}
+	}
+	rngA := rand.New(rand.NewPCG(5, 6))
+	rngB := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 200; i++ {
+		x := i % len(centers)
+		if a, b := ch.SampleIndex(x, rngA), got.SampleIndex(x, rngB); a != b {
+			t.Fatalf("draw %d: %d vs %d", i, a, b)
+		}
+	}
+}
+
+func TestSnapshotCodecRejectsGarbage(t *testing.T) {
+	codec := SnapshotCodec{}
+	ch := snapshotTestChannel(t)
+	data, err := codec.Encode(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"empty":        nil,
+		"unknown-kind": {0xee, 1, 2, 3},
+		"truncated":    data[:len(data)/2],
+		"trailing":     append(append([]byte(nil), data...), 0),
+	}
+	for name, payload := range cases {
+		if _, err := codec.Decode(payload); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestSnapshotCodecRejectsTamperedMatrix(t *testing.T) {
+	codec := SnapshotCodec{}
+	ch := snapshotTestChannel(t)
+	data, err := codec.Encode(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip the low mantissa bit of the final cum entry: the decoder recomputes
+	// prefix sums from K and must notice the mismatch.
+	tampered := append([]byte(nil), data...)
+	tampered[len(tampered)-8] ^= 0x01
+	if _, err := codec.Decode(tampered); err == nil {
+		t.Fatal("accepted a cum row inconsistent with K")
+	}
+
+	// A NaN in K must be rejected by the finiteness check. K starts right
+	// after the fixed header; overwrite its first entry.
+	nan := append([]byte(nil), data...)
+	idx := snapshotKOffset(t, codec, ch)
+	putFloatLE(nan[idx:], math.NaN())
+	if _, err := codec.Decode(nan); err == nil {
+		t.Fatal("accepted NaN in K")
+	}
+}
+
+// snapshotKOffset locates the first K entry in an encoded grid snapshot by
+// re-encoding with a sentinel value and diffing.
+func snapshotKOffset(t *testing.T, codec SnapshotCodec, ch *Channel) int {
+	t.Helper()
+	orig, err := codec.Encode(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := *ch
+	mod.K = append([]float64(nil), ch.K...)
+	mod.K[0] = math.Float64frombits(math.Float64bits(ch.K[0]) ^ 1)
+	mod.cum = ch.cum
+	data, err := codec.Encode(&mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if orig[i] != data[i] {
+			// The sentinel flips the float's lowest mantissa bit, so the first
+			// differing byte is the little-endian float's first byte.
+			return i
+		}
+	}
+	t.Fatal("sentinel not found")
+	return 0
+}
+
+func putFloatLE(b []byte, f float64) {
+	bits := math.Float64bits(f)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(bits >> (8 * i))
+	}
+}
+
+func TestSnapshotCost(t *testing.T) {
+	ch := snapshotTestChannel(t)
+	want := int64(len(ch.K)+len(ch.cum)) * 8
+	if got := SnapshotCost(ch); got != want {
+		t.Fatalf("SnapshotCost(Channel) = %d, want %d", got, want)
+	}
+	if got := SnapshotCost("not a channel"); got != 1 {
+		t.Fatalf("SnapshotCost(foreign) = %d, want 1", got)
+	}
+}

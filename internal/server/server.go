@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"geoind/internal/channel"
 	"geoind/internal/geo"
 )
 
@@ -22,6 +23,15 @@ type Reporter interface {
 // when available and falls back to a sequential Report loop otherwise.
 type BatchReporter interface {
 	ReportBatch(xs []geo.Point) ([]geo.Point, error)
+}
+
+// StoreStatser is optionally implemented by mechanisms backed by a channel
+// store (geoind.MSM and geoind.AdaptiveMSM are). When the mechanism provides
+// it, /v1/stats exposes the store counters — including persistent-cache disk
+// hits and write-behind writes, the observable proof of a zero-solve warm
+// restart.
+type StoreStatser interface {
+	StoreStats() channel.Stats
 }
 
 // MaxBatchSize bounds the number of points one /v1/report:batch request may
@@ -56,6 +66,7 @@ func New(mech Reporter, ledger *Ledger, region geo.Rect) (*Server, error) {
 	s.mux.HandleFunc("/v1/report", s.handleReport)
 	s.mux.HandleFunc("/v1/report:batch", s.handleReportBatch)
 	s.mux.HandleFunc("/v1/budget", s.handleBudget)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	return s, nil
 }
 
@@ -109,6 +120,28 @@ type InfoResponse struct {
 	BudgetWindow string  `json:"budget_window,omitempty"`
 }
 
+// ChannelCacheStats is the channel-store section of a stats response.
+type ChannelCacheStats struct {
+	// Hits are lookups satisfied without an LP solve (resident entry,
+	// deduplicated in-flight solve, or persistent-cache load).
+	Hits int64 `json:"hits"`
+	// Misses are lookups that performed an LP solve.
+	Misses int64 `json:"misses"`
+	// DiskHits of the hits were loaded from the persistent snapshot cache.
+	DiskHits int64 `json:"disk_hits"`
+	// DiskWrites counts solved channels handed to the snapshot cache.
+	DiskWrites int64 `json:"disk_writes"`
+	Entries    int64 `json:"entries"`
+	CostBytes  int64 `json:"cost_bytes"`
+	Evictions  int64 `json:"evictions"`
+}
+
+// StatsResponse is the /v1/stats response body.
+type StatsResponse struct {
+	Mechanism    string             `json:"mechanism"`
+	ChannelCache *ChannelCacheStats `json:"channel_cache,omitempty"`
+}
+
 // errorResponse is the uniform error body.
 type errorResponse struct {
 	Error string `json:"error"`
@@ -139,6 +172,27 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		info.BudgetWindow = s.ledger.Window().String()
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	resp := StatsResponse{Mechanism: s.mech.Name()}
+	if ss, ok := s.mech.(StoreStatser); ok {
+		st := ss.StoreStats()
+		resp.ChannelCache = &ChannelCacheStats{
+			Hits:       st.Hits,
+			Misses:     st.Misses,
+			DiskHits:   st.BackingHits,
+			DiskWrites: st.BackingWrites,
+			Entries:    st.Entries,
+			CostBytes:  st.Cost,
+			Evictions:  st.Evictions,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {

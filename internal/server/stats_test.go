@@ -1,0 +1,80 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"geoind/internal/channel"
+	"geoind/internal/geo"
+)
+
+// statsReporter is a Reporter that also exposes channel-store counters,
+// standing in for MSM/adaptive mechanisms in /v1/stats tests.
+type statsReporter struct {
+	Reporter
+	st channel.Stats
+}
+
+func (s *statsReporter) StoreStats() channel.Stats { return s.st }
+
+func TestStatsEndpoint(t *testing.T) {
+	mech := &statsReporter{
+		Reporter: newTestReporter(t, 0.5),
+		st: channel.Stats{
+			Hits: 12, Misses: 3, BackingHits: 7, BackingWrites: 3,
+			Entries: 3, Cost: 4096, Evictions: 1,
+		},
+	}
+	srv, err := New(mech, nil, geo.NewSquare(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mechanism != "PL" {
+		t.Errorf("mechanism %q", resp.Mechanism)
+	}
+	cc := resp.ChannelCache
+	if cc == nil {
+		t.Fatal("channel_cache missing for a StoreStatser mechanism")
+	}
+	if cc.Hits != 12 || cc.Misses != 3 || cc.DiskHits != 7 || cc.DiskWrites != 3 ||
+		cc.Entries != 3 || cc.CostBytes != 4096 || cc.Evictions != 1 {
+		t.Fatalf("channel_cache %+v", cc)
+	}
+}
+
+func TestStatsEndpointWithoutStoreStatser(t *testing.T) {
+	srv, err := New(newTestReporter(t, 0.5), nil, geo.NewSquare(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	// The channel_cache key must be omitted entirely, not null-filled.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["channel_cache"]; ok {
+		t.Fatal("channel_cache present for a plain Reporter")
+	}
+
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/stats", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/stats: status %d, want 405", rec.Code)
+	}
+}

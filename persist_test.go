@@ -1,0 +1,187 @@
+package geoind_test
+
+import (
+	"os"
+	"testing"
+
+	"geoind"
+)
+
+func persistTestConfig(cacheDir string) geoind.MSMConfig {
+	var pts []geoind.Point
+	for i := 0; i < 40; i++ {
+		pts = append(pts, geoind.Point{
+			X: float64(i%8) * 2.3,
+			Y: float64(i%5) * 3.1,
+		})
+	}
+	return geoind.MSMConfig{
+		Eps:         0.5,
+		Region:      geoind.Square(20),
+		Granularity: 3,
+		PriorPoints: pts,
+		Seed:        42,
+		CacheDir:    cacheDir,
+	}
+}
+
+func reportSequence(t *testing.T, m *geoind.MSM, n int) []geoind.Point {
+	t.Helper()
+	var out []geoind.Point
+	for i := 0; i < n; i++ {
+		x := geoind.Point{X: float64(i%7) * 2.9, Y: float64(i%4) * 4.7}
+		z, err := m.Report(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, z)
+	}
+	return out
+}
+
+// TestWarmRestartZeroSolves is the acceptance criterion of the persistence
+// layer: a restarted process pointed at a populated cache directory
+// precomputes every channel without performing a single LP solve, and its
+// report stream is bit-identical to the first process's.
+func TestWarmRestartZeroSolves(t *testing.T) {
+	dir := t.TempDir()
+
+	m1, err := geoind.NewMSM(persistTestConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	m1.FlushCache()
+	_, solves1 := m1.Stats()
+	if solves1 == 0 {
+		t.Fatal("cold start performed no solves")
+	}
+	st1 := m1.StoreStats()
+	if st1.BackingWrites != int64(solves1) {
+		t.Fatalf("persisted %d of %d solved channels", st1.BackingWrites, solves1)
+	}
+	seq1 := reportSequence(t, m1, 200)
+
+	// Second process: same config, same directory.
+	m2, err := geoind.NewMSM(persistTestConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	if _, solves2 := m2.Stats(); solves2 != 0 {
+		t.Fatalf("warm restart performed %d LP solves, want 0", solves2)
+	}
+	st2 := m2.StoreStats()
+	if st2.Misses != 0 {
+		t.Fatalf("warm restart store misses = %d, want 0", st2.Misses)
+	}
+	if st2.BackingHits != int64(solves1) {
+		t.Fatalf("warm restart loaded %d snapshots, want %d", st2.BackingHits, solves1)
+	}
+
+	// Bit-identity: the same seed must produce the same report stream.
+	seq2 := reportSequence(t, m2, 200)
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("report %d: cold %v, warm %v", i, seq1[i], seq2[i])
+		}
+	}
+}
+
+// TestWarmRestartSpannerVariant checks that spanner-reduced channels persist
+// under their own key variant: warm-restarting a spanner mechanism loads
+// spanner snapshots, and an exact mechanism sharing the directory never sees
+// them.
+func TestWarmRestartSpannerVariant(t *testing.T) {
+	dir := t.TempDir()
+
+	cfgSpan := persistTestConfig(dir)
+	cfgSpan.SpannerStretch = 1.5
+	m1, err := geoind.NewMSM(cfgSpan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	m1.FlushCache()
+	_, solvesSpan := m1.Stats()
+	if solvesSpan == 0 {
+		t.Fatal("spanner cold start performed no solves")
+	}
+
+	// Warm spanner restart: zero solves.
+	m2, err := geoind.NewMSM(cfgSpan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	if _, s := m2.Stats(); s != 0 {
+		t.Fatalf("warm spanner restart performed %d solves, want 0", s)
+	}
+
+	// An exact mechanism over the same directory must NOT reuse the
+	// spanner snapshots: its keys differ in the variant field.
+	mExact, err := geoind.NewMSM(persistTestConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mExact.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	if _, s := mExact.Stats(); s == 0 {
+		t.Fatal("exact mechanism reused spanner snapshots")
+	}
+}
+
+// TestCacheBytesEvictionWithDiskReload bounds the resident cache tightly so
+// channels are evicted during precompute, then verifies lookups still resolve
+// (from disk) without additional solves once the directory is populated.
+func TestCacheBytesEvictionWithDiskReload(t *testing.T) {
+	dir := t.TempDir()
+
+	cfg := persistTestConfig(dir)
+	cfg.CacheBytes = 1 // evict everything immediately; disk is the only cache
+	m1, err := geoind.NewMSM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	m1.FlushCache()
+	_, solves1 := m1.Stats()
+	if st := m1.StoreStats(); st.Evictions == 0 {
+		t.Fatalf("CacheBytes=1 evicted nothing: %+v", st)
+	}
+
+	m2, err := geoind.NewMSM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	if _, s := m2.Stats(); s != 0 {
+		t.Fatalf("evicting warm restart performed %d solves, want 0", s)
+	}
+	if _, err := m2.Report(geoind.Point{X: 3, Y: 4}); err != nil {
+		t.Fatal(err)
+	}
+	_ = solves1
+
+	// The snapshot directory holds one file per solved channel.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no snapshot namespace directories written")
+	}
+}
