@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race race-persist bench-smoke bench-json bench-diff
+.PHONY: ci fmt-check vet build test race race-persist bench-smoke bench-json bench-ctx bench-diff
 
 ci: fmt-check vet build race race-persist bench-smoke
 
@@ -49,6 +49,15 @@ bench-json:
 		-benchtime 3x -benchmem . | $(GO) run ./cmd/benchjson > BENCH_persist.json
 	@echo wrote BENCH_persist.json
 
+# Record the cancellation-plumbing overhead benchmarks as BENCH_ctx.json:
+# warm Report / ReportBatch under the legacy, background-ctx and
+# cancelable-ctx calling conventions. The committed baseline documents the
+# tentpole claim that ctx plumbing costs the warm path <2%.
+bench-ctx:
+	$(GO) test -run xxx -bench 'CtxOverhead' -benchtime 2s -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_ctx.json
+	@echo wrote BENCH_ctx.json
+
 # Compare a fresh benchmark run against the committed baseline. Warn-only:
 # regressions above 20% are flagged but never fail the target.
 bench-diff:
@@ -58,3 +67,6 @@ bench-diff:
 	$(GO) test -run xxx -bench 'ColdStart|WarmRestart' \
 		-benchtime 3x -benchmem . | $(GO) run ./cmd/benchjson > /tmp/bench_persist_current.json
 	$(GO) run ./cmd/benchjson -diff -threshold 50 BENCH_persist.json /tmp/bench_persist_current.json
+	$(GO) test -run xxx -bench 'CtxOverhead' -benchtime 2s -benchmem . \
+		| $(GO) run ./cmd/benchjson > /tmp/bench_ctx_current.json
+	$(GO) run ./cmd/benchjson -diff -threshold 20 BENCH_ctx.json /tmp/bench_ctx_current.json

@@ -1,7 +1,9 @@
 package geoind
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"geoind/internal/adaptive"
 	"geoind/internal/channel"
@@ -46,6 +48,9 @@ type AdaptiveMSMConfig struct {
 	// CacheBytes bounds resident channel-matrix bytes with LRU eviction;
 	// 0 means unbounded (see MSMConfig.CacheBytes).
 	CacheBytes int64
+	// SolveTimeout bounds the wall-clock time of each detached node-channel
+	// solve; 0 means no timeout (see MSMConfig.SolveTimeout).
+	SolveTimeout time.Duration
 }
 
 // AdaptiveMSM is the adaptive-index multi-step mechanism.
@@ -55,7 +60,7 @@ type AdaptiveMSM struct {
 
 // NewAdaptiveMSM builds the adaptive mechanism.
 func NewAdaptiveMSM(cfg AdaptiveMSMConfig) (*AdaptiveMSM, error) {
-	store, err := newChannelStore(cfg.CacheDir, cfg.CacheBytes)
+	store, err := newChannelStore(cfg.CacheDir, cfg.CacheBytes, cfg.SolveTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
 	}
@@ -80,12 +85,25 @@ func NewAdaptiveMSM(cfg AdaptiveMSMConfig) (*AdaptiveMSM, error) {
 // Report implements Mechanism.
 func (a *AdaptiveMSM) Report(x Point) (Point, error) { return a.m.Report(x) }
 
+// ReportCtx implements MechanismCtx: canceling ctx aborts an in-flight cold
+// report promptly (abandoning shared node solves, not killing them while
+// other waiters remain).
+func (a *AdaptiveMSM) ReportCtx(ctx context.Context, x Point) (Point, error) {
+	return a.m.ReportCtx(ctx, x)
+}
+
 // ReportBatch implements BatchMechanism: the batch acquires the sampling
 // stream once and, with Workers > 1, fans the tree descents across the
 // worker pool. Results come back in input order, identical to a sequential
 // Report loop for the same seed and arrival order at any worker count.
 func (a *AdaptiveMSM) ReportBatch(points []Point) ([]Point, error) {
 	return a.m.ReportBatch(points)
+}
+
+// ReportBatchCtx implements BatchMechanismCtx: a cancel drains the pooled
+// fan-out promptly and returns ctx.Err().
+func (a *AdaptiveMSM) ReportBatchCtx(ctx context.Context, points []Point) ([]Point, error) {
+	return a.m.ReportBatchCtx(ctx, points)
 }
 
 // Epsilon implements Mechanism.
@@ -96,6 +114,10 @@ func (a *AdaptiveMSM) Name() string { return "MSM-adaptive" }
 
 // Precompute eagerly solves every node channel.
 func (a *AdaptiveMSM) Precompute() error { return a.m.Precompute() }
+
+// PrecomputeCtx is Precompute under a context: canceling ctx stops issuing
+// new solves and returns ctx.Err(); solved channels stay cached.
+func (a *AdaptiveMSM) PrecomputeCtx(ctx context.Context) error { return a.m.PrecomputeCtx(ctx) }
 
 // MeanLeafSide returns the prior-weighted mean leaf cell side (km), a
 // measure of the effective reporting granularity where users actually are.
@@ -114,6 +136,8 @@ func (a *AdaptiveMSM) StoreStats() channel.Stats { return a.m.StoreStats() }
 func (a *AdaptiveMSM) FlushCache() { a.m.SyncStore() }
 
 var (
-	_ Mechanism      = (*AdaptiveMSM)(nil)
-	_ BatchMechanism = (*AdaptiveMSM)(nil)
+	_ Mechanism         = (*AdaptiveMSM)(nil)
+	_ BatchMechanism    = (*AdaptiveMSM)(nil)
+	_ MechanismCtx      = (*AdaptiveMSM)(nil)
+	_ BatchMechanismCtx = (*AdaptiveMSM)(nil)
 )

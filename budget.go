@@ -1,6 +1,7 @@
 package geoind
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -40,29 +41,76 @@ func NewBudgeted(mech Mechanism, limit float64, window time.Duration) (*Budgeted
 }
 
 // Report sanitizes x on behalf of user, debiting the per-report epsilon from
-// the user's window budget first. It returns ErrBudgetExhausted (without
-// reporting anything) when the budget cannot cover the report.
+// the user's window budget. It returns ErrBudgetExhausted (without reporting
+// anything) when the budget cannot cover the report. Budget is charged only
+// on success: a report that fails reveals nothing, so its charge is refunded.
 func (b *Budgeted) Report(user string, x Point) (Point, error) {
-	if err := b.ledger.Spend(user, b.mech.Epsilon()); err != nil {
+	return b.ReportCtx(context.Background(), user, x)
+}
+
+// ReportCtx is Report under a context: canceling ctx makes an in-flight cold
+// report return promptly with ctx.Err(), and the charge is refunded — a
+// canceled report reveals no location, so it must not consume budget.
+//
+// The ledger is debited before sampling (not after) so that concurrent
+// requests from one user can never jointly exceed the cap through a
+// check-then-charge race; the refund on failure restores the charge-only-on-
+// success semantics.
+func (b *Budgeted) ReportCtx(ctx context.Context, user string, x Point) (Point, error) {
+	eps := b.mech.Epsilon()
+	if err := b.ledger.Spend(user, eps); err != nil {
 		return Point{}, err
 	}
-	return b.mech.Report(x)
+	z, err := reportCtx(ctx, b.mech, x)
+	if err != nil {
+		b.ledger.Refund(user, eps)
+		return Point{}, err
+	}
+	return z, nil
 }
 
 // ReportBatch sanitizes a batch of points on behalf of user, debiting
-// len(points) * Epsilon() from the user's window budget atomically before
-// any sampling happens: either the whole batch is charged and reported, or
-// ErrBudgetExhausted is returned and the ledger is left unchanged — a batch
-// can never be partially charged. This is the client-side counterpart of the
-// server's POST /v1/report:batch all-or-nothing rule.
+// len(points) * Epsilon() from the user's window budget atomically: either
+// the whole batch is charged and reported, or the error is returned and the
+// ledger is left unchanged — a batch can never be partially charged, and a
+// batch that fails (or is canceled mid-flight) leaves the budget untouched.
+// This is the client-side counterpart of the server's POST /v1/report:batch
+// all-or-nothing rule.
 func (b *Budgeted) ReportBatch(user string, points []Point) ([]Point, error) {
+	return b.ReportBatchCtx(context.Background(), user, points)
+}
+
+// ReportBatchCtx is ReportBatch under a context. A batch canceled mid-flight
+// returns ctx.Err() with the user's budget unchanged: no sanitized location
+// left the mechanism, so nothing was revealed and nothing is charged. The
+// charge is taken upfront (atomic no-overdraft check) and refunded in full
+// on any failure.
+func (b *Budgeted) ReportBatchCtx(ctx context.Context, user string, points []Point) ([]Point, error) {
 	if len(points) == 0 {
 		return []Point{}, nil
 	}
-	if err := b.ledger.Spend(user, float64(len(points))*b.mech.Epsilon()); err != nil {
+	total := float64(len(points)) * b.mech.Epsilon()
+	if err := b.ledger.Spend(user, total); err != nil {
 		return nil, err
 	}
-	return ReportBatch(b.mech, points)
+	out, err := ReportBatchCtx(ctx, b.mech, points)
+	if err != nil {
+		b.ledger.Refund(user, total)
+		return nil, err
+	}
+	return out, nil
+}
+
+// reportCtx dispatches one report through the mechanism's ctx-aware path
+// when it has one.
+func reportCtx(ctx context.Context, m Mechanism, x Point) (Point, error) {
+	if mc, ok := m.(MechanismCtx); ok {
+		return mc.ReportCtx(ctx, x)
+	}
+	if err := ctx.Err(); err != nil {
+		return Point{}, err
+	}
+	return m.Report(x)
 }
 
 // Remaining returns the user's unspent budget in the current window.

@@ -5,6 +5,9 @@
 // Endpoints:
 //
 //	GET  /healthz                   liveness probe
+//	GET  /v1/healthz                readiness probe: 503 once graceful
+//	                                shutdown begins, so load balancers stop
+//	                                routing new traffic during the drain
 //	GET  /v1/info                   mechanism + budget configuration
 //	POST /v1/report                 {"user_id":"u","x":3.2,"y":11.7} -> sanitized location
 //	POST /v1/report:batch           [{"user_id":"u","x":...,"y":...}, ...] -> sanitized
@@ -68,21 +71,31 @@ func main() {
 	ledgerFile := flag.String("ledger-file", "", "optional ledger persistence file")
 	cacheDir := flag.String("cache-dir", "", "persistent channel snapshot directory (restarts and replicas sharing it skip the LP solve phase)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "resident channel-matrix byte budget with LRU eviction (0 = unbounded; evicted channels reload from -cache-dir)")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline for /v1/report and /v1/report:batch (0 = none; a request past the deadline is canceled and answered 504 with its budget refunded)")
+	solveTimeout := flag.Duration("solve-timeout", 0, "wall-clock bound on each detached channel solve (0 = none; a timed-out solve is aborted and retried by the next request for that channel)")
 	flag.Parse()
 
 	if err := run(*addr, *mechName, *eps, *g, *rho, *side, *ds, *seed, *workers,
-		*budgetLimit, *budgetWindow, *ledgerFile, *cacheDir, *cacheBytes); err != nil {
+		*budgetLimit, *budgetWindow, *ledgerFile, *cacheDir, *cacheBytes,
+		*reqTimeout, *solveTimeout); err != nil {
 		log.Fatal("geoind-server: ", err)
 	}
 }
 
 func run(addr, mechName string, eps float64, g int, rho, side float64, dsName string,
 	seed uint64, workers int, budgetLimit float64, budgetWindow time.Duration,
-	ledgerFile, cacheDir string, cacheBytes int64) error {
+	ledgerFile, cacheDir string, cacheBytes int64,
+	reqTimeout, solveTimeout time.Duration) error {
 
 	if seed == 0 {
 		seed = uint64(time.Now().UnixNano())
 	}
+
+	// One signal context covers the whole lifecycle: a SIGINT/SIGTERM during
+	// the (potentially long) precompute phase cancels it instead of forcing a
+	// kill, and the same signal later triggers the graceful HTTP drain.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	region := geoind.Square(side)
 	var points []geoind.Point
@@ -114,14 +127,14 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 		m, err := geoind.NewMSM(geoind.MSMConfig{
 			Eps: eps, Region: region, Granularity: g, Rho: rho,
 			PriorPoints: points, Seed: seed, Workers: workers,
-			CacheDir: cacheDir, CacheBytes: cacheBytes,
+			CacheDir: cacheDir, CacheBytes: cacheBytes, SolveTimeout: solveTimeout,
 		})
 		if err != nil {
 			return err
 		}
 		log.Printf("precomputing MSM channels (height %d, leaf %dx%d)...",
 			m.Height(), m.LeafGranularity(), m.LeafGranularity())
-		if err := m.Precompute(); err != nil {
+		if err := m.PrecomputeCtx(sigCtx); err != nil {
 			return err
 		}
 		logCacheStats(cacheDir, m.StoreStats())
@@ -130,13 +143,13 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 		m, err := geoind.NewAdaptiveMSM(geoind.AdaptiveMSMConfig{
 			Eps: eps, Region: region, Fanout: g, Rho: rho,
 			PriorPoints: points, Seed: seed, Workers: workers,
-			CacheDir: cacheDir, CacheBytes: cacheBytes,
+			CacheDir: cacheDir, CacheBytes: cacheBytes, SolveTimeout: solveTimeout,
 		})
 		if err != nil {
 			return err
 		}
 		log.Printf("precomputing adaptive channels (%d nodes)...", m.NumNodes())
-		if err := m.Precompute(); err != nil {
+		if err := m.PrecomputeCtx(sigCtx); err != nil {
 			return err
 		}
 		logCacheStats(cacheDir, m.StoreStats())
@@ -185,6 +198,7 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 	if err != nil {
 		return err
 	}
+	srv.SetRequestTimeout(reqTimeout)
 	httpSrv := &http.Server{
 		Addr:              addr,
 		Handler:           srv,
@@ -197,15 +211,16 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
 		return err
-	case sig := <-stop:
-		log.Printf("received %v, shutting down", sig)
+	case <-sigCtx.Done():
+		log.Printf("received shutdown signal, draining")
 	}
 
+	// Flip readiness first so load balancers stop sending new work, then
+	// drain in-flight requests.
+	srv.BeginShutdown()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

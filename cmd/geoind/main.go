@@ -12,10 +12,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"geoind"
 )
@@ -33,13 +36,18 @@ func main() {
 	info := flag.Bool("info", false, "print mechanism details (budget split, height) and exit")
 	flag.Parse()
 
-	if err := realMain(*mech, *eps, *g, *rho, *side, *ds, *seed, *loc, *metric, *info); err != nil {
+	// Ctrl-C cancels an in-flight cold report (the first report may trigger
+	// LP solves) instead of leaving the process stuck until kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := realMain(ctx, *mech, *eps, *g, *rho, *side, *ds, *seed, *loc, *metric, *info); err != nil {
 		fmt.Fprintln(os.Stderr, "geoind:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(mechName string, eps float64, g int, rho, side float64, dsName string, seed uint64, loc, metricName string, info bool) error {
+func realMain(ctx context.Context, mechName string, eps float64, g int, rho, side float64, dsName string, seed uint64, loc, metricName string, info bool) error {
 	var m geoind.Metric
 	switch metricName {
 	case "euclidean":
@@ -125,7 +133,13 @@ func realMain(mechName string, eps float64, g int, rho, side float64, dsName str
 		if _, err := fmt.Sscanf(strings.TrimSpace(line), "%f %f", &x.X, &x.Y); err != nil {
 			return fmt.Errorf("parse %q: want \"x y\": %w", line, err)
 		}
-		z, err := mech.Report(x)
+		var z geoind.Point
+		var err error
+		if mc, ok := mech.(geoind.MechanismCtx); ok {
+			z, err = mc.ReportCtx(ctx, x)
+		} else {
+			z, err = mech.Report(x)
+		}
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -12,19 +13,19 @@ func TestRealMainErrors(t *testing.T) {
 		run  func() error
 	}{
 		{"unknown mechanism", func() error {
-			return realMain("nope", 0.5, 4, 0.8, 20, "", 1, "1 1", "euclidean", false)
+			return realMain(context.Background(), "nope", 0.5, 4, 0.8, 20, "", 1, "1 1", "euclidean", false)
 		}},
 		{"unknown metric", func() error {
-			return realMain("pl", 0.5, 4, 0.8, 20, "", 1, "1 1", "manhattan", false)
+			return realMain(context.Background(), "pl", 0.5, 4, 0.8, 20, "", 1, "1 1", "manhattan", false)
 		}},
 		{"missing csv", func() error {
-			return realMain("pl", 0.5, 4, 0.8, 20, "/nonexistent/file.csv", 1, "1 1", "euclidean", false)
+			return realMain(context.Background(), "pl", 0.5, 4, 0.8, 20, "/nonexistent/file.csv", 1, "1 1", "euclidean", false)
 		}},
 		{"bad location", func() error {
-			return realMain("pl", 0.5, 4, 0.8, 20, "", 1, "not-a-point", "euclidean", false)
+			return realMain(context.Background(), "pl", 0.5, 4, 0.8, 20, "", 1, "not-a-point", "euclidean", false)
 		}},
 		{"bad eps", func() error {
-			return realMain("pl", -1, 4, 0.8, 20, "", 1, "1 1", "euclidean", false)
+			return realMain(context.Background(), "pl", -1, 4, 0.8, 20, "", 1, "1 1", "euclidean", false)
 		}},
 	}
 	for _, c := range cases {
@@ -36,15 +37,15 @@ func TestRealMainErrors(t *testing.T) {
 
 func TestRealMainHappyPaths(t *testing.T) {
 	// PL single location.
-	if err := realMain("pl", 0.5, 4, 0.8, 20, "", 1, "3.2 11.7", "euclidean", false); err != nil {
+	if err := realMain(context.Background(), "pl", 0.5, 4, 0.8, 20, "", 1, "3.2 11.7", "euclidean", false); err != nil {
 		t.Errorf("pl report: %v", err)
 	}
 	// PL info.
-	if err := realMain("pl", 0.5, 4, 0.8, 20, "", 1, "", "euclidean", true); err != nil {
+	if err := realMain(context.Background(), "pl", 0.5, 4, 0.8, 20, "", 1, "", "euclidean", true); err != nil {
 		t.Errorf("pl info: %v", err)
 	}
 	// OPT info with uniform prior on a small grid.
-	if err := realMain("opt", 0.5, 3, 0.8, 20, "", 1, "", "squared", true); err != nil {
+	if err := realMain(context.Background(), "opt", 0.5, 3, 0.8, 20, "", 1, "", "squared", true); err != nil {
 		t.Errorf("opt info: %v", err)
 	}
 	// MSM info and report against a tiny CSV prior.
@@ -57,10 +58,10 @@ func TestRealMainHappyPaths(t *testing.T) {
 	if err := os.WriteFile(csv, []byte(content), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := realMain("msm", 0.5, 3, 0.8, 20, csv, 1, "", "euclidean", true); err != nil {
+	if err := realMain(context.Background(), "msm", 0.5, 3, 0.8, 20, csv, 1, "", "euclidean", true); err != nil {
 		t.Errorf("msm info: %v", err)
 	}
-	if err := realMain("msm", 0.5, 3, 0.8, 20, csv, 1, "5 5", "euclidean", false); err != nil {
+	if err := realMain(context.Background(), "msm", 0.5, 3, 0.8, 20, csv, 1, "5 5", "euclidean", false); err != nil {
 		t.Errorf("msm report: %v", err)
 	}
 }

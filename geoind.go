@@ -1,10 +1,12 @@
 package geoind
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"geoind/internal/channel"
 	"geoind/internal/core"
@@ -70,6 +72,26 @@ type BatchMechanism interface {
 	ReportBatch(points []Point) ([]Point, error)
 }
 
+// MechanismCtx is a Mechanism whose reports observe a context: canceling ctx
+// (client disconnect, deadline) makes an in-flight report return promptly
+// with ctx.Err() instead of blocking on a cold channel solve. Every
+// mechanism in this package implements MechanismCtx; the plain Report
+// methods remain as context.Background() wrappers.
+type MechanismCtx interface {
+	Mechanism
+	// ReportCtx is Report under ctx. With a background context the output is
+	// bit-identical to Report.
+	ReportCtx(ctx context.Context, x Point) (Point, error)
+}
+
+// BatchMechanismCtx is a BatchMechanism whose batch path observes a context:
+// a cancel drains the pooled fan-out promptly and the call returns ctx.Err().
+type BatchMechanismCtx interface {
+	BatchMechanism
+	// ReportBatchCtx is ReportBatch under ctx.
+	ReportBatchCtx(ctx context.Context, points []Point) ([]Point, error)
+}
+
 // ReportBatch sanitizes a slice of points with any Mechanism: mechanisms
 // implementing BatchMechanism use their pooled batch path, everything else
 // falls back to a sequential Report loop. The privacy cost is
@@ -81,6 +103,36 @@ func ReportBatch(m Mechanism, points []Point) ([]Point, error) {
 	out := make([]Point, len(points))
 	for i, x := range points {
 		z, err := m.Report(x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = z
+	}
+	return out, nil
+}
+
+// ReportBatchCtx is ReportBatch under a context: it uses the mechanism's
+// ctx-aware batch path when available, falling back to per-point ReportCtx
+// or, last, a plain Report loop with a ctx poll between points.
+func ReportBatchCtx(ctx context.Context, m Mechanism, points []Point) ([]Point, error) {
+	if bm, ok := m.(BatchMechanismCtx); ok {
+		return bm.ReportBatchCtx(ctx, points)
+	}
+	mc, hasCtx := m.(MechanismCtx)
+	out := make([]Point, len(points))
+	for i, x := range points {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var (
+			z   Point
+			err error
+		)
+		if hasCtx {
+			z, err = mc.ReportCtx(ctx, x)
+		} else {
+			z, err = m.Report(x)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -141,6 +193,15 @@ func (p *PlanarLaplace) Report(x Point) (Point, error) {
 	return p.mech.Sample(x), nil
 }
 
+// ReportCtx implements MechanismCtx. Sampling is a handful of float
+// operations, so the only ctx observance needed is an upfront poll.
+func (p *PlanarLaplace) ReportCtx(ctx context.Context, x Point) (Point, error) {
+	if err := ctx.Err(); err != nil {
+		return Point{}, err
+	}
+	return p.Report(x)
+}
+
 // ReportBatch implements BatchMechanism: the RNG mutex is acquired once for
 // the whole batch and the points are sampled sequentially, so the output is
 // bit-identical to a Report loop.
@@ -148,6 +209,15 @@ func (p *PlanarLaplace) ReportBatch(points []Point) ([]Point, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.mech.SampleBatch(points, p.grid), nil
+}
+
+// ReportBatchCtx implements BatchMechanismCtx with an upfront ctx poll; the
+// batch itself is pure in-memory sampling and never blocks.
+func (p *PlanarLaplace) ReportBatchCtx(ctx context.Context, points []Point) ([]Point, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p.ReportBatch(points)
 }
 
 // Epsilon implements Mechanism.
@@ -238,6 +308,16 @@ func (o *Optimal) Report(x Point) (Point, error) {
 	return o.ch.Sample(x, o.rng), nil
 }
 
+// ReportCtx implements MechanismCtx. The channel is solved at construction,
+// so reporting is pure sampling; an upfront poll is the only ctx observance
+// needed.
+func (o *Optimal) ReportCtx(ctx context.Context, x Point) (Point, error) {
+	if err := ctx.Err(); err != nil {
+		return Point{}, err
+	}
+	return o.Report(x)
+}
+
 // ReportBatch implements BatchMechanism. With Workers <= 1 the batch holds
 // the RNG mutex once and samples sequentially (bit-identical to a Report
 // loop); with Workers > 1 it reserves a contiguous block of point indices
@@ -265,6 +345,15 @@ func (o *Optimal) ReportBatch(points []Point) ([]Point, error) {
 		return nil
 	})
 	return out, nil
+}
+
+// ReportBatchCtx implements BatchMechanismCtx with an upfront ctx poll; the
+// batch itself is pure in-memory sampling and never blocks.
+func (o *Optimal) ReportBatchCtx(ctx context.Context, points []Point) ([]Point, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return o.ReportBatch(points)
 }
 
 // Epsilon implements Mechanism.
@@ -341,6 +430,12 @@ type MSMConfig struct {
 	// channels are cached and persisted under a distinct key variant so they
 	// never alias exact ones. 0 keeps the exact formulation.
 	SpannerStretch float64
+	// SolveTimeout bounds the wall-clock time of each channel solve. Solves
+	// run detached from any individual request — a waiter abandoning a solve
+	// (request canceled) leaves it running for the remaining waiters, and the
+	// solve is aborted only when no waiters remain — so this is the only cap
+	// on how long a pathological LP can run. 0 means no timeout.
+	SolveTimeout time.Duration
 }
 
 // MSM is the paper's multi-step mechanism.
@@ -352,7 +447,7 @@ type MSM struct {
 // hierarchical mechanism (§4). Channels are solved lazily; call Precompute
 // to warm them eagerly.
 func NewMSM(cfg MSMConfig) (*MSM, error) {
-	store, err := newChannelStore(cfg.CacheDir, cfg.CacheBytes)
+	store, err := newChannelStore(cfg.CacheDir, cfg.CacheBytes, cfg.SolveTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
 	}
@@ -375,15 +470,16 @@ func NewMSM(cfg MSMConfig) (*MSM, error) {
 	return &MSM{m: m}, nil
 }
 
-// newChannelStore builds the channel store implied by the facade cache
-// settings: nil (each mechanism gets a private in-memory store) when both are
-// zero, otherwise a store with snapshot-byte cost accounting and, with a
-// cache directory, read-through/write-behind snapshot persistence.
-func newChannelStore(cacheDir string, cacheBytes int64) (*channel.Store, error) {
-	if cacheDir == "" && cacheBytes == 0 {
+// newChannelStore builds the channel store implied by the facade cache and
+// solve-lifecycle settings: nil (each mechanism gets a private in-memory
+// store) when everything is zero, otherwise a store with snapshot-byte cost
+// accounting, an optional per-solve timeout, and — with a cache directory —
+// read-through/write-behind snapshot persistence.
+func newChannelStore(cacheDir string, cacheBytes int64, solveTimeout time.Duration) (*channel.Store, error) {
+	if cacheDir == "" && cacheBytes == 0 && solveTimeout == 0 {
 		return nil, nil
 	}
-	opts := channel.Options{MaxCost: cacheBytes, CostFn: opt.SnapshotCost}
+	opts := channel.Options{MaxCost: cacheBytes, CostFn: opt.SnapshotCost, SolveTimeout: solveTimeout}
 	if cacheDir != "" {
 		dc, err := channel.NewDirCache(cacheDir, opt.SnapshotCodec{})
 		if err != nil {
@@ -397,11 +493,25 @@ func newChannelStore(cacheDir string, cacheBytes int64) (*channel.Store, error) 
 // Report implements Mechanism.
 func (m *MSM) Report(x Point) (Point, error) { return m.m.Report(x) }
 
+// ReportCtx implements MechanismCtx: canceling ctx aborts an in-flight cold
+// report promptly (abandoning — not killing — any channel solve that still
+// has other waiters). Warm reports never block and are unaffected.
+func (m *MSM) ReportCtx(ctx context.Context, x Point) (Point, error) {
+	return m.m.ReportCtx(ctx, x)
+}
+
 // ReportBatch implements BatchMechanism: the batch acquires the sampling
 // stream once and, with Workers > 1, fans the descents across the worker
 // pool. Results come back in input order, identical to a sequential Report
 // loop for the same seed and arrival order at any worker count.
 func (m *MSM) ReportBatch(points []Point) ([]Point, error) { return m.m.ReportBatch(points) }
+
+// ReportBatchCtx implements BatchMechanismCtx: a cancel drains the pooled
+// fan-out promptly and returns ctx.Err(); uncanceled output is bit-identical
+// to ReportBatch.
+func (m *MSM) ReportBatchCtx(ctx context.Context, points []Point) ([]Point, error) {
+	return m.m.ReportBatchCtx(ctx, points)
+}
 
 // Epsilon implements Mechanism.
 func (m *MSM) Epsilon() float64 { return m.m.Epsilon() }
@@ -423,6 +533,11 @@ func (m *MSM) LeafGranularity() int { return m.m.LeafGrid().Granularity() }
 // Precompute solves every channel in the index up front (the paper's
 // offline phase), so that subsequent reports only sample.
 func (m *MSM) Precompute() error { return m.m.Precompute() }
+
+// PrecomputeCtx is Precompute under a context: canceling ctx (e.g. SIGINT
+// during warmup) stops issuing new solves and returns ctx.Err(); channels
+// already solved stay cached.
+func (m *MSM) PrecomputeCtx(ctx context.Context) error { return m.m.PrecomputeCtx(ctx) }
 
 // Stats returns the number of reports served and LP solves performed.
 func (m *MSM) Stats() (queries, solves int) { return m.m.Stats() }
@@ -447,10 +562,16 @@ func (m *MSM) FlushCache() { m.m.SyncStore() }
 
 // Static interface conformance checks.
 var (
-	_ Mechanism      = (*PlanarLaplace)(nil)
-	_ Mechanism      = (*Optimal)(nil)
-	_ Mechanism      = (*MSM)(nil)
-	_ BatchMechanism = (*PlanarLaplace)(nil)
-	_ BatchMechanism = (*Optimal)(nil)
-	_ BatchMechanism = (*MSM)(nil)
+	_ Mechanism         = (*PlanarLaplace)(nil)
+	_ Mechanism         = (*Optimal)(nil)
+	_ Mechanism         = (*MSM)(nil)
+	_ BatchMechanism    = (*PlanarLaplace)(nil)
+	_ BatchMechanism    = (*Optimal)(nil)
+	_ BatchMechanism    = (*MSM)(nil)
+	_ MechanismCtx      = (*PlanarLaplace)(nil)
+	_ MechanismCtx      = (*Optimal)(nil)
+	_ MechanismCtx      = (*MSM)(nil)
+	_ BatchMechanismCtx = (*PlanarLaplace)(nil)
+	_ BatchMechanismCtx = (*Optimal)(nil)
+	_ BatchMechanismCtx = (*MSM)(nil)
 )

@@ -1,6 +1,7 @@
 package adaptive
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -167,10 +168,10 @@ func (m *Mechanism) lpOpts() *lp.IPMOptions {
 
 // channel returns the OPT channel of a node through the singleflight store:
 // concurrent requests for one node perform exactly one solve.
-func (m *Mechanism) channel(n *Node) (*opt.PointChannel, error) {
+func (m *Mechanism) channel(ctx context.Context, n *Node) (*opt.PointChannel, error) {
 	key := channel.NewKey(kdNamespace, 0, n.ID(), n.Eps, int(m.cfg.Metric), m.priorHash)
-	v, _, err := m.store.GetOrCompute(key, func() (any, error) {
-		return m.solveChannel(n)
+	v, _, err := m.store.GetOrComputeCtx(ctx, key, func(solveCtx context.Context) (any, error) {
+		return m.solveChannel(solveCtx, n)
 	})
 	if err != nil {
 		return nil, err
@@ -179,13 +180,13 @@ func (m *Mechanism) channel(n *Node) (*opt.PointChannel, error) {
 	// foreign backing value over a fresh solve if the shape is wrong.
 	ch, ok := v.(*opt.PointChannel)
 	if !ok || ch.N() != len(n.Children) {
-		return m.solveChannel(n)
+		return m.solveChannel(ctx, n)
 	}
 	return ch, nil
 }
 
 // solveChannel performs the LP solve for one inner node.
-func (m *Mechanism) solveChannel(n *Node) (*opt.PointChannel, error) {
+func (m *Mechanism) solveChannel(ctx context.Context, n *Node) (*opt.PointChannel, error) {
 	masses := n.ChildMasses()
 	total := 0.0
 	for _, v := range masses {
@@ -196,7 +197,7 @@ func (m *Mechanism) solveChannel(n *Node) (*opt.PointChannel, error) {
 			masses[i] = 1
 		}
 	}
-	ch, err := opt.BuildPoints(n.Eps, n.Centers(), masses, m.cfg.Metric, &opt.Options{LP: m.lpOpts()})
+	ch, err := opt.BuildPointsCtx(ctx, n.Eps, n.Centers(), masses, m.cfg.Metric, &opt.Options{LP: m.lpOpts()})
 	if err != nil {
 		return nil, fmt.Errorf("adaptive: node %d: %w", n.ID(), err)
 	}
@@ -209,14 +210,22 @@ func (m *Mechanism) solveChannel(n *Node) (*opt.PointChannel, error) {
 // gives each query its own PCG stream split by arrival index, so concurrent
 // reports never serialize on a lock.
 func (m *Mechanism) Report(x geo.Point) (geo.Point, error) {
+	return m.ReportCtx(context.Background(), x)
+}
+
+// ReportCtx is Report under a context: canceling ctx aborts an in-flight
+// cold descent promptly (abandoning shared solves, not killing them while
+// other waiters remain). With a Background context the output stream is
+// bit-identical to Report.
+func (m *Mechanism) ReportCtx(ctx context.Context, x geo.Point) (geo.Point, error) {
 	if channel.Workers(m.cfg.Workers) <= 1 {
 		m.rngMu.Lock()
 		defer m.rngMu.Unlock()
-		return m.ReportWith(x, m.rng)
+		return m.reportWithCtx(ctx, x, m.rng)
 	}
 	qi := m.queryIdx.Add(1) - 1
 	rng := rand.New(rand.NewPCG(m.seed, reportStreamSalt^qi))
-	return m.ReportWith(x, rng)
+	return m.reportWithCtx(ctx, x, rng)
 }
 
 // ReportBatch sanitizes a slice of locations in one call and returns the
@@ -227,6 +236,13 @@ func (m *Mechanism) Report(x geo.Point) (geo.Point, error) {
 // stream of its own index, so the output is independent of the worker count
 // and matches a sequential Report loop in the same arrival order.
 func (m *Mechanism) ReportBatch(xs []geo.Point) ([]geo.Point, error) {
+	return m.ReportBatchCtx(context.Background(), xs)
+}
+
+// ReportBatchCtx is ReportBatch under a context: the pooled fan-out polls
+// ctx before every point, so a cancel drains the workers promptly and the
+// call returns ctx.Err(). Uncanceled output is bit-identical to ReportBatch.
+func (m *Mechanism) ReportBatchCtx(ctx context.Context, xs []geo.Point) ([]geo.Point, error) {
 	out := make([]geo.Point, len(xs))
 	if len(xs) == 0 {
 		return out, nil
@@ -235,15 +251,15 @@ func (m *Mechanism) ReportBatch(xs []geo.Point) ([]geo.Point, error) {
 	if workers <= 1 {
 		m.rngMu.Lock()
 		defer m.rngMu.Unlock()
-		if err := m.reportBatchSeq(xs, out, m.rng); err != nil {
+		if err := m.reportBatchSeq(ctx, xs, out, m.rng); err != nil {
 			return nil, err
 		}
 		return out, nil
 	}
 	base := m.queryIdx.Add(uint64(len(xs))) - uint64(len(xs))
-	if err := channel.ForEach(workers, len(xs), func(i int) error {
+	if err := channel.ForEachCtx(ctx, workers, len(xs), func(i int) error {
 		rng := rand.New(rand.NewPCG(m.seed, reportStreamSalt^(base+uint64(i))))
-		z, err := m.ReportWith(xs[i], rng)
+		z, err := m.reportWithCtx(ctx, xs[i], rng)
 		if err != nil {
 			return err
 		}
@@ -259,16 +275,25 @@ func (m *Mechanism) ReportBatch(xs []geo.Point) ([]geo.Point, error) {
 // samples drawn from rng, bit-identical to a ReportWith loop. Each inner
 // node's channel is fetched from the store once per batch and memoized by
 // node — the fetch consumes no randomness, so the draw stream is unchanged.
-func (m *Mechanism) reportBatchSeq(xs, out []geo.Point, rng *rand.Rand) error {
+func (m *Mechanism) reportBatchSeq(ctx context.Context, xs, out []geo.Point, rng *rand.Rand) error {
 	cache := make(map[*Node]*opt.PointChannel)
+	cancelable := ctx.Done() != nil
 	for i, x := range xs {
+		// Poll with a stride: one warm descent is a few hundred ns, so a
+		// 32-point stride still cancels within ~10µs while keeping the
+		// ctx.Err() cost off the per-point hot path.
+		if cancelable && i&31 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		x = m.cfg.Region.Clamp(x)
 		node := m.tree.Root
 		for node.Children != nil {
 			ch, ok := cache[node]
 			if !ok {
 				var err error
-				ch, err = m.channel(node)
+				ch, err = m.channel(ctx, node)
 				if err != nil {
 					return err
 				}
@@ -290,10 +315,14 @@ func (m *Mechanism) reportBatchSeq(xs, out []geo.Point, rng *rand.Rand) error {
 // the node, as in Algorithm 1 line 10) and recurses into the selected child;
 // the final selected cell's center is reported.
 func (m *Mechanism) ReportWith(x geo.Point, rng *rand.Rand) (geo.Point, error) {
+	return m.reportWithCtx(context.Background(), x, rng)
+}
+
+func (m *Mechanism) reportWithCtx(ctx context.Context, x geo.Point, rng *rand.Rand) (geo.Point, error) {
 	x = m.cfg.Region.Clamp(x)
 	node := m.tree.Root
 	for node.Children != nil {
-		ch, err := m.channel(node)
+		ch, err := m.channel(ctx, node)
 		if err != nil {
 			return geo.Point{}, err
 		}
@@ -309,6 +338,13 @@ func (m *Mechanism) ReportWith(x geo.Point, rng *rand.Rand) (geo.Point, error) {
 // Precompute eagerly solves every inner node's channel, fanning the
 // independent solves out across up to Workers goroutines.
 func (m *Mechanism) Precompute() error {
+	return m.PrecomputeCtx(context.Background())
+}
+
+// PrecomputeCtx is Precompute under a context: the fan-out polls ctx before
+// each solve and stops issuing new ones once canceled. Solved channels stay
+// in the store.
+func (m *Mechanism) PrecomputeCtx(ctx context.Context) error {
 	var inner []*Node
 	var walk func(*Node)
 	walk = func(n *Node) {
@@ -321,8 +357,8 @@ func (m *Mechanism) Precompute() error {
 		}
 	}
 	walk(m.tree.Root)
-	return channel.ForEach(channel.Workers(m.cfg.Workers), len(inner), func(i int) error {
-		_, err := m.channel(inner[i])
+	return channel.ForEachCtx(ctx, channel.Workers(m.cfg.Workers), len(inner), func(i int) error {
+		_, err := m.channel(ctx, inner[i])
 		return err
 	})
 }

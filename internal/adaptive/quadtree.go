@@ -1,6 +1,7 @@
 package adaptive
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -262,10 +263,10 @@ func (m *QuadMechanism) lpOpts() *lp.IPMOptions {
 
 // channel returns the 4-candidate channel of a node through the
 // singleflight store: concurrent requests perform exactly one solve.
-func (m *QuadMechanism) channel(n *quadNode) (*opt.PointChannel, error) {
+func (m *QuadMechanism) channel(ctx context.Context, n *quadNode) (*opt.PointChannel, error) {
 	key := channel.NewKey(quadNamespace, n.depth, n.id, n.eps, int(m.cfg.Metric), m.priorHash)
-	v, _, err := m.store.GetOrCompute(key, func() (any, error) {
-		return m.solveChannel(n)
+	v, _, err := m.store.GetOrComputeCtx(ctx, key, func(solveCtx context.Context) (any, error) {
+		return m.solveChannel(solveCtx, n)
 	})
 	if err != nil {
 		return nil, err
@@ -274,13 +275,13 @@ func (m *QuadMechanism) channel(n *quadNode) (*opt.PointChannel, error) {
 	// foreign backing value over a fresh solve if the shape is wrong.
 	ch, ok := v.(*opt.PointChannel)
 	if !ok || ch.N() != len(n.children) {
-		return m.solveChannel(n)
+		return m.solveChannel(ctx, n)
 	}
 	return ch, nil
 }
 
 // solveChannel performs the LP solve for one inner node.
-func (m *QuadMechanism) solveChannel(n *quadNode) (*opt.PointChannel, error) {
+func (m *QuadMechanism) solveChannel(ctx context.Context, n *quadNode) (*opt.PointChannel, error) {
 	centers := make([]geo.Point, len(n.children))
 	masses := make([]float64, len(n.children))
 	total := 0.0
@@ -294,7 +295,7 @@ func (m *QuadMechanism) solveChannel(n *quadNode) (*opt.PointChannel, error) {
 			masses[i] = 1
 		}
 	}
-	ch, err := opt.BuildPoints(n.eps, centers, masses, m.cfg.Metric, &opt.Options{LP: m.lpOpts()})
+	ch, err := opt.BuildPointsCtx(ctx, n.eps, centers, masses, m.cfg.Metric, &opt.Options{LP: m.lpOpts()})
 	if err != nil {
 		return nil, fmt.Errorf("adaptive: quad node %d: %w", n.id, err)
 	}
@@ -305,23 +306,33 @@ func (m *QuadMechanism) solveChannel(n *quadNode) (*opt.PointChannel, error) {
 // Report sanitizes x with the mechanism's seeded randomness (see
 // Mechanism.Report for the Workers-dependent RNG mode).
 func (m *QuadMechanism) Report(x geo.Point) (geo.Point, error) {
+	return m.ReportCtx(context.Background(), x)
+}
+
+// ReportCtx is Report under a context; see Mechanism.ReportCtx for the
+// cancellation contract.
+func (m *QuadMechanism) ReportCtx(ctx context.Context, x geo.Point) (geo.Point, error) {
 	if channel.Workers(m.cfg.Workers) <= 1 {
 		m.rngMu.Lock()
 		defer m.rngMu.Unlock()
-		return m.ReportWith(x, m.rng)
+		return m.reportWithCtx(ctx, x, m.rng)
 	}
 	qi := m.queryIdx.Add(1) - 1
 	rng := rand.New(rand.NewPCG(m.seed, reportStreamSalt^qi))
-	return m.ReportWith(x, rng)
+	return m.reportWithCtx(ctx, x, rng)
 }
 
 // ReportWith descends the quadtree (Algorithm 1 over quadrants) and returns
 // the selected leaf-cell center.
 func (m *QuadMechanism) ReportWith(x geo.Point, rng *rand.Rand) (geo.Point, error) {
+	return m.reportWithCtx(context.Background(), x, rng)
+}
+
+func (m *QuadMechanism) reportWithCtx(ctx context.Context, x geo.Point, rng *rand.Rand) (geo.Point, error) {
 	x = m.cfg.Region.Clamp(x)
 	node := m.root
 	for node.children != nil {
-		ch, err := m.channel(node)
+		ch, err := m.channel(ctx, node)
 		if err != nil {
 			return geo.Point{}, err
 		}
@@ -343,6 +354,12 @@ func (m *QuadMechanism) ReportWith(x geo.Point, rng *rand.Rand) (geo.Point, erro
 // Precompute eagerly solves every inner node's channel, fanning the
 // independent solves out across up to Workers goroutines.
 func (m *QuadMechanism) Precompute() error {
+	return m.PrecomputeCtx(context.Background())
+}
+
+// PrecomputeCtx is Precompute under a context: the fan-out polls ctx before
+// each solve and stops issuing new ones once canceled.
+func (m *QuadMechanism) PrecomputeCtx(ctx context.Context) error {
 	var inner []*quadNode
 	var walk func(*quadNode)
 	walk = func(n *quadNode) {
@@ -355,8 +372,8 @@ func (m *QuadMechanism) Precompute() error {
 		}
 	}
 	walk(m.root)
-	return channel.ForEach(channel.Workers(m.cfg.Workers), len(inner), func(i int) error {
-		_, err := m.channel(inner[i])
+	return channel.ForEachCtx(ctx, channel.Workers(m.cfg.Workers), len(inner), func(i int) error {
+		_, err := m.channel(ctx, inner[i])
 		return err
 	})
 }

@@ -1,6 +1,7 @@
 package channel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -63,4 +64,24 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	wg.Wait()
 	return first
+}
+
+// ForEachCtx is ForEach with cancellation: every iteration first polls ctx,
+// so a cancel drains the pool promptly — workers stop picking up new indices
+// as soon as one observes the canceled context, and the ctx error is
+// returned. When ctx is never canceled the iteration pattern (and, for
+// callers whose fn writes to per-index destinations, the output) is
+// identical to ForEach.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if ctx.Done() == nil {
+		// Background-like context: cancellation is impossible, skip the
+		// per-iteration poll entirely.
+		return ForEach(workers, n, fn)
+	}
+	return ForEach(workers, n, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(i)
+	})
 }

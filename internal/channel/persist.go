@@ -38,6 +38,7 @@
 package channel
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -61,11 +62,14 @@ var ErrSnapshot = errors.New("invalid channel snapshot")
 // Backing is a secondary, typically persistent, channel source consulted by
 // the Store: read-through on a miss (before solving) and write-behind after
 // each successful solve. Implementations must be safe for concurrent use.
-// Load returning ok=false for any reason — absent, corrupt, mismatched —
-// makes the store fall back to solving, so a Backing can never turn a
-// cache problem into a query failure.
+// Load receives the detached solve context and should honour its
+// cancellation around I/O and decoding; returning ok=false for any reason —
+// absent, corrupt, mismatched, canceled — makes the store fall back to
+// solving, so a Backing can never turn a cache problem into a query failure.
+// Store is invoked from the write-behind goroutine, which the Store owns
+// until Sync; it is deliberately not cancelable by request contexts.
 type Backing interface {
-	Load(key Key) (any, bool)
+	Load(ctx context.Context, key Key) (any, bool)
 	Store(key Key, v any)
 }
 
@@ -73,9 +77,12 @@ type Backing interface {
 // its input defensively: it receives bytes that passed the snapshot checksum
 // and key check but could still have been written by a buggy or foreign
 // producer, and a decoding error is reported as a cache miss, not a failure.
+// Decode receives the solve context and should poll it between expensive
+// validation phases so an abandoned solve does not burn cycles re-validating
+// a snapshot nobody is waiting for.
 type Codec interface {
 	Encode(v any) ([]byte, error)
-	Decode(data []byte) (any, error)
+	Decode(ctx context.Context, data []byte) (any, error)
 }
 
 // Snapshot frames a codec payload for key as a self-verifying snapshot file
@@ -231,7 +238,12 @@ func pathComponent(ns string) string {
 // Load implements Backing: it reads, verifies and decodes the snapshot for
 // key. Any defect — missing file, corruption, version or key mismatch,
 // undecodable payload — reads as a miss so the store falls back to solving.
-func (d *DirCache) Load(key Key) (any, bool) {
+// Cancellation is checked before the file read and again before the decode
+// (the two expensive phases); a canceled load is a plain miss, not an error.
+func (d *DirCache) Load(ctx context.Context, key Key) (any, bool) {
+	if ctx.Err() != nil {
+		return nil, false
+	}
 	d.loads.Add(1)
 	data, err := os.ReadFile(d.Path(key))
 	if err != nil {
@@ -245,7 +257,10 @@ func (d *DirCache) Load(key Key) (any, bool) {
 		d.errors.Add(1)
 		return nil, false
 	}
-	v, err := d.codec.Decode(payload)
+	if ctx.Err() != nil {
+		return nil, false
+	}
+	v, err := d.codec.Decode(ctx, payload)
 	if err != nil {
 		d.errors.Add(1)
 		return nil, false

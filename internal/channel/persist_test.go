@@ -1,6 +1,7 @@
 package channel
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -23,7 +24,7 @@ func (stringCodec) Encode(v any) ([]byte, error) {
 	return append([]byte("S:"), s...), nil
 }
 
-func (stringCodec) Decode(data []byte) (any, error) {
+func (stringCodec) Decode(_ context.Context, data []byte) (any, error) {
 	if len(data) < 2 || string(data[:2]) != "S:" {
 		return nil, fmt.Errorf("stringCodec: bad payload")
 	}
@@ -109,11 +110,11 @@ func TestDirCacheRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := testKey(5)
-	if _, ok := dc.Load(key); ok {
+	if _, ok := dc.Load(context.Background(), key); ok {
 		t.Fatal("Load hit on empty cache")
 	}
 	dc.Store(key, "hello channels")
-	v, ok := dc.Load(key)
+	v, ok := dc.Load(context.Background(), key)
 	if !ok || v.(string) != "hello channels" {
 		t.Fatalf("Load after Store: %v, %v", v, ok)
 	}
@@ -148,7 +149,7 @@ func TestDirCacheRejectsTamperedFiles(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := dc.Load(key); ok {
+	if _, ok := dc.Load(context.Background(), key); ok {
 		t.Fatal("Load accepted a corrupted snapshot")
 	}
 	if st := dc.Stats(); st.Errors == 0 {
@@ -175,10 +176,10 @@ func TestDirCacheFullKeyCheckBeatsFilenameHash(t *testing.T) {
 	if err := os.WriteFile(dc.Path(keyB), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := dc.Load(keyB); ok {
+	if _, ok := dc.Load(context.Background(), keyB); ok {
 		t.Fatal("Load trusted a snapshot whose embedded key differs")
 	}
-	if v, ok := dc.Load(keyA); !ok || v.(string) != "channel A" {
+	if v, ok := dc.Load(context.Background(), keyA); !ok || v.(string) != "channel A" {
 		t.Fatalf("original key: %v, %v", v, ok)
 	}
 }
@@ -245,7 +246,7 @@ func TestStoreBackingCorruptFallsBackToSolve(t *testing.T) {
 	}
 	s.Sync()
 	// The write-behind overwrote the garbage with a valid snapshot.
-	if v, ok := dc.Load(key); !ok || v.(string) != "re-solved" {
+	if v, ok := dc.Load(context.Background(), key); !ok || v.(string) != "re-solved" {
 		t.Fatalf("repaired snapshot: %v %v", v, ok)
 	}
 }
@@ -329,7 +330,7 @@ func TestDirCacheConcurrentWriters(t *testing.T) {
 		t.Fatal(err)
 	}
 	for cell := 0; cell < keys; cell++ {
-		if v, ok := dc.Load(testKey(cell)); !ok || v.(string) != fmt.Sprintf("value-%d", cell) {
+		if v, ok := dc.Load(context.Background(), testKey(cell)); !ok || v.(string) != fmt.Sprintf("value-%d", cell) {
 			t.Fatalf("cell %d after concurrent writers: %v %v", cell, v, ok)
 		}
 	}

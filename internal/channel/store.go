@@ -11,18 +11,25 @@
 //
 // Store is a sharded, singleflight-deduplicated concurrent cache keyed by
 // exactly those inputs. Concurrent requests for the same key perform one LP
-// solve: the first caller computes while the rest wait on the entry's done
-// channel. Shards keep unrelated keys from contending on a single lock, so
-// the warm path (pure map lookups) scales with cores. Optional cost-aware
-// eviction bounds resident channel mass for long-lived servers with very
-// large hierarchies.
+// solve: the solve runs in its own detached goroutine under a store-owned
+// context while every caller — including the one that triggered it — waits
+// on the entry's done channel. Waiters can abandon the flight individually
+// when their request context is canceled; the solve itself is aborted only
+// when its refcount of live waiters drops to zero (there is no one left who
+// wants the result), or when the store's SolveTimeout elapses. Shards keep
+// unrelated keys from contending on a single lock, so the warm path (pure
+// map lookups) scales with cores. Optional cost-aware eviction bounds
+// resident channel mass for long-lived servers with very large hierarchies.
 package channel
 
 import (
+	"context"
+	"errors"
 	"hash/maphash"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Key identifies one solved channel. All the inputs the solve depends on
@@ -99,6 +106,15 @@ type Stats struct {
 	// BackingWrites counts freshly solved channels handed to the backing
 	// cache for write-behind persistence.
 	BackingWrites int64
+	// Abandoned counts waiters that gave up on an in-flight solve because
+	// their own context was canceled or timed out. Abandoning is per caller:
+	// the solve keeps running as long as at least one other waiter remains.
+	Abandoned int64
+	// Canceled counts solves aborted before completion — because every
+	// waiter abandoned the flight (refcount hit zero) or the store's
+	// SolveTimeout elapsed. A canceled solve caches nothing; a later call
+	// for the same key starts a fresh one.
+	Canceled int64
 }
 
 // Options configures a Store.
@@ -116,6 +132,12 @@ type Options struct {
 	// solve. Evicted entries therefore remain loadable: a later miss for the
 	// same key reloads from the backing instead of re-solving.
 	Backing Backing
+	// SolveTimeout bounds the wall-clock time of one detached solve
+	// (including the backing read-through preceding it); 0 means unbounded.
+	// The timeout is owned by the store, not by any caller: a solve that
+	// outlives the request that triggered it still completes — and is cached
+	// for the next caller — unless this deadline expires first.
+	SolveTimeout time.Duration
 }
 
 const numShards = 32
@@ -123,11 +145,12 @@ const numShards = 32
 // Store is the sharded singleflight channel cache. The zero value is not
 // usable; construct with New.
 type Store struct {
-	shards  [numShards]shard
-	seed    maphash.Seed
-	costFn  func(v any) int64
-	maxCost int64
-	backing Backing
+	shards       [numShards]shard
+	seed         maphash.Seed
+	costFn       func(v any) int64
+	maxCost      int64
+	backing      Backing
+	solveTimeout time.Duration
 
 	hits          atomic.Int64
 	misses        atomic.Int64
@@ -137,6 +160,8 @@ type Store struct {
 	evictions     atomic.Int64
 	backingHits   atomic.Int64
 	backingWrites atomic.Int64
+	abandoned     atomic.Int64
+	canceled      atomic.Int64
 	clock         atomic.Int64 // logical time for LRU ordering
 
 	backingWG sync.WaitGroup // tracks in-flight write-behind goroutines
@@ -148,20 +173,29 @@ type shard struct {
 }
 
 type entry struct {
-	done     chan struct{} // closed when val/err are set
-	val      any
-	err      error
-	cost     int64
-	lastUsed atomic.Int64
+	done        chan struct{} // closed when val/err are set
+	val         any
+	err         error
+	cost        int64
+	fromBacking bool
+	lastUsed    atomic.Int64
+
+	// waiters is the refcount of callers currently blocked on done; guarded
+	// by the owning shard's mutex. When an abandoning waiter drops it to
+	// zero while the solve is still running, the entry is unmapped and
+	// cancel is invoked, aborting the detached solve.
+	waiters int64
+	cancel  context.CancelFunc
 }
 
 // New builds an empty store.
 func New(opts Options) *Store {
 	s := &Store{
-		seed:    maphash.MakeSeed(),
-		maxCost: opts.MaxCost,
-		costFn:  opts.CostFn,
-		backing: opts.Backing,
+		seed:         maphash.MakeSeed(),
+		maxCost:      opts.MaxCost,
+		costFn:       opts.CostFn,
+		backing:      opts.Backing,
+		solveTimeout: opts.SolveTimeout,
 	}
 	if s.costFn == nil {
 		s.costFn = func(any) int64 { return 1 }
@@ -192,67 +226,139 @@ func (s *Store) shardFor(k Key) *shard {
 	return &s.shards[h.Sum64()%numShards]
 }
 
-// GetOrCompute returns the channel for key, invoking solve exactly once per
-// key across all concurrent callers (singleflight). The second return value
-// reports whether the call was satisfied without solving (resident entry,
-// joined flight, or backing-cache load). A failed solve is not cached: the
-// error is delivered to every caller that joined the flight, and a later
-// call retries.
+// GetOrCompute is GetOrComputeCtx with a background context: the caller
+// never abandons, and the solve function ignores cancellation.
+func (s *Store) GetOrCompute(key Key, solve func() (any, error)) (any, bool, error) {
+	return s.GetOrComputeCtx(context.Background(), key, func(context.Context) (any, error) {
+		return solve()
+	})
+}
+
+// GetOrComputeCtx returns the channel for key, invoking solve at most once
+// per key across all concurrent callers (singleflight). The second return
+// value reports whether the call was satisfied without solving (resident
+// entry, joined flight, or backing-cache load). A failed solve is not
+// cached: the error is delivered to every caller still waiting on the
+// flight, and a later call retries.
+//
+// Solve lifecycle is decoupled from any single caller. The solve runs in a
+// detached goroutine under a store-owned context (bounded by
+// Options.SolveTimeout when set), and every caller — including the one whose
+// miss triggered it — merely waits on the result. When ctx is canceled the
+// caller abandons the flight immediately and returns ctx.Err(); the solve
+// keeps running for the benefit of the other waiters and is aborted only
+// when the last live waiter has abandoned. solve receives the detached solve
+// context, not ctx, and should poll it at its cancellation checkpoints.
 //
 // With a Backing configured, a miss first attempts a read-through load —
 // still under the singleflight, so concurrent callers share one disk read —
 // and only solves if the backing declines. Freshly solved values are handed
 // to the backing asynchronously (write-behind); call Sync to wait for those
 // writes, e.g. before process exit.
-func (s *Store) GetOrCompute(key Key, solve func() (any, error)) (any, bool, error) {
+func (s *Store) GetOrComputeCtx(ctx context.Context, key Key, solve func(ctx context.Context) (any, error)) (any, bool, error) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	if e, ok := sh.m[key]; ok {
-		sh.mu.Unlock()
-		<-e.done
-		if e.err != nil {
-			// The flight we joined failed; its entry has already been
-			// removed by the computing goroutine, so retrying is safe.
-			return nil, false, e.err
+		select {
+		case <-e.done:
+			// Warm path: the value is resident, no waiter accounting needed.
+			sh.mu.Unlock()
+			if e.err != nil {
+				return nil, false, e.err
+			}
+			e.lastUsed.Store(s.clock.Add(1))
+			s.hits.Add(1)
+			return e.val, true, nil
+		default:
 		}
-		e.lastUsed.Store(s.clock.Add(1))
-		s.hits.Add(1)
-		return e.val, true, nil
+		e.waiters++
+		sh.mu.Unlock()
+		return s.wait(ctx, sh, key, e, true)
 	}
-	e := &entry{done: make(chan struct{})}
+	e := &entry{done: make(chan struct{}), waiters: 1}
 	e.lastUsed.Store(s.clock.Add(1))
+	solveCtx, cancel := s.newSolveContext()
+	e.cancel = cancel
 	sh.m[key] = e
 	sh.mu.Unlock()
 
 	s.inflight.Add(1)
+	go s.runSolve(solveCtx, sh, key, e, solve)
+	return s.wait(ctx, sh, key, e, false)
+}
+
+// newSolveContext builds the detached context one solve runs under: rooted
+// in Background — never in a request context — so the solve outlives any
+// individual caller, with the store's SolveTimeout applied when configured.
+func (s *Store) newSolveContext() (context.Context, context.CancelFunc) {
+	if s.solveTimeout > 0 {
+		return context.WithTimeout(context.Background(), s.solveTimeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// runSolve executes one detached flight: backing read-through, then the
+// solve itself, then result publication. It owns the entry's map slot until
+// the flight settles.
+func (s *Store) runSolve(ctx context.Context, sh *shard, key Key, e *entry, solve func(ctx context.Context) (any, error)) {
+	defer e.cancel() // release the timeout timer, if any
 	fromBacking := false
-	if s.backing != nil {
-		if v, ok := s.backing.Load(key); ok {
+	if s.backing != nil && ctx.Err() == nil {
+		if v, ok := s.backing.Load(ctx, key); ok {
 			e.val = v
 			fromBacking = true
 		}
 	}
 	if !fromBacking {
-		e.val, e.err = solve()
+		if err := ctx.Err(); err != nil {
+			e.err = err
+		} else {
+			e.val, e.err = solve(ctx)
+		}
 	}
 	s.inflight.Add(-1)
 	if e.err != nil {
+		if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
+			s.canceled.Add(1)
+		}
 		sh.mu.Lock()
-		delete(sh.m, key)
+		// The abandonment path may already have unmapped the entry (and a
+		// fresh flight may own the slot); only remove our own entry.
+		if cur, ok := sh.m[key]; ok && cur == e {
+			delete(sh.m, key)
+		}
 		sh.mu.Unlock()
 		close(e.done)
-		return nil, false, e.err
+		return
 	}
 	e.cost = s.costFn(e.val)
-	s.entries.Add(1)
-	total := s.cost.Add(e.cost)
-	close(e.done)
+	e.fromBacking = fromBacking
+	keep := true
+	sh.mu.Lock()
+	if cur, ok := sh.m[key]; !ok {
+		// Every waiter abandoned and the slot was cleared, but the solve
+		// finished before noticing the cancel: the result is valid, cache it.
+		sh.m[key] = e
+	} else if cur != e {
+		// A fresh flight replaced the abandoned one; let it win.
+		keep = false
+	}
+	sh.mu.Unlock()
+	var total int64
+	if keep {
+		s.entries.Add(1)
+		total = s.cost.Add(e.cost)
+	}
 	if fromBacking {
 		s.hits.Add(1)
 		s.backingHits.Add(1)
 	} else {
 		s.misses.Add(1)
-		if s.backing != nil {
+		if s.backing != nil && keep {
+			// Register the write-behind BEFORE publishing done: a waiter
+			// that returns from GetOrComputeCtx and immediately calls Sync
+			// must observe this Add, and WaitGroup forbids Add racing with
+			// Wait at zero.
 			s.backingWrites.Add(1)
 			s.backingWG.Add(1)
 			val := e.val
@@ -262,10 +368,50 @@ func (s *Store) GetOrCompute(key Key, solve func() (any, error)) (any, bool, err
 			}()
 		}
 	}
-	if s.maxCost > 0 && total > s.maxCost {
+	close(e.done)
+	if keep && s.maxCost > 0 && total > s.maxCost {
 		s.evict(total - s.maxCost)
 	}
-	return e.val, fromBacking, nil
+}
+
+// wait blocks one caller on a flight until the result is published or the
+// caller's own context is canceled. joined reports whether the caller merely
+// joined an existing flight (it then counts as a hit) rather than triggering
+// it.
+func (s *Store) wait(ctx context.Context, sh *shard, key Key, e *entry, joined bool) (any, bool, error) {
+	select {
+	case <-e.done:
+	case <-ctx.Done():
+		s.abandoned.Add(1)
+		sh.mu.Lock()
+		e.waiters--
+		if e.waiters == 0 {
+			select {
+			case <-e.done:
+				// Finished in the meantime; leave the cached result alone.
+			default:
+				// Last waiter out: unmap the doomed flight so late arrivals
+				// start fresh, then abort the detached solve.
+				if cur, ok := sh.m[key]; ok && cur == e {
+					delete(sh.m, key)
+				}
+				e.cancel()
+			}
+		}
+		sh.mu.Unlock()
+		return nil, false, ctx.Err()
+	}
+	sh.mu.Lock()
+	e.waiters--
+	sh.mu.Unlock()
+	if e.err != nil {
+		return nil, false, e.err
+	}
+	e.lastUsed.Store(s.clock.Add(1))
+	if joined {
+		s.hits.Add(1)
+	}
+	return e.val, joined || e.fromBacking, nil
 }
 
 // Sync blocks until every write-behind persistence goroutine started so far
@@ -392,5 +538,7 @@ func (s *Store) Stats() Stats {
 		Evictions:     s.evictions.Load(),
 		BackingHits:   s.backingHits.Load(),
 		BackingWrites: s.backingWrites.Load(),
+		Abandoned:     s.abandoned.Load(),
+		Canceled:      s.canceled.Load(),
 	}
 }

@@ -1,0 +1,299 @@
+package channel
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingSolve returns a solve function that signals `started`, then blocks
+// until its detached context is canceled or `release` is closed. It reports
+// whether the solve context was canceled via the returned pointer.
+func blockingSolve(started chan<- struct{}, release <-chan struct{}, val any) func(context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		close(started)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return val, nil
+		}
+	}
+}
+
+// TestAbandonKeepsSolveAliveForOtherWaiters is the detached-lifecycle
+// contract: a caller whose context is canceled abandons the flight and
+// returns promptly, while the solve keeps running and delivers its result to
+// the remaining waiter.
+func TestAbandonKeepsSolveAliveForOtherWaiters(t *testing.T) {
+	s := New(Options{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	solve := blockingSolve(started, release, "solved")
+
+	cancelCtx, cancel := context.WithCancel(context.Background())
+	errA := make(chan error, 1)
+	go func() {
+		_, _, err := s.GetOrComputeCtx(cancelCtx, key(1), solve)
+		errA <- err
+	}()
+	<-started
+
+	// Second waiter joins the same flight under a background context.
+	valB := make(chan any, 1)
+	go func() {
+		v, hit, err := s.GetOrComputeCtx(context.Background(), key(1), func(context.Context) (any, error) {
+			t.Error("second caller must join the flight, not solve")
+			return nil, nil
+		})
+		if err != nil || !hit {
+			t.Errorf("joined waiter: v=%v hit=%v err=%v", v, hit, err)
+		}
+		valB <- v
+	}()
+	// Wait until B is accounted as a waiter so the cancel below cannot drop
+	// the refcount to zero.
+	waitFor(t, func() bool { return waiterCount(s, key(1)) >= 2 })
+
+	cancel()
+	select {
+	case err := <-errA:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("abandoning caller: err=%v want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoning caller did not return after cancel")
+	}
+	// The solve must still be running: A abandoned, it did not abort.
+	if st := s.Stats(); st.Inflight != 1 || st.Canceled != 0 || st.Abandoned != 1 {
+		t.Fatalf("after abandon: %+v want inflight=1 canceled=0 abandoned=1", st)
+	}
+
+	close(release)
+	select {
+	case v := <-valB:
+		if v.(string) != "solved" {
+			t.Fatalf("remaining waiter got %v", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("remaining waiter never received the solved value")
+	}
+	if st := s.Stats(); st.Misses != 1 || st.Canceled != 0 {
+		t.Errorf("final stats %+v want misses=1 canceled=0", st)
+	}
+}
+
+// TestLastWaiterAbortsSolve: when the only waiter abandons, the refcount hits
+// zero and the detached solve is canceled; the store caches nothing and a
+// later call starts a fresh solve.
+func TestLastWaiterAbortsSolve(t *testing.T) {
+	s := New(Options{})
+	started := make(chan struct{})
+	solve := blockingSolve(started, nil, nil) // only returns on ctx cancel
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := s.GetOrComputeCtx(ctx, key(2), solve)
+		errCh <- err
+	}()
+	<-started
+	cancel()
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err=%v want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("caller did not return after cancel")
+	}
+	// The detached solve observes its canceled context and unwinds.
+	waitFor(t, func() bool { return s.Stats().Inflight == 0 })
+	st := s.Stats()
+	if st.Abandoned != 1 || st.Canceled != 1 {
+		t.Errorf("stats %+v want abandoned=1 canceled=1", st)
+	}
+	if s.Len() != 0 {
+		t.Errorf("aborted solve left %d entries resident", s.Len())
+	}
+
+	// A retry starts fresh and succeeds.
+	v, hit, err := s.GetOrCompute(key(2), func() (any, error) { return "fresh", nil })
+	if err != nil || hit || v.(string) != "fresh" {
+		t.Fatalf("retry: v=%v hit=%v err=%v", v, hit, err)
+	}
+}
+
+// TestSolveSurvivingAbandonIsCached: a solve that ignores cancellation and
+// completes after every waiter left still publishes its (valid) result, so
+// the work is not wasted.
+func TestSolveSurvivingAbandonIsCached(t *testing.T) {
+	s := New(Options{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	// Deliberately ignores ctx: simulates a solve past its last checkpoint.
+	solve := func(context.Context) (any, error) {
+		close(started)
+		<-release
+		return "late-but-valid", nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := s.GetOrComputeCtx(ctx, key(3), solve)
+		errCh <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v want context.Canceled", err)
+	}
+	close(release)
+	waitFor(t, func() bool {
+		v, ok := s.Get(key(3))
+		return ok && v.(string) == "late-but-valid"
+	})
+	if st := s.Stats(); st.Canceled != 0 {
+		t.Errorf("completed solve counted as canceled: %+v", st)
+	}
+}
+
+// TestSolveTimeoutAbortsSolve: the store-owned SolveTimeout cancels a solve
+// even though its waiter never gives up.
+func TestSolveTimeoutAbortsSolve(t *testing.T) {
+	s := New(Options{SolveTimeout: 20 * time.Millisecond})
+	started := make(chan struct{})
+	solve := blockingSolve(started, nil, nil)
+
+	_, _, err := s.GetOrComputeCtx(context.Background(), key(4), solve)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v want context.DeadlineExceeded", err)
+	}
+	if st := s.Stats(); st.Canceled != 1 {
+		t.Errorf("stats %+v want canceled=1", st)
+	}
+	if s.Len() != 0 {
+		t.Errorf("timed-out solve left %d entries", s.Len())
+	}
+}
+
+// TestPreCanceledContextSkipsSolve: a caller arriving with an already-dead
+// context must not burn a solve.
+func TestPreCanceledContextSkipsSolve(t *testing.T) {
+	s := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := s.GetOrComputeCtx(ctx, key(5), func(ctx context.Context) (any, error) {
+		return nil, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v want context.Canceled", err)
+	}
+	waitFor(t, func() bool { return s.Stats().Inflight == 0 })
+	if s.Len() != 0 {
+		t.Errorf("%d entries after pre-canceled call", s.Len())
+	}
+}
+
+// TestTruncatedSnapshotFallsBackToSolve covers the corrupt-persistence path
+// end to end: a snapshot file cut mid-header is rejected cleanly by the
+// DirCache, and the store falls back to solving instead of panicking or
+// erroring.
+func TestTruncatedSnapshotFallsBackToSolve(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := NewDirCache(dir, stringCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(11)
+	dc.Store(k, "full snapshot payload")
+	path := dc.Path(k)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file mid-frame: keep the magic and part of the header, drop
+	// the rest (including the trailing checksum).
+	if err := os.Truncate(path, info.Size()/3); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Options{Backing: dc})
+	solved := false
+	v, hit, err := s.GetOrComputeCtx(context.Background(), k, func(context.Context) (any, error) {
+		solved = true
+		return "re-solved", nil
+	})
+	if err != nil || hit || v.(string) != "re-solved" || !solved {
+		t.Fatalf("fallback solve: v=%v hit=%v err=%v solved=%v", v, hit, err, solved)
+	}
+	if st := dc.Stats(); st.Errors == 0 {
+		t.Errorf("truncated snapshot not counted as an error: %+v", st)
+	}
+	// The write-behind refresh replaces the corrupt file with a good one.
+	s.Sync()
+	v2, ok := dc.Load(context.Background(), k)
+	if !ok || v2.(string) != "re-solved" {
+		t.Errorf("snapshot not repaired after fallback solve: %v %v", v2, ok)
+	}
+}
+
+// waiterCount reads the refcount of an in-flight entry under the shard lock.
+func waiterCount(s *Store, k Key) int64 {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.m[k]; ok {
+		return e.waiters
+	}
+	return 0
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestForEachCtxCancel: a canceled context drains the worker pool promptly
+// and surfaces ctx.Err, while a background context matches ForEach exactly.
+func TestForEachCtxCancel(t *testing.T) {
+	var mu sync.Mutex
+	seen := 0
+	err := ForEachCtx(context.Background(), 4, 50, func(i int) error {
+		mu.Lock()
+		seen++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil || seen != 50 {
+		t.Fatalf("background: err=%v seen=%d", err, seen)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	err = ForEachCtx(ctx, 4, 1000, func(i int) error {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled: err=%v", err)
+	}
+	if ran == 1000 {
+		t.Error("pre-canceled ForEachCtx still ran every iteration")
+	}
+}

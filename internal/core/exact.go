@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"geoind/internal/geo"
@@ -43,7 +44,7 @@ func (m *Mechanism) exactRow(x geo.Point) ([]float64, error) {
 	for level := 0; level < m.Height(); level++ {
 		next := make(map[int]float64, len(dist)*gg)
 		for parent, q := range dist {
-			ch, err := m.channel(level, parent)
+			ch, err := m.channel(context.Background(), level, parent)
 			if err != nil {
 				return nil, err
 			}

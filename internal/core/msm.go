@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -361,16 +362,19 @@ func (m *Mechanism) lpOpts() *lp.IPMOptions {
 // same key (singleflight), so a cold channel is solved exactly once no
 // matter how many goroutines race for it; with DisableCache the store is
 // bypassed and every call re-solves.
-func (m *Mechanism) channel(level, parentIdx int) (*opt.Channel, error) {
+func (m *Mechanism) channel(ctx context.Context, level, parentIdx int) (*opt.Channel, error) {
 	if m.cfg.DisableCache {
-		return m.solveChannel(level, parentIdx)
+		return m.solveChannel(ctx, level, parentIdx)
 	}
 	key := channel.NewKey(storeNamespace, level, parentIdx, m.alloc.Eps[level], int(m.cfg.Metric), m.priorHash)
 	if m.cfg.SpannerStretch > 0 {
 		key = key.WithVariant(math.Float64bits(m.cfg.SpannerStretch))
 	}
-	v, _, err := m.store.GetOrCompute(key, func() (any, error) {
-		return m.solveChannel(level, parentIdx)
+	v, _, err := m.store.GetOrComputeCtx(ctx, key, func(solveCtx context.Context) (any, error) {
+		// solveCtx is the store's detached solve context, not the caller's
+		// request ctx: the solve outlives any individual waiter and is only
+		// canceled when every waiter has abandoned it (or SolveTimeout fires).
+		return m.solveChannel(solveCtx, level, parentIdx)
 	})
 	if err != nil {
 		return nil, err
@@ -380,14 +384,14 @@ func (m *Mechanism) channel(level, parentIdx int) (*opt.Channel, error) {
 	// trust it over a fresh solve.
 	ch, ok := v.(*opt.Channel)
 	if !ok || ch.N() != m.cfg.G*m.cfg.G {
-		return m.solveChannel(level, parentIdx)
+		return m.solveChannel(ctx, level, parentIdx)
 	}
 	return ch, nil
 }
 
 // solveChannel performs the LP solve for one (level, parent) subdomain,
 // using the spanner-reduced formulation when SpannerStretch is set.
-func (m *Mechanism) solveChannel(level, parentIdx int) (*opt.Channel, error) {
+func (m *Mechanism) solveChannel(ctx context.Context, level, parentIdx int) (*opt.Channel, error) {
 	sub := m.hier.SubGrid(level, parentIdx)
 	pw := m.levelSubPrior(level, parentIdx)
 	var (
@@ -395,9 +399,9 @@ func (m *Mechanism) solveChannel(level, parentIdx int) (*opt.Channel, error) {
 		err error
 	)
 	if m.cfg.SpannerStretch > 0 {
-		ch, err = opt.BuildSpanner(m.alloc.Eps[level], sub, pw, m.cfg.Metric, m.cfg.SpannerStretch, &opt.Options{LP: m.lpOpts()})
+		ch, err = opt.BuildSpannerCtx(ctx, m.alloc.Eps[level], sub, pw, m.cfg.Metric, m.cfg.SpannerStretch, &opt.Options{LP: m.lpOpts()})
 	} else {
-		ch, err = opt.Build(m.alloc.Eps[level], sub, pw, m.cfg.Metric, &opt.Options{LP: m.lpOpts()})
+		ch, err = opt.BuildCtx(ctx, m.alloc.Eps[level], sub, pw, m.cfg.Metric, &opt.Options{LP: m.lpOpts()})
 	}
 	if err != nil {
 		return nil, fmt.Errorf("msm: level %d cell %d: %w", level+1, parentIdx, err)
@@ -417,15 +421,25 @@ func (m *Mechanism) solveChannel(level, parentIdx int) (*opt.Channel, error) {
 // lock-free on the sampling path while remaining deterministic: the same
 // seed and the same arrival order produce the same outputs.
 func (m *Mechanism) Report(x geo.Point) (geo.Point, error) {
+	return m.ReportCtx(context.Background(), x)
+}
+
+// ReportCtx is Report under a context: the descent polls ctx between levels
+// (through the channel store), so canceling ctx makes an in-flight cold
+// report return promptly with ctx.Err() — abandoning, not aborting, any
+// shared solve that still has other waiters. Warm reports never block and
+// are unaffected. With ctx == context.Background() the sampling output is
+// bit-identical to Report.
+func (m *Mechanism) ReportCtx(ctx context.Context, x geo.Point) (geo.Point, error) {
 	m.queries.Add(1)
 	if channel.Workers(m.cfg.Workers) <= 1 {
 		m.rngMu.Lock()
 		defer m.rngMu.Unlock()
-		return m.ReportWith(x, m.rng)
+		return m.reportWithCtx(ctx, x, m.rng)
 	}
 	qi := m.queryIdx.Add(1) - 1
 	rng := rand.New(rand.NewPCG(m.seed, reportStreamSalt^qi))
-	return m.ReportWith(x, rng)
+	return m.reportWithCtx(ctx, x, rng)
 }
 
 // ReportBatch sanitizes a slice of locations in one call, amortizing the
@@ -445,6 +459,14 @@ func (m *Mechanism) Report(x geo.Point) (geo.Point, error) {
 // Sampling errors abort the batch: the returned slice is nil and the first
 // error (by completion order) is reported.
 func (m *Mechanism) ReportBatch(xs []geo.Point) ([]geo.Point, error) {
+	return m.ReportBatchCtx(context.Background(), xs)
+}
+
+// ReportBatchCtx is ReportBatch under a context: the pooled fan-out polls
+// ctx before every per-point step, so a cancel drains the workers promptly
+// and the call returns ctx.Err(). When ctx is never canceled the output is
+// bit-identical to ReportBatch (the polls consume no randomness).
+func (m *Mechanism) ReportBatchCtx(ctx context.Context, xs []geo.Point) ([]geo.Point, error) {
 	m.queries.Add(int64(len(xs)))
 	out := make([]geo.Point, len(xs))
 	if len(xs) == 0 {
@@ -454,7 +476,7 @@ func (m *Mechanism) ReportBatch(xs []geo.Point) ([]geo.Point, error) {
 	if workers <= 1 {
 		m.rngMu.Lock()
 		defer m.rngMu.Unlock()
-		if err := m.reportBatchSeq(xs, out, m.rng); err != nil {
+		if err := m.reportBatchSeq(ctx, xs, out, m.rng); err != nil {
 			return nil, err
 		}
 		return out, nil
@@ -462,14 +484,14 @@ func (m *Mechanism) ReportBatch(xs []geo.Point) ([]geo.Point, error) {
 	base := m.queryIdx.Add(uint64(len(xs))) - uint64(len(xs))
 	if len(xs) == 1 {
 		rng := rand.New(rand.NewPCG(m.seed, reportStreamSalt^base))
-		z, err := m.ReportWith(xs[0], rng)
+		z, err := m.reportWithCtx(ctx, xs[0], rng)
 		if err != nil {
 			return nil, err
 		}
 		out[0] = z
 		return out, nil
 	}
-	if err := m.reportBatchLevels(xs, out, base, workers); err != nil {
+	if err := m.reportBatchLevels(ctx, xs, out, base, workers); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -481,7 +503,7 @@ func (m *Mechanism) ReportBatch(xs []geo.Point) ([]geo.Point, error) {
 // parallel. Each point consumes its own PCG stream in the same order a
 // per-point ReportCell descent would, so outputs are bit-identical to the
 // per-point path for any worker count.
-func (m *Mechanism) reportBatchLevels(xs, out []geo.Point, base uint64, workers int) error {
+func (m *Mechanism) reportBatchLevels(ctx context.Context, xs, out []geo.Point, base uint64, workers int) error {
 	n := len(xs)
 	rngs := make([]*rand.Rand, n)
 	parents := make([]int, n) // level-0 parent is the virtual root, index 0
@@ -504,8 +526,8 @@ func (m *Mechanism) reportBatchLevels(xs, out []geo.Point, base uint64, workers 
 		chs := make([]*opt.Channel, len(order))
 		subs := make([]*grid.Grid, len(order))
 		level := level
-		if err := channel.ForEach(workers, len(order), func(j int) error {
-			ch, err := m.channel(level, order[j])
+		if err := channel.ForEachCtx(ctx, workers, len(order), func(j int) error {
+			ch, err := m.channel(ctx, level, order[j])
 			if err != nil {
 				return err
 			}
@@ -515,7 +537,7 @@ func (m *Mechanism) reportBatchLevels(xs, out []geo.Point, base uint64, workers 
 		}); err != nil {
 			return err
 		}
-		if err := channel.ForEach(workers, n, func(i int) error {
+		if err := channel.ForEachCtx(ctx, workers, n, func(i int) error {
 			j := slot[parents[i]]
 			sub := subs[j]
 			// Algorithm 1 line 10: points outside the selected subdomain
@@ -551,18 +573,27 @@ type batchChan struct {
 // acquisition consumes no randomness, so the draw stream is unchanged. (With
 // DisableCache this means one solve per distinct subdomain per batch rather
 // than one per point: a batch acquires each channel once by contract.)
-func (m *Mechanism) reportBatchSeq(xs, out []geo.Point, rng *rand.Rand) error {
+func (m *Mechanism) reportBatchSeq(ctx context.Context, xs, out []geo.Point, rng *rand.Rand) error {
 	cache := make(map[uint64]batchChan)
 	leaf := m.LeafGrid()
 	h := m.Height()
+	cancelable := ctx.Done() != nil
 	for i, x := range xs {
+		// Poll with a stride: one warm descent is a few hundred ns, so a
+		// 32-point stride still cancels within ~10µs while keeping the
+		// ctx.Err() cost off the per-point hot path.
+		if cancelable && i&31 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		x = m.cfg.Region.Clamp(x)
 		parent := 0 // virtual root
 		for level := 0; level < h; level++ {
 			key := uint64(level)<<32 | uint64(uint32(parent))
 			bc, ok := cache[key]
 			if !ok {
-				ch, err := m.channel(level, parent)
+				ch, err := m.channel(ctx, level, parent)
 				if err != nil {
 					return err
 				}
@@ -590,7 +621,7 @@ func (m *Mechanism) reportBatchSeq(xs, out []geo.Point, rng *rand.Rand) error {
 // per-point loop.
 func (m *Mechanism) ReportBatchWith(xs []geo.Point, rng *rand.Rand) ([]geo.Point, error) {
 	out := make([]geo.Point, len(xs))
-	if err := m.reportBatchSeq(xs, out, rng); err != nil {
+	if err := m.reportBatchSeq(context.Background(), xs, out, rng); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -599,7 +630,11 @@ func (m *Mechanism) ReportBatchWith(xs []geo.Point, rng *rand.Rand) ([]geo.Point
 // ReportWith is Report with a caller-supplied RNG (not counted in Stats'
 // query counter when called directly).
 func (m *Mechanism) ReportWith(x geo.Point, rng *rand.Rand) (geo.Point, error) {
-	idx, err := m.ReportCell(x, rng)
+	return m.reportWithCtx(context.Background(), x, rng)
+}
+
+func (m *Mechanism) reportWithCtx(ctx context.Context, x geo.Point, rng *rand.Rand) (geo.Point, error) {
+	idx, err := m.ReportCellCtx(ctx, x, rng)
 	if err != nil {
 		return geo.Point{}, err
 	}
@@ -609,10 +644,16 @@ func (m *Mechanism) ReportWith(x geo.Point, rng *rand.Rand) (geo.Point, error) {
 // ReportCell runs the multi-step descent and returns the index of the
 // selected leaf cell.
 func (m *Mechanism) ReportCell(x geo.Point, rng *rand.Rand) (int, error) {
+	return m.ReportCellCtx(context.Background(), x, rng)
+}
+
+// ReportCellCtx is ReportCell under a context; the per-level channel
+// acquisitions observe ctx, so canceling it aborts a cold descent promptly.
+func (m *Mechanism) ReportCellCtx(ctx context.Context, x geo.Point, rng *rand.Rand) (int, error) {
 	x = m.cfg.Region.Clamp(x)
 	parent := 0 // virtual root
 	for level := 0; level < m.Height(); level++ {
-		ch, err := m.channel(level, parent)
+		ch, err := m.channel(ctx, level, parent)
 		if err != nil {
 			return 0, err
 		}
@@ -638,6 +679,14 @@ func (m *Mechanism) ReportCell(x geo.Point, rng *rand.Rand) (int, error) {
 // the store's singleflight keeps concurrent Precompute/Report traffic from
 // duplicating work.
 func (m *Mechanism) Precompute() error {
+	return m.PrecomputeCtx(context.Background())
+}
+
+// PrecomputeCtx is Precompute under a context: the per-level fan-out polls
+// ctx before each solve, so canceling it (e.g. on SIGINT during warmup)
+// stops issuing new solves and returns ctx.Err() promptly. Channels already
+// solved stay in the store.
+func (m *Mechanism) PrecomputeCtx(ctx context.Context) error {
 	if m.cfg.DisableCache {
 		return fmt.Errorf("msm: cannot precompute with cache disabled")
 	}
@@ -646,8 +695,8 @@ func (m *Mechanism) Precompute() error {
 	for level := 0; level < m.Height(); level++ {
 		level := level
 		ps := parents
-		if err := channel.ForEach(workers, len(ps), func(i int) error {
-			_, err := m.channel(level, ps[i])
+		if err := channel.ForEachCtx(ctx, workers, len(ps), func(i int) error {
+			_, err := m.channel(ctx, level, ps[i])
 			return err
 		}); err != nil {
 			return err

@@ -1,0 +1,75 @@
+package lp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSolveCtxPreCanceled(t *testing.T) {
+	prior := make([]float64, 9)
+	for i := range prior {
+		prior[i] = 1.0 / 9
+	}
+	p := gridGeoIndProblem(3, 1.0, prior)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.SolveCtx(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v want context.Canceled", err)
+	}
+}
+
+// TestSolveCtxCancelMidSolve cancels an in-flight solve and requires it to
+// return context.Canceled promptly — within the per-iteration checkpoint
+// budget, not after running all remaining IPM iterations.
+func TestSolveCtxCancelMidSolve(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := randomGeoIndProblem(48, 99)
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := p.SolveCtx(ctx, &IPMOptions{Workers: workers})
+			done <- err
+		}()
+		// Let the solve get going, then pull the plug.
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			// A fast machine may finish the whole solve before the cancel
+			// lands; that is a pass too (cancellation never corrupts a
+			// completed solve). Anything else must be context.Canceled.
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d: err=%v", workers, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("workers=%d: solve did not return after cancel", workers)
+		}
+	}
+}
+
+// TestSolveCtxUncanceledMatchesSolve: threading a live context through the
+// solver must not perturb the arithmetic — the solution is bit-identical to
+// the plain Solve path.
+func TestSolveCtxUncanceledMatchesSolve(t *testing.T) {
+	p := randomGeoIndProblem(20, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	a, err := p.SolveCtx(ctx, &IPMOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Solve(&IPMOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.K) != len(b.K) {
+		t.Fatalf("len %d vs %d", len(a.K), len(b.K))
+	}
+	for i := range a.K {
+		if a.K[i] != b.K[i] {
+			t.Fatalf("K[%d]: %g vs %g (ctx plumbing changed the arithmetic)", i, a.K[i], b.K[i])
+		}
+	}
+}

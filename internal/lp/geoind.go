@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -92,12 +93,24 @@ func (p *GeoIndProblem) Validate() error {
 	return nil
 }
 
-// Solve runs the structure-exploiting Mehrotra predictor-corrector method.
+// Solve runs the structure-exploiting Mehrotra predictor-corrector method
+// without cancellation (SolveCtx with a background context).
+func (p *GeoIndProblem) Solve(opts *IPMOptions) (*GeoIndSolution, error) {
+	return p.SolveCtx(context.Background(), opts)
+}
+
+// SolveCtx runs the structure-exploiting Mehrotra predictor-corrector method
+// under ctx: the main loop polls the context once per iteration and the per-z
+// block pool polls it between blocks, so a canceled solve returns ctx.Err()
+// within one block's worth of work — a tiny fraction of a full solve — rather
+// than running every remaining iteration. A solve that completes normally is
+// unaffected: cancellation checkpoints never alter the arithmetic, so the
+// output remains bit-identical for any worker count.
 //
 // Internal variable layout is z-major (v[z*N+x]) so that the per-column
 // normal-equation blocks and the constraint vectors are contiguous; the
 // returned K is converted back to the row-major convention of the paper.
-func (p *GeoIndProblem) Solve(opts *IPMOptions) (*GeoIndSolution, error) {
+func (p *GeoIndProblem) SolveCtx(ctx context.Context, opts *IPMOptions) (*GeoIndSolution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -112,6 +125,9 @@ func (p *GeoIndProblem) Solve(opts *IPMOptions) (*GeoIndSolution, error) {
 		workers = resolveWorkers(opts.Workers)
 	}
 	n := p.N
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if n == 1 {
 		return &GeoIndSolution{Status: StatusOptimal, K: []float64{1}, Obj: p.Obj[0]}, nil
 	}
@@ -119,8 +135,12 @@ func (p *GeoIndProblem) Solve(opts *IPMOptions) (*GeoIndSolution, error) {
 		workers = n
 	}
 	st := newGeoIndState(p, workers)
+	st.ctx = ctx
 	defer st.pool.close()
 	status, iters, gap := st.run(tol, maxIters)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sol := &GeoIndSolution{Status: status, Iters: iters, Gap: gap, K: make([]float64, n*n)}
 	for z := 0; z < n; z++ {
 		for x := 0; x < n; x++ {
@@ -151,7 +171,16 @@ type geoIndState struct {
 	invScratch                 [][]float64 // per-worker n*n scratch for cholInverse
 	schur, schurF              []float64   // n*n
 
-	pool *blockPool // nil when running serially
+	pool *blockPool      // nil when running serially
+	ctx  context.Context // nil means not cancelable (Solve / direct tests)
+}
+
+// canceled reports whether the solve's context has been canceled. A nil ctx
+// (legacy Solve path, direct state construction in tests) never cancels, and
+// a context that cannot be canceled (ctx.Done() == nil) short-circuits
+// without touching the context's mutex.
+func (st *geoIndState) canceled() bool {
+	return st.ctx != nil && st.ctx.Done() != nil && st.ctx.Err() != nil
 }
 
 func newGeoIndState(p *GeoIndProblem, workers int) *geoIndState {
@@ -244,6 +273,13 @@ func (st *geoIndState) run(tol float64, maxIters int) (Status, int, float64) {
 	iters := 0
 	for iter := 0; iter < maxIters; iter++ {
 		iters = iter
+		// Cancellation checkpoint: one poll per predictor-corrector
+		// iteration. The caller (SolveCtx) turns the early exit into
+		// ctx.Err(); the best iterate so far is discarded, never returned
+		// partially solved.
+		if st.canceled() {
+			break
+		}
 		// --- Residuals ---
 		// rp1 = 1 - E v
 		for x := 0; x < n; x++ {
@@ -445,6 +481,14 @@ func (st *geoIndState) run(tol float64, maxIters int) (Status, int, float64) {
 func (st *geoIndState) factorBlocks() {
 	n, np := st.n, st.np
 	st.pool.forEachBlock(n, func(worker, z int) {
+		// Per-z cancellation checkpoint: once the solve's context is
+		// canceled, remaining blocks are skipped so the pool drains within
+		// one block's worth of work. Results are garbage afterwards, but the
+		// iteration loop breaks before using them and SolveCtx discards the
+		// state entirely.
+		if st.canceled() {
+			return
+		}
 		blk := st.buildBuf[worker]
 		for i := range blk {
 			blk[i] = 0
@@ -533,6 +577,9 @@ func (st *geoIndState) solveKKT(dv, dy []float64) {
 	// substitution fans out across the worker pool (bit-identical: each
 	// segment's arithmetic is unchanged).
 	st.pool.forEachBlock(n, func(_, z int) {
+		if st.canceled() {
+			return // drain promptly; see factorBlocks
+		}
 		inv := st.blocks[z*st.nn : (z+1)*st.nn]
 		qz := st.q[z*n : z*n+n]
 		dvz := dv[z*n : z*n+n]

@@ -21,6 +21,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -87,6 +88,14 @@ type Channel struct {
 // Build solves the OPT linear program. priorWeights must have one
 // nonnegative entry per grid cell; it is normalized internally.
 func Build(eps float64, g *grid.Grid, priorWeights []float64, metric geo.Metric, opts *Options) (*Channel, error) {
+	return BuildCtx(context.Background(), eps, g, priorWeights, metric, opts)
+}
+
+// BuildCtx is Build under a context: the LP solve polls ctx once per
+// interior-point iteration (and per block inside an iteration), so canceling
+// ctx aborts a running solve promptly with ctx.Err(). A solve that finishes
+// before cancellation is unaffected.
+func BuildCtx(ctx context.Context, eps float64, g *grid.Grid, priorWeights []float64, metric geo.Metric, opts *Options) (*Channel, error) {
 	if !(eps > 0) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("opt: eps must be positive and finite, got %g", eps)
 	}
@@ -142,7 +151,7 @@ func Build(eps float64, g *grid.Grid, priorWeights []float64, metric geo.Metric,
 	if opts != nil {
 		lpOpts = opts.LP
 	}
-	sol, err := prob.Solve(lpOpts)
+	sol, err := prob.SolveCtx(ctx, lpOpts)
 	if err != nil {
 		return nil, fmt.Errorf("opt: %w", err)
 	}

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -44,6 +45,12 @@ type PointChannel struct {
 // among its duplicates — which preserves stochasticity, the GeoInd
 // constraints and the expected loss exactly.
 func BuildPoints(eps float64, centers []geo.Point, priorWeights []float64, metric geo.Metric, opts *Options) (*PointChannel, error) {
+	return BuildPointsCtx(context.Background(), eps, centers, priorWeights, metric, opts)
+}
+
+// BuildPointsCtx is BuildPoints under a context; see BuildCtx for the
+// cancellation contract.
+func BuildPointsCtx(ctx context.Context, eps float64, centers []geo.Point, priorWeights []float64, metric geo.Metric, opts *Options) (*PointChannel, error) {
 	if !(eps > 0) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("opt: eps must be positive and finite, got %g", eps)
 	}
@@ -117,7 +124,7 @@ func BuildPoints(eps float64, centers []geo.Point, priorWeights []float64, metri
 		if opts != nil {
 			lpOpts = opts.LP
 		}
-		sol, err := prob.Solve(lpOpts)
+		sol, err := prob.SolveCtx(ctx, lpOpts)
 		if err != nil {
 			return nil, fmt.Errorf("opt: %w", err)
 		}

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -92,21 +93,26 @@ func (SnapshotCodec) Encode(v any) ([]byte, error) {
 
 // Decode parses and validates a snapshot payload, returning a *Channel or
 // *PointChannel ready to sample (cumulative rows verified bit-exact against
-// a recomputation from K).
-func (SnapshotCodec) Decode(data []byte) (any, error) {
+// a recomputation from K). ctx is polled before the parse and again before
+// the O(n^2) validation pass, so a caller that has already given up does not
+// pay for revalidating a large matrix it will discard.
+func (SnapshotCodec) Decode(ctx context.Context, data []byte) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := &snapReader{data: data}
 	kind := r.byte()
 	switch kind {
 	case snapKindGrid:
-		return decodeGrid(r)
+		return decodeGrid(ctx, r)
 	case snapKindPoints:
-		return decodePoints(r)
+		return decodePoints(ctx, r)
 	default:
 		return nil, fmt.Errorf("opt: unknown snapshot kind %d", kind)
 	}
 }
 
-func decodeGrid(r *snapReader) (*Channel, error) {
+func decodeGrid(ctx context.Context, r *snapReader) (*Channel, error) {
 	bounds := geo.Rect{MinX: r.float(), MinY: r.float(), MaxX: r.float(), MaxY: r.float()}
 	gran := int(r.uint32())
 	eps := r.float()
@@ -138,13 +144,16 @@ func decodeGrid(r *snapReader) (*Channel, error) {
 	if iters < 0 || pairFamilies < 0 {
 		return nil, fmt.Errorf("opt: negative solve metadata in snapshot")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := validateChannel(g.NumCells(), eps, metric, loss, k, cum); err != nil {
 		return nil, err
 	}
 	return ch, nil
 }
 
-func decodePoints(r *snapReader) (*PointChannel, error) {
+func decodePoints(ctx context.Context, r *snapReader) (*PointChannel, error) {
 	n := int(r.uint32())
 	if r.err == nil && (n < 1 || n > grid.MaxCellsPerSide*grid.MaxCellsPerSide) {
 		return nil, fmt.Errorf("opt: snapshot candidate count %d out of range", n)
@@ -172,6 +181,9 @@ func decodePoints(r *snapReader) (*PointChannel, error) {
 	}
 	if iters < 0 {
 		return nil, fmt.Errorf("opt: negative solve metadata in snapshot")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if err := validateChannel(n, eps, metric, loss, k, cum); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -33,7 +34,7 @@ func TestSnapshotCodecChannelRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := codec.Decode(data)
+	v, err := codec.Decode(context.Background(), data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestSnapshotCodecPointChannelRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := codec.Decode(data)
+	v, err := codec.Decode(context.Background(), data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestSnapshotCodecRejectsGarbage(t *testing.T) {
 		"trailing":     append(append([]byte(nil), data...), 0),
 	}
 	for name, payload := range cases {
-		if _, err := codec.Decode(payload); err == nil {
+		if _, err := codec.Decode(context.Background(), payload); err == nil {
 			t.Errorf("%s: decoded without error", name)
 		}
 	}
@@ -149,7 +150,7 @@ func TestSnapshotCodecRejectsTamperedMatrix(t *testing.T) {
 	// prefix sums from K and must notice the mismatch.
 	tampered := append([]byte(nil), data...)
 	tampered[len(tampered)-8] ^= 0x01
-	if _, err := codec.Decode(tampered); err == nil {
+	if _, err := codec.Decode(context.Background(), tampered); err == nil {
 		t.Fatal("accepted a cum row inconsistent with K")
 	}
 
@@ -158,7 +159,7 @@ func TestSnapshotCodecRejectsTamperedMatrix(t *testing.T) {
 	nan := append([]byte(nil), data...)
 	idx := snapshotKOffset(t, codec, ch)
 	putFloatLE(nan[idx:], math.NaN())
-	if _, err := codec.Decode(nan); err == nil {
+	if _, err := codec.Decode(context.Background(), nan); err == nil {
 		t.Fatal("accepted NaN in K")
 	}
 }

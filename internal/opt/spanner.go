@@ -2,6 +2,7 @@ package opt
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -26,6 +27,12 @@ import (
 // stretch -> 1 the spanner degenerates to the complete graph and the result
 // coincides with Build.
 func BuildSpanner(eps float64, g *grid.Grid, priorWeights []float64, metric geo.Metric, stretch float64, opts *Options) (*Channel, error) {
+	return BuildSpannerCtx(context.Background(), eps, g, priorWeights, metric, stretch, opts)
+}
+
+// BuildSpannerCtx is BuildSpanner under a context; see BuildCtx for the
+// cancellation contract.
+func BuildSpannerCtx(ctx context.Context, eps float64, g *grid.Grid, priorWeights []float64, metric geo.Metric, stretch float64, opts *Options) (*Channel, error) {
 	if !(eps > 0) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("opt: eps must be positive and finite, got %g", eps)
 	}
@@ -69,7 +76,7 @@ func BuildSpanner(eps float64, g *grid.Grid, priorWeights []float64, metric geo.
 	if opts != nil {
 		lpOpts = opts.LP
 	}
-	sol, err := prob.Solve(lpOpts)
+	sol, err := prob.SolveCtx(ctx, lpOpts)
 	if err != nil {
 		return nil, fmt.Errorf("opt: spanner: %w", err)
 	}

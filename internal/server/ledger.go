@@ -91,6 +91,25 @@ func (l *Ledger) Spend(user string, eps float64) error {
 	return nil
 }
 
+// Refund credits eps back to the user's window budget, clamping at zero
+// spend. It undoes a Spend whose report never happened (request canceled,
+// deadline exceeded, mechanism failure): the user revealed nothing, so the
+// composability accounting of §2.2 owes them the budget back. Refunding
+// after the window rolled over is harmless — the fresh window already has
+// zero spend and the clamp keeps it there.
+func (l *Ledger) Refund(user string, eps float64) {
+	if !(eps > 0) {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.entry(user)
+	e.Spent -= eps
+	if e.Spent < 0 {
+		e.Spent = 0
+	}
+}
+
 // Remaining returns the user's unspent budget in the current window.
 func (l *Ledger) Remaining(user string) float64 {
 	l.mu.Lock()

@@ -1,10 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
+	"time"
 
 	"geoind/internal/channel"
 	"geoind/internal/geo"
@@ -25,6 +28,19 @@ type BatchReporter interface {
 	ReportBatch(xs []geo.Point) ([]geo.Point, error)
 }
 
+// CtxReporter is optionally implemented by mechanisms whose report path is
+// cancelable. When the mechanism provides it, each /v1/report runs under the
+// request's context (plus the configured request timeout), so a client that
+// disconnects mid-report stops paying for the work it no longer wants.
+type CtxReporter interface {
+	ReportCtx(ctx context.Context, x geo.Point) (geo.Point, error)
+}
+
+// CtxBatchReporter is the cancelable batch counterpart of CtxReporter.
+type CtxBatchReporter interface {
+	ReportBatchCtx(ctx context.Context, xs []geo.Point) ([]geo.Point, error)
+}
+
 // StoreStatser is optionally implemented by mechanisms backed by a channel
 // store (geoind.MSM and geoind.AdaptiveMSM are). When the mechanism provides
 // it, /v1/stats exposes the store counters — including persistent-cache disk
@@ -41,10 +57,12 @@ const MaxBatchSize = 1024
 // Server is the HTTP sanitization service: it owns a mechanism, a per-user
 // budget ledger, and the region bounds used for input validation.
 type Server struct {
-	mech   Reporter
-	ledger *Ledger
-	region geo.Rect
-	mux    *http.ServeMux
+	mech       Reporter
+	ledger     *Ledger
+	region     geo.Rect
+	mux        *http.ServeMux
+	reqTimeout time.Duration
+	draining   atomic.Bool
 }
 
 // New assembles a server. The ledger may be nil, in which case budgets are
@@ -62,6 +80,7 @@ func New(mech Reporter, ledger *Ledger, region geo.Rect) (*Server, error) {
 	}
 	s := &Server{mech: mech, ledger: ledger, region: region, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/healthz", s.handleReady)
 	s.mux.HandleFunc("/v1/info", s.handleInfo)
 	s.mux.HandleFunc("/v1/report", s.handleReport)
 	s.mux.HandleFunc("/v1/report:batch", s.handleReportBatch)
@@ -72,6 +91,45 @@ func New(mech Reporter, ledger *Ledger, region geo.Rect) (*Server, error) {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetRequestTimeout bounds the mechanism work of each report request; 0 (the
+// default) means the request runs until the client gives up. The deadline is
+// layered on top of the per-request context, so whichever fires first —
+// client disconnect or timeout — cancels the report.
+func (s *Server) SetRequestTimeout(d time.Duration) { s.reqTimeout = d }
+
+// BeginShutdown flips GET /v1/healthz to 503 so load balancers stop routing
+// new traffic here. Call it before http.Server.Shutdown: in-flight requests
+// still complete, but the readiness probe reports the drain immediately.
+func (s *Server) BeginShutdown() { s.draining.Store(true) }
+
+// requestCtx derives the context a report handler runs under: the request's
+// own context (canceled when the client disconnects) plus the configured
+// request timeout, when one is set.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.reqTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.reqTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// statusClientClosedRequest is the de-facto status (nginx's 499) for a
+// request aborted by the client before the response was written. The client
+// usually never sees it, but it keeps access logs honest about who gave up.
+const statusClientClosedRequest = 499
+
+// writeReportError maps a mechanism error to an HTTP status: a deadline that
+// fired server-side is a 504, a client disconnect a 499, anything else a 500.
+func writeReportError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{"report timed out: " + err.Error()})
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, statusClientClosedRequest, errorResponse{"request canceled: " + err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+	}
+}
 
 // ReportRequest is the /v1/report request body.
 type ReportRequest struct {
@@ -134,6 +192,13 @@ type ChannelCacheStats struct {
 	Entries    int64 `json:"entries"`
 	CostBytes  int64 `json:"cost_bytes"`
 	Evictions  int64 `json:"evictions"`
+	// Abandoned counts waiters that gave up on an in-flight solve (their
+	// request was canceled or timed out while the solve kept running for
+	// the remaining waiters).
+	Abandoned int64 `json:"abandoned"`
+	// Canceled counts solves aborted outright: every waiter abandoned the
+	// flight, or the solve timeout elapsed.
+	Canceled int64 `json:"canceled"`
 }
 
 // StatsResponse is the /v1/stats response body.
@@ -155,6 +220,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the readiness probe: 200 while serving, 503 once
+// BeginShutdown has been called. Unlike /healthz (liveness: is the process
+// up), readiness tells load balancers whether to route new traffic here.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting_down"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -190,6 +266,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Entries:    st.Entries,
 			CostBytes:  st.Cost,
 			Evictions:  st.Evictions,
+			Abandoned:  st.Abandoned,
+			Canceled:   st.Canceled,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -248,9 +326,15 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	z, err := s.mech.Report(x)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	z, err := s.reportOne(ctx, x)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		// A failed or canceled report revealed nothing, so it costs nothing.
+		if s.ledger != nil {
+			s.ledger.Refund(req.UserID, s.mech.Epsilon())
+		}
+		writeReportError(w, err)
 		return
 	}
 	resp := ReportResponse{X: z.X, Y: z.Y, EpsSpent: s.mech.Epsilon(), Mechanism: s.mech.Name()}
@@ -323,9 +407,17 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	zs, err := s.reportAll(xs)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	zs, err := s.reportAll(ctx, xs)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		// All-or-nothing extends to cancellation: a batch that dies
+		// mid-flight released no sanitized locations, so the whole charge
+		// comes back.
+		if s.ledger != nil {
+			s.ledger.Refund(user, float64(len(reqs))*s.mech.Epsilon())
+		}
+		writeReportError(w, err)
 		return
 	}
 	resp := BatchReportResponse{
@@ -343,15 +435,33 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// reportAll runs the mechanism over a validated batch, using the pooled
-// batch path when the mechanism provides one.
-func (s *Server) reportAll(xs []geo.Point) ([]geo.Point, error) {
+// reportOne runs one report under ctx, preferring the mechanism's cancelable
+// path when it has one.
+func (s *Server) reportOne(ctx context.Context, x geo.Point) (geo.Point, error) {
+	if cr, ok := s.mech.(CtxReporter); ok {
+		return cr.ReportCtx(ctx, x)
+	}
+	if err := ctx.Err(); err != nil {
+		return geo.Point{}, err
+	}
+	return s.mech.Report(x)
+}
+
+// reportAll runs the mechanism over a validated batch under ctx, using the
+// pooled batch path when the mechanism provides one.
+func (s *Server) reportAll(ctx context.Context, xs []geo.Point) ([]geo.Point, error) {
+	if br, ok := s.mech.(CtxBatchReporter); ok {
+		return br.ReportBatchCtx(ctx, xs)
+	}
 	if br, ok := s.mech.(BatchReporter); ok {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return br.ReportBatch(xs)
 	}
 	zs := make([]geo.Point, len(xs))
 	for i, x := range xs {
-		z, err := s.mech.Report(x)
+		z, err := s.reportOne(ctx, x)
 		if err != nil {
 			return nil, err
 		}
