@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race race-persist bench-smoke bench-json bench-ctx bench-diff
+.PHONY: ci fmt-check vet build test race race-persist fuzz-short bench-smoke bench-json bench-ctx bench-sample bench-diff
 
 ci: fmt-check vet build race race-persist bench-smoke
 
@@ -29,12 +29,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Focused race pass over the persistence layer: concurrent DirCache writers,
-# write-behind goroutines and warm-restart loads run with -count=2 so the
-# second round exercises the populated-directory paths.
+# Focused race pass over the persistence layer and shared sampler state:
+# concurrent DirCache writers, write-behind goroutines and warm-restart loads
+# run with -count=2 so the second round exercises the populated-directory
+# paths; the AliasSharing suites race the once-guarded lazy alias-table build
+# across goroutines sharing one channel.
 race-persist:
-	$(GO) test -race -count=2 -run 'Snapshot|DirCache|Backing|WarmRestart|CacheBytes' \
+	$(GO) test -race -count=2 -run 'Snapshot|DirCache|Backing|WarmRestart|CacheBytes|AliasSharing' \
 		./internal/channel ./internal/opt .
+
+# Short native-fuzz pass over the two snapshot decode layers (the checksummed
+# frame in internal/channel and the channel payload codec in internal/opt).
+# A budgeted smoke run for CI — soak runs can raise -fuzztime freely; new
+# crashers land in testdata/fuzz and should be committed as regression seeds.
+fuzz-short:
+	$(GO) test -run xxx -fuzz FuzzSnapshotLoad -fuzztime 10s ./internal/channel
+	$(GO) test -run xxx -fuzz FuzzSnapshotCodec -fuzztime 10s ./internal/opt
 
 bench-smoke:
 	$(GO) test -run xxx -bench 'MSMReportParallel|AdaptiveReportParallel|ReportBatch/msm|ReportLoop/msm' -benchtime 50x .
@@ -58,6 +68,16 @@ bench-ctx:
 		| $(GO) run ./cmd/benchjson > BENCH_ctx.json
 	@echo wrote BENCH_ctx.json
 
+# Record the warm-path sampler benchmarks as BENCH_sample.json: cum vs alias
+# draw cost (dense and compact channels), the full SampleVia report path, the
+# one-time alias-table build, and on-disk snapshot sizes (retired v1 dense vs
+# v2 dense vs v2 compact, reported as B/op). The committed baseline documents
+# the alias >=5x warm-path and compact >=4x snapshot-size claims.
+bench-sample:
+	$(GO) test -run xxx -bench 'SamplerDraw|SampleViaReport|AliasBuild|SnapshotBytes' \
+		-benchtime 1s -benchmem ./internal/opt | $(GO) run ./cmd/benchjson > BENCH_sample.json
+	@echo wrote BENCH_sample.json
+
 # Compare a fresh benchmark run against the committed baseline. Warn-only:
 # regressions above 20% are flagged but never fail the target.
 bench-diff:
@@ -70,3 +90,6 @@ bench-diff:
 	$(GO) test -run xxx -bench 'CtxOverhead' -benchtime 2s -benchmem . \
 		| $(GO) run ./cmd/benchjson > /tmp/bench_ctx_current.json
 	$(GO) run ./cmd/benchjson -diff -threshold 20 BENCH_ctx.json /tmp/bench_ctx_current.json
+	$(GO) test -run xxx -bench 'SamplerDraw|SampleViaReport|AliasBuild|SnapshotBytes' \
+		-benchtime 1s -benchmem ./internal/opt | $(GO) run ./cmd/benchjson > /tmp/bench_sample_current.json
+	$(GO) run ./cmd/benchjson -diff -threshold 30 BENCH_sample.json /tmp/bench_sample_current.json

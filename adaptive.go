@@ -7,6 +7,7 @@ import (
 
 	"geoind/internal/adaptive"
 	"geoind/internal/channel"
+	"geoind/internal/opt"
 )
 
 // AdaptiveMSMConfig configures NewAdaptiveMSM, the prior-adaptive variant of
@@ -51,6 +52,12 @@ type AdaptiveMSMConfig struct {
 	// SolveTimeout bounds the wall-clock time of each detached node-channel
 	// solve; 0 means no timeout (see MSMConfig.SolveTimeout).
 	SolveTimeout time.Duration
+	// Sampler selects the warm-path sampling implementation: "" or "cum"
+	// or "alias" (see MSMConfig.Sampler).
+	Sampler string
+	// PruneMass, when > 0, compacts solved node channels with the
+	// eps-preserving, verifier-gated pruning (see MSMConfig.PruneMass).
+	PruneMass float64
 }
 
 // AdaptiveMSM is the adaptive-index multi-step mechanism.
@@ -60,6 +67,10 @@ type AdaptiveMSM struct {
 
 // NewAdaptiveMSM builds the adaptive mechanism.
 func NewAdaptiveMSM(cfg AdaptiveMSMConfig) (*AdaptiveMSM, error) {
+	kind, err := opt.ParseSamplerKind(cfg.Sampler)
+	if err != nil {
+		return nil, fmt.Errorf("geoind: %w", err)
+	}
 	store, err := newChannelStore(cfg.CacheDir, cfg.CacheBytes, cfg.SolveTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
@@ -75,6 +86,8 @@ func NewAdaptiveMSM(cfg AdaptiveMSMConfig) (*AdaptiveMSM, error) {
 		PriorGranularity: cfg.PriorGranularity,
 		Workers:          cfg.Workers,
 		Store:            store,
+		Sampler:          kind,
+		PruneMass:        cfg.PruneMass,
 	}, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
@@ -129,6 +142,19 @@ func (a *AdaptiveMSM) NumNodes() int { return a.m.Tree().NumNodes() }
 // StoreStats returns the full channel-store counter snapshot, including
 // snapshot-persistence activity (disk hits and write-behind writes).
 func (a *AdaptiveMSM) StoreStats() channel.Stats { return a.m.StoreStats() }
+
+// DirCacheStats returns the persistent snapshot cache's own counters — loads,
+// hits, decode errors, and version misses (intact files written by a foreign
+// snapshot format version). ok is false when no cache directory is
+// configured.
+func (a *AdaptiveMSM) DirCacheStats() (channel.DirStats, bool) { return a.m.DirCacheStats() }
+
+// SamplerInfo reports the warm-path sampling configuration (sampler kind,
+// configured prune mass) and the pruning counters: solved node channels
+// compacted, and dense fallbacks after a failed post-prune verification.
+func (a *AdaptiveMSM) SamplerInfo() (kind string, pruneMass float64, pruned, fallbacks int64) {
+	return a.m.SamplerInfo()
+}
 
 // FlushCache blocks until every solved channel handed to the persistent
 // snapshot cache (AdaptiveMSMConfig.CacheDir) has been written to disk; a

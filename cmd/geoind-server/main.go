@@ -15,7 +15,8 @@
 //	                                (len x eps) is charged atomically or not at all
 //	GET  /v1/budget?user_id=u       remaining budget in the current window
 //	GET  /v1/stats                  channel-cache counters (hits, solves,
-//	                                persistent-cache disk hits/writes)
+//	                                persistent-cache disk hits/writes) and
+//	                                sampler/pruning configuration
 //
 // Example:
 //
@@ -73,11 +74,13 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "resident channel-matrix byte budget with LRU eviction (0 = unbounded; evicted channels reload from -cache-dir)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline for /v1/report and /v1/report:batch (0 = none; a request past the deadline is canceled and answered 504 with its budget refunded)")
 	solveTimeout := flag.Duration("solve-timeout", 0, "wall-clock bound on each detached channel solve (0 = none; a timed-out solve is aborted and retried by the next request for that channel)")
+	sampler := flag.String("sampler", "cum", "warm-path sampler: cum (cumulative binary search, bit-compatible reference) or alias (O(1) Walker alias tables)")
+	pruneMass := flag.Float64("prune-mass", 0, "per-row channel pruning bound in [0, 0.5): prune up to this probability mass per row into a uniform background (eps-preserving, verifier-gated; 0 = dense channels)")
 	flag.Parse()
 
 	if err := run(*addr, *mechName, *eps, *g, *rho, *side, *ds, *seed, *workers,
 		*budgetLimit, *budgetWindow, *ledgerFile, *cacheDir, *cacheBytes,
-		*reqTimeout, *solveTimeout); err != nil {
+		*reqTimeout, *solveTimeout, *sampler, *pruneMass); err != nil {
 		log.Fatal("geoind-server: ", err)
 	}
 }
@@ -85,7 +88,7 @@ func main() {
 func run(addr, mechName string, eps float64, g int, rho, side float64, dsName string,
 	seed uint64, workers int, budgetLimit float64, budgetWindow time.Duration,
 	ledgerFile, cacheDir string, cacheBytes int64,
-	reqTimeout, solveTimeout time.Duration) error {
+	reqTimeout, solveTimeout time.Duration, sampler string, pruneMass float64) error {
 
 	if seed == 0 {
 		seed = uint64(time.Now().UnixNano())
@@ -128,6 +131,7 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 			Eps: eps, Region: region, Granularity: g, Rho: rho,
 			PriorPoints: points, Seed: seed, Workers: workers,
 			CacheDir: cacheDir, CacheBytes: cacheBytes, SolveTimeout: solveTimeout,
+			Sampler: sampler, PruneMass: pruneMass,
 		})
 		if err != nil {
 			return err
@@ -144,6 +148,7 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 			Eps: eps, Region: region, Fanout: g, Rho: rho,
 			PriorPoints: points, Seed: seed, Workers: workers,
 			CacheDir: cacheDir, CacheBytes: cacheBytes, SolveTimeout: solveTimeout,
+			Sampler: sampler, PruneMass: pruneMass,
 		})
 		if err != nil {
 			return err
@@ -163,7 +168,7 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 	case "opt":
 		m, err := geoind.NewOptimal(geoind.OptimalConfig{
 			Eps: eps, Region: region, Granularity: g, PriorPoints: points, Seed: seed,
-			Workers: workers,
+			Workers: workers, Sampler: sampler, PruneMass: pruneMass,
 		})
 		if err != nil {
 			return err

@@ -256,6 +256,18 @@ type OptimalConfig struct {
 	// factorizations. 0 or 1 solves serially; negative uses one worker per
 	// CPU. The solution is bit-identical for every worker count.
 	Workers int
+	// Sampler selects the warm-path sampling implementation: "" or "cum"
+	// (cumulative binary search, bit-identical to historical output
+	// streams) or "alias" (O(1) Walker alias table, built once at
+	// construction time).
+	Sampler string
+	// PruneMass, when > 0, compacts the solved channel by pruning per-row
+	// probability mass up to this bound into a uniform background row — an
+	// eps-preserving transformation re-verified against the full GeoInd
+	// constraint set (construction fails closed: the dense channel is kept
+	// if verification rejects the compact one). Must be in
+	// [0, opt.MaxPruneMass).
+	PruneMass float64
 }
 
 // optBatchStreamSalt derives the per-point PCG stream sequence numbers of
@@ -267,6 +279,9 @@ const optBatchStreamSalt = 0x3c6ef372fe94f82b
 // Optimal is the optimal GeoInd mechanism over a regular grid.
 type Optimal struct {
 	ch      *opt.Channel
+	sampler opt.Sampler
+	kind    opt.SamplerKind
+	pruned  bool
 	rng     *rand.Rand
 	mu      sync.Mutex
 	seed    uint64
@@ -277,6 +292,13 @@ type Optimal struct {
 // NewOptimal solves the OPT linear program and returns a sampling-ready
 // mechanism.
 func NewOptimal(cfg OptimalConfig) (*Optimal, error) {
+	kind, err := opt.ParseSamplerKind(cfg.Sampler)
+	if err != nil {
+		return nil, fmt.Errorf("geoind: %w", err)
+	}
+	if cfg.PruneMass != 0 && (!(cfg.PruneMass > 0) || cfg.PruneMass >= opt.MaxPruneMass) {
+		return nil, fmt.Errorf("geoind: prune mass %g outside [0, %g)", cfg.PruneMass, opt.MaxPruneMass)
+	}
 	g, err := grid.New(cfg.Region, cfg.Granularity)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
@@ -293,8 +315,20 @@ func NewOptimal(cfg OptimalConfig) (*Optimal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
 	}
+	pruned := false
+	if cfg.PruneMass > 0 {
+		// Fail closed: a prune rejected by the GeoInd re-verification keeps
+		// the dense channel (pruning is an optimization, never required).
+		if compact, perr := ch.Prune(cfg.PruneMass, weights); perr == nil {
+			ch = compact
+			pruned = true
+		}
+	}
 	return &Optimal{
 		ch:      ch,
+		sampler: ch.Sampler(kind),
+		kind:    kind,
+		pruned:  pruned,
 		rng:     rand.New(rand.NewPCG(cfg.Seed, 0xb5297a4d)),
 		seed:    cfg.Seed,
 		workers: cfg.Workers,
@@ -305,7 +339,7 @@ func NewOptimal(cfg OptimalConfig) (*Optimal, error) {
 func (o *Optimal) Report(x Point) (Point, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return o.ch.Sample(x, o.rng), nil
+	return o.ch.SampleVia(o.sampler, x, o.rng), nil
 }
 
 // ReportCtx implements MechanismCtx. The channel is solved at construction,
@@ -334,14 +368,14 @@ func (o *Optimal) ReportBatch(points []Point) ([]Point, error) {
 		o.mu.Lock()
 		defer o.mu.Unlock()
 		for i, x := range points {
-			out[i] = o.ch.Sample(x, o.rng)
+			out[i] = o.ch.SampleVia(o.sampler, x, o.rng)
 		}
 		return out, nil
 	}
 	base := o.pointID.Add(uint64(len(points))) - uint64(len(points))
 	_ = channel.ForEach(workers, len(points), func(i int) error {
 		rng := rand.New(rand.NewPCG(o.seed, optBatchStreamSalt^(base+uint64(i))))
-		out[i] = o.ch.Sample(points[i], rng)
+		out[i] = o.ch.SampleVia(o.sampler, points[i], rng)
 		return nil
 	})
 	return out, nil
@@ -366,15 +400,23 @@ func (o *Optimal) Name() string { return "OPT" }
 // under the construction prior.
 func (o *Optimal) ExpectedLoss() float64 { return o.ch.ExpectedLoss }
 
-// Channel returns a copy of the row-major channel matrix K(X)(Z).
+// Channel returns a copy of the row-major channel matrix K(X)(Z)
+// (materialized when the channel is compact).
 func (o *Optimal) Channel() []float64 {
-	return append([]float64(nil), o.ch.K...)
+	return append([]float64(nil), o.ch.DenseK()...)
 }
 
 // VerifyGeoInd exhaustively re-checks the GeoInd constraints on the solved
 // channel and returns the maximum log-ratio excess (<= 0 means satisfied).
 func (o *Optimal) VerifyGeoInd() float64 {
-	return opt.VerifyGeoInd(o.ch.Grid, o.ch.Eps, o.ch.K)
+	return o.ch.VerifyMaxExcess()
+}
+
+// SamplerInfo reports the sampling configuration: the sampler kind in use
+// and whether the channel was compacted by pruning (pruned is false when
+// PruneMass was 0 or the compact form failed re-verification).
+func (o *Optimal) SamplerInfo() (kind string, pruned bool) {
+	return o.kind.String(), o.pruned
 }
 
 // ---------------------------------------------------------------------------
@@ -436,6 +478,20 @@ type MSMConfig struct {
 	// solve is aborted only when no waiters remain — so this is the only cap
 	// on how long a pathological LP can run. 0 means no timeout.
 	SolveTimeout time.Duration
+	// Sampler selects the warm-path sampling implementation: "" or "cum"
+	// (cumulative binary search, bit-identical to historical output
+	// streams) or "alias" (O(1) Walker alias tables, built lazily once per
+	// channel and shared across goroutines).
+	Sampler string
+	// PruneMass, when > 0, compacts every solved channel by pruning
+	// per-row probability mass up to this bound into a uniform background
+	// row — an eps-preserving transformation re-verified per channel
+	// against the full GeoInd constraint set (a failed verification keeps
+	// that channel dense). Compact channels shrink both resident cache
+	// bytes and persisted snapshots, and are cached under a distinct key
+	// variant so they never alias dense ones. Must be in
+	// [0, opt.MaxPruneMass).
+	PruneMass float64
 }
 
 // MSM is the paper's multi-step mechanism.
@@ -447,6 +503,10 @@ type MSM struct {
 // hierarchical mechanism (§4). Channels are solved lazily; call Precompute
 // to warm them eagerly.
 func NewMSM(cfg MSMConfig) (*MSM, error) {
+	kind, err := opt.ParseSamplerKind(cfg.Sampler)
+	if err != nil {
+		return nil, fmt.Errorf("geoind: %w", err)
+	}
 	store, err := newChannelStore(cfg.CacheDir, cfg.CacheBytes, cfg.SolveTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
@@ -463,6 +523,8 @@ func NewMSM(cfg MSMConfig) (*MSM, error) {
 		Workers:        cfg.Workers,
 		Store:          store,
 		SpannerStretch: cfg.SpannerStretch,
+		Sampler:        kind,
+		PruneMass:      cfg.PruneMass,
 	}, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
@@ -553,6 +615,19 @@ func (m *MSM) CacheStats() (hits, misses, entries int64) {
 // StoreStats returns the full channel-store counter snapshot, including
 // snapshot-persistence activity (disk hits and write-behind writes).
 func (m *MSM) StoreStats() channel.Stats { return m.m.StoreStats() }
+
+// DirCacheStats returns the persistent snapshot cache's own counters — loads,
+// hits, decode errors, and version misses (intact files written by a foreign
+// snapshot format version, e.g. a v1 directory warming a v2 process). ok is
+// false when no cache directory is configured.
+func (m *MSM) DirCacheStats() (channel.DirStats, bool) { return m.m.DirCacheStats() }
+
+// SamplerInfo reports the warm-path sampling configuration (sampler kind,
+// configured prune mass) and the pruning counters: solved channels
+// compacted, and dense fallbacks after a failed post-prune verification.
+func (m *MSM) SamplerInfo() (kind string, pruneMass float64, pruned, fallbacks int64) {
+	return m.m.SamplerInfo()
+}
 
 // FlushCache blocks until every solved channel handed to the persistent
 // snapshot cache (MSMConfig.CacheDir) has been written to disk. A no-op

@@ -58,6 +58,15 @@ type Config struct {
 	Workers int
 	// Store optionally injects a shared channel store; nil means private.
 	Store *channel.Store
+	// Sampler selects the warm-path sampling implementation (see
+	// core.Config.Sampler); the zero value is the bit-compatible cumulative
+	// binary search.
+	Sampler opt.SamplerKind
+	// PruneMass, when > 0, compacts each solved node channel with the
+	// eps-preserving pruning of opt.PointChannel.Prune (verifier-gated,
+	// dense fallback on failure). Must be in [0, opt.MaxPruneMass). Pruned
+	// channels carry a store-key variant so they never alias dense ones.
+	PruneMass float64
 }
 
 // Mechanism is the adaptive multi-step mechanism.
@@ -69,9 +78,12 @@ type Mechanism struct {
 
 	store     *channel.Store
 	priorHash uint64
+	variant   uint64 // store-key variant; 0 means unset (dense)
 
-	solves   atomic.Int64
-	queryIdx atomic.Uint64
+	solves         atomic.Int64
+	prunedChannels atomic.Int64
+	pruneFallbacks atomic.Int64
+	queryIdx       atomic.Uint64
 
 	rng   *rand.Rand
 	rngMu sync.Mutex
@@ -95,6 +107,9 @@ func New(cfg Config, seed uint64) (*Mechanism, error) {
 	}
 	if !cfg.Metric.Valid() {
 		return nil, fmt.Errorf("adaptive: unknown metric %v", cfg.Metric)
+	}
+	if cfg.PruneMass != 0 && (!(cfg.PruneMass > 0) || cfg.PruneMass >= opt.MaxPruneMass) {
+		return nil, fmt.Errorf("adaptive: prune mass %g outside [0, %g)", cfg.PruneMass, opt.MaxPruneMass)
 	}
 	fineGrid, err := grid.New(cfg.Region, cfg.PriorGranularity)
 	if err != nil {
@@ -131,6 +146,11 @@ func New(cfg Config, seed uint64) (*Mechanism, error) {
 	h.Float64(cfg.Region.MaxY)
 	h.Floats(fine.Weights())
 	m.priorHash = h.Sum()
+	if cfg.PruneMass > 0 {
+		vh := channel.NewHasher()
+		vh.Uint64(math.Float64bits(cfg.PruneMass))
+		m.variant = vh.Sum()
+	}
 	return m, nil
 }
 
@@ -148,6 +168,21 @@ func (m *Mechanism) Stats() (solves int) {
 
 // StoreStats returns a snapshot of the channel store's counters.
 func (m *Mechanism) StoreStats() channel.Stats { return m.store.Stats() }
+
+// DirCacheStats returns the persistent backing cache's counters when one is
+// configured; ok is false otherwise.
+func (m *Mechanism) DirCacheStats() (channel.DirStats, bool) { return m.store.BackingStats() }
+
+// SamplerInfo reports the warm-path sampling configuration and the pruning
+// counters (channels compacted / dense fallbacks after a failed prune).
+func (m *Mechanism) SamplerInfo() (kind string, pruneMass float64, pruned, fallbacks int64) {
+	return m.cfg.Sampler.String(), m.cfg.PruneMass, m.prunedChannels.Load(), m.pruneFallbacks.Load()
+}
+
+// sample draws one descent step from ch with the configured sampler kind.
+func (m *Mechanism) sample(ch *opt.PointChannel, xi int, rng *rand.Rand) int {
+	return ch.Sampler(m.cfg.Sampler).Sample(xi, rng)
+}
 
 // SyncStore blocks until the store's write-behind persistence goroutines
 // (if a backing cache is configured) have drained.
@@ -170,6 +205,9 @@ func (m *Mechanism) lpOpts() *lp.IPMOptions {
 // concurrent requests for one node perform exactly one solve.
 func (m *Mechanism) channel(ctx context.Context, n *Node) (*opt.PointChannel, error) {
 	key := channel.NewKey(kdNamespace, 0, n.ID(), n.Eps, int(m.cfg.Metric), m.priorHash)
+	if m.variant != 0 {
+		key = key.WithVariant(m.variant)
+	}
 	v, _, err := m.store.GetOrComputeCtx(ctx, key, func(solveCtx context.Context) (any, error) {
 		return m.solveChannel(solveCtx, n)
 	})
@@ -202,6 +240,16 @@ func (m *Mechanism) solveChannel(ctx context.Context, n *Node) (*opt.PointChanne
 		return nil, fmt.Errorf("adaptive: node %d: %w", n.ID(), err)
 	}
 	m.solves.Add(1)
+	if m.cfg.PruneMass > 0 {
+		if pruned, perr := ch.Prune(m.cfg.PruneMass, masses); perr == nil {
+			ch = pruned
+			m.prunedChannels.Add(1)
+		} else {
+			// Keep dense: the verifier gate inside Prune rejected the
+			// compact form, and pruning is never a correctness dependency.
+			m.pruneFallbacks.Add(1)
+		}
+	}
 	return ch, nil
 }
 
@@ -303,7 +351,7 @@ func (m *Mechanism) reportBatchSeq(ctx context.Context, xs, out []geo.Point, rng
 			if xi < 0 {
 				xi = rng.IntN(len(node.Children))
 			}
-			node = node.Children[ch.SampleIndex(xi, rng)]
+			node = node.Children[m.sample(ch, xi, rng)]
 		}
 		out[i] = node.Rect.Center()
 	}
@@ -330,7 +378,7 @@ func (m *Mechanism) reportWithCtx(ctx context.Context, x geo.Point, rng *rand.Ra
 		if xi < 0 {
 			xi = rng.IntN(len(node.Children))
 		}
-		node = node.Children[ch.SampleIndex(xi, rng)]
+		node = node.Children[m.sample(ch, xi, rng)]
 	}
 	return node.Rect.Center(), nil
 }

@@ -49,6 +49,12 @@ type QuadConfig struct {
 	Workers int
 	// Store optionally injects a shared channel store; nil means private.
 	Store *channel.Store
+	// Sampler selects the warm-path sampling implementation (see
+	// core.Config.Sampler).
+	Sampler opt.SamplerKind
+	// PruneMass, when > 0, compacts solved node channels (see
+	// Config.PruneMass). Must be in [0, opt.MaxPruneMass).
+	PruneMass float64
 }
 
 // QuadMechanism is the quadtree multi-step mechanism.
@@ -60,9 +66,12 @@ type QuadMechanism struct {
 
 	store     *channel.Store
 	priorHash uint64
+	variant   uint64 // store-key variant; 0 means unset (dense)
 
-	solves   atomic.Int64
-	queryIdx atomic.Uint64
+	solves         atomic.Int64
+	prunedChannels atomic.Int64
+	pruneFallbacks atomic.Int64
+	queryIdx       atomic.Uint64
 
 	rng   *rand.Rand
 	rngMu sync.Mutex
@@ -105,6 +114,9 @@ func NewQuad(cfg QuadConfig, seed uint64) (*QuadMechanism, error) {
 	}
 	if !cfg.Metric.Valid() {
 		return nil, fmt.Errorf("adaptive: quad unknown metric %v", cfg.Metric)
+	}
+	if cfg.PruneMass != 0 && (!(cfg.PruneMass > 0) || cfg.PruneMass >= opt.MaxPruneMass) {
+		return nil, fmt.Errorf("adaptive: quad prune mass %g outside [0, %g)", cfg.PruneMass, opt.MaxPruneMass)
 	}
 	if cfg.PriorGranularity == 0 {
 		cfg.PriorGranularity = 128
@@ -150,6 +162,11 @@ func NewQuad(cfg QuadConfig, seed uint64) (*QuadMechanism, error) {
 	h.Float64(cfg.Region.MaxY)
 	h.Floats(fine.Weights())
 	m.priorHash = h.Sum()
+	if cfg.PruneMass > 0 {
+		vh := channel.NewHasher()
+		vh.Uint64(math.Float64bits(cfg.PruneMass))
+		m.variant = vh.Sum()
+	}
 	return m, nil
 }
 
@@ -265,6 +282,9 @@ func (m *QuadMechanism) lpOpts() *lp.IPMOptions {
 // singleflight store: concurrent requests perform exactly one solve.
 func (m *QuadMechanism) channel(ctx context.Context, n *quadNode) (*opt.PointChannel, error) {
 	key := channel.NewKey(quadNamespace, n.depth, n.id, n.eps, int(m.cfg.Metric), m.priorHash)
+	if m.variant != 0 {
+		key = key.WithVariant(m.variant)
+	}
 	v, _, err := m.store.GetOrComputeCtx(ctx, key, func(solveCtx context.Context) (any, error) {
 		return m.solveChannel(solveCtx, n)
 	})
@@ -300,6 +320,14 @@ func (m *QuadMechanism) solveChannel(ctx context.Context, n *quadNode) (*opt.Poi
 		return nil, fmt.Errorf("adaptive: quad node %d: %w", n.id, err)
 	}
 	m.solves.Add(1)
+	if m.cfg.PruneMass > 0 {
+		if pruned, perr := ch.Prune(m.cfg.PruneMass, masses); perr == nil {
+			ch = pruned
+			m.prunedChannels.Add(1)
+		} else {
+			m.pruneFallbacks.Add(1)
+		}
+	}
 	return ch, nil
 }
 
@@ -346,7 +374,7 @@ func (m *QuadMechanism) reportWithCtx(ctx context.Context, x geo.Point, rng *ran
 		if xi < 0 {
 			xi = rng.IntN(len(node.children))
 		}
-		node = node.children[ch.SampleIndex(xi, rng)]
+		node = node.children[ch.Sampler(m.cfg.Sampler).Sample(xi, rng)]
 	}
 	return node.rect.Center(), nil
 }

@@ -1,0 +1,58 @@
+package channel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzSnapshotLoad drives the snapshot frame decoder with arbitrary byte
+// strings. The contract under fuzzing: Load never panics, and every rejection
+// is a structured error wrapping ErrSnapshot (so cache layers above can tell
+// "unreadable snapshot" apart from I/O failures). Accepted inputs must
+// round-trip: re-encoding the recovered payload under the same key yields a
+// frame Load accepts again with an identical payload.
+func FuzzSnapshotLoad(f *testing.F) {
+	key := NewKey("fuzz", 3, 17, 0.25, 1, 0xabad1dea).WithVariant(9)
+
+	valid := Snapshot(key, []byte("payload-bytes"))
+	f.Add(valid)
+	f.Add(Snapshot(key, nil))
+	f.Add(Snapshot(NewKey("", 0, 0, 0, 0, 0), bytes.Repeat([]byte{0xff}, 64)))
+
+	// Foreign version with a recomputed CRC: structurally sound, wrong era.
+	foreign := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(foreign[4:], SnapshotVersion+1)
+	binary.LittleEndian.PutUint32(foreign[len(foreign)-4:],
+		crc32.ChecksumIEEE(foreign[:len(foreign)-4]))
+	f.Add(foreign)
+
+	// Truncations and a bit flip seed the interesting failure paths.
+	f.Add(valid[:4])
+	f.Add(valid[:len(valid)-5])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("GICH"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Load(data, key)
+		if err != nil {
+			if !errors.Is(err, ErrSnapshot) {
+				t.Fatalf("Load error does not wrap ErrSnapshot: %v", err)
+			}
+			return
+		}
+		reencoded := Snapshot(key, payload)
+		back, err := Load(reencoded, key)
+		if err != nil {
+			t.Fatalf("re-encoded accepted payload rejected: %v", err)
+		}
+		if !bytes.Equal(back, payload) {
+			t.Fatalf("payload changed across re-encode round trip")
+		}
+	})
+}

@@ -11,11 +11,11 @@
 // skips the LP solve phase entirely: cold start drops from minutes of
 // interior-point iterations to milliseconds of file reads.
 //
-// Snapshot file layout (version 1, all integers little-endian):
+// Snapshot file layout (version 2, all integers little-endian):
 //
 //	offset  size      field
 //	0       4         magic "GICH"
-//	4       4         format version (uint32, currently 1)
+//	4       4         format version (uint32, currently 2)
 //	8       4         namespace length (uint32)
 //	12      ns        namespace bytes
 //	...     8         Level   (int64)
@@ -32,9 +32,20 @@
 // name: Load verifies every key field and the checksum before the payload is
 // trusted, so a hash collision, a stale file from an older configuration, a
 // torn write or bit rot all degrade to a cache miss (the caller re-solves
-// and overwrites). Writers stage into a temp file in the destination
-// directory and publish with an atomic rename, so concurrent writers on a
-// shared volume never expose partial files to readers.
+// and overwrites). A file carrying a foreign format version (e.g. a v1
+// directory read by a v2 process, or vice versa) is likewise a plain miss —
+// distinguished by ErrSnapshotVersion and its own counter rather than an
+// error, because a version skew on a shared volume is an expected rollout
+// state, not damage; the re-solve overwrites the file in the current format,
+// migrating the directory entry by entry as keys are touched. Writers stage
+// into a temp file in the destination directory and publish with an atomic
+// rename, so concurrent writers on a shared volume never expose partial
+// files to readers.
+//
+// Version history: v1 payloads stored dense channels with their cumulative
+// rows duplicated on disk; v2 payloads drop the cumulative rows (rebuilt at
+// decode) and add compact pruned representations. The frame layout above is
+// unchanged since v1 — only the version number and payload encoding differ.
 package channel
 
 import (
@@ -49,8 +60,8 @@ import (
 )
 
 // SnapshotVersion is the current snapshot format version. Load rejects
-// snapshots written by any other version.
-const SnapshotVersion = 1
+// snapshots written by any other version with ErrSnapshotVersion.
+const SnapshotVersion = 2
 
 // snapshotMagic identifies snapshot files ("Geo-Ind CHannel").
 const snapshotMagic = "GICH"
@@ -58,6 +69,13 @@ const snapshotMagic = "GICH"
 // ErrSnapshot is wrapped by every Load failure, so callers can distinguish
 // "not a usable snapshot" from I/O plumbing errors with errors.Is.
 var ErrSnapshot = errors.New("invalid channel snapshot")
+
+// ErrSnapshotVersion is the Load failure for a structurally sound frame
+// written by a different format version. It wraps ErrSnapshot (errors.Is
+// matches both), but callers that want rollout-friendly behaviour — treat
+// the file as a miss, re-solve, overwrite in the current format — can match
+// it specifically. DirCache counts these as VersionMisses, not Errors.
+var ErrSnapshotVersion = fmt.Errorf("%w: foreign format version", ErrSnapshot)
 
 // Backing is a secondary, typically persistent, channel source consulted by
 // the Store: read-through on a miss (before solving) and write-behind after
@@ -118,7 +136,7 @@ func Load(data []byte, want Key) ([]byte, error) {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrSnapshot, data[:4])
 	}
 	if v := binary.LittleEndian.Uint32(data[4:]); v != SnapshotVersion {
-		return nil, fmt.Errorf("%w: version %d, want %d", ErrSnapshot, v, SnapshotVersion)
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrSnapshotVersion, v, SnapshotVersion)
 	}
 	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
 	if crc32.ChecksumIEEE(body) != sum {
@@ -158,9 +176,15 @@ type DirStats struct {
 	Loads int64
 	Hits  int64
 	// Errors counts loads that found a file but rejected it (corrupt,
-	// truncated, wrong version, key mismatch, undecodable payload). An
-	// absent file is a plain miss, not an error.
+	// truncated, key mismatch, undecodable payload). An absent file is a
+	// plain miss, not an error.
 	Errors int64
+	// VersionMisses counts loads that found an intact file written by a
+	// foreign format version. These are expected during rollouts (a v1
+	// cache directory warming a v2 process) and are deliberately not
+	// Errors: the caller re-solves and overwrites the file in the current
+	// format.
+	VersionMisses int64
 	// Writes counts snapshots successfully published; WriteErrors counts
 	// encode or I/O failures (the entry simply stays memory-only).
 	Writes      int64
@@ -177,11 +201,12 @@ type DirCache struct {
 	dir   string
 	codec Codec
 
-	loads       atomic.Int64
-	hits        atomic.Int64
-	errors      atomic.Int64
-	writes      atomic.Int64
-	writeErrors atomic.Int64
+	loads         atomic.Int64
+	hits          atomic.Int64
+	errors        atomic.Int64
+	versionMisses atomic.Int64
+	writes        atomic.Int64
+	writeErrors   atomic.Int64
 }
 
 // NewDirCache opens (creating if needed) a snapshot directory.
@@ -254,7 +279,11 @@ func (d *DirCache) Load(ctx context.Context, key Key) (any, bool) {
 	}
 	payload, err := Load(data, key)
 	if err != nil {
-		d.errors.Add(1)
+		if errors.Is(err, ErrSnapshotVersion) {
+			d.versionMisses.Add(1)
+		} else {
+			d.errors.Add(1)
+		}
 		return nil, false
 	}
 	if ctx.Err() != nil {
@@ -314,10 +343,11 @@ func (d *DirCache) Store(key Key, v any) {
 // Stats returns a snapshot of the cache counters.
 func (d *DirCache) Stats() DirStats {
 	return DirStats{
-		Loads:       d.loads.Load(),
-		Hits:        d.hits.Load(),
-		Errors:      d.errors.Load(),
-		Writes:      d.writes.Load(),
-		WriteErrors: d.writeErrors.Load(),
+		Loads:         d.loads.Load(),
+		Hits:          d.hits.Load(),
+		Errors:        d.errors.Load(),
+		VersionMisses: d.versionMisses.Load(),
+		Writes:        d.writes.Load(),
+		WriteErrors:   d.writeErrors.Load(),
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
@@ -373,5 +374,69 @@ func TestKeyVariantSeparation(t *testing.T) {
 	v, hit, err := s.GetOrCompute(va, func() (any, error) { return "reduced", nil })
 	if err != nil || hit || v.(string) != "reduced" {
 		t.Fatalf("variant key collided with base: %v %v %v", v, hit, err)
+	}
+}
+
+// rewriteVersion patches a snapshot image to carry a different format
+// version and recomputes the trailing CRC, producing the structurally sound
+// foreign-version file a rollout leaves behind (e.g. a v1 cache directory
+// read by a v2 process).
+func rewriteVersion(img []byte, version uint32) []byte {
+	c := append([]byte(nil), img...)
+	binary.LittleEndian.PutUint32(c[4:], version)
+	body := c[:len(c)-4]
+	binary.LittleEndian.PutUint32(c[len(c)-4:], crc32.ChecksumIEEE(body))
+	return c
+}
+
+func TestLoadForeignVersionIsVersionError(t *testing.T) {
+	key := testKey(30)
+	v1 := rewriteVersion(Snapshot(key, []byte("S:old payload")), SnapshotVersion-1)
+	_, err := Load(v1, key)
+	if !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("got %v, want ErrSnapshotVersion", err)
+	}
+	// ErrSnapshotVersion wraps ErrSnapshot, so version-agnostic callers
+	// that match the broad sentinel keep working.
+	if !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("ErrSnapshotVersion does not wrap ErrSnapshot: %v", err)
+	}
+}
+
+func TestDirCacheForeignVersionCountsAsVersionMiss(t *testing.T) {
+	dc, err := NewDirCache(t.TempDir(), stringCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(31)
+	dc.Store(key, "current")
+	data, err := os.ReadFile(dc.Path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the file as a valid frame of the previous format version.
+	if err := os.WriteFile(dc.Path(key), rewriteVersion(data, SnapshotVersion-1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dc.Load(context.Background(), key); ok {
+		t.Fatal("Load accepted a foreign-version snapshot")
+	}
+	st := dc.Stats()
+	if st.VersionMisses != 1 {
+		t.Fatalf("VersionMisses = %d, want 1 (stats %+v)", st.VersionMisses, st)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("foreign version counted as error: %+v", st)
+	}
+	// The store path: a read-through miss falls back to solving and the
+	// write-behind overwrites the file in the current format.
+	s := New(Options{Backing: dc})
+	v, hit, err := s.GetOrCompute(key, func() (any, error) { return "re-solved", nil })
+	if err != nil || hit || v.(string) != "re-solved" {
+		t.Fatalf("fallback solve: %v %v %v", v, hit, err)
+	}
+	s.Sync()
+	if v, ok := dc.Load(context.Background(), key); !ok || v.(string) != "re-solved" {
+		t.Fatalf("migrated snapshot: %v %v", v, ok)
 	}
 }

@@ -527,6 +527,16 @@ func (s *Store) Clear() {
 	}
 }
 
+// BackingStats returns the backing cache's own counters when the configured
+// Backing exposes them (DirCache does); ok is false when there is no backing
+// or it keeps no stats.
+func (s *Store) BackingStats() (DirStats, bool) {
+	if b, ok := s.backing.(interface{ Stats() DirStats }); ok {
+		return b.Stats(), true
+	}
+	return DirStats{}, false
+}
+
 // Stats returns a snapshot of the store counters.
 func (s *Store) Stats() Stats {
 	return Stats{

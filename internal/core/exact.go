@@ -51,13 +51,13 @@ func (m *Mechanism) exactRow(x geo.Point) ([]float64, error) {
 			sub := m.hier.SubGrid(level, parent)
 			var row []float64
 			if xLocal, ok := sub.CellIndex(x); ok {
-				row = ch.K[xLocal*gg : (xLocal+1)*gg]
+				row = ch.Row(xLocal)
 			} else {
 				// Uniform random substitute input: average of all rows.
 				avg := make([]float64, gg)
 				for xi := 0; xi < gg; xi++ {
-					for z := 0; z < gg; z++ {
-						avg[z] += ch.K[xi*gg+z]
+					for z, v := range ch.Row(xi) {
+						avg[z] += v
 					}
 				}
 				for z := range avg {

@@ -107,6 +107,21 @@ type Config struct {
 	// channels — including persisted snapshots — never alias. 0 keeps the
 	// exact formulation.
 	SpannerStretch float64
+	// Sampler selects the warm-path sampling implementation: opt.SamplerCum
+	// (the default — cumulative binary search, bit-identical to historical
+	// output streams) or opt.SamplerAlias (O(1) Walker alias tables, built
+	// once per channel and shared across goroutines).
+	Sampler opt.SamplerKind
+	// PruneMass, when > 0, compacts each solved channel by pruning per-row
+	// probability mass up to this bound into a uniform background row (the
+	// eps-preserving construction of opt.Channel.Prune), shrinking resident
+	// and persisted channels. Every pruned channel is re-verified against
+	// the full GeoInd constraint set; a verification failure falls back to
+	// the dense channel (counted in SamplerInfo). Must be in
+	// [0, opt.MaxPruneMass); pruned channels are keyed separately in the
+	// store (Key.Variant covers the prune mass), so dense and compact
+	// channels — including persisted snapshots — never alias.
+	PruneMass float64
 }
 
 // storeNamespace is the Key namespace of MSM grid channels.
@@ -127,10 +142,13 @@ type Mechanism struct {
 
 	store     *channel.Store
 	priorHash uint64
+	variant   uint64 // store-key variant; 0 means unset (exact, dense)
 
-	queries  atomic.Int64
-	solves   atomic.Int64 // LP solves performed (store misses + bypass solves)
-	queryIdx atomic.Uint64
+	queries        atomic.Int64
+	solves         atomic.Int64 // LP solves performed (store misses + bypass solves)
+	prunedChannels atomic.Int64 // solves whose channel was compacted
+	pruneFallbacks atomic.Int64 // solves kept dense after a failed prune
+	queryIdx       atomic.Uint64
 
 	rng   *rand.Rand
 	rngMu sync.Mutex // guards rng for sequential-mode Report
@@ -161,6 +179,9 @@ func New(cfg Config, seed uint64) (*Mechanism, error) {
 	}
 	if cfg.SpannerStretch != 0 && (!(cfg.SpannerStretch >= 1) || math.IsInf(cfg.SpannerStretch, 0)) {
 		return nil, fmt.Errorf("msm: spanner stretch %g must be 0 (exact) or >= 1", cfg.SpannerStretch)
+	}
+	if cfg.PruneMass != 0 && (!(cfg.PruneMass > 0) || cfg.PruneMass >= opt.MaxPruneMass) {
+		return nil, fmt.Errorf("msm: prune mass %g outside [0, %g)", cfg.PruneMass, opt.MaxPruneMass)
 	}
 
 	// Height cap from the leaf-granularity bound (and the user's cap).
@@ -244,6 +265,16 @@ func New(cfg Config, seed uint64) (*Mechanism, error) {
 	h.Float64(cfg.Region.MaxY)
 	h.Floats(leaf.Weights())
 	m.priorHash = h.Sum()
+	// Non-default channel constructions (spanner-reduced LPs, pruned compact
+	// representations) get a store-key variant fingerprinting both knobs, so
+	// they never alias the exact dense channels — or each other — in a shared
+	// store or its persisted snapshots.
+	if cfg.SpannerStretch > 0 || cfg.PruneMass > 0 {
+		vh := channel.NewHasher()
+		vh.Uint64(math.Float64bits(cfg.SpannerStretch))
+		vh.Uint64(math.Float64bits(cfg.PruneMass))
+		m.variant = vh.Sum()
+	}
 	return m, nil
 }
 
@@ -290,10 +321,28 @@ func (m *Mechanism) Stats() (queries, solves int) {
 	return int(m.queries.Load()), int(m.solves.Load())
 }
 
+// SamplerInfo reports the warm-path sampling configuration and the pruning
+// counters: how many solved channels were compacted and how many fell back
+// to dense after failing the post-prune GeoInd verification.
+func (m *Mechanism) SamplerInfo() (kind string, pruneMass float64, pruned, fallbacks int64) {
+	return m.cfg.Sampler.String(), m.cfg.PruneMass, m.prunedChannels.Load(), m.pruneFallbacks.Load()
+}
+
+// sample draws one descent step from ch with the configured sampler kind
+// (the alias table is built lazily on first use and shared thereafter).
+func (m *Mechanism) sample(ch *opt.Channel, xLocal int, rng *rand.Rand) int {
+	return ch.Sampler(m.cfg.Sampler).Sample(xLocal, rng)
+}
+
 // StoreStats returns a snapshot of the underlying channel store's counters
 // (hits, misses, in-flight solves, resident entries). With an injected
 // shared store the numbers aggregate every mechanism using it.
 func (m *Mechanism) StoreStats() channel.Stats { return m.store.Stats() }
+
+// DirCacheStats returns the persistent backing cache's counters (loads,
+// version misses, decode errors) when one is configured; ok is false
+// otherwise.
+func (m *Mechanism) DirCacheStats() (channel.DirStats, bool) { return m.store.BackingStats() }
 
 // SyncStore blocks until the store's write-behind persistence goroutines
 // (if a backing cache is configured) have drained. Call after Precompute or
@@ -367,8 +416,8 @@ func (m *Mechanism) channel(ctx context.Context, level, parentIdx int) (*opt.Cha
 		return m.solveChannel(ctx, level, parentIdx)
 	}
 	key := channel.NewKey(storeNamespace, level, parentIdx, m.alloc.Eps[level], int(m.cfg.Metric), m.priorHash)
-	if m.cfg.SpannerStretch > 0 {
-		key = key.WithVariant(math.Float64bits(m.cfg.SpannerStretch))
+	if m.variant != 0 {
+		key = key.WithVariant(m.variant)
 	}
 	v, _, err := m.store.GetOrComputeCtx(ctx, key, func(solveCtx context.Context) (any, error) {
 		// solveCtx is the store's detached solve context, not the caller's
@@ -407,6 +456,17 @@ func (m *Mechanism) solveChannel(ctx context.Context, level, parentIdx int) (*op
 		return nil, fmt.Errorf("msm: level %d cell %d: %w", level+1, parentIdx, err)
 	}
 	m.solves.Add(1)
+	if m.cfg.PruneMass > 0 {
+		if pruned, perr := ch.Prune(m.cfg.PruneMass, pw); perr == nil {
+			ch = pruned
+			m.prunedChannels.Add(1)
+		} else {
+			// Keep the dense channel: pruning is an optimization, never a
+			// correctness dependency. The verifier gate inside Prune already
+			// rejected the compact form, so dense is the only safe answer.
+			m.pruneFallbacks.Add(1)
+		}
+	}
 	return ch, nil
 }
 
@@ -546,7 +606,7 @@ func (m *Mechanism) reportBatchLevels(ctx context.Context, xs, out []geo.Point, 
 			if !ok {
 				xLocal = rngs[i].IntN(sub.NumCells())
 			}
-			zLocal := chs[j].SampleIndex(xLocal, rngs[i])
+			zLocal := m.sample(chs[j], xLocal, rngs[i])
 			parents[i] = m.hier.ChildIndex(level, parents[i], zLocal)
 			return nil
 		}); err != nil {
@@ -606,7 +666,7 @@ func (m *Mechanism) reportBatchSeq(ctx context.Context, xs, out []geo.Point, rng
 			if !inSub {
 				xLocal = rng.IntN(bc.sub.NumCells())
 			}
-			zLocal := bc.ch.SampleIndex(xLocal, rng)
+			zLocal := m.sample(bc.ch, xLocal, rng)
 			parent = m.hier.ChildIndex(level, parent, zLocal)
 		}
 		out[i] = leaf.Center(parent)
@@ -666,7 +726,7 @@ func (m *Mechanism) ReportCellCtx(ctx context.Context, x geo.Point, rng *rand.Ra
 		if !ok {
 			xLocal = rng.IntN(sub.NumCells())
 		}
-		zLocal := ch.SampleIndex(xLocal, rng)
+		zLocal := m.sample(ch, xLocal, rng)
 		parent = m.hier.ChildIndex(level, parent, zLocal)
 	}
 	return parent, nil

@@ -1,0 +1,204 @@
+package opt
+
+import (
+	"math/rand/v2"
+	"strconv"
+	"sync"
+	"testing"
+
+	"geoind/internal/geo"
+)
+
+// Sampler benchmarks: the warm path of a fleet-scale deployment is one
+// sanitized report from an already-solved channel, so ns/draw here is the
+// entire per-request cost. The fixtures are synthetic exponential-mechanism
+// channels (see expMechChannel) with eps scaled so eps·cellSize is constant:
+// rows concentrate near the diagonal the way solved OPT channels do,
+// independent of grid size.
+//
+// `make bench-sample` records these as BENCH_sample.json; the committed
+// baseline documents the tentpole claims (alias ≥5× cum on the warm path,
+// compact snapshots ≥4× smaller than the v1 on-disk format).
+
+// benchEps keeps eps·cellSize = 1.5 over the 10×10 fixture region.
+func benchEps(granularity int) float64 { return 1.5 * float64(granularity) / 10 }
+
+var benchFixtures struct {
+	sync.Mutex
+	dense   map[int]*Channel
+	compact map[int]*Channel
+}
+
+// benchDense returns (building once per process) the dense fixture with
+// granularity² cells.
+func benchDense(b *testing.B, granularity int) *Channel {
+	b.Helper()
+	benchFixtures.Lock()
+	defer benchFixtures.Unlock()
+	if benchFixtures.dense == nil {
+		benchFixtures.dense = map[int]*Channel{}
+	}
+	ch, ok := benchFixtures.dense[granularity]
+	if !ok {
+		ch = expMechChannel(b, granularity, benchEps(granularity))
+		benchFixtures.dense[granularity] = ch
+	}
+	return ch
+}
+
+// benchCompact returns the pruned counterpart (prune mass 0.2). Building it
+// runs the O(n³) verifier, so sizes are kept moderate and the result cached.
+func benchCompact(b *testing.B, granularity int) *Channel {
+	b.Helper()
+	dense := benchDense(b, granularity)
+	benchFixtures.Lock()
+	defer benchFixtures.Unlock()
+	if benchFixtures.compact == nil {
+		benchFixtures.compact = map[int]*Channel{}
+	}
+	ch, ok := benchFixtures.compact[granularity]
+	if !ok {
+		var err error
+		ch, err = dense.Prune(0.2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchFixtures.compact[granularity] = ch
+	}
+	return ch
+}
+
+// benchSample times s over random rows of an n-candidate channel.
+func benchSample(b *testing.B, s Sampler, n int) {
+	xs := make([]int, 1024)
+	xrng := rand.New(rand.NewPCG(1, 2))
+	for i := range xs {
+		xs[i] = xrng.IntN(n)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += s.Sample(xs[i&1023], rng)
+	}
+	_ = sink
+}
+
+// BenchmarkSamplerDraw is the core comparison: one output draw per op,
+// cum (binary search) vs alias (O(1) table), dense vs compact, across grid
+// sizes. Single goroutine — the warm path is embarrassingly parallel, so
+// single-core draw throughput is the per-core fleet capacity.
+func BenchmarkSamplerDraw(b *testing.B) {
+	for _, g := range []int{16, 32, 64} {
+		n := g * g
+		ch := benchDense(b, g)
+		b.Run("dense/cum/n="+strconv.Itoa(n), func(b *testing.B) {
+			benchSample(b, ch.Sampler(SamplerCum), n)
+		})
+		b.Run("dense/alias/n="+strconv.Itoa(n), func(b *testing.B) {
+			benchSample(b, ch.Sampler(SamplerAlias), n)
+		})
+	}
+	for _, g := range []int{16, 32} {
+		n := g * g
+		ch := benchCompact(b, g)
+		b.Run("compact/cum/n="+strconv.Itoa(n), func(b *testing.B) {
+			benchSample(b, ch.Sampler(SamplerCum), n)
+		})
+		b.Run("compact/alias/n="+strconv.Itoa(n), func(b *testing.B) {
+			benchSample(b, ch.Sampler(SamplerAlias), n)
+		})
+	}
+}
+
+// BenchmarkSampleViaReport is the full warm-path report: clamp the actual
+// location into the grid, draw, return the reported cell center — what one
+// Report costs once the channel is resident.
+func BenchmarkSampleViaReport(b *testing.B) {
+	const g = 64
+	ch := benchDense(b, g)
+	pts := make([]geo.Point, 1024)
+	prng := rand.New(rand.NewPCG(5, 6))
+	for i := range pts {
+		pts[i] = geo.Point{X: prng.Float64() * 10, Y: prng.Float64() * 10}
+	}
+	for _, kind := range []SamplerKind{SamplerCum, SamplerAlias} {
+		s := ch.Sampler(kind)
+		b.Run(kind.String()+"/n="+strconv.Itoa(g*g), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(7, 8))
+			sink := 0.0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += ch.SampleVia(s, pts[i&1023], rng).X
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkAliasBuild is the cold cost the alias sampler pays once per
+// channel (at solve or snapshot-load time) to buy O(1) draws.
+func BenchmarkAliasBuild(b *testing.B) {
+	for _, g := range []int{16, 32} {
+		n := g * g
+		dense := benchDense(b, g)
+		b.Run("dense/n="+strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				newAliasTable(n, dense.K)
+			}
+		})
+		compact := benchCompact(b, g)
+		b.Run("compact/n="+strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				newSparseAlias(compact.sparse)
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotBytes records on-disk snapshot sizes (as B/op) on the
+// standard eval grid (20×20 = 400 cells, the upper end of the paper's
+// granularity sweep): the retired v1 dense layout (K plus a redundant cum
+// copy, 16 B/entry), the v2 dense layout (8 B/entry), and the v2 compact
+// layout. ns/op is the encode cost.
+func BenchmarkSnapshotBytes(b *testing.B) {
+	const g = 20
+	n := g * g
+	codec := SnapshotCodec{}
+	dense := benchDense(b, g)
+	compact := benchCompact(b, g)
+
+	b.Run("v1-dense/n="+strconv.Itoa(n), func(b *testing.B) {
+		var size int
+		for i := 0; i < b.N; i++ {
+			data, err := codec.Encode(dense)
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = len(data) + 8*n*n // v1 appended the n² cum floats
+		}
+		b.ReportMetric(float64(size), "B/op")
+	})
+	b.Run("dense/n="+strconv.Itoa(n), func(b *testing.B) {
+		var size int
+		for i := 0; i < b.N; i++ {
+			data, err := codec.Encode(dense)
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = len(data)
+		}
+		b.ReportMetric(float64(size), "B/op")
+	})
+	b.Run("compact/n="+strconv.Itoa(n), func(b *testing.B) {
+		var size int
+		for i := 0; i < b.N; i++ {
+			data, err := codec.Encode(compact)
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = len(data)
+		}
+		b.ReportMetric(float64(size), "B/op")
+	})
+}

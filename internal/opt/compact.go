@@ -1,0 +1,402 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"geoind/internal/geo"
+)
+
+// Compact (pruned) channel representation.
+//
+// A solved channel row concentrates almost all its mass near the diagonal
+// (rho ≈ 0.8 sits on the diagonal alone), yet the dense representation pays
+// 16 bytes per entry (K + cum) for every one of the n² entries. Pruning
+// drops per-row entries below a mass cutoff and stores the survivors as
+// (index, prob) pairs — but naively renormalizing a row breaks tight GeoInd
+// constraints, so the construction here extends the strict-positivity
+// post-mix argument of the package comment to pruning:
+//
+// Given the post-mix channel K, a total prune budget t = pruneMass per row
+// and the per-entry cutoff c = t/n, let T_x = {z : K[x][z] ≥ c} be the kept
+// set of row x and m_x = Σ_{z∉T_x} K[x][z] ≤ n·c = t the pruned mass. The
+// compact channel is the convex mixture
+//
+//	K'[x][z] = (1-β)·K[x][z]·1[z∈T_x] + u_x,   u_x = (β + (1-β)·m_x)/n
+//
+// i.e. the pruned row with its deficit poured into a per-row uniform
+// background. Rows sum to one exactly, every entry is ≥ β/n > 0, and with
+//
+//	β ≥ q/(1+q),   q = t·(B+1)/(B-1),   B = e^{eps·dmin}
+//
+// (dmin the minimum distance between distinct candidates) every GeoInd
+// constraint still holds: writing B(x,x') = e^{eps·d(x,x')} ≥ B, the four
+// kept/pruned cases of K'[x][z]/K'[x'][z] are bounded by the mediant
+// inequality — both-kept by max(B(x,x'), u_x/u_x'), kept-over-pruned by
+// 1 + (1-β)·t·(B(x,x')+1)/β ≤ B(x,x'), and the remaining two by u_x/u_x'
+// ≤ 1 + (1-β)·t/β < B. The bound is exact, not asymptotic; Prune still
+// re-runs the O(n³) verifier on the materialized result and refuses to
+// return a channel that fails it, so float rounding can never ship an
+// ε-violating matrix.
+//
+// The expected-loss penalty is equally explicit: at most (β + (1-β)·t) of
+// each row's mass moves, by at most the domain diameter, so
+// |loss' - loss| ≤ (β + t)·max_z dQ(x,z). Prune recomputes the exact loss
+// under the supplied prior rather than relying on the bound.
+
+// MaxPruneMass bounds Prune's per-row mass budget: past it the forced
+// background weight β dwarfs any representation savings.
+const MaxPruneMass = 0.5
+
+// pruneVerifyTol is the acceptance threshold for the post-prune GeoInd
+// re-verification. The construction satisfies the constraints exactly in
+// real arithmetic; a small positive excess can only come from float64
+// rounding of ln/exp in the verifier itself.
+const pruneVerifyTol = 1e-9
+
+// sparseRows is the compact channel matrix: per row, the kept entries as
+// (column index, scaled probability) pairs in CSR layout plus the uniform
+// background level u_x. The stored value is the FULL mixture weight of the
+// kept entry minus the background, i.e. (1-β)·K[x][z]; the effective
+// probability of a kept column is val + bg[x], of a pruned column bg[x].
+type sparseRows struct {
+	n         int
+	beta      float64
+	pruneMass float64
+	rowStart  []int32   // n+1 offsets into idx/val/cum
+	idx       []int32   // kept column indices, strictly increasing per row
+	val       []float64 // (1-beta) * K[x][z] for kept entries
+	bg        []float64 // per-row background level u_x ≥ beta/n
+	bgMass    []float64 // n * u_x, the total background mass of the row
+	cum       []float64 // per-row prefix sums of val (reference sampler)
+}
+
+// finish derives bgMass and cum from the primary fields; called by both the
+// pruner and the snapshot decoder so loaded channels sample bit-identically
+// to the channels they mirror.
+func (s *sparseRows) finish() {
+	s.bgMass = make([]float64, s.n)
+	s.cum = make([]float64, len(s.val))
+	for x := 0; x < s.n; x++ {
+		s.bgMass[x] = float64(s.n) * s.bg[x]
+		acc := 0.0
+		for j := s.rowStart[x]; j < s.rowStart[x+1]; j++ {
+			acc += s.val[j]
+			s.cum[j] = acc
+		}
+	}
+}
+
+// entries returns the number of kept (index, prob) pairs.
+func (s *sparseRows) entries() int { return len(s.val) }
+
+// costBytes is the resident footprint of the sampling-critical state.
+func (s *sparseRows) costBytes() int64 {
+	return int64(len(s.val))*(8+8+4) + // val + cum + idx
+		int64(len(s.bg)+len(s.bgMass))*8 + int64(len(s.rowStart))*4
+}
+
+// prob returns the effective probability K'[x][z].
+func (s *sparseRows) prob(x, z int) float64 {
+	lo, hi := int(s.rowStart[x]), int(s.rowStart[x+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch c := int(s.idx[mid]); {
+		case c == z:
+			return s.val[mid] + s.bg[x]
+		case c < z:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return s.bg[x]
+}
+
+// appendRow materializes row x (background included) into dst.
+func (s *sparseRows) appendRow(dst []float64, x int) []float64 {
+	start := len(dst)
+	for z := 0; z < s.n; z++ {
+		dst = append(dst, s.bg[x])
+	}
+	row := dst[start:]
+	for j := s.rowStart[x]; j < s.rowStart[x+1]; j++ {
+		row[s.idx[j]] += s.val[j]
+	}
+	return dst
+}
+
+// dense materializes the full n x n matrix.
+func (s *sparseRows) dense() []float64 {
+	out := make([]float64, 0, s.n*s.n)
+	for x := 0; x < s.n; x++ {
+		out = s.appendRow(out, x)
+	}
+	return out
+}
+
+// uniformIndex draws a uniform column index from one extra rng draw.
+func (s *sparseRows) uniformIndex(rng *rand.Rand) int {
+	z := int(rng.Float64() * float64(s.n))
+	if z >= s.n {
+		z = s.n - 1
+	}
+	return z
+}
+
+// sampleRef is the compact reference sampler: one uniform decides background
+// vs kept (the background branch takes a second uniform for the column, the
+// kept branch binary-searches the row's val prefix sums with the residual
+// u - bgMass, which gives every kept entry exactly its val mass). O(log kept).
+func (s *sparseRows) sampleRef(x int, rng *rand.Rand) int {
+	u := rng.Float64()
+	if u < s.bgMass[x] {
+		return s.uniformIndex(rng)
+	}
+	lo, hi := s.rowStart[x], s.rowStart[x+1]
+	if lo == hi {
+		// Fully pruned row: bgMass ≈ 1, reachable only through float
+		// rounding. The row is uniform either way.
+		return s.uniformIndex(rng)
+	}
+	j := searchCum(s.cum[lo:hi], u-s.bgMass[x])
+	return int(s.idx[int(lo)+j])
+}
+
+// sparseRefSampler adapts sampleRef to the Sampler interface.
+type sparseRefSampler struct{ s *sparseRows }
+
+func (r sparseRefSampler) Sample(x int, rng *rand.Rand) int { return r.s.sampleRef(x, rng) }
+
+// sparseAlias is the O(1) sampler for compact rows: the same background
+// branch as sampleRef, with the kept branch served by a per-row alias table
+// over the kept entries instead of a binary search.
+type sparseAlias struct {
+	s     *sparseRows
+	prob  []float64 // aligned with s.val
+	alias []int32   // row-local alias targets
+}
+
+func newSparseAlias(s *sparseRows) *sparseAlias {
+	a := &sparseAlias{s: s, prob: make([]float64, len(s.val)), alias: make([]int32, len(s.val))}
+	maxRow := 0
+	for x := 0; x < s.n; x++ {
+		if c := int(s.rowStart[x+1] - s.rowStart[x]); c > maxRow {
+			maxRow = c
+		}
+	}
+	scaled := make([]float64, maxRow)
+	small := make([]int32, 0, maxRow)
+	large := make([]int32, 0, maxRow)
+	for x := 0; x < s.n; x++ {
+		lo, hi := s.rowStart[x], s.rowStart[x+1]
+		if lo == hi {
+			continue
+		}
+		buildAliasRow(s.val[lo:hi], a.prob[lo:hi], a.alias[lo:hi], scaled[:hi-lo], &small, &large)
+	}
+	return a
+}
+
+func (a *sparseAlias) Sample(x int, rng *rand.Rand) int {
+	s := a.s
+	u := rng.Float64()
+	if u < s.bgMass[x] {
+		return s.uniformIndex(rng)
+	}
+	lo, hi := int(s.rowStart[x]), int(s.rowStart[x+1])
+	cnt := hi - lo
+	if cnt == 0 {
+		return s.uniformIndex(rng)
+	}
+	v := rng.Float64() * float64(cnt)
+	i := int(v)
+	if i >= cnt {
+		i = cnt - 1
+	}
+	if v-float64(i) >= a.prob[lo+i] {
+		i = int(a.alias[lo+i])
+	}
+	return int(s.idx[lo+i])
+}
+
+// pruneBeta computes the smallest safe background weight β for a prune
+// budget t over candidates with minimum distinct-pair distance dmin.
+func pruneBeta(eps, t, dmin float64) (float64, error) {
+	if !(dmin > 0) {
+		return 0, fmt.Errorf("opt: prune: no distinct candidate pair (dmin=%g)", dmin)
+	}
+	b := math.Exp(eps * dmin)
+	if math.IsInf(b, 0) {
+		// eps*dmin overflow: any β works; keep it tiny.
+		return t, nil
+	}
+	q := t * (b + 1) / (b - 1)
+	beta := q / (1 + q)
+	// Headroom for float rounding in the mixture arithmetic; the verifier
+	// gate is the final arbiter.
+	beta *= 1 + 1e-9
+	if !(beta > 0) || beta >= MaxPruneMass {
+		return 0, fmt.Errorf("opt: prune: required background weight beta=%.3g out of range (eps*dmin=%.3g too small for prune mass %g)",
+			beta, eps*dmin, t)
+	}
+	return beta, nil
+}
+
+// minPairDist returns the minimum distance between distinct candidate
+// positions (coincident candidates are skipped: their rows are identical
+// and prune identically, so they impose no constraint on β).
+func minPairDist(centers []geo.Point) float64 {
+	dmin := math.Inf(1)
+	for i := range centers {
+		for j := i + 1; j < len(centers); j++ {
+			if d := centers[i].Dist(centers[j]); d > 0 && d < dmin {
+				dmin = d
+			}
+		}
+	}
+	return dmin
+}
+
+// pruneMatrix builds the compact representation of a dense row-stochastic
+// matrix under the β-background construction above. It does NOT verify
+// GeoInd — callers (Channel.Prune, PointChannel.Prune) run the appropriate
+// verifier on the materialized result and reject on any excess.
+func pruneMatrix(n int, k []float64, eps, pruneMass, dmin float64) (*sparseRows, error) {
+	if !(pruneMass > 0) || pruneMass >= MaxPruneMass {
+		return nil, fmt.Errorf("opt: prune mass %g outside (0, %g)", pruneMass, MaxPruneMass)
+	}
+	beta, err := pruneBeta(eps, pruneMass, dmin)
+	if err != nil {
+		return nil, err
+	}
+	cutoff := pruneMass / float64(n)
+	s := &sparseRows{
+		n: n, beta: beta, pruneMass: pruneMass,
+		rowStart: make([]int32, n+1),
+		bg:       make([]float64, n),
+	}
+	for x := 0; x < n; x++ {
+		row := k[x*n : (x+1)*n]
+		pruned := 0.0
+		for z, v := range row {
+			if v < cutoff {
+				pruned += v
+				continue
+			}
+			s.idx = append(s.idx, int32(z))
+			s.val = append(s.val, (1-beta)*v)
+		}
+		s.rowStart[x+1] = int32(len(s.idx))
+		s.bg[x] = (beta + (1-beta)*pruned) / float64(n)
+	}
+	s.finish()
+	return s, nil
+}
+
+// expectedLossSparse computes Σ_x π_x Σ_z K'[x][z] dQ(x,z) exactly for the
+// compact matrix (kept entries plus the uniform background term).
+func expectedLossSparse(s *sparseRows, centers []geo.Point, pi []float64, metric geo.Metric) float64 {
+	loss := 0.0
+	for x := 0; x < s.n; x++ {
+		if pi[x] == 0 {
+			continue
+		}
+		rowLoss := 0.0
+		bgLoss := 0.0
+		for z := 0; z < s.n; z++ {
+			bgLoss += metric.Loss(centers[x], centers[z])
+		}
+		rowLoss += s.bg[x] * bgLoss
+		for j := s.rowStart[x]; j < s.rowStart[x+1]; j++ {
+			rowLoss += s.val[j] * metric.Loss(centers[x], centers[int(s.idx[j])])
+		}
+		loss += pi[x] * rowLoss
+	}
+	return loss
+}
+
+// normalizedOrUniform normalizes prior weights, falling back to uniform when
+// weights are absent or degenerate.
+func normalizedOrUniform(n int, weights []float64) []float64 {
+	pi := make([]float64, n)
+	if len(weights) == n {
+		total := 0.0
+		valid := true
+		for _, w := range weights {
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				valid = false
+				break
+			}
+			total += w
+		}
+		if valid && total > 0 {
+			for i, w := range weights {
+				pi[i] = w / total
+			}
+			return pi
+		}
+	}
+	u := 1 / float64(n)
+	for i := range pi {
+		pi[i] = u
+	}
+	return pi
+}
+
+// Prune returns a compact copy of the channel: per-row entries below
+// pruneMass/n are dropped and their mass, together with a forced background
+// weight β, is spread uniformly over the row (the ε-preserving construction
+// in the file comment). The dense matrix is discarded (K is nil on the
+// result); Row/DenseK materialize rows on demand. ExpectedLoss is recomputed
+// exactly under priorWeights (uniform when nil). The result is re-verified
+// with VerifyGeoInd before it is returned; any excess beyond float rounding
+// yields an error and the caller should keep the dense channel.
+func (c *Channel) Prune(pruneMass float64, priorWeights []float64) (*Channel, error) {
+	if c.sparse != nil {
+		return nil, fmt.Errorf("opt: channel is already compact")
+	}
+	n := c.N()
+	w, h := c.Grid.CellSize()
+	dmin := math.Min(w, h)
+	s, err := pruneMatrix(n, c.K, c.Eps, pruneMass, dmin)
+	if err != nil {
+		return nil, err
+	}
+	out := &Channel{
+		Grid: c.Grid, Eps: c.Eps, Metric: c.Metric,
+		Iters: c.Iters, PairFamilies: c.PairFamilies,
+	}
+	out.initSparse(s)
+	centers := c.Grid.Centers()
+	out.ExpectedLoss = expectedLossSparse(s, centers, normalizedOrUniform(n, priorWeights), c.Metric)
+	if ex := VerifyGeoInd(c.Grid, c.Eps, s.dense()); ex > pruneVerifyTol {
+		return nil, fmt.Errorf("opt: pruned channel fails GeoInd re-verification (excess %.3g)", ex)
+	}
+	return out, nil
+}
+
+// Prune is the PointChannel counterpart of Channel.Prune; dmin is the
+// minimum distance between distinct candidate positions and the gate is
+// VerifyGeoIndPoints (coincident candidates prune identically, so their
+// exact row-equality constraint survives by construction).
+func (c *PointChannel) Prune(pruneMass float64, priorWeights []float64) (*PointChannel, error) {
+	if c.sparse != nil {
+		return nil, fmt.Errorf("opt: channel is already compact")
+	}
+	n := c.N()
+	s, err := pruneMatrix(n, c.K, c.Eps, pruneMass, minPairDist(c.Centers))
+	if err != nil {
+		return nil, err
+	}
+	out := &PointChannel{
+		Centers: c.Centers, Eps: c.Eps, Metric: c.Metric, Iters: c.Iters,
+	}
+	out.initSparse(s)
+	out.ExpectedLoss = expectedLossSparse(s, c.Centers, normalizedOrUniform(n, priorWeights), c.Metric)
+	if ex := VerifyGeoIndPoints(c.Centers, c.Eps, s.dense()); ex > pruneVerifyTol {
+		return nil, fmt.Errorf("opt: pruned channel fails GeoInd re-verification (excess %.3g)", ex)
+	}
+	return out, nil
+}

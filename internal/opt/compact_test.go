@@ -1,0 +1,272 @@
+package opt
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+)
+
+// pruneTestChannel solves a small grid channel with a skewed prior.
+func pruneTestChannel(t *testing.T, granularity int, eps float64) (*Channel, []float64) {
+	t.Helper()
+	g, err := grid.New(geo.Rect{MaxX: 10, MaxY: 10}, granularity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := make([]float64, g.NumCells())
+	for i := range pw {
+		pw[i] = float64(i%4 + 1)
+	}
+	ch, err := Build(eps, g, pw, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch, pw
+}
+
+// maxMetricLoss returns max over all candidate pairs of dQ — the diameter
+// term in the pruning loss bound.
+func maxMetricLoss(centers []geo.Point, metric geo.Metric) float64 {
+	worst := 0.0
+	for _, a := range centers {
+		for _, b := range centers {
+			if l := metric.Loss(a, b); l > worst {
+				worst = l
+			}
+		}
+	}
+	return worst
+}
+
+// TestPrunePropertiesGrid checks the construction invariants of Channel.Prune
+// across grid sizes, privacy budgets and prune masses: the compact channel
+// still satisfies every GeoInd constraint, its rows are exactly stochastic
+// with a strictly positive floor, and its expected loss moved by no more than
+// the analytical (beta + pruneMass) x diameter bound.
+func TestPrunePropertiesGrid(t *testing.T) {
+	for _, tc := range []struct {
+		granularity int
+		eps         float64
+		mass        float64
+	}{
+		{3, 0.7, 0.05},
+		{3, 1.5, 0.2},
+		{4, 1.0, 0.1},
+	} {
+		ch, pw := pruneTestChannel(t, tc.granularity, tc.eps)
+		compact, err := ch.Prune(tc.mass, pw)
+		if err != nil {
+			t.Fatalf("g=%d eps=%g mass=%g: %v", tc.granularity, tc.eps, tc.mass, err)
+		}
+		if !compact.IsCompact() || compact.K != nil {
+			t.Fatal("pruned channel is not compact")
+		}
+		if ex := compact.VerifyMaxExcess(); ex > pruneVerifyTol {
+			t.Fatalf("pruned channel violates GeoInd: excess %g", ex)
+		}
+
+		n := compact.N()
+		s := compact.sparse
+		floor := s.beta / float64(n) * (1 - 1e-12)
+		for x := 0; x < n; x++ {
+			sum := 0.0
+			for z := 0; z < n; z++ {
+				p := compact.Prob(x, z)
+				if p < floor {
+					t.Fatalf("row %d col %d: prob %g below background floor %g", x, z, p, floor)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("row %d sums to %g", x, sum)
+			}
+		}
+
+		bound := (s.beta + tc.mass) * maxMetricLoss(ch.Grid.Centers(), ch.Metric)
+		if delta := math.Abs(compact.ExpectedLoss - ch.ExpectedLoss); delta > bound {
+			t.Fatalf("loss moved by %g, bound %g", delta, bound)
+		}
+		if s.entries() >= n*n {
+			t.Fatalf("pruning kept all %d entries", s.entries())
+		}
+	}
+}
+
+// TestPrunePropertiesPoints is the PointChannel counterpart, over an
+// irregular candidate set.
+func TestPrunePropertiesPoints(t *testing.T) {
+	centers := []geo.Point{
+		{X: 0, Y: 0}, {X: 1.5, Y: 0.2}, {X: 3, Y: 2.4}, {X: 4.2, Y: 0.7},
+		{X: 0.4, Y: 3.1}, {X: 2.2, Y: 4}, {X: 5, Y: 5}, {X: 1, Y: 1.8},
+	}
+	pw := []float64{5, 1, 3, 1, 2, 4, 1, 2}
+	ch, err := BuildPoints(1.2, centers, pw, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, err := ch.Prune(0.1, pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !compact.IsCompact() {
+		t.Fatal("pruned channel is not compact")
+	}
+	if ex := compact.VerifyMaxExcess(); ex > pruneVerifyTol {
+		t.Fatalf("pruned point channel violates GeoInd: excess %g", ex)
+	}
+	n := compact.N()
+	for x := 0; x < n; x++ {
+		sum := 0.0
+		for _, p := range compact.Row(x) {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %g", x, sum)
+		}
+	}
+	bound := (compact.sparse.beta + 0.1) * maxMetricLoss(centers, ch.Metric)
+	if delta := math.Abs(compact.ExpectedLoss - ch.ExpectedLoss); delta > bound {
+		t.Fatalf("loss moved by %g, bound %g", delta, bound)
+	}
+}
+
+// TestPruneErrors covers the refusal paths: out-of-range masses, masses the
+// privacy budget cannot absorb, and double pruning.
+func TestPruneErrors(t *testing.T) {
+	ch, pw := pruneTestChannel(t, 3, 0.7)
+
+	for _, mass := range []float64{0, -0.1, MaxPruneMass, 0.9} {
+		if _, err := ch.Prune(mass, pw); err == nil {
+			t.Errorf("mass %g: expected error", mass)
+		}
+	}
+
+	// eps*dmin near zero forces beta -> 1: the budget cannot absorb the
+	// background and Prune must refuse rather than weaken the channel.
+	tiny, err := Build(0.01, ch.Grid, pw, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tiny.Prune(0.3, pw); err == nil {
+		t.Error("expected beta-out-of-range error for eps=0.01")
+	} else if !strings.Contains(err.Error(), "beta") {
+		t.Errorf("unexpected error: %v", err)
+	}
+
+	compact, err := ch.Prune(0.05, pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compact.Prune(0.05, pw); err == nil {
+		t.Error("double prune: expected error")
+	}
+}
+
+// TestCompactSnapshotRoundTrip encodes a pruned channel, decodes it, and
+// requires the result to be indistinguishable from the original: identical
+// probabilities, identical cost accounting, and a bit-identical reference
+// sampling stream (the warm-restart criterion extended to compact channels).
+func TestCompactSnapshotRoundTrip(t *testing.T) {
+	ch, pw := pruneTestChannel(t, 3, 1.5)
+	compact, err := ch.Prune(0.2, pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := SnapshotCodec{}
+	data, err := codec.Encode(compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := codec.Encode(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) >= len(dense) {
+		t.Fatalf("compact snapshot (%d B) not smaller than dense (%d B)", len(data), len(dense))
+	}
+
+	v, err := codec.Decode(context.Background(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.(*Channel)
+	if !ok {
+		t.Fatalf("decoded %T", v)
+	}
+	if !got.IsCompact() {
+		t.Fatal("decoded channel lost compactness")
+	}
+	if got.ExpectedLoss != compact.ExpectedLoss || got.Eps != compact.Eps {
+		t.Fatal("scalar fields differ")
+	}
+	if SnapshotCost(got) != SnapshotCost(compact) {
+		t.Fatalf("cost differs: %d vs %d", SnapshotCost(got), SnapshotCost(compact))
+	}
+	n := compact.N()
+	for x := 0; x < n; x++ {
+		for z := 0; z < n; z++ {
+			if got.Prob(x, z) != compact.Prob(x, z) {
+				t.Fatalf("Prob(%d,%d) not bit-equal", x, z)
+			}
+		}
+	}
+	rngA := rand.New(rand.NewPCG(7, 8))
+	rngB := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 500; i++ {
+		x := i % n
+		if a, b := compact.SampleIndex(x, rngA), got.SampleIndex(x, rngB); a != b {
+			t.Fatalf("draw %d: %d vs %d", i, a, b)
+		}
+	}
+}
+
+// TestCompactPointSnapshotRoundTrip is the PointChannel counterpart.
+func TestCompactPointSnapshotRoundTrip(t *testing.T) {
+	centers := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0.5}, {X: 2.5, Y: 3}, {X: 4, Y: 1}, {X: 3.3, Y: 4.4}}
+	pw := []float64{1, 2, 3, 4, 5}
+	ch, err := BuildPoints(1.1, centers, pw, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, err := ch.Prune(0.08, pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := SnapshotCodec{}
+	data, err := codec.Encode(compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := codec.Decode(context.Background(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.(*PointChannel)
+	if !ok {
+		t.Fatalf("decoded %T", v)
+	}
+	if !got.IsCompact() {
+		t.Fatal("decoded channel lost compactness")
+	}
+	n := compact.N()
+	for x := 0; x < n; x++ {
+		for z := 0; z < n; z++ {
+			if got.Prob(x, z) != compact.Prob(x, z) {
+				t.Fatalf("Prob(%d,%d) not bit-equal", x, z)
+			}
+		}
+	}
+	rngA := rand.New(rand.NewPCG(3, 4))
+	rngB := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 300; i++ {
+		x := i % n
+		if a, b := compact.SampleIndex(x, rngA), got.SampleIndex(x, rngB); a != b {
+			t.Fatalf("draw %d: %d vs %d", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package opt
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+)
+
+// fuzzSeedPayloads encodes one channel of each snapshot kind — dense grid,
+// dense points, compact grid, compact points — as fuzz corpus seeds.
+func fuzzSeedPayloads(f *testing.F) [][]byte {
+	f.Helper()
+	codec := SnapshotCodec{}
+
+	g, err := grid.New(geo.Rect{MaxX: 10, MaxY: 10}, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pw := make([]float64, g.NumCells())
+	for i := range pw {
+		pw[i] = float64(i + 1)
+	}
+	gridCh, err := Build(0.7, g, pw, geo.Euclidean, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	centers := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0.5}, {X: 2.5, Y: 3}, {X: 4, Y: 1}}
+	ptCh, err := BuildPoints(0.9, centers, []float64{1, 2, 3, 4}, geo.Euclidean, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	var payloads [][]byte
+	for _, v := range []any{gridCh, ptCh} {
+		data, err := codec.Encode(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		payloads = append(payloads, data)
+	}
+	if compact, err := gridCh.Prune(0.05, pw); err == nil {
+		data, err := codec.Encode(compact)
+		if err != nil {
+			f.Fatal(err)
+		}
+		payloads = append(payloads, data)
+	}
+	if compact, err := ptCh.Prune(0.05, []float64{1, 2, 3, 4}); err == nil {
+		data, err := codec.Encode(compact)
+		if err != nil {
+			f.Fatal(err)
+		}
+		payloads = append(payloads, data)
+	}
+	return payloads
+}
+
+// FuzzSnapshotCodec drives the channel payload decoder — the layer under the
+// checksummed frame, so in production it only ever sees CRC-clean bytes, but
+// a disk-corruption race or a hostile shared cache volume can still hand it
+// anything. Contract: Decode never panics; every accepted payload re-encodes
+// to bytes that decode again (the decoder's validation is at least as strict
+// as the encoder's output domain).
+func FuzzSnapshotCodec(f *testing.F) {
+	for _, p := range fuzzSeedPayloads(f) {
+		f.Add(p)
+		f.Add(p[:len(p)/2])
+		f.Add(p[:len(p)-1])
+		flipped := append([]byte(nil), p...)
+		flipped[len(flipped)/3] ^= 0x10
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xee, 1, 2, 3})
+
+	codec := SnapshotCodec{}
+	ctx := context.Background()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := codec.Decode(ctx, data)
+		if err != nil {
+			return
+		}
+		re, err := codec.Encode(v)
+		if err != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", err)
+		}
+		v2, err := codec.Decode(ctx, re)
+		if err != nil {
+			t.Fatalf("re-encoded payload rejected: %v", err)
+		}
+		re2, err := codec.Encode(v2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatal("encode/decode did not reach a fixed point")
+		}
+	})
+}

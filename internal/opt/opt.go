@@ -25,7 +25,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"sort"
+	"sync"
 
 	"geoind/internal/geo"
 	"geoind/internal/grid"
@@ -82,7 +82,12 @@ type Channel struct {
 	// smaller.
 	PairFamilies int
 
-	cum []float64 // row-wise cumulative sums for O(log n) sampling
+	cum    []float64   // dense: row-wise cumulative sums (reference sampler)
+	sparse *sparseRows // compact: pruned representation (K and cum are nil)
+	ref    Sampler     // cached reference sampler (no per-call allocation)
+
+	aliasOnce sync.Once // guards the lazy, shared alias-table build
+	alias     Sampler
 }
 
 // Build solves the OPT linear program. priorWeights must have one
@@ -212,39 +217,145 @@ func mixUniform(k []float64, n int, delta float64) {
 	}
 }
 
+// buildCum builds the dense cumulative rows (prefix sums of K) and caches
+// the reference sampler over them.
 func (c *Channel) buildCum() {
 	n := c.Grid.NumCells()
-	c.cum = make([]float64, n*n)
+	c.cum = prefixSumRows(n, c.K)
+	c.ref = cumSampler{n: n, cum: c.cum}
+}
+
+// prefixSumRows is the single prefix-sum implementation shared by dense
+// channels and the snapshot decoder (bit-determinism of float64 addition is
+// what lets a loaded channel sample identically to a solved one).
+func prefixSumRows(n int, k []float64) []float64 {
+	cum := make([]float64, n*n)
 	for x := 0; x < n; x++ {
 		s := 0.0
 		for z := 0; z < n; z++ {
-			s += c.K[x*n+z]
-			c.cum[x*n+z] = s
+			s += k[x*n+z]
+			cum[x*n+z] = s
 		}
 	}
+	return cum
+}
+
+// initSparse attaches a compact representation and its reference sampler.
+func (c *Channel) initSparse(s *sparseRows) {
+	c.sparse = s
+	c.ref = sparseRefSampler{s: s}
+}
+
+// NewChannel wraps a caller-supplied row-stochastic matrix as a
+// sampling-ready channel (rows are renormalized exactly). It exists for
+// synthetic channels — closed-form mechanisms, benchmarks, property tests —
+// and performs no GeoInd verification: callers claiming eps must check with
+// VerifyGeoInd (Prune always re-verifies regardless).
+func NewChannel(g *grid.Grid, eps float64, metric geo.Metric, k []float64) (*Channel, error) {
+	if g == nil {
+		return nil, fmt.Errorf("opt: nil grid")
+	}
+	n := g.NumCells()
+	if len(k) != n*n {
+		return nil, fmt.Errorf("opt: matrix has %d entries, want %d", len(k), n*n)
+	}
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("opt: eps must be positive and finite, got %g", eps)
+	}
+	if !metric.Valid() {
+		return nil, fmt.Errorf("opt: unknown metric %v", metric)
+	}
+	kc := append([]float64(nil), k...)
+	for x := 0; x < n; x++ {
+		row := kc[x*n : (x+1)*n]
+		sum := 0.0
+		for _, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("opt: matrix entry %g out of range", v)
+			}
+			sum += v
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("opt: matrix row %d has zero mass", x)
+		}
+		inv := 1 / sum
+		for i := range row {
+			row[i] *= inv
+		}
+	}
+	ch := &Channel{Grid: g, Eps: eps, Metric: metric, K: kc}
+	ch.buildCum()
+	return ch, nil
 }
 
 // N returns the number of candidate locations.
 func (c *Channel) N() int { return c.Grid.NumCells() }
 
+// IsCompact reports whether the channel uses the pruned sparse
+// representation (K is nil; use Prob, Row or DenseK for matrix access).
+func (c *Channel) IsCompact() bool { return c.sparse != nil }
+
 // Prob returns K(x)(z), the probability of reporting cell z from cell x.
-func (c *Channel) Prob(x, z int) float64 { return c.K[x*c.N()+z] }
+func (c *Channel) Prob(x, z int) float64 {
+	if c.sparse != nil {
+		return c.sparse.prob(x, z)
+	}
+	return c.K[x*c.N()+z]
+}
+
+// Row returns row x of the channel matrix. For dense channels this is a
+// view into K (do not mutate); compact channels materialize a fresh slice.
+func (c *Channel) Row(x int) []float64 {
+	if c.sparse != nil {
+		return c.sparse.appendRow(nil, x)
+	}
+	n := c.N()
+	return c.K[x*n : (x+1)*n]
+}
+
+// DenseK returns the full row-major matrix. Dense channels return K itself
+// (do not mutate); compact channels materialize a fresh n*n slice.
+func (c *Channel) DenseK() []float64 {
+	if c.sparse != nil {
+		return c.sparse.dense()
+	}
+	return c.K
+}
+
+// VerifyMaxExcess re-runs the O(n^3) GeoInd verifier on the channel
+// (materializing compact representations) and returns the maximum log-ratio
+// excess; <= 0 means every constraint holds.
+func (c *Channel) VerifyMaxExcess() float64 {
+	return VerifyGeoInd(c.Grid, c.Eps, c.DenseK())
+}
 
 // ProbSame returns Pr[x|x] = K(x)(x), the probability that the reported cell
 // equals the actual cell; this is the quantity the budget-allocation model
 // of §5 estimates as Phi(x).
 func (c *Channel) ProbSame(x int) float64 { return c.Prob(x, x) }
 
-// SampleIndex draws an output cell index for input cell x.
+// SampleIndex draws an output cell index for input cell x with the reference
+// sampler (cumulative binary search; the historical bit-exact draw stream).
 func (c *Channel) SampleIndex(x int, rng *rand.Rand) int {
-	n := c.N()
-	row := c.cum[x*n : (x+1)*n]
-	u := rng.Float64() * row[n-1]
-	z := sort.SearchFloat64s(row, u)
-	if z >= n {
-		z = n - 1
+	return c.ref.Sample(x, rng)
+}
+
+// Sampler returns the channel's sampler of the requested kind. The reference
+// (cum) sampler is built with the channel; the alias table is built lazily on
+// first request, exactly once, and shared by every caller — the returned
+// values are immutable and safe for concurrent use.
+func (c *Channel) Sampler(kind SamplerKind) Sampler {
+	if kind != SamplerAlias {
+		return c.ref
 	}
-	return z
+	c.aliasOnce.Do(func() {
+		if c.sparse != nil {
+			c.alias = newSparseAlias(c.sparse)
+		} else {
+			c.alias = newAliasTable(c.N(), c.K)
+		}
+	})
+	return c.alias
 }
 
 // Sample snaps the actual location to its enclosing cell (clamping into the
@@ -253,6 +364,13 @@ func (c *Channel) SampleIndex(x int, rng *rand.Rand) int {
 func (c *Channel) Sample(x geo.Point, rng *rand.Rand) geo.Point {
 	xi := c.Grid.ClampIndex(x)
 	return c.Grid.Center(c.SampleIndex(xi, rng))
+}
+
+// SampleVia is Sample drawing through an explicit Sampler (obtained from
+// Sampler(kind)); with the reference sampler it is identical to Sample.
+func (c *Channel) SampleVia(s Sampler, x geo.Point, rng *rand.Rand) geo.Point {
+	xi := c.Grid.ClampIndex(x)
+	return c.Grid.Center(s.Sample(xi, rng))
 }
 
 // SampleBatch runs Sample for every point in xs sequentially against one

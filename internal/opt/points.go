@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"sort"
+	"sync"
 
 	"geoind/internal/geo"
 	"geoind/internal/lp"
@@ -31,7 +31,26 @@ type PointChannel struct {
 	// Iters is the number of interior-point iterations used.
 	Iters int
 
-	cum []float64
+	cum    []float64   // dense: row-wise cumulative sums (reference sampler)
+	sparse *sparseRows // compact: pruned representation (K and cum are nil)
+	ref    Sampler     // cached reference sampler
+
+	aliasOnce sync.Once
+	alias     Sampler
+}
+
+// buildCum builds the dense cumulative rows and caches the reference
+// sampler (shared prefix-sum and binary-search code with Channel).
+func (c *PointChannel) buildCum() {
+	n := c.N()
+	c.cum = prefixSumRows(n, c.K)
+	c.ref = cumSampler{n: n, cum: c.cum}
+}
+
+// initSparse attaches a compact representation and its reference sampler.
+func (c *PointChannel) initSparse(s *sparseRows) {
+	c.sparse = s
+	c.ref = sparseRefSampler{s: s}
 }
 
 // BuildPoints solves the OPT linear program over an arbitrary candidate set.
@@ -158,33 +177,70 @@ func BuildPointsCtx(ctx context.Context, eps float64, centers []geo.Point, prior
 			ch.ExpectedLoss += pi[x] * k[x*n+z] * metric.Loss(centers[x], centers[z])
 		}
 	}
-	ch.cum = make([]float64, n*n)
-	for x := 0; x < n; x++ {
-		s := 0.0
-		for z := 0; z < n; z++ {
-			s += k[x*n+z]
-			ch.cum[x*n+z] = s
-		}
-	}
+	ch.buildCum()
 	return ch, nil
 }
 
 // N returns the number of candidate locations.
 func (c *PointChannel) N() int { return len(c.Centers) }
 
-// Prob returns K(x)(z).
-func (c *PointChannel) Prob(x, z int) float64 { return c.K[x*c.N()+z] }
+// IsCompact reports whether the channel uses the pruned sparse
+// representation (K is nil; use Prob, Row or DenseK for matrix access).
+func (c *PointChannel) IsCompact() bool { return c.sparse != nil }
 
-// SampleIndex draws an output candidate index for input candidate x.
-func (c *PointChannel) SampleIndex(x int, rng *rand.Rand) int {
-	n := c.N()
-	row := c.cum[x*n : (x+1)*n]
-	u := rng.Float64() * row[n-1]
-	z := sort.SearchFloat64s(row, u)
-	if z >= n {
-		z = n - 1
+// Prob returns K(x)(z).
+func (c *PointChannel) Prob(x, z int) float64 {
+	if c.sparse != nil {
+		return c.sparse.prob(x, z)
 	}
-	return z
+	return c.K[x*c.N()+z]
+}
+
+// Row returns row x of the channel matrix. For dense channels this is a
+// view into K (do not mutate); compact channels materialize a fresh slice.
+func (c *PointChannel) Row(x int) []float64 {
+	if c.sparse != nil {
+		return c.sparse.appendRow(nil, x)
+	}
+	n := c.N()
+	return c.K[x*n : (x+1)*n]
+}
+
+// DenseK returns the full row-major matrix. Dense channels return K itself
+// (do not mutate); compact channels materialize a fresh n*n slice.
+func (c *PointChannel) DenseK() []float64 {
+	if c.sparse != nil {
+		return c.sparse.dense()
+	}
+	return c.K
+}
+
+// VerifyMaxExcess re-runs the O(n^3) GeoInd verifier on the channel
+// (materializing compact representations); <= 0 means every constraint holds.
+func (c *PointChannel) VerifyMaxExcess() float64 {
+	return VerifyGeoIndPoints(c.Centers, c.Eps, c.DenseK())
+}
+
+// SampleIndex draws an output candidate index for input candidate x with the
+// reference sampler (cumulative binary search; the historical draw stream).
+func (c *PointChannel) SampleIndex(x int, rng *rand.Rand) int {
+	return c.ref.Sample(x, rng)
+}
+
+// Sampler returns the channel's sampler of the requested kind; see
+// Channel.Sampler for the construction and sharing contract.
+func (c *PointChannel) Sampler(kind SamplerKind) Sampler {
+	if kind != SamplerAlias {
+		return c.ref
+	}
+	c.aliasOnce.Do(func() {
+		if c.sparse != nil {
+			c.alias = newSparseAlias(c.sparse)
+		} else {
+			c.alias = newAliasTable(c.N(), c.K)
+		}
+	})
+	return c.alias
 }
 
 // VerifyGeoIndPoints exhaustively checks a channel over arbitrary candidate

@@ -11,20 +11,32 @@ import (
 )
 
 // Snapshot payload encoding for solved channels (the bytes framed by
-// internal/channel's versioned, checksummed snapshot files). The encoding is
-// little-endian and fully self-describing: a one-byte kind tag, the grid
-// geometry (or candidate set), the solve parameters, and the length-prefixed
-// row-major K matrix plus its cumulative-row companion. Decode rebuilds and
-// revalidates everything — grid bounds and granularity, metric, row
-// stochasticity, strict positivity and finiteness of K, and bit-exact
-// agreement of the stored cumulative rows with a recomputation from K — so a
-// loaded channel samples identically to the solved channel it mirrors, and
-// malformed bytes (even ones that pass the outer checksum) are rejected
-// rather than served.
+// internal/channel's versioned, checksummed snapshot files — format v2).
+// The encoding is little-endian and fully self-describing: a one-byte kind
+// tag, the grid geometry (or candidate set), the solve parameters, and the
+// matrix in its native representation:
+//
+//   - Dense kinds store the length-prefixed row-major K matrix only. The
+//     cumulative-row companion that format v1 duplicated on disk (doubling
+//     every snapshot) is rebuilt at decode time by the same prefix-sum code
+//     the solver uses — float64 addition is deterministic, so the rebuilt
+//     rows are bit-identical to the solved channel's and sampling from a
+//     loaded channel matches the original draw for draw.
+//   - Compact kinds store the pruned representation: prune parameters
+//     (pruneMass, beta), the per-row uniform background levels, per-row kept
+//     counts, and the flat (index, prob) pairs. Decode revalidates geometry,
+//     row mass, CSR structure, the beta floor — and re-runs the full O(n^3)
+//     GeoInd verifier on the materialized matrix, so no byte pattern can
+//     smuggle an ε-violating channel past the loader.
+//
+// Malformed bytes (even ones that pass the outer frame checksum) are
+// rejected rather than served; the store treats that as a miss and re-solves.
 
 const (
-	snapKindGrid   = 1 // *Channel over a regular grid
-	snapKindPoints = 2 // *PointChannel over an arbitrary candidate set
+	snapKindGrid          = 1 // dense *Channel over a regular grid
+	snapKindPoints        = 2 // dense *PointChannel over a candidate set
+	snapKindGridCompact   = 3 // pruned *Channel
+	snapKindPointsCompact = 4 // pruned *PointChannel
 )
 
 // rowSumTol bounds the acceptable deviation of a decoded row sum from 1.
@@ -34,46 +46,94 @@ const rowSumTol = 1e-6
 
 // SnapshotCodec implements internal/channel's Codec for the two channel
 // types this repository caches: *Channel (grid mechanisms: MSM, quadtree)
-// and *PointChannel (the adaptive k-d index).
+// and *PointChannel (the adaptive k-d index), in both their dense and
+// compact (pruned) representations.
 type SnapshotCodec struct{}
 
 // SnapshotCost is a channel.Options.CostFn measuring resident bytes of the
-// sampling-critical payload (K plus cumulative rows) of a cached channel.
-// Unknown values cost 1 so a misconfigured store still bounds entry count.
+// sampling-critical payload of a cached channel: K plus cumulative rows for
+// dense channels, the CSR arrays plus background rows for compact ones
+// (lazily built alias tables are excluded — they are derived state, rebuilt
+// on demand after an eviction). Unknown values cost 1 so a misconfigured
+// store still bounds entry count.
 func SnapshotCost(v any) int64 {
 	switch c := v.(type) {
 	case *Channel:
+		if c.sparse != nil {
+			return c.sparse.costBytes()
+		}
 		return int64(len(c.K)+len(c.cum)) * 8
 	case *PointChannel:
+		if c.sparse != nil {
+			return c.sparse.costBytes()
+		}
 		return int64(len(c.K)+len(c.cum)) * 8
 	default:
 		return 1
 	}
 }
 
-// Encode serializes a *Channel or *PointChannel.
+// appendGridGeom writes the grid bounds and granularity.
+func appendGridGeom(buf []byte, g *grid.Grid) []byte {
+	b := g.Bounds()
+	buf = appendFloat(buf, b.MinX)
+	buf = appendFloat(buf, b.MinY)
+	buf = appendFloat(buf, b.MaxX)
+	buf = appendFloat(buf, b.MaxY)
+	return binary.LittleEndian.AppendUint32(buf, uint32(g.Granularity()))
+}
+
+// appendSparse writes the compact matrix payload: pruneMass, beta, the
+// per-row background levels, per-row kept counts, then the flat index and
+// value arrays.
+func appendSparse(buf []byte, s *sparseRows) []byte {
+	buf = appendFloat(buf, s.pruneMass)
+	buf = appendFloat(buf, s.beta)
+	buf = appendFloats(buf, s.bg)
+	for x := 0; x < s.n; x++ {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s.rowStart[x+1]-s.rowStart[x]))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.idx)))
+	for _, i := range s.idx {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(i))
+	}
+	buf = appendFloats(buf, s.val)
+	return buf
+}
+
+// Encode serializes a *Channel or *PointChannel (dense or compact).
 func (SnapshotCodec) Encode(v any) ([]byte, error) {
 	switch c := v.(type) {
 	case *Channel:
-		buf := make([]byte, 0, 1+4*8+4+8+8+8+4+4+2*(8+len(c.K)*8))
-		buf = append(buf, snapKindGrid)
-		b := c.Grid.Bounds()
-		buf = appendFloat(buf, b.MinX)
-		buf = appendFloat(buf, b.MinY)
-		buf = appendFloat(buf, b.MaxX)
-		buf = appendFloat(buf, b.MaxY)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Grid.Granularity()))
+		var buf []byte
+		if c.sparse != nil {
+			buf = make([]byte, 0, 1+4*8+4+8+8+8+4+4+2*8+3*8+c.sparse.n*12+c.sparse.entries()*12)
+			buf = append(buf, snapKindGridCompact)
+		} else {
+			buf = make([]byte, 0, 1+4*8+4+8+8+8+4+4+8+len(c.K)*8)
+			buf = append(buf, snapKindGrid)
+		}
+		buf = appendGridGeom(buf, c.Grid)
 		buf = appendFloat(buf, c.Eps)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(c.Metric)))
 		buf = appendFloat(buf, c.ExpectedLoss)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Iters))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.PairFamilies))
-		buf = appendFloats(buf, c.K)
-		buf = appendFloats(buf, c.cum)
+		if c.sparse != nil {
+			buf = appendSparse(buf, c.sparse)
+		} else {
+			buf = appendFloats(buf, c.K)
+		}
 		return buf, nil
 	case *PointChannel:
-		buf := make([]byte, 0, 1+4+len(c.Centers)*16+8+8+8+4+2*(8+len(c.K)*8))
-		buf = append(buf, snapKindPoints)
+		var buf []byte
+		if c.sparse != nil {
+			buf = make([]byte, 0, 1+4+len(c.Centers)*16+8+8+8+4+2*8+3*8+c.sparse.n*12+c.sparse.entries()*12)
+			buf = append(buf, snapKindPointsCompact)
+		} else {
+			buf = make([]byte, 0, 1+4+len(c.Centers)*16+8+8+8+4+8+len(c.K)*8)
+			buf = append(buf, snapKindPoints)
+		}
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Centers)))
 		for _, p := range c.Centers {
 			buf = appendFloat(buf, p.X)
@@ -83,8 +143,11 @@ func (SnapshotCodec) Encode(v any) ([]byte, error) {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(c.Metric)))
 		buf = appendFloat(buf, c.ExpectedLoss)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Iters))
-		buf = appendFloats(buf, c.K)
-		buf = appendFloats(buf, c.cum)
+		if c.sparse != nil {
+			buf = appendSparse(buf, c.sparse)
+		} else {
+			buf = appendFloats(buf, c.K)
+		}
 		return buf, nil
 	default:
 		return nil, fmt.Errorf("opt: cannot snapshot %T", v)
@@ -92,10 +155,12 @@ func (SnapshotCodec) Encode(v any) ([]byte, error) {
 }
 
 // Decode parses and validates a snapshot payload, returning a *Channel or
-// *PointChannel ready to sample (cumulative rows verified bit-exact against
-// a recomputation from K). ctx is polled before the parse and again before
-// the O(n^2) validation pass, so a caller that has already given up does not
-// pay for revalidating a large matrix it will discard.
+// *PointChannel ready to sample. Dense payloads get their cumulative rows
+// rebuilt (bit-exact with the solved channel by float determinism); compact
+// payloads are structurally validated and then re-verified against the full
+// GeoInd constraint set. ctx is polled before the parse and again before the
+// expensive validation passes, so a caller that has already given up does
+// not pay for revalidating a large matrix it will discard.
 func (SnapshotCodec) Decode(ctx context.Context, data []byte) (any, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -103,16 +168,16 @@ func (SnapshotCodec) Decode(ctx context.Context, data []byte) (any, error) {
 	r := &snapReader{data: data}
 	kind := r.byte()
 	switch kind {
-	case snapKindGrid:
-		return decodeGrid(ctx, r)
-	case snapKindPoints:
-		return decodePoints(ctx, r)
+	case snapKindGrid, snapKindGridCompact:
+		return decodeGrid(ctx, r, kind == snapKindGridCompact)
+	case snapKindPoints, snapKindPointsCompact:
+		return decodePoints(ctx, r, kind == snapKindPointsCompact)
 	default:
 		return nil, fmt.Errorf("opt: unknown snapshot kind %d", kind)
 	}
 }
 
-func decodeGrid(ctx context.Context, r *snapReader) (*Channel, error) {
+func decodeGrid(ctx context.Context, r *snapReader, compact bool) (*Channel, error) {
 	bounds := geo.Rect{MinX: r.float(), MinY: r.float(), MaxX: r.float(), MaxY: r.float()}
 	gran := int(r.uint32())
 	eps := r.float()
@@ -120,13 +185,8 @@ func decodeGrid(ctx context.Context, r *snapReader) (*Channel, error) {
 	loss := r.float()
 	iters := int(r.uint32())
 	pairFamilies := int(r.uint32())
-	k := r.floats()
-	cum := r.floats()
 	if r.err != nil {
 		return nil, r.err
-	}
-	if r.remaining() != 0 {
-		return nil, fmt.Errorf("opt: %d trailing snapshot bytes", r.remaining())
 	}
 	for _, f := range []float64{bounds.MinX, bounds.MinY, bounds.MaxX, bounds.MaxY} {
 		if math.IsNaN(f) || math.IsInf(f, 0) {
@@ -137,23 +197,40 @@ func decodeGrid(ctx context.Context, r *snapReader) (*Channel, error) {
 	if err != nil {
 		return nil, fmt.Errorf("opt: snapshot geometry: %w", err)
 	}
-	ch := &Channel{
-		Grid: g, Eps: eps, Metric: metric, K: k,
-		ExpectedLoss: loss, Iters: iters, PairFamilies: pairFamilies, cum: cum,
-	}
 	if iters < 0 || pairFamilies < 0 {
 		return nil, fmt.Errorf("opt: negative solve metadata in snapshot")
 	}
-	if err := ctx.Err(); err != nil {
+	n := g.NumCells()
+	ch := &Channel{
+		Grid: g, Eps: eps, Metric: metric,
+		ExpectedLoss: loss, Iters: iters, PairFamilies: pairFamilies,
+	}
+	if compact {
+		s, err := decodeSparse(ctx, r, n, eps, metric, loss)
+		if err != nil {
+			return nil, err
+		}
+		ch.initSparse(s)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// The ε constraint is part of the format contract for compact
+		// payloads: a foreign writer's pruning is never trusted blindly.
+		if ex := VerifyGeoInd(g, eps, s.dense()); ex > pruneVerifyTol {
+			return nil, fmt.Errorf("opt: compact snapshot violates GeoInd (excess %.3g)", ex)
+		}
+		return ch, nil
+	}
+	k := r.floats()
+	if err := finishDense(ctx, r, n, eps, metric, loss, k); err != nil {
 		return nil, err
 	}
-	if err := validateChannel(g.NumCells(), eps, metric, loss, k, cum); err != nil {
-		return nil, err
-	}
+	ch.K = k
+	ch.buildCum()
 	return ch, nil
 }
 
-func decodePoints(ctx context.Context, r *snapReader) (*PointChannel, error) {
+func decodePoints(ctx context.Context, r *snapReader, compact bool) (*PointChannel, error) {
 	n := int(r.uint32())
 	if r.err == nil && (n < 1 || n > grid.MaxCellsPerSide*grid.MaxCellsPerSide) {
 		return nil, fmt.Errorf("opt: snapshot candidate count %d out of range", n)
@@ -166,13 +243,8 @@ func decodePoints(ctx context.Context, r *snapReader) (*PointChannel, error) {
 	metric := geo.Metric(int64(r.uint64()))
 	loss := r.float()
 	iters := int(r.uint32())
-	k := r.floats()
-	cum := r.floats()
 	if r.err != nil {
 		return nil, r.err
-	}
-	if r.remaining() != 0 {
-		return nil, fmt.Errorf("opt: %d trailing snapshot bytes", r.remaining())
 	}
 	for _, p := range centers {
 		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
@@ -182,25 +254,134 @@ func decodePoints(ctx context.Context, r *snapReader) (*PointChannel, error) {
 	if iters < 0 {
 		return nil, fmt.Errorf("opt: negative solve metadata in snapshot")
 	}
+	ch := &PointChannel{
+		Centers: centers, Eps: eps, Metric: metric,
+		ExpectedLoss: loss, Iters: iters,
+	}
+	if compact {
+		s, err := decodeSparse(ctx, r, n, eps, metric, loss)
+		if err != nil {
+			return nil, err
+		}
+		ch.initSparse(s)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if ex := VerifyGeoIndPoints(centers, eps, s.dense()); ex > pruneVerifyTol {
+			return nil, fmt.Errorf("opt: compact snapshot violates GeoInd (excess %.3g)", ex)
+		}
+		return ch, nil
+	}
+	k := r.floats()
+	if err := finishDense(ctx, r, n, eps, metric, loss, k); err != nil {
+		return nil, err
+	}
+	ch.K = k
+	ch.buildCum()
+	return ch, nil
+}
+
+// finishDense runs the trailing-byte check and full dense-matrix validation.
+func finishDense(ctx context.Context, r *snapReader, n int, eps float64, metric geo.Metric, loss float64, k []float64) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("opt: %d trailing snapshot bytes", r.remaining())
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return validateChannel(n, eps, metric, loss, k)
+}
+
+// decodeSparse parses and structurally validates a compact matrix payload.
+// The GeoInd re-verification runs in the caller (it needs the geometry).
+func decodeSparse(ctx context.Context, r *snapReader, n int, eps float64, metric geo.Metric, loss float64) (*sparseRows, error) {
+	pruneMass := r.float()
+	beta := r.float()
+	bg := r.floats()
+	counts := make([]uint32, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		counts = append(counts, r.uint32())
+	}
+	idx := r.uint32s()
+	val := r.floats()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("opt: %d trailing snapshot bytes", r.remaining())
+	}
+	if err := validateScalars(eps, metric, loss); err != nil {
+		return nil, err
+	}
+	if !(pruneMass > 0) || pruneMass >= MaxPruneMass {
+		return nil, fmt.Errorf("opt: snapshot prune mass %g out of range", pruneMass)
+	}
+	if !(beta > 0) || beta >= MaxPruneMass {
+		return nil, fmt.Errorf("opt: snapshot background weight %g out of range", beta)
+	}
+	if len(bg) != n {
+		return nil, fmt.Errorf("opt: snapshot has %d background rows, want %d", len(bg), n)
+	}
+	if len(idx) != len(val) {
+		return nil, fmt.Errorf("opt: snapshot index/value length mismatch (%d vs %d)", len(idx), len(val))
+	}
+	s := &sparseRows{
+		n: n, beta: beta, pruneMass: pruneMass,
+		rowStart: make([]int32, n+1),
+		idx:      make([]int32, len(idx)),
+		val:      val,
+		bg:       bg,
+	}
+	total := 0
+	for x, c := range counts {
+		if int(c) > n {
+			return nil, fmt.Errorf("opt: snapshot row %d keeps %d of %d entries", x, c, n)
+		}
+		total += int(c)
+		if total > len(idx) {
+			return nil, fmt.Errorf("opt: snapshot row counts exceed %d stored entries", len(idx))
+		}
+		s.rowStart[x+1] = int32(total)
+	}
+	if total != len(idx) {
+		return nil, fmt.Errorf("opt: snapshot row counts cover %d of %d entries", total, len(idx))
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if err := validateChannel(n, eps, metric, loss, k, cum); err != nil {
-		return nil, err
+	bgFloor := beta / float64(n) * (1 - 1e-9)
+	for x := 0; x < n; x++ {
+		if math.IsNaN(bg[x]) || math.IsInf(bg[x], 0) || bg[x] < bgFloor {
+			return nil, fmt.Errorf("opt: snapshot background level %g below floor at row %d", bg[x], x)
+		}
+		sum := float64(n) * bg[x]
+		prev := int32(-1)
+		for j := s.rowStart[x]; j < s.rowStart[x+1]; j++ {
+			c := idx[j]
+			if c >= uint32(n) || int32(c) <= prev {
+				return nil, fmt.Errorf("opt: snapshot row %d has invalid column sequence", x)
+			}
+			prev = int32(c)
+			s.idx[j] = int32(c)
+			v := val[j]
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return nil, fmt.Errorf("opt: snapshot value %g out of range at entry %d", v, j)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > rowSumTol {
+			return nil, fmt.Errorf("opt: snapshot row %d sums to %g", x, sum)
+		}
 	}
-	return &PointChannel{
-		Centers: centers, Eps: eps, Metric: metric, K: k,
-		ExpectedLoss: loss, Iters: iters, cum: cum,
-	}, nil
+	s.finish()
+	return s, nil
 }
 
-// validateChannel checks the invariants every freshly built channel holds:
-// positive finite eps, known metric, finite nonnegative loss, an n x n
-// matrix of finite nonnegative entries with row sums within rowSumTol of 1,
-// and cumulative rows that are a bit-exact prefix-sum recomputation of K
-// (float64 addition is deterministic, so solved and loaded channels must
-// agree on every bit or sampling could diverge).
-func validateChannel(n int, eps float64, metric geo.Metric, loss float64, k, cum []float64) error {
+// validateScalars checks the solve parameters shared by every payload kind.
+func validateScalars(eps float64, metric geo.Metric, loss float64) error {
 	if !(eps > 0) || math.IsInf(eps, 0) {
 		return fmt.Errorf("opt: snapshot eps %g out of range", eps)
 	}
@@ -210,11 +391,21 @@ func validateChannel(n int, eps float64, metric geo.Metric, loss float64, k, cum
 	if math.IsNaN(loss) || math.IsInf(loss, 0) || loss < 0 {
 		return fmt.Errorf("opt: snapshot expected loss %g out of range", loss)
 	}
+	return nil
+}
+
+// validateChannel checks the invariants every freshly built dense channel
+// holds: positive finite eps, known metric, finite nonnegative loss, and an
+// n x n matrix of finite nonnegative entries with row sums within rowSumTol
+// of 1. (Format v1 also stored the cumulative rows and required bit-exact
+// agreement with a recomputation; v2 rebuilds them from K with the same
+// prefix-sum code instead, which guarantees agreement by construction.)
+func validateChannel(n int, eps float64, metric geo.Metric, loss float64, k []float64) error {
+	if err := validateScalars(eps, metric, loss); err != nil {
+		return err
+	}
 	if len(k) != n*n {
 		return fmt.Errorf("opt: snapshot K has %d entries, want %d", len(k), n*n)
-	}
-	if len(cum) != n*n {
-		return fmt.Errorf("opt: snapshot cum has %d entries, want %d", len(cum), n*n)
 	}
 	for i, v := range k {
 		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
@@ -225,9 +416,6 @@ func validateChannel(n int, eps float64, metric geo.Metric, loss float64, k, cum
 		s := 0.0
 		for z := 0; z < n; z++ {
 			s += k[x*n+z]
-			if cum[x*n+z] != s {
-				return fmt.Errorf("opt: snapshot cum[%d] diverges from prefix sum of K", x*n+z)
-			}
 		}
 		if math.Abs(s-1) > rowSumTol {
 			return fmt.Errorf("opt: snapshot row %d sums to %g", x, s)
@@ -310,6 +498,22 @@ func (r *snapReader) floats() []float64 {
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = r.float()
+	}
+	return out
+}
+
+func (r *snapReader) uint32s() []uint32 {
+	n := r.uint64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.remaining())/4 {
+		r.err = fmt.Errorf("opt: snapshot uint32 slice length %d exceeds remaining bytes", n)
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = r.uint32()
 	}
 	return out
 }

@@ -146,12 +146,12 @@ func TestSnapshotCodecRejectsTamperedMatrix(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Flip the low mantissa bit of the final cum entry: the decoder recomputes
-	// prefix sums from K and must notice the mismatch.
+	// Flip an exponent bit of the final K entry: the row no longer sums to
+	// (approximately) 1 and the decoder's row-sum check must notice.
 	tampered := append([]byte(nil), data...)
-	tampered[len(tampered)-8] ^= 0x01
+	tampered[len(tampered)-1] ^= 0x40
 	if _, err := codec.Decode(context.Background(), tampered); err == nil {
-		t.Fatal("accepted a cum row inconsistent with K")
+		t.Fatal("accepted a K row that does not sum to 1")
 	}
 
 	// A NaN in K must be rejected by the finiteness check. K starts right
@@ -172,11 +172,13 @@ func snapshotKOffset(t *testing.T, codec SnapshotCodec, ch *Channel) int {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mod := *ch
-	mod.K = append([]float64(nil), ch.K...)
+	mod := &Channel{
+		Grid: ch.Grid, Eps: ch.Eps, Metric: ch.Metric,
+		ExpectedLoss: ch.ExpectedLoss, Iters: ch.Iters, PairFamilies: ch.PairFamilies,
+		K: append([]float64(nil), ch.K...),
+	}
 	mod.K[0] = math.Float64frombits(math.Float64bits(ch.K[0]) ^ 1)
-	mod.cum = ch.cum
-	data, err := codec.Encode(&mod)
+	data, err := codec.Encode(mod)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,6 +50,24 @@ type StoreStatser interface {
 	StoreStats() channel.Stats
 }
 
+// SamplerStatser is optionally implemented by mechanisms with a configurable
+// warm-path sampler and channel pruning (geoind.MSM and geoind.AdaptiveMSM
+// are). When the mechanism provides it, /v1/stats exposes the sampler kind in
+// use, the configured prune mass, and the per-variant channel counters.
+type SamplerStatser interface {
+	SamplerInfo() (kind string, pruneMass float64, pruned, fallbacks int64)
+}
+
+// DirStatser is optionally implemented by mechanisms with a persistent
+// snapshot cache (geoind.MSM and geoind.AdaptiveMSM are). It exposes the
+// cache directory's own counters — in particular version misses, which make a
+// snapshot-format rollout observable: a v1 directory warming a v2 process
+// counts version misses (benign, files are rewritten) rather than errors
+// (corrupt or undecodable files).
+type DirStatser interface {
+	DirCacheStats() (channel.DirStats, bool)
+}
+
 // MaxBatchSize bounds the number of points one /v1/report:batch request may
 // carry; larger batches are rejected with 413 before any budget is charged.
 const MaxBatchSize = 1024
@@ -189,6 +207,13 @@ type ChannelCacheStats struct {
 	DiskHits int64 `json:"disk_hits"`
 	// DiskWrites counts solved channels handed to the snapshot cache.
 	DiskWrites int64 `json:"disk_writes"`
+	// VersionMisses counts intact snapshot files skipped because they were
+	// written by a foreign format version (expected during rollouts; the
+	// store re-solves and rewrites them in the current format).
+	VersionMisses int64 `json:"version_misses"`
+	// DiskErrors counts snapshot files found but rejected as corrupt,
+	// truncated, or undecodable.
+	DiskErrors int64 `json:"disk_errors"`
 	Entries    int64 `json:"entries"`
 	CostBytes  int64 `json:"cost_bytes"`
 	Evictions  int64 `json:"evictions"`
@@ -201,10 +226,24 @@ type ChannelCacheStats struct {
 	Canceled int64 `json:"canceled"`
 }
 
+// SamplerStats is the sampling-configuration section of a stats response.
+type SamplerStats struct {
+	// Kind is the warm-path sampler in use ("cum" or "alias").
+	Kind string `json:"kind"`
+	// PruneMass is the configured per-row pruning bound (0 = dense).
+	PruneMass float64 `json:"prune_mass,omitempty"`
+	// PrunedChannels counts solved channels stored in compact form.
+	PrunedChannels int64 `json:"pruned_channels"`
+	// PruneFallbacks counts solved channels kept dense because the compact
+	// form failed the post-prune GeoInd re-verification.
+	PruneFallbacks int64 `json:"prune_fallbacks"`
+}
+
 // StatsResponse is the /v1/stats response body.
 type StatsResponse struct {
 	Mechanism    string             `json:"mechanism"`
 	ChannelCache *ChannelCacheStats `json:"channel_cache,omitempty"`
+	Sampler      *SamplerStats      `json:"sampler,omitempty"`
 }
 
 // errorResponse is the uniform error body.
@@ -268,6 +307,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Evictions:  st.Evictions,
 			Abandoned:  st.Abandoned,
 			Canceled:   st.Canceled,
+		}
+		if ds, ok := s.mech.(DirStatser); ok {
+			if dst, ok := ds.DirCacheStats(); ok {
+				resp.ChannelCache.VersionMisses = dst.VersionMisses
+				resp.ChannelCache.DiskErrors = dst.Errors
+			}
+		}
+	}
+	if sam, ok := s.mech.(SamplerStatser); ok {
+		kind, pruneMass, pruned, fallbacks := sam.SamplerInfo()
+		resp.Sampler = &SamplerStats{
+			Kind:           kind,
+			PruneMass:      pruneMass,
+			PrunedChannels: pruned,
+			PruneFallbacks: fallbacks,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -19,6 +19,16 @@ type statsReporter struct {
 
 func (s *statsReporter) StoreStats() channel.Stats { return s.st }
 
+// dirStatsReporter additionally exposes persistent-cache counters, standing
+// in for a mechanism with a configured cache directory.
+type dirStatsReporter struct {
+	statsReporter
+	dst channel.DirStats
+	ok  bool
+}
+
+func (d *dirStatsReporter) DirCacheStats() (channel.DirStats, bool) { return d.dst, d.ok }
+
 func TestStatsEndpoint(t *testing.T) {
 	mech := &statsReporter{
 		Reporter: newTestReporter(t, 0.5),
@@ -50,6 +60,52 @@ func TestStatsEndpoint(t *testing.T) {
 	if cc.Hits != 12 || cc.Misses != 3 || cc.DiskHits != 7 || cc.DiskWrites != 3 ||
 		cc.Entries != 3 || cc.CostBytes != 4096 || cc.Evictions != 1 {
 		t.Fatalf("channel_cache %+v", cc)
+	}
+}
+
+// TestStatsEndpointDirCacheCounters: a mechanism with a persistent snapshot
+// cache surfaces version misses (format-skew rollout signal) and decode
+// errors separately from the in-memory store counters.
+func TestStatsEndpointDirCacheCounters(t *testing.T) {
+	mech := &dirStatsReporter{
+		statsReporter: statsReporter{
+			Reporter: newTestReporter(t, 0.5),
+			st:       channel.Stats{Hits: 1, Misses: 9},
+		},
+		dst: channel.DirStats{Loads: 10, Hits: 1, VersionMisses: 8, Errors: 1},
+		ok:  true,
+	}
+	srv, err := New(mech, nil, geo.NewSquare(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	cc := resp.ChannelCache
+	if cc == nil {
+		t.Fatal("channel_cache missing")
+	}
+	if cc.VersionMisses != 8 || cc.DiskErrors != 1 {
+		t.Fatalf("version_misses=%d disk_errors=%d, want 8 and 1", cc.VersionMisses, cc.DiskErrors)
+	}
+
+	// Without a configured cache directory (ok=false) the counters stay zero.
+	mech.ok = false
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	resp = StatsResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ChannelCache.VersionMisses != 0 || resp.ChannelCache.DiskErrors != 0 {
+		t.Fatalf("counters leaked without a backing: %+v", resp.ChannelCache)
 	}
 }
 

@@ -1,7 +1,11 @@
 package geoind_test
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"geoind"
@@ -183,5 +187,98 @@ func TestCacheBytesEvictionWithDiskReload(t *testing.T) {
 	}
 	if len(entries) == 0 {
 		t.Fatal("no snapshot namespace directories written")
+	}
+}
+
+// rewriteSnapshotVersion rewrites every snapshot file under dir to carry the
+// given format version (recomputing the trailing CRC so the frame stays
+// structurally sound) — reproducing the on-disk state a process of another
+// format version leaves behind.
+func rewriteSnapshotVersion(t *testing.T, dir string, version uint32) int {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".chan") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(data[4:], version)
+		binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(data[:len(data)-4]))
+		n++
+		return os.WriteFile(path, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestWarmRestartFromV1Snapshots is the rollout acceptance criterion for a
+// snapshot format bump: a process started against a cache directory full of
+// foreign-version (v1) files must come up with zero request errors — every
+// file reads as a miss (not an error), is re-solved, and is overwritten in
+// the current format — after which the next restart is a zero-solve warm
+// start again.
+func TestWarmRestartFromV1Snapshots(t *testing.T) {
+	dir := t.TempDir()
+
+	m1, err := geoind.NewMSM(persistTestConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	m1.FlushCache()
+	_, solves1 := m1.Stats()
+
+	// Regress every snapshot file to format version 1.
+	if n := rewriteSnapshotVersion(t, dir, 1); n != solves1 {
+		t.Fatalf("rewrote %d snapshot files, want %d", n, solves1)
+	}
+
+	// Second process: the v1 files are misses, not errors — precompute
+	// re-solves everything and reports succeed with zero request errors.
+	m2, err := geoind.NewMSM(persistTestConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	if _, s := m2.Stats(); s != solves1 {
+		t.Fatalf("v1-directory restart performed %d solves, want %d", s, solves1)
+	}
+	if st := m2.StoreStats(); st.BackingHits != 0 {
+		t.Fatalf("v1 snapshots produced %d backing hits, want 0", st.BackingHits)
+	}
+	// The skew is observable as version misses, and is not miscounted as
+	// corruption.
+	dst, ok := m2.DirCacheStats()
+	if !ok {
+		t.Fatal("DirCacheStats: no backing reported despite CacheDir")
+	}
+	if dst.VersionMisses != int64(solves1) || dst.Errors != 0 {
+		t.Fatalf("dir-cache counters after v1 restart: %+v, want %d version misses and 0 errors",
+			dst, solves1)
+	}
+	if _, err := m2.ReportBatch([]geoind.Point{{X: 3, Y: 4}, {X: 11, Y: 2}}); err != nil {
+		t.Fatalf("report after v1 migration: %v", err)
+	}
+	m2.FlushCache()
+
+	// Third process: the directory was migrated in place — zero solves.
+	m3, err := geoind.NewMSM(persistTestConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m3.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	if _, s := m3.Stats(); s != 0 {
+		t.Fatalf("restart after migration performed %d solves, want 0", s)
 	}
 }
