@@ -51,6 +51,8 @@ func main() {
 	seed := flag.Uint64("seed", 2019, "base RNG seed")
 	workers := flag.Int("workers", 1, "LP block-solve parallelism (output is identical for any value)")
 	cacheDir := flag.String("cache-dir", "", "persistent channel snapshot directory reused across runs")
+	localRadius := flag.Float64("local-radius", 0, "locally relevant OPT: solve channel LPs only over cells within this radius (km) of the prior-mass core (0 = full LP)")
+	localMass := flag.Float64("local-mass", 0, "locally relevant OPT: prior mass allowed outside the relevance core (0 = default 1e-3; requires -local-radius)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -64,6 +66,8 @@ func main() {
 	ctx.Seed = *seed
 	ctx.Workers = *workers
 	ctx.CacheDir = *cacheDir
+	ctx.LocalRadius = *localRadius
+	ctx.LocalMassFloor = *localMass
 	defer ctx.SyncCache()
 
 	names := flag.Args()

@@ -76,11 +76,13 @@ func main() {
 	solveTimeout := flag.Duration("solve-timeout", 0, "wall-clock bound on each detached channel solve (0 = none; a timed-out solve is aborted and retried by the next request for that channel)")
 	sampler := flag.String("sampler", "cum", "warm-path sampler: cum (cumulative binary search, bit-compatible reference) or alias (O(1) Walker alias tables)")
 	pruneMass := flag.Float64("prune-mass", 0, "per-row channel pruning bound in [0, 0.5): prune up to this probability mass per row into a uniform background (eps-preserving, verifier-gated; 0 = dense channels)")
+	localRadius := flag.Float64("local-radius", 0, "locally relevant OPT: solve each channel LP only over cells within this radius (km) of the prior-mass core; excluded cells get an eps-preserving padded background (0 = disabled; msm and opt mechanisms only)")
+	localMass := flag.Float64("local-mass", 0, "locally relevant OPT: prior mass allowed outside the relevance core, in (0, 0.5) (0 = default 1e-3; requires -local-radius)")
 	flag.Parse()
 
 	if err := run(*addr, *mechName, *eps, *g, *rho, *side, *ds, *seed, *workers,
 		*budgetLimit, *budgetWindow, *ledgerFile, *cacheDir, *cacheBytes,
-		*reqTimeout, *solveTimeout, *sampler, *pruneMass); err != nil {
+		*reqTimeout, *solveTimeout, *sampler, *pruneMass, *localRadius, *localMass); err != nil {
 		log.Fatal("geoind-server: ", err)
 	}
 }
@@ -88,7 +90,12 @@ func main() {
 func run(addr, mechName string, eps float64, g int, rho, side float64, dsName string,
 	seed uint64, workers int, budgetLimit float64, budgetWindow time.Duration,
 	ledgerFile, cacheDir string, cacheBytes int64,
-	reqTimeout, solveTimeout time.Duration, sampler string, pruneMass float64) error {
+	reqTimeout, solveTimeout time.Duration, sampler string, pruneMass float64,
+	localRadius, localMass float64) error {
+
+	if localRadius > 0 && mechName != "msm" && mechName != "opt" {
+		return fmt.Errorf("-local-radius is only supported by the msm and opt mechanisms, not %q", mechName)
+	}
 
 	if seed == 0 {
 		seed = uint64(time.Now().UnixNano())
@@ -132,6 +139,7 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 			PriorPoints: points, Seed: seed, Workers: workers,
 			CacheDir: cacheDir, CacheBytes: cacheBytes, SolveTimeout: solveTimeout,
 			Sampler: sampler, PruneMass: pruneMass,
+			LocalRadius: localRadius, LocalMassFloor: localMass,
 		})
 		if err != nil {
 			return err
@@ -169,6 +177,7 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 		m, err := geoind.NewOptimal(geoind.OptimalConfig{
 			Eps: eps, Region: region, Granularity: g, PriorPoints: points, Seed: seed,
 			Workers: workers, Sampler: sampler, PruneMass: pruneMass,
+			LocalRadius: localRadius, LocalMassFloor: localMass,
 		})
 		if err != nil {
 			return err

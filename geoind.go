@@ -3,6 +3,7 @@ package geoind
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
@@ -268,6 +269,17 @@ type OptimalConfig struct {
 	// if verification rejects the compact one). Must be in
 	// [0, opt.MaxPruneMass).
 	PruneMass float64
+	// LocalRadius, when > 0 (km), solves the LP only over the locally
+	// relevant cells — the heaviest-prior cells covering 1 - LocalMassFloor
+	// of the mass, dilated by this radius — and pads the excluded tail with
+	// the analytic β background (opt.BuildLocal). The channel then
+	// satisfies eps-GeoInd restricted to that domain (re-verified at
+	// construction); a gate failure falls back to the dense solve, fail
+	// closed. 0 keeps the full-domain LP.
+	LocalRadius float64
+	// LocalMassFloor bounds the prior mass left outside the relevance core;
+	// 0 means opt.DefaultLocalMassFloor. Only meaningful with LocalRadius.
+	LocalMassFloor float64
 }
 
 // optBatchStreamSalt derives the per-point PCG stream sequence numbers of
@@ -278,15 +290,18 @@ const optBatchStreamSalt = 0x3c6ef372fe94f82b
 
 // Optimal is the optimal GeoInd mechanism over a regular grid.
 type Optimal struct {
-	ch      *opt.Channel
-	sampler opt.Sampler
-	kind    opt.SamplerKind
-	pruned  bool
-	rng     *rand.Rand
-	mu      sync.Mutex
-	seed    uint64
-	workers int
-	pointID atomic.Uint64
+	ch          *opt.Channel
+	sampler     opt.Sampler
+	kind        opt.SamplerKind
+	pruned      bool
+	localRadius float64
+	localFloor  float64
+	localFB     int64 // 1 when a requested local build fell back to dense
+	rng         *rand.Rand
+	mu          sync.Mutex
+	seed        uint64
+	workers     int
+	pointID     atomic.Uint64
 }
 
 // NewOptimal solves the OPT linear program and returns a sampling-ready
@@ -299,6 +314,12 @@ func NewOptimal(cfg OptimalConfig) (*Optimal, error) {
 	if cfg.PruneMass != 0 && (!(cfg.PruneMass > 0) || cfg.PruneMass >= opt.MaxPruneMass) {
 		return nil, fmt.Errorf("geoind: prune mass %g outside [0, %g)", cfg.PruneMass, opt.MaxPruneMass)
 	}
+	if cfg.LocalRadius != 0 && (!(cfg.LocalRadius > 0) || math.IsInf(cfg.LocalRadius, 0)) {
+		return nil, fmt.Errorf("geoind: local radius %g must be 0 (off) or positive and finite", cfg.LocalRadius)
+	}
+	if cfg.LocalMassFloor != 0 && cfg.LocalRadius == 0 {
+		return nil, fmt.Errorf("geoind: local mass floor set without a local radius")
+	}
 	g, err := grid.New(cfg.Region, cfg.Granularity)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
@@ -309,14 +330,33 @@ func NewOptimal(cfg OptimalConfig) (*Optimal, error) {
 	} else {
 		weights = prior.Uniform(g).Weights()
 	}
-	ch, err := opt.Build(cfg.Eps, g, weights, cfg.Metric, &opt.Options{
-		LP: &lp.IPMOptions{Workers: cfg.Workers},
-	})
-	if err != nil {
-		return nil, fmt.Errorf("geoind: %w", err)
+	var (
+		ch      *opt.Channel
+		localFB int64
+	)
+	if cfg.LocalRadius > 0 {
+		// Fail closed like pruning: a local build rejected by the restricted
+		// GeoInd gate (or an unconverged reduced LP) falls back to the dense
+		// solve.
+		ch, err = opt.BuildLocal(cfg.Eps, g, weights, cfg.Metric, cfg.LocalRadius, &opt.LocalOptions{
+			MassFloor: cfg.LocalMassFloor,
+			LP:        &lp.IPMOptions{Workers: cfg.Workers},
+			Workers:   cfg.Workers,
+		})
+		if err != nil {
+			ch, localFB = nil, 1
+		}
+	}
+	if ch == nil {
+		ch, err = opt.Build(cfg.Eps, g, weights, cfg.Metric, &opt.Options{
+			LP: &lp.IPMOptions{Workers: cfg.Workers},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("geoind: %w", err)
+		}
 	}
 	pruned := false
-	if cfg.PruneMass > 0 {
+	if cfg.PruneMass > 0 && !ch.IsCompact() {
 		// Fail closed: a prune rejected by the GeoInd re-verification keeps
 		// the dense channel (pruning is an optimization, never required).
 		if compact, perr := ch.Prune(cfg.PruneMass, weights); perr == nil {
@@ -324,14 +364,21 @@ func NewOptimal(cfg OptimalConfig) (*Optimal, error) {
 			pruned = true
 		}
 	}
+	localFloor := cfg.LocalMassFloor
+	if cfg.LocalRadius > 0 && localFloor == 0 {
+		localFloor = opt.DefaultLocalMassFloor
+	}
 	return &Optimal{
-		ch:      ch,
-		sampler: ch.Sampler(kind),
-		kind:    kind,
-		pruned:  pruned,
-		rng:     rand.New(rand.NewPCG(cfg.Seed, 0xb5297a4d)),
-		seed:    cfg.Seed,
-		workers: cfg.Workers,
+		ch:          ch,
+		sampler:     ch.Sampler(kind),
+		kind:        kind,
+		pruned:      pruned,
+		localRadius: cfg.LocalRadius,
+		localFloor:  localFloor,
+		localFB:     localFB,
+		rng:         rand.New(rand.NewPCG(cfg.Seed, 0xb5297a4d)),
+		seed:        cfg.Seed,
+		workers:     cfg.Workers,
 	}, nil
 }
 
@@ -419,6 +466,17 @@ func (o *Optimal) SamplerInfo() (kind string, pruned bool) {
 	return o.kind.String(), o.pruned
 }
 
+// LocalInfo reports the locally relevant OPT configuration: the requested
+// radius and mass floor (radius 0 means the variant is off), how many
+// channels were solved over a reduced domain (0 or 1 for this flat
+// mechanism), and whether the local build fell back to a dense solve.
+func (o *Optimal) LocalInfo() (radius, massFloor float64, localChannels, denseFallbacks int64) {
+	if o.ch.IsLocal() {
+		localChannels = 1
+	}
+	return o.localRadius, o.localFloor, localChannels, o.localFB
+}
+
 // ---------------------------------------------------------------------------
 // Multi-Step Mechanism (MSM)
 
@@ -492,6 +550,19 @@ type MSMConfig struct {
 	// variant so they never alias dense ones. Must be in
 	// [0, opt.MaxPruneMass).
 	PruneMass float64
+	// LocalRadius, when > 0 (km), switches every per-level LP to the
+	// locally relevant construction: the solve runs only over the
+	// relevance set (prior-mass core dilated by this radius) and the
+	// excluded tail is padded with the analytic β background. Local
+	// channels satisfy eps-GeoInd restricted to their domain (re-verified
+	// at construction and again when loaded from CacheDir); failures fall
+	// back to the dense solve, counted in LocalInfo. Composes with
+	// SpannerStretch; PruneMass is ignored for local channels (already
+	// compact). Keyed separately in the store and snapshot cache.
+	LocalRadius float64
+	// LocalMassFloor bounds the prior mass left outside the relevance
+	// core; 0 means opt.DefaultLocalMassFloor. Requires LocalRadius > 0.
+	LocalMassFloor float64
 }
 
 // MSM is the paper's multi-step mechanism.
@@ -525,6 +596,8 @@ func NewMSM(cfg MSMConfig) (*MSM, error) {
 		SpannerStretch: cfg.SpannerStretch,
 		Sampler:        kind,
 		PruneMass:      cfg.PruneMass,
+		LocalRadius:    cfg.LocalRadius,
+		LocalMassFloor: cfg.LocalMassFloor,
 	}, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
@@ -627,6 +700,14 @@ func (m *MSM) DirCacheStats() (channel.DirStats, bool) { return m.m.DirCacheStat
 // compacted, and dense fallbacks after a failed post-prune verification.
 func (m *MSM) SamplerInfo() (kind string, pruneMass float64, pruned, fallbacks int64) {
 	return m.m.SamplerInfo()
+}
+
+// LocalInfo reports the locally relevant OPT configuration (radius 0 means
+// off) and its solve counters: channels solved over a reduced domain, and
+// local builds that fell back to the dense formulation after a failed
+// restricted-verifier gate or unconverged reduced LP.
+func (m *MSM) LocalInfo() (radius, massFloor float64, localChannels, denseFallbacks int64) {
+	return m.m.LocalInfo()
 }
 
 // FlushCache blocks until every solved channel handed to the persistent

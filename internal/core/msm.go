@@ -122,6 +122,23 @@ type Config struct {
 	// store (Key.Variant covers the prune mass), so dense and compact
 	// channels — including persisted snapshots — never alias.
 	PruneMass float64
+	// LocalRadius, when > 0 (km), switches every per-level solve to the
+	// locally relevant OPT construction (opt.BuildLocal): the LP runs only
+	// over the relevance set — the heaviest-prior cells covering 1 -
+	// LocalMassFloor of the subdomain's mass, dilated by this radius — and
+	// the excluded tail receives the analytically padded β background.
+	// Each local channel is re-gated by the GeoInd verifier restricted to
+	// its domain; a gate failure falls back to the dense (or spanner)
+	// solve, counted in LocalInfo. Composes with SpannerStretch (the
+	// reduced LP then uses spanner constraints) and is keyed separately in
+	// the store via Key.Variant. PruneMass is ignored for local channels —
+	// they are already compact.
+	LocalRadius float64
+	// LocalMassFloor bounds the prior mass left outside the relevance core
+	// (and the per-row prune budget inside it). 0 means
+	// opt.DefaultLocalMassFloor; must stay in (0, opt.MaxPruneMass). Only
+	// meaningful when LocalRadius > 0.
+	LocalMassFloor float64
 }
 
 // storeNamespace is the Key namespace of MSM grid channels.
@@ -148,6 +165,8 @@ type Mechanism struct {
 	solves         atomic.Int64 // LP solves performed (store misses + bypass solves)
 	prunedChannels atomic.Int64 // solves whose channel was compacted
 	pruneFallbacks atomic.Int64 // solves kept dense after a failed prune
+	localChannels  atomic.Int64 // solves done over a locally relevant domain
+	localFallbacks atomic.Int64 // local builds that fell back to a dense solve
 	queryIdx       atomic.Uint64
 
 	rng   *rand.Rand
@@ -182,6 +201,17 @@ func New(cfg Config, seed uint64) (*Mechanism, error) {
 	}
 	if cfg.PruneMass != 0 && (!(cfg.PruneMass > 0) || cfg.PruneMass >= opt.MaxPruneMass) {
 		return nil, fmt.Errorf("msm: prune mass %g outside [0, %g)", cfg.PruneMass, opt.MaxPruneMass)
+	}
+	if cfg.LocalRadius != 0 && (!(cfg.LocalRadius > 0) || math.IsInf(cfg.LocalRadius, 0)) {
+		return nil, fmt.Errorf("msm: local radius %g must be 0 (off) or positive and finite", cfg.LocalRadius)
+	}
+	if cfg.LocalMassFloor != 0 {
+		if cfg.LocalRadius == 0 {
+			return nil, fmt.Errorf("msm: local mass floor set without a local radius")
+		}
+		if !(cfg.LocalMassFloor > 0) || cfg.LocalMassFloor >= opt.MaxPruneMass {
+			return nil, fmt.Errorf("msm: local mass floor %g outside (0, %g)", cfg.LocalMassFloor, opt.MaxPruneMass)
+		}
 	}
 
 	// Height cap from the leaf-granularity bound (and the user's cap).
@@ -266,13 +296,16 @@ func New(cfg Config, seed uint64) (*Mechanism, error) {
 	h.Floats(leaf.Weights())
 	m.priorHash = h.Sum()
 	// Non-default channel constructions (spanner-reduced LPs, pruned compact
-	// representations) get a store-key variant fingerprinting both knobs, so
-	// they never alias the exact dense channels — or each other — in a shared
-	// store or its persisted snapshots.
-	if cfg.SpannerStretch > 0 || cfg.PruneMass > 0 {
+	// representations, locally relevant domains) get a store-key variant
+	// fingerprinting every knob, so they never alias the exact dense
+	// channels — or each other — in a shared store or its persisted
+	// snapshots.
+	if cfg.SpannerStretch > 0 || cfg.PruneMass > 0 || cfg.LocalRadius > 0 {
 		vh := channel.NewHasher()
 		vh.Uint64(math.Float64bits(cfg.SpannerStretch))
 		vh.Uint64(math.Float64bits(cfg.PruneMass))
+		vh.Uint64(math.Float64bits(cfg.LocalRadius))
+		vh.Uint64(math.Float64bits(cfg.LocalMassFloor))
 		m.variant = vh.Sum()
 	}
 	return m, nil
@@ -326,6 +359,18 @@ func (m *Mechanism) Stats() (queries, solves int) {
 // to dense after failing the post-prune GeoInd verification.
 func (m *Mechanism) SamplerInfo() (kind string, pruneMass float64, pruned, fallbacks int64) {
 	return m.cfg.Sampler.String(), m.cfg.PruneMass, m.prunedChannels.Load(), m.pruneFallbacks.Load()
+}
+
+// LocalInfo reports the locally relevant OPT configuration and its solve
+// counters: channels solved over a reduced domain, and local builds whose
+// restricted verifier gate (or LP) failed so the solve fell back to the
+// dense formulation. Radius 0 means the variant is off.
+func (m *Mechanism) LocalInfo() (radius, massFloor float64, localChannels, denseFallbacks int64) {
+	massFloor = m.cfg.LocalMassFloor
+	if m.cfg.LocalRadius > 0 && massFloor == 0 {
+		massFloor = opt.DefaultLocalMassFloor
+	}
+	return m.cfg.LocalRadius, massFloor, m.localChannels.Load(), m.localFallbacks.Load()
 }
 
 // sample draws one descent step from ch with the configured sampler kind
@@ -439,7 +484,9 @@ func (m *Mechanism) channel(ctx context.Context, level, parentIdx int) (*opt.Cha
 }
 
 // solveChannel performs the LP solve for one (level, parent) subdomain,
-// using the spanner-reduced formulation when SpannerStretch is set.
+// using the locally relevant construction when LocalRadius is set (with a
+// counted dense fallback if its restricted verifier gate rejects) and the
+// spanner-reduced formulation when SpannerStretch is set.
 func (m *Mechanism) solveChannel(ctx context.Context, level, parentIdx int) (*opt.Channel, error) {
 	sub := m.hier.SubGrid(level, parentIdx)
 	pw := m.levelSubPrior(level, parentIdx)
@@ -447,6 +494,27 @@ func (m *Mechanism) solveChannel(ctx context.Context, level, parentIdx int) (*op
 		ch  *opt.Channel
 		err error
 	)
+	if m.cfg.LocalRadius > 0 {
+		lo := &opt.LocalOptions{
+			MassFloor:      m.cfg.LocalMassFloor,
+			SpannerStretch: m.cfg.SpannerStretch,
+			LP:             m.lpOpts(),
+			Workers:        m.cfg.Workers,
+		}
+		ch, err = opt.BuildLocalCtx(ctx, m.alloc.Eps[level], sub, pw, m.cfg.Metric, m.cfg.LocalRadius, lo)
+		if err == nil {
+			m.solves.Add(1)
+			m.localChannels.Add(1)
+			// Already compact: PruneMass has nothing left to prune.
+			return ch, nil
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("msm: level %d cell %d: %w", level+1, parentIdx, err)
+		}
+		// The local construction is an optimization, never a correctness
+		// dependency: fall back to the dense (or spanner) solve and count it.
+		m.localFallbacks.Add(1)
+	}
 	if m.cfg.SpannerStretch > 0 {
 		ch, err = opt.BuildSpannerCtx(ctx, m.alloc.Eps[level], sub, pw, m.cfg.Metric, m.cfg.SpannerStretch, &opt.Options{LP: m.lpOpts()})
 	} else {

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestVariantHashDistinguishesConstructions pins the store-key variant
+// against aliasing: every pairwise combination of spanner stretch, prune
+// mass and the local parameters must map to a distinct Key.Variant (and
+// the default construction to variant 0), so exact, spanner, pruned and
+// locally relevant channels can never collide in a shared store or
+// DirCache — including two local configurations differing only in radius
+// or mass floor.
+func TestVariantHashDistinguishesConstructions(t *testing.T) {
+	base := Config{Eps: 0.5, G: 3, Region: region20()}
+	mods := map[string]func(Config) Config{
+		"exact":         func(c Config) Config { return c },
+		"spanner":       func(c Config) Config { c.SpannerStretch = 1.5; return c },
+		"spanner-1.8":   func(c Config) Config { c.SpannerStretch = 1.8; return c },
+		"prune":         func(c Config) Config { c.PruneMass = 0.05; return c },
+		"prune-0.01":    func(c Config) Config { c.PruneMass = 0.01; return c },
+		"local":         func(c Config) Config { c.LocalRadius = 2; return c },
+		"local-r4":      func(c Config) Config { c.LocalRadius = 4; return c },
+		"local-floor":   func(c Config) Config { c.LocalRadius = 2; c.LocalMassFloor = 0.01; return c },
+		"spanner+prune": func(c Config) Config { c.SpannerStretch = 1.5; c.PruneMass = 0.05; return c },
+		"spanner+local": func(c Config) Config { c.SpannerStretch = 1.5; c.LocalRadius = 2; return c },
+		"prune+local":   func(c Config) Config { c.PruneMass = 0.05; c.LocalRadius = 2; return c },
+		"all": func(c Config) Config {
+			c.SpannerStretch = 1.5
+			c.PruneMass = 0.05
+			c.LocalRadius = 2
+			c.LocalMassFloor = 0.01
+			return c
+		},
+	}
+	variants := make(map[string]uint64, len(mods))
+	for name, mod := range mods {
+		m, err := New(mod(base), 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		variants[name] = m.variant
+	}
+	if variants["exact"] != 0 {
+		t.Errorf("exact construction has variant %#x, want 0", variants["exact"])
+	}
+	for a, va := range variants {
+		for b, vb := range variants {
+			if a < b && va == vb {
+				t.Errorf("variant aliasing: %q and %q both hash to %#x", a, b, va)
+			}
+		}
+	}
+}
+
+func TestNewValidationLocal(t *testing.T) {
+	base := Config{Eps: 0.5, G: 3, Region: region20()}
+	bad := map[string]func(Config) Config{
+		"negative-radius":      func(c Config) Config { c.LocalRadius = -1; return c },
+		"inf-radius":           func(c Config) Config { c.LocalRadius = math.Inf(1); return c },
+		"floor-without-radius": func(c Config) Config { c.LocalMassFloor = 0.01; return c },
+		"floor-too-large":      func(c Config) Config { c.LocalRadius = 2; c.LocalMassFloor = 0.6; return c },
+		"negative-floor":       func(c Config) Config { c.LocalRadius = 2; c.LocalMassFloor = -0.1; return c },
+	}
+	for name, mod := range bad {
+		if _, err := New(mod(base), 1); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+	}
+	if _, err := New(Config{Eps: 0.5, G: 3, Region: region20(), LocalRadius: 3, LocalMassFloor: 0.02}, 1); err != nil {
+		t.Errorf("valid local config rejected: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"sync"
 	"time"
@@ -36,6 +37,15 @@ type Context struct {
 	// repeating the LP solves. Empty keeps the historical direct-solve path
 	// (measured solve times and outputs unchanged).
 	CacheDir string
+	// LocalRadius, when positive, routes directly built OPT channels through
+	// the locally relevant construction: each LP is solved only over cells
+	// within this radius (km) of the prior-mass core, with the excluded tail
+	// padded eps-preservingly. Local channels carry a distinct store variant
+	// so they never alias full-LP or spanner snapshots.
+	LocalRadius float64
+	// LocalMassFloor is the prior mass allowed outside the relevance core
+	// (0 = opt.DefaultLocalMassFloor). Only meaningful with LocalRadius > 0.
+	LocalMassFloor float64
 
 	storeMu  sync.Mutex
 	store    *channel.Store
@@ -206,14 +216,32 @@ func (c *Context) optChannel(ds *dataset.Dataset, eps float64, g int, metric geo
 	}
 	pw := prior.FromPoints(gr, ds.Points()).Weights()
 	solve := func() (*opt.Channel, error) {
+		if c.LocalRadius > 0 {
+			return opt.BuildLocal(eps, gr, pw, metric, c.LocalRadius, &opt.LocalOptions{
+				MassFloor: c.LocalMassFloor,
+				LP:        &lp.IPMOptions{Workers: c.Workers},
+				Workers:   c.Workers,
+			})
+		}
 		return opt.Build(eps, gr, pw, metric, &opt.Options{
 			LP: &lp.IPMOptions{Workers: c.Workers},
 		})
 	}
+	// The local construction gets a tagged variant so its snapshots can never
+	// alias the full-LP variant 0 or the raw Float64bits(stretch) variants the
+	// spanner experiments use.
+	variant := uint64(0)
+	if c.LocalRadius > 0 {
+		vh := channel.NewHasher()
+		vh.String("local")
+		vh.Uint64(math.Float64bits(c.LocalRadius))
+		vh.Uint64(math.Float64bits(c.LocalMassFloor))
+		variant = vh.Sum()
+	}
 	start := time.Now()
 	var ch *opt.Channel
 	if c.CacheDir != "" {
-		ch, err = c.storedChannel(optKey(ds.Name, ds.Region(), pw, eps, g, metric, 0), solve)
+		ch, err = c.storedChannel(optKey(ds.Name, ds.Region(), pw, eps, g, metric, variant), solve)
 	} else {
 		ch, err = solve()
 	}

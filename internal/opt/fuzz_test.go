@@ -10,7 +10,8 @@ import (
 )
 
 // fuzzSeedPayloads encodes one channel of each snapshot kind — dense grid,
-// dense points, compact grid, compact points — as fuzz corpus seeds.
+// dense points, compact grid, compact points, locally relevant grid — as
+// fuzz corpus seeds.
 func fuzzSeedPayloads(f *testing.F) [][]byte {
 	f.Helper()
 	codec := SnapshotCodec{}
@@ -56,6 +57,18 @@ func fuzzSeedPayloads(f *testing.F) [][]byte {
 		}
 		payloads = append(payloads, data)
 	}
+	lw := make([]float64, g.NumCells())
+	lw[g.Index(1, 1)] = 5
+	lw[g.Index(2, 1)] = 3
+	if local, err := BuildLocal(0.8, g, lw, geo.Euclidean, 3.5, &LocalOptions{MassFloor: 0.02}); err == nil {
+		data, err := codec.Encode(local)
+		if err != nil {
+			f.Fatal(err)
+		}
+		payloads = append(payloads, data)
+	} else {
+		f.Fatal(err)
+	}
 	return payloads
 }
 
@@ -98,6 +111,89 @@ func FuzzSnapshotCodec(f *testing.F) {
 		}
 		if !bytes.Equal(re, re2) {
 			t.Fatal("encode/decode did not reach a fixed point")
+		}
+	})
+}
+
+// FuzzLocalRelevance drives the relevance-set selector with arbitrary
+// priors, radii and mass floors, seeded with the degenerate shapes the
+// dilation has to survive: all mass in one cell, uniform mass, and empty
+// (zero-mass) rows. Invariants: the domain is a sorted, unique, nonempty
+// subset of the grid; the heaviest prior cell is always in it, along with
+// every cell within the radius of that cell; and the parallel construction
+// is bit-identical to the sequential one.
+func FuzzLocalRelevance(f *testing.F) {
+	f.Add(uint8(6), uint16(3000), uint16(100), []byte{0, 0, 0, 0, 0, 0, 0, 9}) // all mass in one cell
+	f.Add(uint8(6), uint16(1500), uint16(100), []byte{1})                      // uniform
+	f.Add(uint8(5), uint16(200), uint16(400), []byte{3, 0})                    // empty rows, tiny radius
+	f.Add(uint8(4), uint16(65535), uint16(1), []byte{7, 1, 0, 0, 0})           // covering radius
+	f.Fuzz(func(t *testing.T, granB uint8, radiusU, floorU uint16, wb []byte) {
+		gran := 1 + int(granB)%8
+		g, err := grid.New(geo.NewSquare(10), gran)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.NumCells()
+		w := make([]float64, n)
+		total := 0.0
+		for i := range w {
+			if len(wb) > 0 {
+				w[i] = float64(wb[i%len(wb)])
+			}
+			total += w[i]
+		}
+		if total == 0 {
+			w[0] = 1 // zero-mass priors are rejected upstream by normalizePrior
+		}
+		pi, err := normalizePrior(w)
+		if err != nil {
+			t.Fatalf("normalizePrior: %v", err)
+		}
+		radius := 0.01 + float64(radiusU)/65535*30 // (0, ~30] km over a 10 km square
+		floor := 0.001 + float64(floorU)/65535*0.4 // (0, ~0.4)
+
+		dom := relevanceDomain(g, pi, radius, floor, 1)
+		if len(dom) == 0 || len(dom) > n {
+			t.Fatalf("domain size %d of %d cells", len(dom), n)
+		}
+		inDom := make([]bool, n)
+		for i, d := range dom {
+			if d < 0 || int(d) >= n {
+				t.Fatalf("domain cell %d out of range [0, %d)", d, n)
+			}
+			if i > 0 && dom[i] <= dom[i-1] {
+				t.Fatalf("domain not sorted/unique at %d: %v", i, dom)
+			}
+			inDom[d] = true
+		}
+
+		// The heaviest cell (ties to the lower index) always enters the
+		// core first, and dilation must pull in everything within the
+		// radius of it.
+		argmax := 0
+		for i, p := range pi {
+			if p > pi[argmax] {
+				argmax = i
+			}
+		}
+		if !inDom[argmax] {
+			t.Fatalf("heaviest cell %d missing from domain %v", argmax, dom)
+		}
+		centers := g.Centers()
+		for i := 0; i < n; i++ {
+			if !inDom[i] && centers[argmax].Dist(centers[i]) <= radius {
+				t.Fatalf("cell %d within radius %g of heaviest cell %d but excluded", i, radius, argmax)
+			}
+		}
+
+		par := relevanceDomain(g, pi, radius, floor, -1)
+		if len(par) != len(dom) {
+			t.Fatalf("parallel domain size %d != sequential %d", len(par), len(dom))
+		}
+		for i := range dom {
+			if par[i] != dom[i] {
+				t.Fatalf("parallel domain differs at %d: %d vs %d", i, par[i], dom[i])
+			}
 		}
 	})
 }

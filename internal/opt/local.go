@@ -1,0 +1,422 @@
+package opt
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"geoind/internal/channel"
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+	"geoind/internal/lp"
+)
+
+// DefaultLocalMassFloor is the prior-mass budget left outside the locally
+// relevant core when LocalOptions.MassFloor is zero.
+const DefaultLocalMassFloor = 1e-3
+
+// LocalOptions configures the locally relevant OPT construction.
+type LocalOptions struct {
+	// MassFloor t bounds the prior mass allowed outside the relevance core
+	// (and doubles as the per-row prune budget inside the local domain, so
+	// the same β proof obligation covers both). 0 means
+	// DefaultLocalMassFloor; must stay below MaxPruneMass.
+	MassFloor float64
+	// SpannerStretch, when >= 1, makes the reduced LP itself use spanner
+	// constraints (GreedySpanner over the local domain centers at
+	// eps/stretch per edge) instead of the full ordered-pair set.
+	SpannerStretch float64
+	// LP configures the interior-point solver for the reduced program.
+	LP *lp.IPMOptions
+	// Workers bounds the parallelism of relevance-set construction
+	// (channel.Workers semantics: 0 or 1 is sequential, negative means
+	// GOMAXPROCS). The result is identical for any value.
+	Workers int
+}
+
+func (o *LocalOptions) massFloor() float64 {
+	if o == nil || o.MassFloor == 0 {
+		return DefaultLocalMassFloor
+	}
+	return o.MassFloor
+}
+
+// BuildLocal solves the OPT program over a locally relevant subset of the
+// grid and pads the excluded tail analytically. See BuildLocalCtx.
+func BuildLocal(eps float64, g *grid.Grid, priorWeights []float64, metric geo.Metric, radius float64, opts *LocalOptions) (*Channel, error) {
+	return BuildLocalCtx(context.Background(), eps, g, priorWeights, metric, radius, opts)
+}
+
+// BuildLocalCtx builds the locally relevant OPT channel:
+//
+//  1. Select the relevance domain L: the heaviest-prior cells covering at
+//     least 1-t of the mass (t = MassFloor), dilated by radius km around
+//     each core cell. Dilation is parallelized over the Workers pool.
+//  2. Solve the OPT LP restricted to L (inputs = outputs = L, objective
+//     weighted by the restricted prior), optionally with spanner
+//     constraints over L's centers.
+//  3. Pad back to the full grid with the β-background machinery Prune
+//     uses: rows for x in L keep (1-β)·K_L on L's columns (entries below
+//     t/n pruned into the row background) plus a uniform background
+//     (β + (1-β)·pruned)/n on every cell, with β chosen by the same
+//     mediant-inequality proof obligation as Prune so within-L GeoInd is
+//     preserved without renormalizing. Rows for x outside L are exact
+//     copies of the nearest domain cell's row (deterministic snap,
+//     ties to the lower index), the sparse analogue of the boundary
+//     clamping Sample already applies to out-of-region inputs.
+//  4. Re-gate with the GeoInd verifier restricted to the reduced domain
+//     (all ordered pairs in L×L over all n outputs). On failure the
+//     construction errors out so callers can fall back to the dense
+//     solve and count it.
+//
+// The resulting channel is compact (CSR + row background, like Prune's
+// output) and carries its domain, so snapshots persist only the m solved
+// rows' structure and verification stays restricted after a reload. The
+// ε guarantee is exact for input pairs within L; pairs involving snapped
+// inputs inherit their representative's row (a snapped input is
+// indistinguishable from its representative by construction). Callers
+// needing full-domain ε must use Build or BuildSpanner.
+func BuildLocalCtx(ctx context.Context, eps float64, g *grid.Grid, priorWeights []float64, metric geo.Metric, radius float64, opts *LocalOptions) (*Channel, error) {
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("opt: eps must be positive and finite, got %g", eps)
+	}
+	if !metric.Valid() {
+		return nil, fmt.Errorf("opt: unknown metric %v", metric)
+	}
+	if !(radius > 0) || math.IsInf(radius, 0) {
+		return nil, fmt.Errorf("opt: local radius must be positive and finite, got %g", radius)
+	}
+	t := opts.massFloor()
+	if !(t > 0) || t >= MaxPruneMass {
+		return nil, fmt.Errorf("opt: local mass floor %g outside (0, %g)", t, MaxPruneMass)
+	}
+	stretch := 0.0
+	if opts != nil {
+		stretch = opts.SpannerStretch
+	}
+	if stretch != 0 && (stretch < 1 || math.IsInf(stretch, 0) || math.IsNaN(stretch)) {
+		return nil, fmt.Errorf("opt: spanner stretch must be >= 1, got %g", stretch)
+	}
+	n := g.NumCells()
+	if len(priorWeights) != n {
+		return nil, fmt.Errorf("opt: %d prior weights for %d cells", len(priorWeights), n)
+	}
+	pi, err := normalizePrior(priorWeights)
+	if err != nil {
+		return nil, fmt.Errorf("opt: %w", err)
+	}
+
+	workers := 0
+	if opts != nil {
+		workers = opts.Workers
+	}
+	domain := relevanceDomain(g, pi, radius, t, workers)
+	centers := g.Centers()
+
+	// β comes from the identical proof obligation Prune discharges: the
+	// worst kept/background ratio at the minimum pair distance. Distinct
+	// grid cells differ by at least one row or column, so min(cellW,
+	// cellH) lower-bounds every within-domain pair distance.
+	cw, chh := g.CellSize()
+	dmin := math.Min(cw, chh)
+	beta, err := pruneBeta(eps, t, dmin)
+	if err != nil {
+		return nil, err
+	}
+
+	kL, iters, pairFamilies, err := solveLocalLP(ctx, eps, g, domain, pi, metric, stretch, beta, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	s := assembleLocal(g, domain, kL, t, beta)
+	if ex := verifyLocalSparse(g, eps, s, domain); ex > pruneVerifyTol {
+		return nil, fmt.Errorf("opt: local channel violates GeoInd on the reduced domain by %.3g", ex)
+	}
+
+	ch := &Channel{
+		Grid:         g,
+		Eps:          eps,
+		Metric:       metric,
+		Iters:        iters,
+		PairFamilies: pairFamilies,
+		localDomain:  domain,
+		ExpectedLoss: expectedLossSparse(s, centers, pi, metric),
+	}
+	ch.initSparse(s)
+	return ch, nil
+}
+
+// relevanceDomain returns the sorted locally relevant domain: the smallest
+// set of heaviest-prior cells whose cumulative mass reaches 1-massFloor
+// (ties broken by lower index), dilated by radius km around each core
+// cell. Dilation over core cells runs on the Workers pool; marking is
+// idempotent so the result is identical for any worker count.
+func relevanceDomain(g *grid.Grid, pi []float64, radius, massFloor float64, workers int) []int32 {
+	n := g.NumCells()
+	ord := make([]int, 0, n)
+	for i, w := range pi {
+		if w > 0 {
+			ord = append(ord, i)
+		}
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		if pi[ord[a]] != pi[ord[b]] {
+			return pi[ord[a]] > pi[ord[b]]
+		}
+		return ord[a] < ord[b]
+	})
+	core := ord[:0]
+	acc := 0.0
+	for _, c := range ord {
+		core = append(core, c)
+		acc += pi[c]
+		if acc >= 1-massFloor {
+			break
+		}
+	}
+
+	centers := g.Centers()
+	gran := g.Granularity()
+	cw, chh := g.CellSize()
+	// Candidate box: cells whose center can be within radius of the core
+	// cell's center.
+	rCols := int(math.Ceil(radius / cw))
+	rRows := int(math.Ceil(radius / chh))
+	marked := make([]atomic.Bool, n)
+	_ = channel.ForEach(workers, len(core), func(i int) error {
+		c := core[i]
+		row, col := g.RowCol(c)
+		for r := max(0, row-rRows); r <= min(gran-1, row+rRows); r++ {
+			for cc := max(0, col-rCols); cc <= min(gran-1, col+rCols); cc++ {
+				z := g.Index(r, cc)
+				if !marked[z].Load() && centers[c].Dist(centers[z]) <= radius {
+					marked[z].Store(true)
+				}
+			}
+		}
+		return nil
+	})
+
+	domain := make([]int32, 0, len(core))
+	for z := 0; z < n; z++ {
+		if marked[z].Load() {
+			domain = append(domain, int32(z))
+		}
+	}
+	return domain
+}
+
+// snapReps maps every grid cell to its representative domain cell: itself
+// for domain members, otherwise the nearest domain cell by center distance
+// with ties broken by the lower cell index. The mapping is a pure function
+// of (grid geometry, domain), so encoder and decoder derive the same rows.
+func snapReps(g *grid.Grid, domain []int32) []int32 {
+	n := g.NumCells()
+	centers := g.Centers()
+	inDomain := make([]bool, n)
+	for _, d := range domain {
+		inDomain[d] = true
+	}
+	rep := make([]int32, n)
+	for x := 0; x < n; x++ {
+		if inDomain[x] {
+			rep[x] = int32(x)
+			continue
+		}
+		best := domain[0]
+		bestD := centers[x].Dist2(centers[best])
+		for _, d := range domain[1:] {
+			if dd := centers[x].Dist2(centers[d]); dd < bestD {
+				best, bestD = d, dd
+			}
+		}
+		rep[x] = best
+	}
+	return rep
+}
+
+// solveLocalLP solves the OPT program restricted to the domain cells. The
+// objective uses the restricted prior (unnormalized: scaling the objective
+// does not move the optimum). Constraint families are either the full
+// ordered pairs over the domain — with pairs whose coefficient is below
+// the padded background floor β/n dropped, since the padding makes them
+// vacuous — or, when stretch >= 1, a greedy spanner over the domain
+// centers at eps/stretch per edge (both directions, nothing dropped).
+func solveLocalLP(ctx context.Context, eps float64, g *grid.Grid, domain []int32, pi []float64, metric geo.Metric, stretch, beta float64, opts *LocalOptions) (k []float64, iters, pairFamilies int, err error) {
+	m := len(domain)
+	n := g.NumCells()
+	centers := g.Centers()
+	local := make([]geo.Point, m)
+	for j, d := range domain {
+		local[j] = centers[d]
+	}
+
+	prob := &lp.GeoIndProblem{N: m, Obj: make([]float64, m*m)}
+	for j, d := range domain {
+		w := pi[d]
+		for l := 0; l < m; l++ {
+			prob.Obj[j*m+l] = w * metric.Loss(local[j], local[l])
+		}
+	}
+	if stretch >= 1 {
+		epsEdge := eps / stretch
+		for _, e := range GreedySpanner(local, stretch) {
+			coef := math.Exp(-epsEdge * local[e[0]].Dist(local[e[1]]))
+			prob.Pairs = append(prob.Pairs,
+				lp.Pair{X: e[0], Xp: e[1], Coef: coef},
+				lp.Pair{X: e[1], Xp: e[0], Coef: coef})
+		}
+	} else {
+		dropTol := beta / float64(n)
+		for j := 0; j < m; j++ {
+			for l := 0; l < m; l++ {
+				if j == l {
+					continue
+				}
+				coef := math.Exp(-eps * local[j].Dist(local[l]))
+				if coef <= dropTol {
+					continue // implied by the β/n background floor
+				}
+				prob.Pairs = append(prob.Pairs, lp.Pair{X: j, Xp: l, Coef: coef})
+			}
+		}
+	}
+
+	var lpOpts *lp.IPMOptions
+	if opts != nil {
+		lpOpts = opts.LP
+	}
+	sol, err := prob.SolveCtx(ctx, lpOpts)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("opt: %w", err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		return nil, 0, 0, fmt.Errorf("opt: local LP did not converge: %v (gap %.3g)", sol.Status, sol.Gap)
+	}
+	k = sol.K
+	cleanup(k, m)
+	return k, sol.Iters, len(prob.Pairs), nil
+}
+
+// assembleLocal pads the m×m local solution back to an n-row compact
+// channel. Domain rows follow pruneMatrix exactly, applied to the
+// zero-padded full row: entries below t/n (including every out-of-domain
+// column, which is exactly zero) are pruned into the per-row background
+// (β + (1-β)·prunedMass)/n, kept entries scale by 1-β. Row sums stay
+// exactly (1-β)(1-pruned) + β + (1-β)·pruned = 1 — nothing is
+// renormalized. Out-of-domain rows are entry-for-entry copies of their
+// snap representative's row.
+func assembleLocal(g *grid.Grid, domain []int32, kL []float64, massFloor, beta float64) *sparseRows {
+	n := g.NumCells()
+	m := len(domain)
+	cutoff := massFloor / float64(n)
+
+	type localRow struct {
+		idx []int32
+		val []float64
+		bg  float64
+	}
+	rows := make([]localRow, m)
+	for j := 0; j < m; j++ {
+		r := localRow{}
+		pruned := 0.0
+		for l := 0; l < m; l++ {
+			v := kL[j*m+l]
+			if v < cutoff {
+				pruned += v
+				continue
+			}
+			r.idx = append(r.idx, domain[l])
+			r.val = append(r.val, (1-beta)*v)
+		}
+		r.bg = (beta + (1-beta)*pruned) / float64(n)
+		rows[j] = r
+	}
+
+	localIndex := make([]int32, n)
+	for i := range localIndex {
+		localIndex[i] = -1
+	}
+	for j, d := range domain {
+		localIndex[d] = int32(j)
+	}
+	rep := snapReps(g, domain)
+
+	s := &sparseRows{
+		n:         n,
+		beta:      beta,
+		pruneMass: massFloor,
+		rowStart:  make([]int32, n+1),
+		bg:        make([]float64, n),
+	}
+	for x := 0; x < n; x++ {
+		r := rows[localIndex[rep[x]]]
+		s.rowStart[x] = int32(len(s.idx))
+		s.idx = append(s.idx, r.idx...)
+		s.val = append(s.val, r.val...)
+		s.bg[x] = r.bg
+	}
+	s.rowStart[n] = int32(len(s.idx))
+	s.finish()
+	return s
+}
+
+// verifyLocalSparse is the GeoInd verifier restricted to the reduced
+// domain: it checks every ordered pair of domain inputs against every
+// output cell and returns the maximum constraint excess
+// max(log K[x][z] - log K[x'][z] - eps·d(x, x')), exactly as VerifyGeoInd
+// does over the full domain. Pairs involving snapped inputs are outside
+// the restricted guarantee (a snapped row equals its representative's, so
+// the pair (snapped, rep) is trivially at excess 0, but two snapped cells
+// with different representatives are not checked).
+func verifyLocalSparse(g *grid.Grid, eps float64, s *sparseRows, domain []int32) float64 {
+	n := s.n
+	m := len(domain)
+	centers := g.Centers()
+	logRows := make([]float64, m*n)
+	row := make([]float64, 0, n)
+	for j, d := range domain {
+		row = s.appendRow(row[:0], int(d))
+		for z, v := range row {
+			logRows[j*n+z] = math.Log(v)
+		}
+	}
+	worst := math.Inf(-1)
+	for j := 0; j < m; j++ {
+		for l := 0; l < m; l++ {
+			if j == l {
+				continue
+			}
+			bound := eps * centers[domain[j]].Dist(centers[domain[l]])
+			a := logRows[j*n : (j+1)*n]
+			b := logRows[l*n : (l+1)*n]
+			for z := 0; z < n; z++ {
+				if ex := a[z] - b[z] - bound; ex > worst {
+					worst = ex
+				}
+			}
+		}
+	}
+	return worst
+}
+
+// LocalDomain returns a copy of the locally relevant domain (sorted full-
+// grid cell indices) for a channel built by BuildLocal, or nil for dense,
+// spanner and pruned channels.
+func (c *Channel) LocalDomain() []int {
+	if c.localDomain == nil {
+		return nil
+	}
+	out := make([]int, len(c.localDomain))
+	for i, d := range c.localDomain {
+		out[i] = int(d)
+	}
+	return out
+}
+
+// IsLocal reports whether the channel was built over a locally relevant
+// domain (and therefore verifies GeoInd restricted to that domain).
+func (c *Channel) IsLocal() bool { return c.localDomain != nil }

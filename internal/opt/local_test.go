@@ -1,0 +1,288 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"geoind/internal/dataset"
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+	"geoind/internal/prior"
+)
+
+func localTestPrior(t *testing.T, ds *dataset.Dataset, gran int) (*grid.Grid, []float64) {
+	t.Helper()
+	g, err := grid.New(ds.Region(), gran)
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	return g, prior.FromPoints(g, ds.Points()).Weights()
+}
+
+func TestBuildLocalBasic(t *testing.T) {
+	ds := dataset.SyntheticGowalla()
+	g, w := localTestPrior(t, ds, 10)
+	n := g.NumCells()
+	radius := ds.Side * 0.1
+	ch, err := BuildLocal(1.0, g, w, geo.Euclidean, radius, &LocalOptions{MassFloor: 0.05, Workers: 4})
+	if err != nil {
+		t.Fatalf("BuildLocal: %v", err)
+	}
+	if !ch.IsLocal() || !ch.IsCompact() {
+		t.Fatalf("local channel not marked local+compact")
+	}
+	domain := ch.LocalDomain()
+	if len(domain) == 0 || len(domain) >= n {
+		t.Fatalf("domain size %d not a proper nonempty subset of %d cells", len(domain), n)
+	}
+	for i := 1; i < len(domain); i++ {
+		if domain[i] <= domain[i-1] {
+			t.Fatalf("domain not sorted/unique at %d: %v <= %v", i, domain[i], domain[i-1])
+		}
+	}
+	if ex := ch.VerifyMaxExcess(); ex > pruneVerifyTol {
+		t.Fatalf("restricted GeoInd excess %g > %g", ex, pruneVerifyTol)
+	}
+	for x := 0; x < n; x++ {
+		sum := 0.0
+		for _, v := range ch.Row(x) {
+			if v <= 0 {
+				t.Fatalf("non-positive entry in row %d", x)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %g", x, sum)
+		}
+	}
+	// Out-of-domain rows must be exact copies of their snap representative.
+	rep := snapReps(g, ch.localDomain)
+	inDomain := make([]bool, n)
+	for _, d := range domain {
+		inDomain[d] = true
+	}
+	for x := 0; x < n; x++ {
+		if inDomain[x] {
+			if rep[x] != int32(x) {
+				t.Fatalf("domain cell %d has rep %d", x, rep[x])
+			}
+			continue
+		}
+		rx, rr := ch.Row(x), ch.Row(int(rep[x]))
+		for z := range rx {
+			if rx[z] != rr[z] {
+				t.Fatalf("snapped row %d differs from rep %d at col %d", x, rep[x], z)
+			}
+		}
+	}
+	if !(ch.ExpectedLoss > 0) {
+		t.Fatalf("expected loss %g", ch.ExpectedLoss)
+	}
+}
+
+// TestLocalUtilityParity pins the documented utility bound of the locally
+// relevant construction against the exact dense channel on the seed
+// priors: with the relevance radius covering the prior's support, the
+// prior-weighted total-variation distance stays below localParityTV and
+// the expected loss within localParityLossRel relative plus the analytic
+// (massFloor+beta)·diameter padding slack.
+const (
+	localParityTV      = 0.15
+	localParityLossRel = 0.10
+)
+
+func TestLocalUtilityParity(t *testing.T) {
+	for _, ds := range []*dataset.Dataset{dataset.SyntheticGowalla(), dataset.SyntheticYelp()} {
+		ds := ds
+		t.Run(ds.Name, func(t *testing.T) {
+			g, w := localTestPrior(t, ds, 10)
+			n := g.NumCells()
+			eps := 1.0
+			exact, err := Build(eps, g, w, geo.Euclidean, nil)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			radius := ds.Side * 0.1
+			massFloor := 0.05
+			local, err := BuildLocal(eps, g, w, geo.Euclidean, radius, &LocalOptions{MassFloor: massFloor, Workers: 2})
+			if err != nil {
+				t.Fatalf("BuildLocal: %v", err)
+			}
+			pi, err := normalizePrior(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			tv := 0.0
+			for x := 0; x < n; x++ {
+				if pi[x] == 0 {
+					continue
+				}
+				re, rl := exact.Row(x), local.Row(x)
+				d := 0.0
+				for z := 0; z < n; z++ {
+					d += math.Abs(re[z] - rl[z])
+				}
+				tv += pi[x] * d / 2
+			}
+			if tv > localParityTV {
+				t.Errorf("prior-weighted TV distance %g > %g", tv, localParityTV)
+			}
+
+			cw, chh := g.CellSize()
+			beta, err := pruneBeta(eps, massFloor, math.Min(cw, chh))
+			if err != nil {
+				t.Fatal(err)
+			}
+			diam := math.Hypot(ds.Side, ds.Side)
+			bound := localParityLossRel*exact.ExpectedLoss + (massFloor+beta)*diam
+			if diff := math.Abs(local.ExpectedLoss - exact.ExpectedLoss); diff > bound {
+				t.Errorf("expected loss %g vs exact %g: |diff| %g > bound %g",
+					local.ExpectedLoss, exact.ExpectedLoss, diff, bound)
+			}
+			t.Logf("%s: m=%d/%d tv=%.4f loss local=%.4f exact=%.4f",
+				ds.Name, len(local.LocalDomain()), n, tv, local.ExpectedLoss, exact.ExpectedLoss)
+		})
+	}
+}
+
+// TestLocalSpannerComposition checks the reduced LP can itself run on
+// spanner constraints: far fewer pair families than the full m(m-1) set,
+// same restricted GeoInd gate.
+func TestLocalSpannerComposition(t *testing.T) {
+	ds := dataset.SyntheticGowalla()
+	g, w := localTestPrior(t, ds, 10)
+	radius := ds.Side * 0.3
+	full, err := BuildLocal(1.0, g, w, geo.Euclidean, radius, nil)
+	if err != nil {
+		t.Fatalf("BuildLocal: %v", err)
+	}
+	sp, err := BuildLocal(1.0, g, w, geo.Euclidean, radius, &LocalOptions{SpannerStretch: 1.5})
+	if err != nil {
+		t.Fatalf("BuildLocal spanner: %v", err)
+	}
+	m := len(sp.LocalDomain())
+	if sp.PairFamilies >= m*(m-1) {
+		t.Fatalf("spanner composition kept %d pair families, full set is %d", sp.PairFamilies, m*(m-1))
+	}
+	if ex := sp.VerifyMaxExcess(); ex > pruneVerifyTol {
+		t.Fatalf("restricted GeoInd excess %g > %g", ex, pruneVerifyTol)
+	}
+	if sp.PairFamilies >= full.PairFamilies {
+		t.Errorf("spanner pairs %d >= full local pairs %d", sp.PairFamilies, full.PairFamilies)
+	}
+}
+
+func TestRelevanceDomainDegenerate(t *testing.T) {
+	g, err := grid.New(geo.NewSquare(6), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumCells()
+
+	t.Run("all-mass-one-cell", func(t *testing.T) {
+		w := make([]float64, n)
+		w[17] = 1
+		pi, _ := normalizePrior(w)
+		dom := relevanceDomain(g, pi, 1.5, 1e-3, 1)
+		if len(dom) == 0 {
+			t.Fatal("empty domain")
+		}
+		centers := g.Centers()
+		found := false
+		for _, d := range dom {
+			if d == 17 {
+				found = true
+			}
+			if dist := centers[17].Dist(centers[d]); dist > 1.5 {
+				t.Fatalf("cell %d at distance %g outside radius", d, dist)
+			}
+		}
+		if !found {
+			t.Fatal("core cell 17 not in its own domain")
+		}
+		// Tiny radius: the domain degenerates to the single core cell and
+		// the m=1 LP path must still produce a verifying channel.
+		ch, err := BuildLocal(1.0, g, w, geo.Euclidean, 0.05, nil)
+		if err != nil {
+			t.Fatalf("BuildLocal m=1: %v", err)
+		}
+		if m := len(ch.LocalDomain()); m != 1 {
+			t.Fatalf("domain size %d, want 1", m)
+		}
+		if ex := ch.VerifyMaxExcess(); ex > pruneVerifyTol {
+			t.Fatalf("m=1 GeoInd excess %g", ex)
+		}
+	})
+
+	t.Run("uniform", func(t *testing.T) {
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 1
+		}
+		pi, _ := normalizePrior(w)
+		dom := relevanceDomain(g, pi, 10, 1e-3, 1)
+		if len(dom) != n {
+			t.Fatalf("uniform prior with covering radius: domain %d, want all %d", len(dom), n)
+		}
+		if _, err := BuildLocal(1.0, g, w, geo.Euclidean, 10, nil); err != nil {
+			t.Fatalf("BuildLocal full-domain: %v", err)
+		}
+	})
+
+	t.Run("zero-mass", func(t *testing.T) {
+		if _, err := BuildLocal(1.0, g, make([]float64, n), geo.Euclidean, 1, nil); err == nil {
+			t.Fatal("zero-mass prior accepted")
+		}
+	})
+
+	t.Run("empty-rows", func(t *testing.T) {
+		// Half the cells carry no mass; they may only enter via dilation.
+		w := make([]float64, n)
+		for i := 0; i < n; i += 2 {
+			w[i] = 1
+		}
+		pi, _ := normalizePrior(w)
+		dom := relevanceDomain(g, pi, 1.2, 1e-3, -1)
+		inDom := make(map[int32]bool, len(dom))
+		for _, d := range dom {
+			inDom[d] = true
+		}
+		for i := 0; i < n; i += 2 {
+			if !inDom[int32(i)] {
+				t.Fatalf("positive-mass cell %d missing from domain", i)
+			}
+		}
+	})
+}
+
+// TestLocalParallelDeterminism pins that relevance-set construction is
+// identical for any worker count, all the way down to the emitted matrix.
+func TestLocalParallelDeterminism(t *testing.T) {
+	ds := dataset.SyntheticYelp()
+	g, w := localTestPrior(t, ds, 8)
+	radius := ds.Side * 0.2
+	a, err := BuildLocal(0.9, g, w, geo.Euclidean, radius, &LocalOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildLocal(0.9, g, w, geo.Euclidean, radius, &LocalOptions{Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db := a.LocalDomain(), b.LocalDomain()
+	if len(da) != len(db) {
+		t.Fatalf("domain sizes differ: %d vs %d", len(da), len(db))
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("domains differ at %d: %d vs %d", i, da[i], db[i])
+		}
+	}
+	ka, kb := a.DenseK(), b.DenseK()
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("matrices differ at %d", i)
+		}
+	}
+}

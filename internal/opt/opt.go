@@ -86,6 +86,11 @@ type Channel struct {
 	sparse *sparseRows // compact: pruned representation (K and cum are nil)
 	ref    Sampler     // cached reference sampler (no per-call allocation)
 
+	// localDomain, when non-nil, marks a locally relevant channel: the
+	// sorted cell indices the LP was solved over. GeoInd verification is
+	// restricted to pairs inside this domain (see BuildLocalCtx).
+	localDomain []int32
+
 	aliasOnce sync.Once // guards the lazy, shared alias-table build
 	alias     Sampler
 }
@@ -324,8 +329,15 @@ func (c *Channel) DenseK() []float64 {
 
 // VerifyMaxExcess re-runs the O(n^3) GeoInd verifier on the channel
 // (materializing compact representations) and returns the maximum log-ratio
-// excess; <= 0 means every constraint holds.
+// excess; <= 0 means every constraint holds. For locally relevant channels
+// the verifier is restricted to the reduced domain — that restriction is
+// the variant's documented guarantee, full-domain constraints between two
+// snapped inputs with different representatives are intentionally outside
+// it.
 func (c *Channel) VerifyMaxExcess() float64 {
+	if c.localDomain != nil {
+		return verifyLocalSparse(c.Grid, c.Eps, c.sparse, c.localDomain)
+	}
 	return VerifyGeoInd(c.Grid, c.Eps, c.DenseK())
 }
 

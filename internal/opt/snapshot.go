@@ -37,6 +37,7 @@ const (
 	snapKindPoints        = 2 // dense *PointChannel over a candidate set
 	snapKindGridCompact   = 3 // pruned *Channel
 	snapKindPointsCompact = 4 // pruned *PointChannel
+	snapKindGridLocal     = 5 // locally relevant *Channel (compact + domain)
 )
 
 // rowSumTol bounds the acceptable deviation of a decoded row sum from 1.
@@ -106,10 +107,14 @@ func (SnapshotCodec) Encode(v any) ([]byte, error) {
 	switch c := v.(type) {
 	case *Channel:
 		var buf []byte
-		if c.sparse != nil {
+		switch {
+		case c.localDomain != nil:
+			buf = make([]byte, 0, 1+4*8+4+8+8+8+4+4+4+len(c.localDomain)*4+2*8+3*8+c.sparse.n*12+c.sparse.entries()*12)
+			buf = append(buf, snapKindGridLocal)
+		case c.sparse != nil:
 			buf = make([]byte, 0, 1+4*8+4+8+8+8+4+4+2*8+3*8+c.sparse.n*12+c.sparse.entries()*12)
 			buf = append(buf, snapKindGridCompact)
-		} else {
+		default:
 			buf = make([]byte, 0, 1+4*8+4+8+8+8+4+4+8+len(c.K)*8)
 			buf = append(buf, snapKindGrid)
 		}
@@ -119,9 +124,16 @@ func (SnapshotCodec) Encode(v any) ([]byte, error) {
 		buf = appendFloat(buf, c.ExpectedLoss)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Iters))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.PairFamilies))
-		if c.sparse != nil {
+		switch {
+		case c.localDomain != nil:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.localDomain)))
+			for _, d := range c.localDomain {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+			}
 			buf = appendSparse(buf, c.sparse)
-		} else {
+		case c.sparse != nil:
+			buf = appendSparse(buf, c.sparse)
+		default:
 			buf = appendFloats(buf, c.K)
 		}
 		return buf, nil
@@ -168,8 +180,8 @@ func (SnapshotCodec) Decode(ctx context.Context, data []byte) (any, error) {
 	r := &snapReader{data: data}
 	kind := r.byte()
 	switch kind {
-	case snapKindGrid, snapKindGridCompact:
-		return decodeGrid(ctx, r, kind == snapKindGridCompact)
+	case snapKindGrid, snapKindGridCompact, snapKindGridLocal:
+		return decodeGrid(ctx, r, kind)
 	case snapKindPoints, snapKindPointsCompact:
 		return decodePoints(ctx, r, kind == snapKindPointsCompact)
 	default:
@@ -177,7 +189,7 @@ func (SnapshotCodec) Decode(ctx context.Context, data []byte) (any, error) {
 	}
 }
 
-func decodeGrid(ctx context.Context, r *snapReader, compact bool) (*Channel, error) {
+func decodeGrid(ctx context.Context, r *snapReader, kind byte) (*Channel, error) {
 	bounds := geo.Rect{MinX: r.float(), MinY: r.float(), MaxX: r.float(), MaxY: r.float()}
 	gran := int(r.uint32())
 	eps := r.float()
@@ -205,7 +217,46 @@ func decodeGrid(ctx context.Context, r *snapReader, compact bool) (*Channel, err
 		Grid: g, Eps: eps, Metric: metric,
 		ExpectedLoss: loss, Iters: iters, PairFamilies: pairFamilies,
 	}
-	if compact {
+	if kind == snapKindGridLocal {
+		// The relevance domain travels with the payload; the sparse matrix
+		// that follows is the standard compact encoding of all n rows.
+		m := int(r.uint32())
+		if r.err == nil && (m < 1 || m > n) {
+			return nil, fmt.Errorf("opt: snapshot local domain size %d out of range", m)
+		}
+		domain := make([]int32, 0, min(m, 1<<16))
+		prev := int32(-1)
+		for i := 0; i < m && r.err == nil; i++ {
+			d := r.uint32()
+			if r.err != nil {
+				break
+			}
+			if d >= uint32(n) || int32(d) <= prev {
+				return nil, fmt.Errorf("opt: snapshot local domain not a sorted cell subset")
+			}
+			prev = int32(d)
+			domain = append(domain, int32(d))
+		}
+		s, err := decodeSparse(ctx, r, n, eps, metric, loss)
+		if err != nil {
+			return nil, err
+		}
+		if err := validateLocalRows(g, s, domain); err != nil {
+			return nil, err
+		}
+		ch.localDomain = domain
+		ch.initSparse(s)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Same contract as compact payloads, restricted to the domain the
+		// channel was solved over — the guarantee BuildLocal gates on.
+		if ex := verifyLocalSparse(g, eps, s, domain); ex > pruneVerifyTol {
+			return nil, fmt.Errorf("opt: local snapshot violates GeoInd on its domain (excess %.3g)", ex)
+		}
+		return ch, nil
+	}
+	if kind == snapKindGridCompact {
 		s, err := decodeSparse(ctx, r, n, eps, metric, loss)
 		if err != nil {
 			return nil, err
@@ -378,6 +429,32 @@ func decodeSparse(ctx context.Context, r *snapReader, n int, eps float64, metric
 	}
 	s.finish()
 	return s, nil
+}
+
+// validateLocalRows enforces the structural contract of local payloads:
+// every out-of-domain row is an entry-for-entry copy of its snap
+// representative's row, where the representative mapping is re-derived
+// from the grid geometry and the domain (a pure function, so encoder and
+// decoder agree). Anything else is a foreign or damaged payload.
+func validateLocalRows(g *grid.Grid, s *sparseRows, domain []int32) error {
+	rep := snapReps(g, domain)
+	for x := 0; x < s.n; x++ {
+		r := int(rep[x])
+		if r == x {
+			continue
+		}
+		xs, xe := s.rowStart[x], s.rowStart[x+1]
+		rs, re := s.rowStart[r], s.rowStart[r+1]
+		if xe-xs != re-rs || s.bg[x] != s.bg[r] {
+			return fmt.Errorf("opt: snapshot row %d is not a copy of its representative %d", x, r)
+		}
+		for j := int32(0); j < xe-xs; j++ {
+			if s.idx[xs+j] != s.idx[rs+j] || s.val[xs+j] != s.val[rs+j] {
+				return fmt.Errorf("opt: snapshot row %d is not a copy of its representative %d", x, r)
+			}
+		}
+	}
+	return nil
 }
 
 // validateScalars checks the solve parameters shared by every payload kind.

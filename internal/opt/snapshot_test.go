@@ -210,3 +210,131 @@ func TestSnapshotCost(t *testing.T) {
 		t.Fatalf("SnapshotCost(foreign) = %d, want 1", got)
 	}
 }
+
+func snapshotLocalChannel(t *testing.T) *Channel {
+	t.Helper()
+	g, err := grid.New(geo.NewSquare(8), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two-cluster prior so the relevance domain is a proper subset and
+	// several rows are snapped copies.
+	pw := make([]float64, g.NumCells())
+	pw[g.Index(1, 1)] = 5
+	pw[g.Index(1, 2)] = 3
+	pw[g.Index(4, 4)] = 4
+	ch, err := BuildLocal(0.8, g, pw, geo.Euclidean, 1.8, &LocalOptions{MassFloor: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(ch.LocalDomain()); n == 0 || n >= g.NumCells() {
+		t.Fatalf("test channel domain %d of %d cells is not a proper subset", n, g.NumCells())
+	}
+	return ch
+}
+
+func TestSnapshotCodecLocalRoundTrip(t *testing.T) {
+	ch := snapshotLocalChannel(t)
+	codec := SnapshotCodec{}
+	data, err := codec.Encode(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := codec.Decode(context.Background(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.(*Channel)
+	if !ok {
+		t.Fatalf("decoded %T", v)
+	}
+	if !got.IsLocal() || !got.IsCompact() {
+		t.Fatal("decoded channel lost its local/compact marking")
+	}
+	da, db := ch.LocalDomain(), got.LocalDomain()
+	if len(da) != len(db) {
+		t.Fatalf("domain sizes differ: %d vs %d", len(da), len(db))
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("domain differs at %d", i)
+		}
+	}
+	if got.Eps != ch.Eps || got.Metric != ch.Metric || got.ExpectedLoss != ch.ExpectedLoss ||
+		got.Iters != ch.Iters || got.PairFamilies != ch.PairFamilies {
+		t.Fatal("scalar fields differ")
+	}
+	n := ch.N()
+	for x := 0; x < n; x++ {
+		rx, ry := ch.Row(x), got.Row(x)
+		for z := 0; z < n; z++ {
+			if rx[z] != ry[z] {
+				t.Fatalf("row %d col %d not bit-equal", x, z)
+			}
+		}
+	}
+	// Bit-equal sparse rows mean identical draw streams after a reload.
+	rngA := rand.New(rand.NewPCG(7, 9))
+	rngB := rand.New(rand.NewPCG(7, 9))
+	for i := 0; i < 500; i++ {
+		x := i % n
+		if a, b := ch.SampleIndex(x, rngA), got.SampleIndex(x, rngB); a != b {
+			t.Fatalf("draw %d: %d vs %d", i, a, b)
+		}
+	}
+	// Re-encoding the decoded channel must be a fixed point.
+	again, err := codec.Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatal("re-encoded local snapshot differs from original bytes")
+	}
+}
+
+func TestSnapshotCodecLocalRejectsTampering(t *testing.T) {
+	ch := snapshotLocalChannel(t)
+	codec := SnapshotCodec{}
+	data, err := codec.Encode(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The domain list starts right after the fixed grid header (kind byte +
+	// 4 bounds floats + granularity + eps + metric + loss + iters +
+	// pairFamilies) with a uint32 count.
+	domainOff := 1 + 4*8 + 4 + 8 + 8 + 8 + 4 + 4
+
+	grow := append([]byte(nil), data...)
+	grow[domainOff] = byte(len(ch.LocalDomain()) + 1) // count no longer matches list
+	if _, err := codec.Decode(context.Background(), grow); err == nil {
+		t.Error("accepted inflated domain count")
+	}
+
+	swap := append([]byte(nil), data...)
+	// Overwrite the first domain entry with the second: no longer strictly
+	// increasing.
+	copy(swap[domainOff+4:domainOff+8], data[domainOff+8:domainOff+12])
+	if _, err := codec.Decode(context.Background(), swap); err == nil {
+		t.Error("accepted unsorted domain list")
+	}
+
+	// Flip a mantissa bit of the last stored value: either the snapped-copy
+	// check, the row-sum check or the restricted verifier must reject it.
+	flip := append([]byte(nil), data...)
+	flip[len(flip)-1] ^= 0x40
+	if _, err := codec.Decode(context.Background(), flip); err == nil {
+		t.Error("accepted tampered matrix value")
+	}
+}
+
+func TestSnapshotCostLocal(t *testing.T) {
+	ch := snapshotLocalChannel(t)
+	if got, want := SnapshotCost(ch), ch.sparse.costBytes(); got != want {
+		t.Fatalf("SnapshotCost(local) = %d, want %d", got, want)
+	}
+	dense := snapshotTestChannel(t)
+	if SnapshotCost(ch) >= SnapshotCost(dense)*int64(ch.N()*ch.N())/int64(dense.N()*dense.N()) {
+		t.Log("local channel not smaller per cell than dense (tiny grid, informational)")
+	}
+}

@@ -58,6 +58,16 @@ type SamplerStatser interface {
 	SamplerInfo() (kind string, pruneMass float64, pruned, fallbacks int64)
 }
 
+// LocalStatser is optionally implemented by mechanisms supporting the
+// locally relevant OPT construction (geoind.MSM and geoind.Optimal are).
+// When the mechanism provides it and the variant is enabled (radius > 0),
+// /v1/stats exposes the local configuration, the count of channels solved
+// over a reduced domain, and the dense fallbacks taken when a local build
+// failed its restricted GeoInd gate.
+type LocalStatser interface {
+	LocalInfo() (radius, massFloor float64, localChannels, denseFallbacks int64)
+}
+
 // DirStatser is optionally implemented by mechanisms with a persistent
 // snapshot cache (geoind.MSM and geoind.AdaptiveMSM are). It exposes the
 // cache directory's own counters — in particular version misses, which make a
@@ -239,11 +249,26 @@ type SamplerStats struct {
 	PruneFallbacks int64 `json:"prune_fallbacks"`
 }
 
+// LocalStats is the locally-relevant-OPT section of a stats response,
+// present only when the variant is enabled.
+type LocalStats struct {
+	// RadiusKm is the configured relevance dilation radius.
+	RadiusKm float64 `json:"radius_km"`
+	// MassFloor is the prior-mass budget outside the relevance core.
+	MassFloor float64 `json:"mass_floor"`
+	// LocalChannels counts channels solved over a reduced domain.
+	LocalChannels int64 `json:"local_channels"`
+	// DenseFallbacks counts local builds that fell back to the dense
+	// formulation (failed restricted GeoInd gate or unconverged reduced LP).
+	DenseFallbacks int64 `json:"dense_fallbacks"`
+}
+
 // StatsResponse is the /v1/stats response body.
 type StatsResponse struct {
 	Mechanism    string             `json:"mechanism"`
 	ChannelCache *ChannelCacheStats `json:"channel_cache,omitempty"`
 	Sampler      *SamplerStats      `json:"sampler,omitempty"`
+	Local        *LocalStats        `json:"local,omitempty"`
 }
 
 // errorResponse is the uniform error body.
@@ -322,6 +347,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			PruneMass:      pruneMass,
 			PrunedChannels: pruned,
 			PruneFallbacks: fallbacks,
+		}
+	}
+	if ls, ok := s.mech.(LocalStatser); ok {
+		if radius, massFloor, local, fallbacks := ls.LocalInfo(); radius > 0 {
+			resp.Local = &LocalStats{
+				RadiusKm:       radius,
+				MassFloor:      massFloor,
+				LocalChannels:  local,
+				DenseFallbacks: fallbacks,
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -134,3 +134,57 @@ func TestStatsEndpointWithoutStoreStatser(t *testing.T) {
 		t.Fatalf("POST /v1/stats: status %d, want 405", rec.Code)
 	}
 }
+
+// localStatsReporter stands in for a mechanism supporting the locally
+// relevant OPT construction.
+type localStatsReporter struct {
+	Reporter
+	radius, floor   float64
+	local, fallback int64
+}
+
+func (l *localStatsReporter) LocalInfo() (radius, massFloor float64, localChannels, denseFallbacks int64) {
+	return l.radius, l.floor, l.local, l.fallback
+}
+
+// TestStatsEndpointLocalSection: a LocalStatser mechanism with the variant
+// enabled surfaces the local solve and dense-fallback counters; with the
+// variant off (radius 0) the section is omitted entirely.
+func TestStatsEndpointLocalSection(t *testing.T) {
+	mech := &localStatsReporter{
+		Reporter: newTestReporter(t, 0.5),
+		radius:   2.5, floor: 0.01, local: 20, fallback: 1,
+	}
+	srv, err := New(mech, nil, geo.NewSquare(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Local == nil {
+		t.Fatal("local section missing for an enabled LocalStatser mechanism")
+	}
+	if resp.Local.RadiusKm != 2.5 || resp.Local.MassFloor != 0.01 ||
+		resp.Local.LocalChannels != 20 || resp.Local.DenseFallbacks != 1 {
+		t.Fatalf("local section %+v", resp.Local)
+	}
+
+	// Variant off: the key must be omitted, not zero-filled.
+	mech.radius = 0
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["local"]; ok {
+		t.Fatal("local section present with the variant disabled")
+	}
+}

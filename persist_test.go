@@ -144,6 +144,81 @@ func TestWarmRestartSpannerVariant(t *testing.T) {
 	}
 }
 
+// TestWarmRestartLocalVariant checks that locally relevant channels persist
+// under their own key variant and come back in a zero-solve warm restart:
+// the sparse local snapshots (carrying their relevance domain) decode
+// through the restricted verifier gate into bit-identical channels, and a
+// mechanism with different construction knobs sharing the directory never
+// sees them.
+func TestWarmRestartLocalVariant(t *testing.T) {
+	dir := t.TempDir()
+
+	cfgLocal := persistTestConfig(dir)
+	// The padded background needs eps*dmin large enough to absorb the mass
+	// floor at every level of the budget allocation (beta < 1/2), so the
+	// test budget is higher than the dense-construction tests use.
+	cfgLocal.Eps = 3
+	cfgLocal.LocalRadius = 4
+	cfgLocal.LocalMassFloor = 0.05
+	m1, err := geoind.NewMSM(cfgLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	m1.FlushCache()
+	_, solves1 := m1.Stats()
+	if solves1 == 0 {
+		t.Fatal("local cold start performed no solves")
+	}
+	radius, floor, localCh, fallbacks := m1.LocalInfo()
+	if radius != 4 || floor != 0.05 {
+		t.Fatalf("LocalInfo config = (%g, %g), want (4, 0.05)", radius, floor)
+	}
+	if localCh == 0 || fallbacks != 0 {
+		t.Fatalf("cold start: %d local channels, %d dense fallbacks, want >0 and 0", localCh, fallbacks)
+	}
+	seq1 := reportSequence(t, m1, 100)
+
+	// Warm restart: every channel loads from its kind-5 snapshot, zero solves.
+	m2, err := geoind.NewMSM(cfgLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	if _, s := m2.Stats(); s != 0 {
+		t.Fatalf("warm local restart performed %d LP solves, want 0", s)
+	}
+	if st := m2.StoreStats(); st.BackingHits != int64(solves1) {
+		t.Fatalf("warm local restart loaded %d snapshots, want %d", st.BackingHits, solves1)
+	}
+	if _, _, lc, fb := m2.LocalInfo(); lc != 0 || fb != 0 {
+		t.Fatalf("warm restart counted %d local solves and %d fallbacks, want 0/0", lc, fb)
+	}
+	seq2 := reportSequence(t, m2, 100)
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("report %d: cold %v, warm %v", i, seq1[i], seq2[i])
+		}
+	}
+
+	// An exact mechanism over the same directory must NOT reuse the local
+	// snapshots: its keys differ in the variant field.
+	mExact, err := geoind.NewMSM(persistTestConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mExact.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	if _, s := mExact.Stats(); s == 0 {
+		t.Fatal("exact mechanism reused local snapshots")
+	}
+}
+
 // TestCacheBytesEvictionWithDiskReload bounds the resident cache tightly so
 // channels are evicted during precompute, then verifies lookups still resolve
 // (from disk) without additional solves once the directory is populated.
