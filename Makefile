@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race race-persist fuzz-short bench-smoke bench-json bench-ctx bench-sample bench-local bench-diff
+.PHONY: ci fmt-check vet build test race race-persist fuzz-short bench-smoke bench-json bench-ctx bench-sample bench-local bench-load bench-diff load-smoke
 
-ci: fmt-check vet build race race-persist bench-smoke
+ci: fmt-check vet build race race-persist bench-smoke load-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -24,10 +24,13 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
+# -shuffle=on randomizes test (and subtest) execution order so
+# order-dependent tests fail in CI instead of in production debugging
+# sessions; the seed is printed on failure for local reproduction.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Focused race pass over the persistence layer and shared sampler state:
 # concurrent DirCache writers, write-behind goroutines and warm-restart loads
@@ -49,6 +52,24 @@ fuzz-short:
 
 bench-smoke:
 	$(GO) test -run xxx -bench 'MSMReportParallel|AdaptiveReportParallel|ReportBatch/msm|ReportLoop/msm' -benchtime 50x .
+
+# Short load run against an in-process server: mixed report/batch traffic
+# with disconnect chaos, gated on zero 5xx responses and a sane p99. This is
+# the CI check that the serving stack (routing, instrumentation, budget
+# accounting, admission control) survives concurrent load, not a
+# performance benchmark — the p99 bound is deliberately loose for noisy
+# shared runners.
+load-smoke:
+	$(GO) run ./cmd/loadgen -self -duration 5s -workers 8 -self-budget 50 \
+		-max-5xx 0 -max-p99 500ms -out /tmp/load_smoke.json > /dev/null
+
+# Record the committed load baseline (BENCH_load.json): a 10s closed-loop
+# run against the in-process server. Regenerate deliberately, on a quiet
+# machine, like every other BENCH_*.json baseline.
+bench-load:
+	$(GO) run ./cmd/loadgen -self -duration 10s -workers 8 -self-budget 50 \
+		-out BENCH_load.json > /dev/null
+	@echo wrote BENCH_load.json
 
 # Record the batch benchmark sweep as JSON (the committed baseline lives at
 # BENCH_batch.json; regenerate it deliberately, on a quiet machine).
@@ -108,3 +129,6 @@ bench-diff:
 	$(GO) test -run xxx -bench 'LocalVsDense|LocalPrecompute' \
 		-benchtime 1x -benchmem ./internal/opt | $(GO) run ./cmd/benchjson > /tmp/bench_local_current.json
 	$(GO) run ./cmd/benchjson -diff -threshold 50 BENCH_local.json /tmp/bench_local_current.json
+	$(GO) run ./cmd/loadgen -self -duration 10s -workers 8 -self-budget 50 \
+		-out /tmp/bench_load_current.json > /dev/null
+	$(GO) run ./cmd/benchjson -diff -threshold 100 BENCH_load.json /tmp/bench_load_current.json

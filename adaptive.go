@@ -52,6 +52,10 @@ type AdaptiveMSMConfig struct {
 	// SolveTimeout bounds the wall-clock time of each detached node-channel
 	// solve; 0 means no timeout (see MSMConfig.SolveTimeout).
 	SolveTimeout time.Duration
+	// MaxSolves, when > 0, bounds concurrently executing cold node-channel
+	// solves with a same-size admission queue; overflow is shed with a
+	// wrapped ErrSolveOverload (see MSMConfig.MaxSolves).
+	MaxSolves int
 	// Sampler selects the warm-path sampling implementation: "" or "cum"
 	// or "alias" (see MSMConfig.Sampler).
 	Sampler string
@@ -71,7 +75,7 @@ func NewAdaptiveMSM(cfg AdaptiveMSMConfig) (*AdaptiveMSM, error) {
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
 	}
-	store, err := newChannelStore(cfg.CacheDir, cfg.CacheBytes, cfg.SolveTimeout)
+	store, err := newChannelStore(cfg.CacheDir, cfg.CacheBytes, cfg.SolveTimeout, cfg.MaxSolves)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
 	}

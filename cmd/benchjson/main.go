@@ -176,7 +176,8 @@ func Diff(old, cur *Report) (lines []DiffLine, onlyOld, onlyNew []string) {
 }
 
 // runDiff loads the two reports, prints the human-readable comparison to w,
-// and mirrors it to $GITHUB_STEP_SUMMARY when set. Warn-only by design:
+// and — when $GITHUB_STEP_SUMMARY is set — appends a markdown table of the
+// cases that moved beyond the threshold. Warn-only by design:
 // regressions never produce a non-zero exit (benchmarks on shared CI runners
 // are too noisy to gate merges on), they just get flagged loudly.
 func runDiff(oldPath, newPath string, threshold float64, w io.Writer) error {
@@ -224,11 +225,62 @@ func runDiff(oldPath, newPath string, threshold float64, w io.Writer) error {
 	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
 		f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 		if err == nil {
-			fmt.Fprintf(f, "```\n%s```\n", out)
+			fmt.Fprint(f, stepSummary(oldPath, newPath, threshold, lines, onlyOld, onlyNew))
 			f.Close()
 		}
 	}
 	return nil
+}
+
+// stepSummary renders the diff as GitHub-flavored markdown for
+// $GITHUB_STEP_SUMMARY: a headline, then a table of the cases that moved
+// beyond the threshold (all cases when nothing did would be noise — a quiet
+// diff collapses to one line). Regressions are listed worst-first because
+// Diff already sorts that way.
+func stepSummary(oldPath, newPath string, threshold float64, lines []DiffLine, onlyOld, onlyNew []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Benchmark diff: `%s` vs `%s`\n\n", oldPath, newPath)
+	var moved []DiffLine
+	for _, d := range lines {
+		if d.DeltaPct > threshold || d.DeltaPct < -threshold {
+			moved = append(moved, d)
+		}
+	}
+	if len(moved) == 0 && len(onlyOld) == 0 && len(onlyNew) == 0 {
+		fmt.Fprintf(&b, "No changes above ±%.0f%% across %d cases.\n\n", threshold, len(lines))
+		return b.String()
+	}
+	if len(moved) > 0 {
+		fmt.Fprintf(&b, "| | Benchmark | Baseline ns/op | Current ns/op | Δ |\n")
+		fmt.Fprintf(&b, "|---|---|---:|---:|---:|\n")
+		for _, d := range moved {
+			mark := "🟢"
+			if d.DeltaPct > threshold {
+				mark = "🔴"
+			}
+			fmt.Fprintf(&b, "| %s | `%s` | %.1f | %.1f | %+.1f%% |\n",
+				mark, d.Name, d.OldNs, d.NewNs, d.DeltaPct)
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range onlyOld {
+		fmt.Fprintf(&b, "- `%s`: only in baseline\n", n)
+	}
+	for _, n := range onlyNew {
+		fmt.Fprintf(&b, "- `%s`: not in baseline\n", n)
+	}
+	regressed := 0
+	for _, d := range moved {
+		if d.DeltaPct > threshold {
+			regressed++
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(&b, "\n**%d case(s) regressed more than %.0f%%** (warn-only).\n\n", regressed, threshold)
+	} else {
+		fmt.Fprintf(&b, "\nNo regressions above %.0f%%.\n\n", threshold)
+	}
+	return b.String()
 }
 
 func load(path string) (*Report, error) {

@@ -109,6 +109,54 @@ func TestRunDiffWarnOnly(t *testing.T) {
 	}
 }
 
+func TestRunDiffWritesStepSummaryTable(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := dir + "/old.json"
+	newPath := dir + "/new.json"
+	sumPath := dir + "/summary.md"
+	writeJSON(t, oldPath, `{"go_max_procs":1,"cases":[
+		{"name":"A","iterations":10,"ns_per_op":100},
+		{"name":"B","iterations":10,"ns_per_op":100},
+		{"name":"Gone","iterations":10,"ns_per_op":100}]}`)
+	writeJSON(t, newPath, `{"go_max_procs":1,"cases":[
+		{"name":"A","iterations":10,"ns_per_op":200},
+		{"name":"B","iterations":10,"ns_per_op":101}]}`)
+	t.Setenv("GITHUB_STEP_SUMMARY", sumPath)
+
+	var out strings.Builder
+	if err := runDiff(oldPath, newPath, 20, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(raw)
+	if !strings.Contains(md, "| 🔴 | `A` | 100.0 | 200.0 | +100.0% |") {
+		t.Errorf("summary missing regression table row:\n%s", md)
+	}
+	if strings.Contains(md, "`B`") {
+		t.Errorf("summary includes case B, which moved within the threshold:\n%s", md)
+	}
+	if !strings.Contains(md, "`Gone`: only in baseline") {
+		t.Errorf("summary missing removed-case note:\n%s", md)
+	}
+	if !strings.Contains(md, "**1 case(s) regressed more than 20%**") {
+		t.Errorf("summary missing regression headline:\n%s", md)
+	}
+}
+
+func TestStepSummaryQuietDiffCollapses(t *testing.T) {
+	md := stepSummary("a.json", "b.json", 20,
+		[]DiffLine{{Name: "A", OldNs: 100, NewNs: 105, DeltaPct: 5}}, nil, nil)
+	if !strings.Contains(md, "No changes above ±20% across 1 cases.") {
+		t.Errorf("quiet diff should collapse to one line:\n%s", md)
+	}
+	if strings.Contains(md, "|---|") {
+		t.Errorf("quiet diff should not render a table:\n%s", md)
+	}
+}
+
 func writeJSON(t *testing.T, path, content string) {
 	t.Helper()
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {

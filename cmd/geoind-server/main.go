@@ -17,6 +17,15 @@
 //	GET  /v1/stats                  channel-cache counters (hits, solves,
 //	                                persistent-cache disk hits/writes) and
 //	                                sampler/pruning configuration
+//	GET  /metrics                   Prometheus text exposition (request/error
+//	                                counters, latency histograms, store and
+//	                                budget counters, solve-queue depth)
+//
+// With -max-solves N, at most N cold channel solves execute concurrently and
+// at most N more wait in the admission queue; requests beyond that are
+// answered 429 with a Retry-After header and no budget charge. With
+// -pprof-addr, net/http/pprof is served on a separate listener so profiling
+// is never exposed on the public address.
 //
 // Example:
 //
@@ -35,7 +44,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,41 +68,95 @@ func logCacheStats(cacheDir string, st channel.Stats) {
 		st.Misses, st.BackingHits, cacheDir, st.BackingWrites)
 }
 
+// serverConfig mirrors the flag set; run takes it by value so tests can
+// exercise the full lifecycle without building an argv.
+type serverConfig struct {
+	addr         string
+	mechName     string
+	eps          float64
+	g            int
+	rho          float64
+	side         float64
+	dsName       string
+	seed         uint64
+	workers      int
+	budgetLimit  float64
+	budgetWindow time.Duration
+	ledgerFile   string
+	cacheDir     string
+	cacheBytes   int64
+	reqTimeout   time.Duration
+	solveTimeout time.Duration
+	maxSolves    int
+	sampler      string
+	pruneMass    float64
+	localRadius  float64
+	localMass    float64
+	pprofAddr    string
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	mechName := flag.String("mechanism", "msm", "mechanism: msm, adaptive, pl or opt")
-	eps := flag.Float64("eps", 0.25, "privacy budget per report (1/km)")
-	g := flag.Int("g", 4, "grid granularity / fanout")
-	rho := flag.Float64("rho", 0.8, "per-level same-cell probability target")
-	side := flag.Float64("side", 20, "region side (km), ignored with -dataset")
-	ds := flag.String("dataset", "", "prior dataset: gowalla, yelp or a CSV path")
-	seed := flag.Uint64("seed", 0, "RNG seed (0 = time-based)")
-	workers := flag.Int("workers", -1, "channel-pipeline parallelism: LP block solves, precompute fan-out and concurrent sampling (0 or 1 = sequential, negative = one per CPU)")
-	budgetLimit := flag.Float64("budget", 1.0, "per-user budget per window (0 disables enforcement)")
-	budgetWindow := flag.Duration("budget-window", 24*time.Hour, "budget accounting window")
-	ledgerFile := flag.String("ledger-file", "", "optional ledger persistence file")
-	cacheDir := flag.String("cache-dir", "", "persistent channel snapshot directory (restarts and replicas sharing it skip the LP solve phase)")
-	cacheBytes := flag.Int64("cache-bytes", 0, "resident channel-matrix byte budget with LRU eviction (0 = unbounded; evicted channels reload from -cache-dir)")
-	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline for /v1/report and /v1/report:batch (0 = none; a request past the deadline is canceled and answered 504 with its budget refunded)")
-	solveTimeout := flag.Duration("solve-timeout", 0, "wall-clock bound on each detached channel solve (0 = none; a timed-out solve is aborted and retried by the next request for that channel)")
-	sampler := flag.String("sampler", "cum", "warm-path sampler: cum (cumulative binary search, bit-compatible reference) or alias (O(1) Walker alias tables)")
-	pruneMass := flag.Float64("prune-mass", 0, "per-row channel pruning bound in [0, 0.5): prune up to this probability mass per row into a uniform background (eps-preserving, verifier-gated; 0 = dense channels)")
-	localRadius := flag.Float64("local-radius", 0, "locally relevant OPT: solve each channel LP only over cells within this radius (km) of the prior-mass core; excluded cells get an eps-preserving padded background (0 = disabled; msm and opt mechanisms only)")
-	localMass := flag.Float64("local-mass", 0, "locally relevant OPT: prior mass allowed outside the relevance core, in (0, 0.5) (0 = default 1e-3; requires -local-radius)")
+	var cfg serverConfig
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.mechName, "mechanism", "msm", "mechanism: msm, adaptive, pl or opt")
+	flag.Float64Var(&cfg.eps, "eps", 0.25, "privacy budget per report (1/km)")
+	flag.IntVar(&cfg.g, "g", 4, "grid granularity / fanout")
+	flag.Float64Var(&cfg.rho, "rho", 0.8, "per-level same-cell probability target")
+	flag.Float64Var(&cfg.side, "side", 20, "region side (km), ignored with -dataset")
+	flag.StringVar(&cfg.dsName, "dataset", "", "prior dataset: gowalla, yelp or a CSV path")
+	flag.Uint64Var(&cfg.seed, "seed", 0, "RNG seed (0 = time-based)")
+	flag.IntVar(&cfg.workers, "workers", -1, "channel-pipeline parallelism: LP block solves, precompute fan-out and concurrent sampling (0 or 1 = sequential, negative = one per CPU)")
+	flag.Float64Var(&cfg.budgetLimit, "budget", 1.0, "per-user budget per window (0 disables enforcement)")
+	flag.DurationVar(&cfg.budgetWindow, "budget-window", 24*time.Hour, "budget accounting window")
+	flag.StringVar(&cfg.ledgerFile, "ledger-file", "", "optional ledger persistence file")
+	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent channel snapshot directory (restarts and replicas sharing it skip the LP solve phase)")
+	flag.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "resident channel-matrix byte budget with LRU eviction (0 = unbounded; evicted channels reload from -cache-dir)")
+	flag.DurationVar(&cfg.reqTimeout, "request-timeout", 0, "per-request deadline for /v1/report and /v1/report:batch (0 = none; a request past the deadline is canceled and answered 504 with its budget refunded)")
+	flag.DurationVar(&cfg.solveTimeout, "solve-timeout", 0, "wall-clock bound on each detached channel solve (0 = none; a timed-out solve is aborted and retried by the next request for that channel)")
+	flag.IntVar(&cfg.maxSolves, "max-solves", 0, "cold-solve admission control: at most this many channel solves execute concurrently and as many more queue; excess requests get 429 + Retry-After with no budget charge (0 = unbounded)")
+	flag.StringVar(&cfg.sampler, "sampler", "cum", "warm-path sampler: cum (cumulative binary search, bit-compatible reference) or alias (O(1) Walker alias tables)")
+	flag.Float64Var(&cfg.pruneMass, "prune-mass", 0, "per-row channel pruning bound in [0, 0.5): prune up to this probability mass per row into a uniform background (eps-preserving, verifier-gated; 0 = dense channels)")
+	flag.Float64Var(&cfg.localRadius, "local-radius", 0, "locally relevant OPT: solve each channel LP only over cells within this radius (km) of the prior-mass core; excluded cells get an eps-preserving padded background (0 = disabled; msm and opt mechanisms only)")
+	flag.Float64Var(&cfg.localMass, "local-mass", 0, "locally relevant OPT: prior mass allowed outside the relevance core, in (0, 0.5) (0 = default 1e-3; requires -local-radius)")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "optional separate listen address for net/http/pprof (e.g. localhost:6060; empty = profiling disabled)")
 	flag.Parse()
 
-	if err := run(*addr, *mechName, *eps, *g, *rho, *side, *ds, *seed, *workers,
-		*budgetLimit, *budgetWindow, *ledgerFile, *cacheDir, *cacheBytes,
-		*reqTimeout, *solveTimeout, *sampler, *pruneMass, *localRadius, *localMass); err != nil {
+	if err := run(cfg); err != nil {
 		log.Fatal("geoind-server: ", err)
 	}
 }
 
-func run(addr, mechName string, eps float64, g int, rho, side float64, dsName string,
-	seed uint64, workers int, budgetLimit float64, budgetWindow time.Duration,
-	ledgerFile, cacheDir string, cacheBytes int64,
-	reqTimeout, solveTimeout time.Duration, sampler string, pruneMass float64,
-	localRadius, localMass float64) error {
+// servePprof exposes the net/http/pprof handlers on their own mux and
+// listener, so enabling profiling never widens the public API surface.
+// Returns a closer for the listener.
+func servePprof(addr string) (func() error, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	go func() {
+		if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Printf("pprof server: %v", err)
+		}
+	}()
+	log.Printf("pprof listening on %s", ln.Addr())
+	return ln.Close, nil
+}
+
+func run(cfg serverConfig) error {
+	addr, mechName, eps, g, rho, side := cfg.addr, cfg.mechName, cfg.eps, cfg.g, cfg.rho, cfg.side
+	dsName, seed, workers := cfg.dsName, cfg.seed, cfg.workers
+	budgetLimit, budgetWindow, ledgerFile := cfg.budgetLimit, cfg.budgetWindow, cfg.ledgerFile
+	cacheDir, cacheBytes := cfg.cacheDir, cfg.cacheBytes
+	reqTimeout, solveTimeout := cfg.reqTimeout, cfg.solveTimeout
+	sampler, pruneMass := cfg.sampler, cfg.pruneMass
+	localRadius, localMass := cfg.localRadius, cfg.localMass
 
 	if localRadius > 0 && mechName != "msm" && mechName != "opt" {
 		return fmt.Errorf("-local-radius is only supported by the msm and opt mechanisms, not %q", mechName)
@@ -99,6 +164,14 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 
 	if seed == 0 {
 		seed = uint64(time.Now().UnixNano())
+	}
+
+	if cfg.pprofAddr != "" {
+		closePprof, err := servePprof(cfg.pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer closePprof()
 	}
 
 	// One signal context covers the whole lifecycle: a SIGINT/SIGTERM during
@@ -138,7 +211,8 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 			Eps: eps, Region: region, Granularity: g, Rho: rho,
 			PriorPoints: points, Seed: seed, Workers: workers,
 			CacheDir: cacheDir, CacheBytes: cacheBytes, SolveTimeout: solveTimeout,
-			Sampler: sampler, PruneMass: pruneMass,
+			MaxSolves: cfg.maxSolves,
+			Sampler:   sampler, PruneMass: pruneMass,
 			LocalRadius: localRadius, LocalMassFloor: localMass,
 		})
 		if err != nil {
@@ -156,7 +230,8 @@ func run(addr, mechName string, eps float64, g int, rho, side float64, dsName st
 			Eps: eps, Region: region, Fanout: g, Rho: rho,
 			PriorPoints: points, Seed: seed, Workers: workers,
 			CacheDir: cacheDir, CacheBytes: cacheBytes, SolveTimeout: solveTimeout,
-			Sampler: sampler, PruneMass: pruneMass,
+			MaxSolves: cfg.maxSolves,
+			Sampler:   sampler, PruneMass: pruneMass,
 		})
 		if err != nil {
 			return err

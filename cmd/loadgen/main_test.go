@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWorkloadDraws(t *testing.T) {
+	w, err := newWorkload(7, 20, 100, 1.3, 5, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		x, y := w.point()
+		if x < 0 || x >= 20 || y < 0 || y >= 20 {
+			t.Fatalf("draw %d: (%g, %g) outside [0, 20)", i, x, y)
+		}
+	}
+	seen := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		seen[w.user()]++
+	}
+	// Zipf skew: rank-0 must dominate any mid-tail user.
+	if seen["u0"] < 10*seen["u50"] {
+		t.Errorf("u0 drawn %d times vs u50 %d times; expected heavy skew", seen["u0"], seen["u50"])
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	if _, err := newWorkload(1, 20, 0, 1.3, 5, 0.8); err == nil {
+		t.Error("0 users should error")
+	}
+	if _, err := newWorkload(1, 20, 10, 1.0, 5, 0.8); err == nil {
+		t.Error("zipf exponent 1.0 should error")
+	}
+	if _, err := newWorkload(1, 20, 10, 1.3, 5, 1.5); err == nil {
+		t.Error("hotspot fraction > 1 should error")
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	a, _ := newWorkload(42, 20, 100, 1.3, 3, 0.8)
+	b, _ := newWorkload(42, 20, 100, 1.3, 3, 0.8)
+	for i := 0; i < 100; i++ {
+		ax, ay := a.point()
+		bx, by := b.point()
+		if ax != bx || ay != by || a.user() != b.user() {
+			t.Fatalf("draw %d diverged between same-seed workloads", i)
+		}
+	}
+}
+
+func TestBenchDocumentShape(t *testing.T) {
+	s := &summary{
+		Report: classStats{Count: 1000, P50Ms: 1, P99Ms: 5, P999Ms: 9},
+		Batch:  classStats{Count: 0},
+	}
+	doc := s.benchDocument()
+	if len(doc.Cases) != 3 {
+		t.Fatalf("cases = %d, want 3 (batch had no samples)", len(doc.Cases))
+	}
+	if doc.Cases[0].Name != "Loadgen/report/p50" || doc.Cases[0].NsPerOp != 1e6 {
+		t.Errorf("case 0 = %+v", doc.Cases[0])
+	}
+	if doc.Load != s {
+		t.Error("summary not embedded in document")
+	}
+}
+
+func TestAssertGates(t *testing.T) {
+	s := &summary{Completed: 100, Err5xx: 3, Report: classStats{Count: 90, P99Ms: 700}}
+	if got := s.assert(config{max5xx: -1}); got != 0 {
+		t.Errorf("no gates: exit %d, want 0", got)
+	}
+	if got := s.assert(config{max5xx: 2}); got != 1 {
+		t.Errorf("5xx gate: exit %d, want 1", got)
+	}
+	if got := s.assert(config{max5xx: -1, maxP99: 500 * time.Millisecond}); got != 1 {
+		t.Errorf("p99 gate: exit %d, want 1", got)
+	}
+	empty := &summary{}
+	if got := empty.assert(config{max5xx: -1}); got != 1 {
+		t.Errorf("zero completed requests must fail: exit %d", got)
+	}
+}
+
+// TestEndToEndSelf drives a short real run against the in-process server
+// and checks the full loop: traffic flows, the output file is valid
+// benchjson-schema JSON carrying quantiles and scraped budget counters.
+func TestEndToEndSelf(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "load.json")
+	cfg := config{
+		duration:   400 * time.Millisecond,
+		workers:    4,
+		timeout:    5 * time.Second,
+		users:      50,
+		zipfS:      1.3,
+		hotspots:   3,
+		hotFrac:    0.8,
+		batchFrac:  0.3,
+		batchSize:  4,
+		chaosFrac:  0.05,
+		chaosAt:    time.Millisecond,
+		seed:       1,
+		out:        outPath,
+		max5xx:     0,
+		maxP99:     2 * time.Second,
+		self:       true,
+		selfMech:   "pl",
+		selfEps:    0.25,
+		selfBudget: 100,
+	}
+	if got := run(cfg, io.Discard); got != 0 {
+		t.Fatalf("run exit %d, want 0", got)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchDocument
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Cases) == 0 {
+		t.Fatal("no benchmark cases in output")
+	}
+	for _, c := range doc.Cases {
+		if !strings.HasPrefix(c.Name, "Loadgen/") || c.Iterations <= 0 || c.NsPerOp <= 0 {
+			t.Errorf("malformed case %+v", c)
+		}
+	}
+	if doc.Load == nil || doc.Load.Completed == 0 {
+		t.Fatal("load summary missing or empty")
+	}
+	if doc.Load.Err5xx != 0 {
+		t.Errorf("self run produced %d 5xx responses", doc.Load.Err5xx)
+	}
+	if !doc.Load.MetricsScraped {
+		t.Error("budget counters were not scraped from /metrics")
+	}
+	if doc.Load.BudgetCharges == 0 {
+		t.Error("ledger configured but no budget charges recorded")
+	}
+}
+
+// TestEndToEndOpenLoop covers the paced arrival mode.
+func TestEndToEndOpenLoop(t *testing.T) {
+	cfg := config{
+		duration:  300 * time.Millisecond,
+		workers:   4,
+		rps:       200,
+		timeout:   5 * time.Second,
+		users:     20,
+		zipfS:     1.5,
+		hotspots:  2,
+		hotFrac:   0.5,
+		batchSize: 1,
+		seed:      2,
+		max5xx:    0,
+		self:      true,
+		selfMech:  "pl",
+		selfEps:   0.25,
+	}
+	if got := run(cfg, io.Discard); got != 0 {
+		t.Fatalf("open-loop run exit %d, want 0", got)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if got := run(config{}, io.Discard); got != 2 {
+		t.Errorf("neither -url nor -self: exit %d, want 2", got)
+	}
+	if got := run(config{url: "http://x", self: true}, io.Discard); got != 2 {
+		t.Errorf("both -url and -self: exit %d, want 2", got)
+	}
+	if got := run(config{self: true, workers: 0, batchSize: 1}, io.Discard); got != 2 {
+		t.Errorf("zero workers: exit %d, want 2", got)
+	}
+}

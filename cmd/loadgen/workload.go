@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// workload generates the synthetic population one worker draws requests
+// from: Zipf-distributed user IDs (a few heavy hitters, a long tail — the
+// shape that stresses per-user budget windows) and a hotspot-mixture spatial
+// prior (most reports cluster around a handful of popular places, the rest
+// are background noise — the shape the paper's prior-aware channels are
+// built for). Each worker owns one workload so draws need no locking;
+// workers are seeded deterministically from the base seed.
+type workload struct {
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	side     float64
+	hotspots []hotspot
+	hotFrac  float64
+}
+
+type hotspot struct {
+	x, y, sigma float64
+}
+
+// newWorkload builds a workload over a side x side region with the given
+// number of distinct users and hotspots. zipfS > 1 is the Zipf exponent
+// (larger = more skew toward user 0).
+func newWorkload(seed int64, side float64, users uint64, zipfS float64, nHotspots int, hotFrac float64) (*workload, error) {
+	if users == 0 {
+		return nil, fmt.Errorf("users must be > 0")
+	}
+	if zipfS <= 1 {
+		return nil, fmt.Errorf("zipf exponent must be > 1, got %g", zipfS)
+	}
+	if hotFrac < 0 || hotFrac > 1 {
+		return nil, fmt.Errorf("hotspot fraction must be in [0, 1], got %g", hotFrac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := &workload{
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, zipfS, 1, users-1),
+		side:    side,
+		hotFrac: hotFrac,
+	}
+	// Hotspot centers are drawn once per workload from the same seed, kept
+	// away from the region edge so their Gaussian mass mostly stays inside.
+	for i := 0; i < nHotspots; i++ {
+		w.hotspots = append(w.hotspots, hotspot{
+			x:     side * (0.15 + 0.7*rng.Float64()),
+			y:     side * (0.15 + 0.7*rng.Float64()),
+			sigma: side * (0.02 + 0.03*rng.Float64()),
+		})
+	}
+	return w, nil
+}
+
+// user draws a Zipf-ranked user ID.
+func (w *workload) user() string {
+	return fmt.Sprintf("u%d", w.zipf.Uint64())
+}
+
+// point draws one location: with probability hotFrac a Gaussian draw around
+// a uniformly chosen hotspot (clamped into the region), otherwise uniform
+// background.
+func (w *workload) point() (x, y float64) {
+	if len(w.hotspots) > 0 && w.rng.Float64() < w.hotFrac {
+		h := w.hotspots[w.rng.Intn(len(w.hotspots))]
+		x = clamp(h.x+w.rng.NormFloat64()*h.sigma, 0, w.side)
+		y = clamp(h.y+w.rng.NormFloat64()*h.sigma, 0, w.side)
+		return x, y
+	}
+	return w.rng.Float64() * w.side, w.rng.Float64() * w.side
+}
+
+func clamp(v, lo, hi float64) float64 {
+	// The region is the half-open [0, side) x [0, side); math.Nextafter
+	// keeps clamped draws strictly inside.
+	return math.Min(math.Max(v, lo), math.Nextafter(hi, lo))
+}

@@ -40,6 +40,13 @@ const (
 // Square returns the square region [0, side) x [0, side).
 func Square(side float64) Rect { return geo.NewSquare(side) }
 
+// ErrSolveOverload is returned (wrapped) by Report/ReportCtx when
+// MSMConfig.MaxSolves (or AdaptiveMSMConfig.MaxSolves) is set and both the
+// solve slots and the admission queue are full: the cold report was shed
+// immediately instead of queueing unboundedly. The caller should retry after
+// a short backoff; warm reports are never shed. Test with errors.Is.
+var ErrSolveOverload = channel.ErrSolveOverload
+
 // ProjectRegion builds a planar region from a geodetic bounding box using an
 // equirectangular projection; use its Project/Unproject to convert check-in
 // coordinates.
@@ -536,6 +543,13 @@ type MSMConfig struct {
 	// solve is aborted only when no waiters remain — so this is the only cap
 	// on how long a pathological LP can run. 0 means no timeout.
 	SolveTimeout time.Duration
+	// MaxSolves, when > 0, bounds the number of concurrently executing cold
+	// channel solves; up to MaxSolves further solves queue for a slot, and
+	// beyond that new cold reports fail fast with a wrapped ErrSolveOverload
+	// instead of accumulating goroutines. Warm reports and joins of
+	// in-flight solves are never shed. 0 means unbounded (the historical
+	// behaviour).
+	MaxSolves int
 	// Sampler selects the warm-path sampling implementation: "" or "cum"
 	// (cumulative binary search, bit-identical to historical output
 	// streams) or "alias" (O(1) Walker alias tables, built lazily once per
@@ -578,7 +592,7 @@ func NewMSM(cfg MSMConfig) (*MSM, error) {
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
 	}
-	store, err := newChannelStore(cfg.CacheDir, cfg.CacheBytes, cfg.SolveTimeout)
+	store, err := newChannelStore(cfg.CacheDir, cfg.CacheBytes, cfg.SolveTimeout, cfg.MaxSolves)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
 	}
@@ -608,13 +622,19 @@ func NewMSM(cfg MSMConfig) (*MSM, error) {
 // newChannelStore builds the channel store implied by the facade cache and
 // solve-lifecycle settings: nil (each mechanism gets a private in-memory
 // store) when everything is zero, otherwise a store with snapshot-byte cost
-// accounting, an optional per-solve timeout, and — with a cache directory —
-// read-through/write-behind snapshot persistence.
-func newChannelStore(cacheDir string, cacheBytes int64, solveTimeout time.Duration) (*channel.Store, error) {
-	if cacheDir == "" && cacheBytes == 0 && solveTimeout == 0 {
+// accounting, an optional per-solve timeout, optional solve admission
+// control, and — with a cache directory — read-through/write-behind snapshot
+// persistence.
+func newChannelStore(cacheDir string, cacheBytes int64, solveTimeout time.Duration, maxSolves int) (*channel.Store, error) {
+	if cacheDir == "" && cacheBytes == 0 && solveTimeout == 0 && maxSolves == 0 {
 		return nil, nil
 	}
-	opts := channel.Options{MaxCost: cacheBytes, CostFn: opt.SnapshotCost, SolveTimeout: solveTimeout}
+	opts := channel.Options{
+		MaxCost:      cacheBytes,
+		CostFn:       opt.SnapshotCost,
+		SolveTimeout: solveTimeout,
+		MaxSolves:    maxSolves,
+	}
 	if cacheDir != "" {
 		dc, err := channel.NewDirCache(cacheDir, opt.SnapshotCodec{})
 		if err != nil {

@@ -120,6 +120,32 @@ func TestMSMFacade(t *testing.T) {
 	}
 }
 
+// TestMSMMaxSolves: setting MaxSolves alone still builds a shared store (the
+// admission bound needs one), reports flow normally under it, and the
+// admission counters surface through StoreStats.
+func TestMSMMaxSolves(t *testing.T) {
+	ds := geoind.YelpSynthetic()
+	m, err := geoind.NewMSM(geoind.MSMConfig{
+		Eps: 0.9, Region: ds.Region(), Granularity: 3,
+		PriorPoints: ds.Points(), Seed: 3, MaxSolves: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := m.Report(geoind.Point{X: 4, Y: 16}); err != nil {
+			t.Fatalf("report %d under max-solves: %v", i, err)
+		}
+	}
+	st := m.StoreStats()
+	if st.Misses == 0 {
+		t.Error("expected cold solves to go through the admission-bounded store")
+	}
+	if st.Rejected != 0 || st.Queued != 0 {
+		t.Errorf("sequential load should not shed or leave queued solves: %+v", st)
+	}
+}
+
 func TestEvaluateUtility(t *testing.T) {
 	ds := geoind.YelpSynthetic()
 	pl, err := geoind.NewPlanarLaplace(geoind.LaplaceConfig{Eps: 0.5, Seed: 4})

@@ -1,0 +1,285 @@
+package channel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitForQueued polls the store until exactly want solves are parked in the
+// admission queue (or the deadline passes).
+func waitForQueued(t *testing.T, s *Store, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Stats().Queued == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue depth never reached %d (stats %+v)", want, s.Stats())
+}
+
+// waitForInflight polls the store until want solves are executing.
+func waitForInflight(t *testing.T, s *Store, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Stats().Inflight == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("inflight never reached %d (stats %+v)", want, s.Stats())
+}
+
+// TestAdmissionQueueFullRejects drives the three admission states end to end:
+// a running solve holds the single slot, a second miss parks in the bounded
+// queue, and a third is rejected immediately with ErrSolveOverload. Releasing
+// the first solve admits the queued one, which completes and is cached.
+func TestAdmissionQueueFullRejects(t *testing.T) {
+	s := New(Options{MaxSolves: 1, SolveQueue: 1})
+	release := make(chan struct{})
+	keyA := NewKey("adm", 0, 0, 1, 0, 1)
+	keyB := NewKey("adm", 0, 1, 1, 0, 1)
+	keyC := NewKey("adm", 0, 2, 1, 0, 1)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, _, err := s.GetOrCompute(keyA, func() (any, error) {
+			<-release
+			return "a", nil
+		})
+		if err != nil || v != "a" {
+			t.Errorf("solve A: got (%v, %v)", v, err)
+		}
+	}()
+	// Wait until A actually occupies the solve slot before issuing B.
+	waitForInflight(t, s, 1)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, _, err := s.GetOrCompute(keyB, func() (any, error) { return "b", nil })
+		if err != nil || v != "b" {
+			t.Errorf("solve B: got (%v, %v)", v, err)
+		}
+	}()
+	waitForQueued(t, s, 1)
+
+	// Slot busy, queue full: C must be shed immediately, not parked.
+	start := time.Now()
+	if _, _, err := s.GetOrCompute(keyC, func() (any, error) { return "c", nil }); !errors.Is(err, ErrSolveOverload) {
+		t.Fatalf("overloaded miss: got err %v, want ErrSolveOverload", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("rejection took %v, want immediate", d)
+	}
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", st.Rejected)
+	}
+
+	// A rejected key left no residue: the same key succeeds once load drops.
+	close(release)
+	wg.Wait()
+	if v, ok := s.Get(keyB); !ok || v != "b" {
+		t.Errorf("queued solve B not cached: (%v, %v)", v, ok)
+	}
+	if v, _, err := s.GetOrCompute(keyC, func() (any, error) { return "c", nil }); err != nil || v != "c" {
+		t.Errorf("post-overload solve C: got (%v, %v)", v, err)
+	}
+	if st := s.Stats(); st.Queued != 0 {
+		t.Errorf("Queued = %d after drain, want 0", st.Queued)
+	}
+}
+
+// TestAdmissionJoinBypassesQueue verifies that singleflight deduplication
+// happens before admission control: a caller for a key whose solve is already
+// in flight joins that flight even when the slot and queue are both full.
+func TestAdmissionJoinBypassesQueue(t *testing.T) {
+	s := New(Options{MaxSolves: 1, SolveQueue: 1})
+	release := make(chan struct{})
+	keyA := NewKey("adm", 1, 0, 1, 0, 1)
+	keyB := NewKey("adm", 1, 1, 1, 0, 1)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := s.GetOrCompute(keyA, func() (any, error) {
+				<-release
+				return "a", nil
+			})
+			if err != nil || v != "a" {
+				t.Errorf("join A: got (%v, %v)", v, err)
+			}
+		}()
+		if i == 0 {
+			waitForInflight(t, s, 1) // A must hold the slot before B queues
+		}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, err := s.GetOrCompute(keyB, func() (any, error) { return "b", nil }); err != nil {
+			t.Errorf("queued B: %v", err)
+		}
+	}()
+	waitForQueued(t, s, 1)
+
+	// Late joiner for the in-flight key A: must wait on the flight, never be
+	// rejected — issue it concurrently and release the solve.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, hit, err := s.GetOrCompute(keyA, func() (any, error) { return "wrong", nil })
+		if err != nil || v != "a" || !hit {
+			t.Errorf("late join A: got (%v, hit=%v, %v)", v, hit, err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the joiner reach the flight
+	close(release)
+	wg.Wait()
+	if st := s.Stats(); st.Rejected != 0 {
+		t.Errorf("Rejected = %d, want 0 (joiners are never shed)", st.Rejected)
+	}
+}
+
+// TestAdmissionQueuedSolveAbandoned cancels the only waiter of a queued solve:
+// the parked flight must abort without ever consuming a solve slot, and a
+// later call for the same key must start fresh and succeed.
+func TestAdmissionQueuedSolveAbandoned(t *testing.T) {
+	s := New(Options{MaxSolves: 1, SolveQueue: 1})
+	release := make(chan struct{})
+	keyA := NewKey("adm", 2, 0, 1, 0, 1)
+	keyB := NewKey("adm", 2, 1, 1, 0, 1)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = s.GetOrCompute(keyA, func() (any, error) {
+			<-release
+			return "a", nil
+		})
+	}()
+	waitForInflight(t, s, 1) // A must hold the slot before B queues
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := s.GetOrComputeCtx(ctx, keyB, func(context.Context) (any, error) { return "b", nil })
+		errCh <- err
+	}()
+	waitForQueued(t, s, 1)
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned queued solve: got %v, want context.Canceled", err)
+	}
+	waitForQueued(t, s, 0)
+
+	close(release)
+	wg.Wait()
+	if v, _, err := s.GetOrCompute(keyB, func() (any, error) { return "b2", nil }); err != nil || v != "b2" {
+		t.Errorf("retry after abandoned queue slot: got (%v, %v)", v, err)
+	}
+}
+
+// TestAdmissionNoGoroutinePileup floods an overloaded store with distinct-key
+// misses and asserts the shed path neither parks callers nor leaks solve
+// goroutines: exactly MaxSolves+SolveQueue flights are committed, everything
+// else returns ErrSolveOverload, and the goroutine count stays bounded by the
+// admission limits rather than the offered load.
+func TestAdmissionNoGoroutinePileup(t *testing.T) {
+	const (
+		maxSolves = 2
+		queue     = 2
+		offered   = 300
+	)
+	s := New(Options{MaxSolves: maxSolves, SolveQueue: queue})
+	release := make(chan struct{})
+	baseline := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	admitted, rejected := 0, 0
+	for i := 0; i < offered; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := NewKey("pileup", 0, i, 1, 0, 1)
+			v, _, err := s.GetOrCompute(key, func() (any, error) {
+				<-release
+				return i, nil
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case errors.Is(err, ErrSolveOverload):
+				rejected++
+			case err == nil && v == i:
+				admitted++
+			default:
+				t.Errorf("key %d: unexpected (%v, %v)", i, v, err)
+			}
+		}(i)
+	}
+
+	// Every goroutine beyond the committed flights and their callers must
+	// have been rejected and returned; poll until the count settles.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		done := rejected == offered-maxSolves-queue
+		mu.Unlock()
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Still alive: the committed flights (solving or queued) and their
+	// blocked callers, plus test scaffolding slack.
+	if n := runtime.NumGoroutine(); n > baseline+2*(maxSolves+queue)+8 {
+		t.Errorf("goroutine pile-up: %d alive, baseline %d, admission bound %d",
+			n, baseline, maxSolves+queue)
+	}
+
+	close(release)
+	wg.Wait()
+	if admitted != maxSolves+queue {
+		t.Errorf("admitted = %d, want %d", admitted, maxSolves+queue)
+	}
+	if rejected != offered-maxSolves-queue {
+		t.Errorf("rejected = %d, want %d", rejected, offered-maxSolves-queue)
+	}
+	if st := s.Stats(); st.Rejected != int64(rejected) || st.Queued != 0 {
+		t.Errorf("stats %+v inconsistent with rejected=%d", st, rejected)
+	}
+}
+
+// TestAdmissionDefaultQueueDepth checks the SolveQueue=0 default (MaxSolves)
+// and that MaxSolves() reports the configured bound.
+func TestAdmissionDefaultQueueDepth(t *testing.T) {
+	s := New(Options{MaxSolves: 3})
+	if got := s.MaxSolves(); got != 3 {
+		t.Errorf("MaxSolves() = %d, want 3", got)
+	}
+	if s.queueCap != 3 {
+		t.Errorf("default queueCap = %d, want MaxSolves", s.queueCap)
+	}
+	if s2 := New(Options{}); s2.MaxSolves() != 0 {
+		t.Errorf("unbounded store reports MaxSolves %d", s2.MaxSolves())
+	}
+	// Unbounded stores never reject.
+	for i := 0; i < 64; i++ {
+		key := NewKey("unbounded", 0, i, 1, 0, 1)
+		if _, _, err := New(Options{}).GetOrCompute(key, func() (any, error) { return i, nil }); err != nil {
+			t.Fatalf("unbounded store rejected: %v", err)
+		}
+	}
+}

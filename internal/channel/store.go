@@ -83,6 +83,14 @@ func (k Key) WithVariant(variant uint64) Key {
 	return k
 }
 
+// ErrSolveOverload is returned by GetOrComputeCtx when admission control is
+// enabled (Options.MaxSolves > 0), every solve slot is busy and the bounded
+// admission queue is full. The rejection is immediate — the caller is never
+// parked and no goroutine is spawned — so an overloaded store sheds load
+// instead of accumulating blocked solves. Callers should surface it as a
+// retryable condition (the HTTP server maps it to 429 + Retry-After).
+var ErrSolveOverload = errors.New("channel: solve admission queue full")
+
 // Stats is a snapshot of store behaviour. Hits+Misses equals the number of
 // GetOrCompute calls that completed; Misses equals the number of solves
 // actually performed (deduplicated waiters count as hits).
@@ -115,6 +123,12 @@ type Stats struct {
 	// SolveTimeout elapsed. A canceled solve caches nothing; a later call
 	// for the same key starts a fresh one.
 	Canceled int64
+	// Queued is the number of admitted solves currently waiting for a free
+	// solve slot (only nonzero with Options.MaxSolves set).
+	Queued int64
+	// Rejected counts misses refused outright with ErrSolveOverload because
+	// every solve slot was busy and the admission queue was full.
+	Rejected int64
 }
 
 // Options configures a Store.
@@ -138,6 +152,19 @@ type Options struct {
 	// outlives the request that triggered it still completes — and is cached
 	// for the next caller — unless this deadline expires first.
 	SolveTimeout time.Duration
+	// MaxSolves bounds the number of detached solves (including their
+	// backing read-through) executing concurrently; 0 means unbounded. A
+	// miss arriving while every slot is busy queues for admission — up to
+	// SolveQueue deep — and beyond that is rejected immediately with
+	// ErrSolveOverload. Joining an in-flight solve for the same key is never
+	// subject to admission: singleflight deduplication happens first.
+	MaxSolves int
+	// SolveQueue bounds how many admitted solves may wait for a free slot
+	// before further misses are rejected; 0 with MaxSolves > 0 defaults to
+	// MaxSolves. Each queued solve costs one parked goroutine, so the
+	// worst-case goroutine commitment is MaxSolves + SolveQueue regardless
+	// of offered load.
+	SolveQueue int
 }
 
 const numShards = 32
@@ -151,6 +178,8 @@ type Store struct {
 	maxCost      int64
 	backing      Backing
 	solveTimeout time.Duration
+	solveSem     chan struct{} // nil = unbounded; else capacity MaxSolves
+	queueCap     int64
 
 	hits          atomic.Int64
 	misses        atomic.Int64
@@ -162,6 +191,8 @@ type Store struct {
 	backingWrites atomic.Int64
 	abandoned     atomic.Int64
 	canceled      atomic.Int64
+	queued        atomic.Int64
+	rejected      atomic.Int64
 	clock         atomic.Int64 // logical time for LRU ordering
 
 	backingWG sync.WaitGroup // tracks in-flight write-behind goroutines
@@ -199,6 +230,13 @@ func New(opts Options) *Store {
 	}
 	if s.costFn == nil {
 		s.costFn = func(any) int64 { return 1 }
+	}
+	if opts.MaxSolves > 0 {
+		s.solveSem = make(chan struct{}, opts.MaxSolves)
+		s.queueCap = int64(opts.SolveQueue)
+		if s.queueCap == 0 {
+			s.queueCap = int64(opts.MaxSolves)
+		}
 	}
 	for i := range s.shards {
 		s.shards[i].m = make(map[Key]*entry)
@@ -275,6 +313,25 @@ func (s *Store) GetOrComputeCtx(ctx context.Context, key Key, solve func(ctx con
 		sh.mu.Unlock()
 		return s.wait(ctx, sh, key, e, true)
 	}
+	// Admission control: reserve a solve slot — or a bounded queue position —
+	// before the flight exists, so an overloaded store rejects in O(1)
+	// without allocating an entry or spawning a goroutine. Only genuinely new
+	// flights are subject to admission; callers joining an in-flight solve
+	// for the same key were already deduplicated above.
+	queuedSolve := false
+	if s.solveSem != nil {
+		select {
+		case s.solveSem <- struct{}{}:
+		default:
+			if s.queued.Add(1) > s.queueCap {
+				s.queued.Add(-1)
+				s.rejected.Add(1)
+				sh.mu.Unlock()
+				return nil, false, ErrSolveOverload
+			}
+			queuedSolve = true
+		}
+	}
 	e := &entry{done: make(chan struct{}), waiters: 1}
 	e.lastUsed.Store(s.clock.Add(1))
 	solveCtx, cancel := s.newSolveContext()
@@ -282,8 +339,7 @@ func (s *Store) GetOrComputeCtx(ctx context.Context, key Key, solve func(ctx con
 	sh.m[key] = e
 	sh.mu.Unlock()
 
-	s.inflight.Add(1)
-	go s.runSolve(solveCtx, sh, key, e, solve)
+	go s.runSolve(solveCtx, sh, key, e, solve, queuedSolve)
 	return s.wait(ctx, sh, key, e, false)
 }
 
@@ -297,11 +353,29 @@ func (s *Store) newSolveContext() (context.Context, context.CancelFunc) {
 	return context.WithCancel(context.Background())
 }
 
-// runSolve executes one detached flight: backing read-through, then the
+// runSolve executes one detached flight: queue admission (when the flight
+// did not win a solve slot immediately), backing read-through, then the
 // solve itself, then result publication. It owns the entry's map slot until
 // the flight settles.
-func (s *Store) runSolve(ctx context.Context, sh *shard, key Key, e *entry, solve func(ctx context.Context) (any, error)) {
+func (s *Store) runSolve(ctx context.Context, sh *shard, key Key, e *entry, solve func(ctx context.Context) (any, error), queuedSolve bool) {
 	defer e.cancel() // release the timeout timer, if any
+	if queuedSolve {
+		// Parked in the bounded admission queue: wait for a slot unless the
+		// flight is aborted first (every waiter abandoned, or SolveTimeout).
+		select {
+		case s.solveSem <- struct{}{}:
+			s.queued.Add(-1)
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			e.err = ctx.Err()
+			s.settleFailed(sh, key, e)
+			return
+		}
+	}
+	if s.solveSem != nil {
+		defer func() { <-s.solveSem }()
+	}
+	s.inflight.Add(1)
 	fromBacking := false
 	if s.backing != nil && ctx.Err() == nil {
 		if v, ok := s.backing.Load(ctx, key); ok {
@@ -318,17 +392,7 @@ func (s *Store) runSolve(ctx context.Context, sh *shard, key Key, e *entry, solv
 	}
 	s.inflight.Add(-1)
 	if e.err != nil {
-		if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
-			s.canceled.Add(1)
-		}
-		sh.mu.Lock()
-		// The abandonment path may already have unmapped the entry (and a
-		// fresh flight may own the slot); only remove our own entry.
-		if cur, ok := sh.m[key]; ok && cur == e {
-			delete(sh.m, key)
-		}
-		sh.mu.Unlock()
-		close(e.done)
+		s.settleFailed(sh, key, e)
 		return
 	}
 	e.cost = s.costFn(e.val)
@@ -372,6 +436,21 @@ func (s *Store) runSolve(ctx context.Context, sh *shard, key Key, e *entry, solv
 	if keep && s.maxCost > 0 && total > s.maxCost {
 		s.evict(total - s.maxCost)
 	}
+}
+
+// settleFailed publishes a failed flight: counts the cancellation, unmaps
+// the entry — unless the abandonment path already did, or a fresh flight
+// owns the slot — and wakes every waiter with e.err.
+func (s *Store) settleFailed(sh *shard, key Key, e *entry) {
+	if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
+		s.canceled.Add(1)
+	}
+	sh.mu.Lock()
+	if cur, ok := sh.m[key]; ok && cur == e {
+		delete(sh.m, key)
+	}
+	sh.mu.Unlock()
+	close(e.done)
 }
 
 // wait blocks one caller on a flight until the result is published or the
@@ -550,5 +629,15 @@ func (s *Store) Stats() Stats {
 		BackingWrites: s.backingWrites.Load(),
 		Abandoned:     s.abandoned.Load(),
 		Canceled:      s.canceled.Load(),
+		Queued:        s.queued.Load(),
+		Rejected:      s.rejected.Load(),
 	}
+}
+
+// MaxSolves returns the configured solve-concurrency bound (0 = unbounded).
+func (s *Store) MaxSolves() int {
+	if s.solveSem == nil {
+		return 0
+	}
+	return cap(s.solveSem)
 }

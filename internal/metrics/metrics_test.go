@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// mustValidate runs Validate and reports every violation as a test error.
+func mustValidate(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples, problems := Validate(text)
+	for _, p := range problems {
+		t.Error(p)
+	}
+	return samples
+}
+
+func TestCounterAndGaugeRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("geoind_requests_total", "Requests served.", Labels{"endpoint": "/v1/report", "code": "200"})
+	c.Add(41)
+	c.Inc()
+	c.Add(-5) // ignored: counters are monotonic
+	r.Counter("geoind_requests_total", "Requests served.", Labels{"endpoint": "/v1/report", "code": "400"}).Inc()
+	r.GaugeFunc("geoind_queue_depth", "Current queue depth.", nil, func() float64 { return 3 })
+	fc := r.FloatCounter("geoind_eps_total", "Total epsilon.", nil)
+	fc.Add(0.25)
+	fc.Add(0.25)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := mustValidate(t, b.String())
+	if got := samples[`geoind_requests_total{code="200",endpoint="/v1/report"}`]; got != 42 {
+		t.Errorf("counter = %g, want 42 (samples: %v)", got, samples)
+	}
+	if got := samples[`geoind_requests_total{code="400",endpoint="/v1/report"}`]; got != 1 {
+		t.Errorf("second series = %g, want 1", got)
+	}
+	if got := samples["geoind_queue_depth"]; got != 3 {
+		t.Errorf("gauge = %g, want 3", got)
+	}
+	if got := samples["geoind_eps_total"]; got != 0.5 {
+		t.Errorf("float counter = %g, want 0.5", got)
+	}
+	// One HELP/TYPE header per family even with two series.
+	if n := strings.Count(b.String(), "# TYPE geoind_requests_total"); n != 1 {
+		t.Errorf("TYPE emitted %d times, want 1", n)
+	}
+}
+
+func TestCounterReregistrationReturnsSameSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "h", Labels{"k": "v"})
+	b := r.Counter("x_total", "h", Labels{"k": "v"})
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("shared series not observed through second handle")
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("geoind_latency_seconds", "Latency.", Labels{"endpoint": "/v1/report"}, []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := mustValidate(t, b.String())
+	want := map[string]float64{
+		`geoind_latency_seconds_bucket{endpoint="/v1/report",le="0.001"}`: 1,
+		`geoind_latency_seconds_bucket{endpoint="/v1/report",le="0.01"}`:  3,
+		`geoind_latency_seconds_bucket{endpoint="/v1/report",le="0.1"}`:   4,
+		`geoind_latency_seconds_bucket{endpoint="/v1/report",le="1"}`:     5,
+		`geoind_latency_seconds_bucket{endpoint="/v1/report",le="+Inf"}`:  6,
+		`geoind_latency_seconds_count{endpoint="/v1/report"}`:             6,
+	}
+	for k, v := range want {
+		if samples[k] != v {
+			t.Errorf("%s = %g, want %g", k, samples[k], v)
+		}
+	}
+	sum := samples[`geoind_latency_seconds_sum{endpoint="/v1/report"}`]
+	if math.Abs(sum-5.5545) > 1e-9 {
+		t.Errorf("sum = %g, want 5.5545", sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in the (1,2] bucket
+	}
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Errorf("p50 = %g, want within (1,2]", q)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if NewHistogram([]float64{1}).Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	// Observations beyond the last bound land in +Inf; quantile clamps to
+	// the largest finite bound.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(100)
+	if q := h2.Quantile(0.99); q != 1 {
+		t.Errorf("overflow quantile = %g, want clamp to 1", q)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", Labels{"path": `a"b\c` + "\n"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `path="a\"b\\c\n"`) {
+		t.Errorf("label not escaped: %q", b.String())
+	}
+	mustValidate(t, b.String())
+}
+
+func TestValidateCatchesMalformedDocuments(t *testing.T) {
+	cases := []string{
+		"garbage line\n",
+		"# TYPE x counter\nx 1\nx 2\n", // duplicate series
+		"# HELP h_seconds h\n# TYPE h_seconds histogram\nh_seconds_bucket{le=\"1\"} 5\nh_seconds_bucket{le=\"+Inf\"} 3\nh_seconds_count 3\n", // not cumulative
+		"# HELP h2_seconds h\n# TYPE h2_seconds histogram\nh2_seconds_bucket{le=\"1\"} 1\nh2_seconds_count 1\n",                              // no +Inf
+	}
+	for i, doc := range cases {
+		if _, problems := Validate(doc); len(problems) == 0 {
+			t.Errorf("case %d: malformed document validated cleanly:\n%s", i, doc)
+		}
+	}
+}
+
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("c_seconds", "h", nil, []float64{0.01, 0.1, 1})
+	c := r.Counter("c_total", "h", nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(float64(j%100) / 50)
+				c.Inc()
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := mustValidate(t, b.String())
+	if samples["c_total"] != float64(c.Value()) {
+		t.Errorf("final scrape disagrees with counter: %g vs %d", samples["c_total"], c.Value())
+	}
+}
+
+func TestMismatchedKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("registering one name as counter and gauge should panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m_total", "h", nil)
+	r.GaugeFunc("m_total", "h", nil, func() float64 { return 0 })
+}
+
+func TestDecreasingBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-increasing bounds should panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func ExampleRegistry() {
+	r := NewRegistry()
+	r.Counter("example_total", "An example counter.", Labels{"kind": "demo"}).Add(3)
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	fmt.Print(b.String())
+	// Output:
+	// # HELP example_total An example counter.
+	// # TYPE example_total counter
+	// example_total{kind="demo"} 3
+}

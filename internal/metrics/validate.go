@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	helpLine   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	typeLine   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (NaN|[+-]Inf|[0-9eE.+-]+)$`)
+	leRe       = regexp.MustCompile(`,?le="((?:[^"\\]|\\.)*)"`)
+)
+
+// Validate checks that text parses as the Prometheus 0.0.4 text exposition
+// format: every line is a HELP, TYPE or sample line; each family has exactly
+// one HELP and one TYPE preceding its samples; no series is duplicated; and
+// every histogram family's bucket series are cumulative, end at le="+Inf"
+// and agree with its _count. It returns the parsed sample values keyed by
+// full series name (including the label block) and the list of violations
+// found (empty for a valid document). It exists so tests — here and in the
+// server package — can assert scrape output is genuinely parseable instead
+// of merely non-empty.
+func Validate(text string) (map[string]float64, []string) {
+	var problems []string
+	samples := make(map[string]float64)
+	typed := make(map[string]string)
+	helped := make(map[string]bool)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if m := helpLine.FindStringSubmatch(line); m != nil {
+			if helped[m[1]] {
+				problems = append(problems, fmt.Sprintf("duplicate HELP for %s", m[1]))
+			}
+			helped[m[1]] = true
+			continue
+		}
+		if m := typeLine.FindStringSubmatch(line); m != nil {
+			if _, dup := typed[m[1]]; dup {
+				problems = append(problems, fmt.Sprintf("duplicate TYPE for %s", m[1]))
+			}
+			typed[m[1]] = m[2]
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			problems = append(problems, fmt.Sprintf("malformed exposition line: %q", line))
+			continue
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(m[1], "_bucket"), "_sum"), "_count")
+		if _, ok := typed[base]; !ok {
+			if _, ok := typed[m[1]]; !ok {
+				problems = append(problems, fmt.Sprintf("sample %q before its TYPE line", line))
+			}
+		}
+		v, err := parseValue(m[3])
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("bad value in %q: %v", line, err))
+			continue
+		}
+		if _, dup := samples[m[1]+m[2]]; dup {
+			problems = append(problems, fmt.Sprintf("duplicate series %s%s", m[1], m[2]))
+		}
+		samples[m[1]+m[2]] = v
+	}
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("scan: %v", err))
+	}
+	for name, typ := range typed {
+		if !helped[name] {
+			problems = append(problems, fmt.Sprintf("TYPE without HELP for %s", name))
+		}
+		if typ == "histogram" {
+			problems = append(problems, validateHistogramFamily(name, samples)...)
+		}
+	}
+	return samples, problems
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validateHistogramFamily checks cumulativity and the _count / le="+Inf"
+// agreement for every label variant of one histogram family.
+func validateHistogramFamily(name string, samples map[string]float64) []string {
+	var problems []string
+	type bucket struct{ le, cum float64 }
+	groups := make(map[string][]bucket)
+	for series, v := range samples {
+		if !strings.HasPrefix(series, name+"_bucket{") {
+			continue
+		}
+		lbl := series[len(name+"_bucket"):]
+		m := leRe.FindStringSubmatch(lbl)
+		if m == nil {
+			problems = append(problems, fmt.Sprintf("bucket series %s missing le label", series))
+			continue
+		}
+		le, err := parseValue(m[1])
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("bucket series %s: bad le: %v", series, err))
+			continue
+		}
+		rest := leRe.ReplaceAllString(lbl, "")
+		if rest == "{}" {
+			rest = ""
+		}
+		groups[rest] = append(groups[rest], bucket{le, v})
+	}
+	for rest, bs := range groups {
+		for i := range bs {
+			for j := i + 1; j < len(bs); j++ {
+				if bs[j].le < bs[i].le {
+					bs[i], bs[j] = bs[j], bs[i]
+				}
+			}
+		}
+		var prev float64
+		var inf bool
+		for _, b := range bs {
+			if b.cum < prev {
+				problems = append(problems, fmt.Sprintf(
+					"%s%s: bucket counts not cumulative at le=%g (%g < %g)", name, rest, b.le, b.cum, prev))
+			}
+			prev = b.cum
+			if math.IsInf(b.le, 1) {
+				inf = true
+				countKey := name + "_count"
+				if rest != "" {
+					countKey += rest
+				}
+				if c, ok := samples[countKey]; !ok || c != b.cum {
+					problems = append(problems, fmt.Sprintf(
+						"%s%s: _count %g != +Inf bucket %g", name, rest, c, b.cum))
+				}
+			}
+		}
+		if !inf {
+			problems = append(problems, fmt.Sprintf("%s%s: no le=\"+Inf\" bucket", name, rest))
+		}
+	}
+	return problems
+}

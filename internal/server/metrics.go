@@ -1,0 +1,209 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"geoind/internal/metrics"
+)
+
+// latencyBuckets are the request-duration histogram bounds in seconds:
+// log-spaced from 100µs (a warm alias-table report) to 30s (a cold dense LP
+// solve), so both regimes land in resolvable buckets.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// serverMetrics owns the request-level instruments and the registry every
+// scrape renders. Store, budget and solve-queue statistics are not copied
+// into instruments: they are registered as scrape-time sampling functions
+// over the subsystems' own atomic counters, so /metrics and /v1/stats can
+// never disagree.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	// requests/errors are labeled per endpoint and status code at response
+	// time; latency is one histogram per endpoint.
+	requests func(endpoint, code string) *metrics.Counter
+	latency  map[string]*metrics.Histogram
+
+	budgetCharges *metrics.Counter
+	budgetRefunds *metrics.Counter
+	epsCharged    *metrics.FloatCounter
+	epsRefunded   *metrics.FloatCounter
+}
+
+// instrumentedEndpoints are the routes that get their own latency histogram
+// and request counters. Probes are included: scrape output then covers
+// everything a load balancer touches.
+var instrumentedEndpoints = []string{
+	"/healthz", "/v1/healthz", "/v1/info", "/v1/report", "/v1/report:batch",
+	"/v1/budget", "/v1/stats",
+}
+
+// newServerMetrics builds the registry and request instruments for one
+// server and wires the scrape-time gauges over the mechanism's store,
+// sampler and solve-queue counters (when the mechanism exposes them).
+func newServerMetrics(mech Reporter) *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{
+		reg:     reg,
+		latency: make(map[string]*metrics.Histogram, len(instrumentedEndpoints)),
+	}
+	m.requests = func(endpoint, code string) *metrics.Counter {
+		return reg.Counter("geoind_requests_total",
+			"HTTP requests served, by endpoint and status code.",
+			metrics.Labels{"endpoint": endpoint, "code": code})
+	}
+	for _, ep := range instrumentedEndpoints {
+		m.latency[ep] = reg.Histogram("geoind_request_duration_seconds",
+			"Request latency by endpoint.",
+			metrics.Labels{"endpoint": ep}, latencyBuckets)
+	}
+	m.budgetCharges = reg.Counter("geoind_budget_charges_total",
+		"Successful budget debits (refunded charges still count).", nil)
+	m.budgetRefunds = reg.Counter("geoind_budget_refunds_total",
+		"Budget refunds for reports that failed, timed out or were canceled.", nil)
+	m.epsCharged = reg.FloatCounter("geoind_budget_eps_charged_total",
+		"Total epsilon debited from user budgets.", nil)
+	m.epsRefunded = reg.FloatCounter("geoind_budget_eps_refunded_total",
+		"Total epsilon refunded to user budgets.", nil)
+
+	if ss, ok := mech.(StoreStatser); ok {
+		reg.CounterFunc("geoind_channel_cache_hits_total",
+			"Channel-store lookups satisfied without an LP solve.", nil,
+			func() float64 { return float64(ss.StoreStats().Hits) })
+		reg.CounterFunc("geoind_channel_cache_misses_total",
+			"Channel-store lookups that performed an LP solve.", nil,
+			func() float64 { return float64(ss.StoreStats().Misses) })
+		reg.CounterFunc("geoind_channel_cache_evictions_total",
+			"Channels evicted by the cost-aware LRU policy.", nil,
+			func() float64 { return float64(ss.StoreStats().Evictions) })
+		reg.CounterFunc("geoind_channel_cache_disk_hits_total",
+			"Channel loads satisfied by the persistent snapshot cache.", nil,
+			func() float64 { return float64(ss.StoreStats().BackingHits) })
+		reg.CounterFunc("geoind_channel_cache_disk_writes_total",
+			"Solved channels handed to the snapshot cache for write-behind.", nil,
+			func() float64 { return float64(ss.StoreStats().BackingWrites) })
+		reg.CounterFunc("geoind_channel_solves_abandoned_total",
+			"Waiters that gave up on an in-flight solve.", nil,
+			func() float64 { return float64(ss.StoreStats().Abandoned) })
+		reg.CounterFunc("geoind_channel_solves_canceled_total",
+			"Solves aborted before completion.", nil,
+			func() float64 { return float64(ss.StoreStats().Canceled) })
+		reg.CounterFunc("geoind_solve_rejected_total",
+			"Cold-solve admissions rejected with 429 because the queue was full.", nil,
+			func() float64 { return float64(ss.StoreStats().Rejected) })
+		reg.GaugeFunc("geoind_channel_cache_entries",
+			"Resident channels in the store.", nil,
+			func() float64 { return float64(ss.StoreStats().Entries) })
+		reg.GaugeFunc("geoind_channel_cache_cost_bytes",
+			"Resident channel bytes under the cache budget.", nil,
+			func() float64 { return float64(ss.StoreStats().Cost) })
+		reg.GaugeFunc("geoind_solves_inflight",
+			"Channel solves currently executing.", nil,
+			func() float64 { return float64(ss.StoreStats().Inflight) })
+		reg.GaugeFunc("geoind_solve_queue_depth",
+			"Admitted solves waiting for a free solve slot.", nil,
+			func() float64 { return float64(ss.StoreStats().Queued) })
+	}
+	if ds, ok := mech.(DirStatser); ok {
+		if _, have := ds.DirCacheStats(); have {
+			reg.CounterFunc("geoind_snapshot_version_misses_total",
+				"Intact snapshot files skipped for a foreign format version.", nil,
+				func() float64 {
+					st, _ := ds.DirCacheStats()
+					return float64(st.VersionMisses)
+				})
+			reg.CounterFunc("geoind_snapshot_disk_errors_total",
+				"Snapshot files rejected as corrupt or undecodable.", nil,
+				func() float64 {
+					st, _ := ds.DirCacheStats()
+					return float64(st.Errors)
+				})
+		}
+	}
+	return m
+}
+
+// chargeBudget / refundBudget record the ledger movements the handlers make;
+// the eps totals make refund *mass* (not just counts) visible, which is what
+// the loadgen refund-rate assertion checks against.
+func (m *serverMetrics) chargeBudget(eps float64) {
+	m.budgetCharges.Inc()
+	m.epsCharged.Add(eps)
+}
+
+func (m *serverMetrics) refundBudget(eps float64) {
+	m.budgetRefunds.Inc()
+	m.epsRefunded.Add(eps)
+}
+
+// statusRecorder captures the status code a handler writes so the
+// instrumentation middleware can label its counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one endpoint's handler with request counting and latency
+// observation. The duration covers the full handler — decode, validation,
+// budget accounting and mechanism work — which is what a client experiences.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.metrics.latency[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		hist.Observe(time.Since(start).Seconds())
+		s.metrics.requests(endpoint, statusText(rec.status)).Inc()
+	}
+}
+
+// statusText renders a status code as its metric label.
+func statusText(code int) string {
+	// Fast path for the codes the server actually emits.
+	switch code {
+	case http.StatusOK:
+		return "200"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusMethodNotAllowed:
+		return "405"
+	case http.StatusRequestEntityTooLarge:
+		return "413"
+	case http.StatusTooManyRequests:
+		return "429"
+	case statusClientClosedRequest:
+		return "499"
+	case http.StatusInternalServerError:
+		return "500"
+	case http.StatusServiceUnavailable:
+		return "503"
+	case http.StatusGatewayTimeout:
+		return "504"
+	}
+	return strconv.Itoa(code)
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format. Everything is rendered from live counters at scrape time; the
+// endpoint performs no allocation-heavy aggregation and is safe to scrape
+// at high frequency.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.reg.WritePrometheus(w)
+}

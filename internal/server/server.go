@@ -89,6 +89,7 @@ type Server struct {
 	ledger     *Ledger
 	region     geo.Rect
 	mux        *http.ServeMux
+	metrics    *serverMetrics
 	reqTimeout time.Duration
 	draining   atomic.Bool
 }
@@ -107,13 +108,17 @@ func New(mech Reporter, ledger *Ledger, region geo.Rect) (*Server, error) {
 			ledger.Limit(), mech.Epsilon())
 	}
 	s := &Server{mech: mech, ledger: ledger, region: region, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/v1/healthz", s.handleReady)
-	s.mux.HandleFunc("/v1/info", s.handleInfo)
-	s.mux.HandleFunc("/v1/report", s.handleReport)
-	s.mux.HandleFunc("/v1/report:batch", s.handleReportBatch)
-	s.mux.HandleFunc("/v1/budget", s.handleBudget)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.metrics = newServerMetrics(mech)
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealth))
+	s.mux.HandleFunc("/v1/healthz", s.instrument("/v1/healthz", s.handleReady))
+	s.mux.HandleFunc("/v1/info", s.instrument("/v1/info", s.handleInfo))
+	s.mux.HandleFunc("/v1/report", s.instrument("/v1/report", s.handleReport))
+	s.mux.HandleFunc("/v1/report:batch", s.instrument("/v1/report:batch", s.handleReportBatch))
+	s.mux.HandleFunc("/v1/budget", s.instrument("/v1/budget", s.handleBudget))
+	s.mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
+	// The scrape endpoint is deliberately not instrumented: a Prometheus
+	// server polling every few seconds would dominate the request counters.
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s, nil
 }
 
@@ -146,10 +151,21 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 // usually never sees it, but it keeps access logs honest about who gave up.
 const statusClientClosedRequest = 499
 
-// writeReportError maps a mechanism error to an HTTP status: a deadline that
+// retryAfterSeconds is the hint returned with solve-overload 429s. The
+// admission queue drains as fast as LP solves complete, so a short fixed
+// backoff is honest: clients that wait even one second usually find a slot
+// (or a freshly cached channel) on retry.
+const retryAfterSeconds = "1"
+
+// writeReportError maps a mechanism error to an HTTP status: solve-queue
+// overload is a retryable 429 (with a Retry-After hint), a deadline that
 // fired server-side is a 504, a client disconnect a 499, anything else a 500.
 func writeReportError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, channel.ErrSolveOverload):
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			"server overloaded: " + err.Error() + " (no budget was charged)"})
 	case errors.Is(err, context.DeadlineExceeded):
 		writeJSON(w, http.StatusGatewayTimeout, errorResponse{"report timed out: " + err.Error()})
 	case errors.Is(err, context.Canceled):
@@ -234,6 +250,12 @@ type ChannelCacheStats struct {
 	// Canceled counts solves aborted outright: every waiter abandoned the
 	// flight, or the solve timeout elapsed.
 	Canceled int64 `json:"canceled"`
+	// SolveQueueDepth is the number of admitted solves currently waiting
+	// for a free solve slot (nonzero only with -max-solves).
+	SolveQueueDepth int64 `json:"solve_queue_depth"`
+	// SolveRejected counts cold solves shed with 429 because the admission
+	// queue was full.
+	SolveRejected int64 `json:"solve_rejected"`
 }
 
 // SamplerStats is the sampling-configuration section of a stats response.
@@ -323,15 +345,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if ss, ok := s.mech.(StoreStatser); ok {
 		st := ss.StoreStats()
 		resp.ChannelCache = &ChannelCacheStats{
-			Hits:       st.Hits,
-			Misses:     st.Misses,
-			DiskHits:   st.BackingHits,
-			DiskWrites: st.BackingWrites,
-			Entries:    st.Entries,
-			CostBytes:  st.Cost,
-			Evictions:  st.Evictions,
-			Abandoned:  st.Abandoned,
-			Canceled:   st.Canceled,
+			Hits:            st.Hits,
+			Misses:          st.Misses,
+			DiskHits:        st.BackingHits,
+			DiskWrites:      st.BackingWrites,
+			Entries:         st.Entries,
+			CostBytes:       st.Cost,
+			Evictions:       st.Evictions,
+			Abandoned:       st.Abandoned,
+			Canceled:        st.Canceled,
+			SolveQueueDepth: st.Queued,
+			SolveRejected:   st.Rejected,
 		}
 		if ds, ok := s.mech.(DirStatser); ok {
 			if dst, ok := ds.DirCacheStats(); ok {
@@ -414,6 +438,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
 			return
 		}
+		s.metrics.chargeBudget(s.mech.Epsilon())
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
@@ -422,6 +447,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		// A failed or canceled report revealed nothing, so it costs nothing.
 		if s.ledger != nil {
 			s.ledger.Refund(req.UserID, s.mech.Epsilon())
+			s.metrics.refundBudget(s.mech.Epsilon())
 		}
 		writeReportError(w, err)
 		return
@@ -495,6 +521,7 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
 			return
 		}
+		s.metrics.chargeBudget(float64(len(reqs)) * s.mech.Epsilon())
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
@@ -505,6 +532,7 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 		// comes back.
 		if s.ledger != nil {
 			s.ledger.Refund(user, float64(len(reqs))*s.mech.Epsilon())
+			s.metrics.refundBudget(float64(len(reqs)) * s.mech.Epsilon())
 		}
 		writeReportError(w, err)
 		return
