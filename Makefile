@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race race-persist fuzz-short bench-smoke bench-json bench-ctx bench-sample bench-local bench-load bench-diff load-smoke
+.PHONY: ci fmt-check vet build test race race-persist fuzz-short bench-smoke bench-json bench-ctx bench-sample bench-local bench-load bench-fabric bench-diff load-smoke fleet-smoke
 
-ci: fmt-check vet build race race-persist bench-smoke load-smoke
+ci: fmt-check vet build race race-persist bench-smoke load-smoke fleet-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -32,14 +32,16 @@ test:
 race:
 	$(GO) test -race -shuffle=on ./...
 
-# Focused race pass over the persistence layer and shared sampler state:
-# concurrent DirCache writers, write-behind goroutines and warm-restart loads
-# run with -count=2 so the second round exercises the populated-directory
-# paths; the AliasSharing suites race the once-guarded lazy alias-table build
-# across goroutines sharing one channel.
+# Focused race pass over the persistence layer, shared sampler state and the
+# channel fabric: concurrent DirCache writers, write-behind goroutines and
+# warm-restart loads run with -count=2 so the second round exercises the
+# populated-directory paths; the AliasSharing suites race the once-guarded
+# lazy alias-table build across goroutines sharing one channel; the fabric
+# suites race tier promotion, hedged fetches, fault-injected backings and the
+# in-process fleet tests.
 race-persist:
-	$(GO) test -race -count=2 -run 'Snapshot|DirCache|Backing|WarmRestart|CacheBytes|AliasSharing|LocalParallel|RelevanceDomain' \
-		./internal/channel ./internal/opt .
+	$(GO) test -race -count=2 -run 'Snapshot|DirCache|Backing|WarmRestart|CacheBytes|AliasSharing|LocalParallel|RelevanceDomain|Remote|Tiered|Ring|Fabric|Fleet' \
+		./internal/channel ./internal/opt ./internal/fabric .
 
 # Short native-fuzz pass over the two snapshot decode layers (the checksummed
 # frame in internal/channel and the channel payload codec in internal/opt).
@@ -111,6 +113,23 @@ bench-local:
 		-benchtime 1x -benchmem ./internal/opt | $(GO) run ./cmd/benchjson > BENCH_local.json
 	@echo wrote BENCH_local.json
 
+# Record the channel-fabric fleet benchmarks as BENCH_fabric.json: total LP
+# solves for a 2-replica fabric-joined fleet vs two isolated replicas over the
+# same cold key space (the committed baseline documents the >=1.8x solve
+# reduction), plus remote-fetch latency quantiles as custom metrics.
+bench-fabric:
+	$(GO) test -run xxx -bench 'FabricFleet|FabricIsolated' \
+		-benchtime 3x -benchmem . | $(GO) run ./cmd/benchjson > BENCH_fabric.json
+	@echo wrote BENCH_fabric.json
+
+# Two-process fleet smoke: builds the real geoind-server binary, starts two
+# replicas joined by -peers/-fabric-self with distinct cache dirs, drives
+# mixed concurrent traffic, and asserts zero 5xx, fleet-total LP solves equal
+# to the unique-channel count (exactly-once), and clean degradation to local
+# solves after the owner replica is SIGKILLed.
+fleet-smoke:
+	GEOIND_FLEET_SMOKE=1 $(GO) test -run TestFleetSmoke -v -timeout 300s ./cmd/geoind-server/
+
 # Compare a fresh benchmark run against the committed baseline. Warn-only:
 # regressions above 20% are flagged but never fail the target.
 bench-diff:
@@ -132,3 +151,6 @@ bench-diff:
 	$(GO) run ./cmd/loadgen -self -duration 10s -workers 8 -self-budget 50 \
 		-out /tmp/bench_load_current.json > /dev/null
 	$(GO) run ./cmd/benchjson -diff -threshold 100 BENCH_load.json /tmp/bench_load_current.json
+	$(GO) test -run xxx -bench 'FabricFleet|FabricIsolated' \
+		-benchtime 3x -benchmem . | $(GO) run ./cmd/benchjson > /tmp/bench_fabric_current.json
+	$(GO) run ./cmd/benchjson -diff -threshold 50 BENCH_fabric.json /tmp/bench_fabric_current.json

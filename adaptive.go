@@ -75,7 +75,12 @@ func NewAdaptiveMSM(cfg AdaptiveMSMConfig) (*AdaptiveMSM, error) {
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
 	}
-	store, err := newChannelStore(cfg.CacheDir, cfg.CacheBytes, cfg.SolveTimeout, cfg.MaxSolves)
+	store, _, err := newChannelStore(MSMConfig{
+		CacheDir:     cfg.CacheDir,
+		CacheBytes:   cfg.CacheBytes,
+		SolveTimeout: cfg.SolveTimeout,
+		MaxSolves:    cfg.MaxSolves,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
 	}

@@ -20,6 +20,16 @@
 //	GET  /metrics                   Prometheus text exposition (request/error
 //	                                counters, latency histograms, store and
 //	                                budget counters, solve-queue depth)
+//	GET  /v1/channels/{key}         fleet-internal snapshot endpoint: streams a
+//	                                solved channel as a checksummed frame that
+//	                                the fetching replica fully re-verifies
+//
+// With -peers and -fabric-self, several replicas form a channel fleet:
+// rendezvous hashing assigns each channel one owner, only the owner solves
+// its LP (precompute is restricted to owned channels), and the other
+// replicas fetch the owner's verified snapshot over /v1/channels — with a
+// hedged second request to the next ring replica after -hedge-delay. An
+// unreachable owner degrades to a local solve, never a request failure.
 //
 // With -max-solves N, at most N cold channel solves execute concurrently and
 // at most N more wait in the admission queue; requests beyond that are
@@ -49,6 +59,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -93,6 +104,13 @@ type serverConfig struct {
 	localRadius  float64
 	localMass    float64
 	pprofAddr    string
+	peers        string
+	fabricSelf   string
+	hedgeDelay   time.Duration
+	fetchTimeout time.Duration
+	fetchRetries int
+	fetchBackoff time.Duration
+	fabricMem    int64
 }
 
 func main() {
@@ -119,6 +137,13 @@ func main() {
 	flag.Float64Var(&cfg.localRadius, "local-radius", 0, "locally relevant OPT: solve each channel LP only over cells within this radius (km) of the prior-mass core; excluded cells get an eps-preserving padded background (0 = disabled; msm and opt mechanisms only)")
 	flag.Float64Var(&cfg.localMass, "local-mass", 0, "locally relevant OPT: prior mass allowed outside the relevance core, in (0, 0.5) (0 = default 1e-3; requires -local-radius)")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "optional separate listen address for net/http/pprof (e.g. localhost:6060; empty = profiling disabled)")
+	flag.StringVar(&cfg.peers, "peers", "", "comma-separated base URLs of every replica in the channel fleet, identical on all replicas (e.g. http://a:8080,http://b:8080); empty = standalone (msm only)")
+	flag.StringVar(&cfg.fabricSelf, "fabric-self", "", "this replica's own base URL; must be one of -peers")
+	flag.DurationVar(&cfg.hedgeDelay, "hedge-delay", 0, "latency threshold before a remote channel fetch hedges to the next ring replica (0 = default 150ms, negative = hedging off)")
+	flag.DurationVar(&cfg.fetchTimeout, "fetch-timeout", 0, "wall-clock bound on one remote channel fetch attempt including hedges (0 = default 15s)")
+	flag.IntVar(&cfg.fetchRetries, "fetch-retries", 0, "extra remote fetch attempts after a transient failure (0 = default 2, negative = no retries)")
+	flag.DurationVar(&cfg.fetchBackoff, "fetch-backoff", 0, "initial delay between remote fetch attempts, doubling per retry (0 = default 100ms)")
+	flag.Int64Var(&cfg.fabricMem, "fabric-mem-bytes", 0, "byte bound of the fabric's in-memory snapshot tier (0 = default 64MiB, negative = tier off)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -160,6 +185,33 @@ func run(cfg serverConfig) error {
 
 	if localRadius > 0 && mechName != "msm" && mechName != "opt" {
 		return fmt.Errorf("-local-radius is only supported by the msm and opt mechanisms, not %q", mechName)
+	}
+
+	var fabricCfg *geoind.FabricConfig
+	if cfg.peers != "" {
+		if mechName != "msm" {
+			return fmt.Errorf("-peers is only supported by the msm mechanism, not %q", mechName)
+		}
+		if cfg.fabricSelf == "" {
+			return fmt.Errorf("-peers requires -fabric-self (this replica's own base URL)")
+		}
+		var peerList []string
+		for _, p := range strings.Split(cfg.peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		fabricCfg = &geoind.FabricConfig{
+			Peers:        peerList,
+			Self:         cfg.fabricSelf,
+			MemBytes:     cfg.fabricMem,
+			HedgeDelay:   cfg.hedgeDelay,
+			FetchTimeout: cfg.fetchTimeout,
+			FetchRetries: cfg.fetchRetries,
+			FetchBackoff: cfg.fetchBackoff,
+		}
+	} else if cfg.fabricSelf != "" {
+		return fmt.Errorf("-fabric-self requires -peers")
 	}
 
 	if seed == 0 {
@@ -214,9 +266,14 @@ func run(cfg serverConfig) error {
 			MaxSolves: cfg.maxSolves,
 			Sampler:   sampler, PruneMass: pruneMass,
 			LocalRadius: localRadius, LocalMassFloor: localMass,
+			Fabric: fabricCfg,
 		})
 		if err != nil {
 			return err
+		}
+		if fabricCfg != nil {
+			log.Printf("channel fabric: %s in a %d-replica fleet (owner-only precompute)",
+				fabricCfg.Self, len(fabricCfg.Peers))
 		}
 		log.Printf("precomputing MSM channels (height %d, leaf %dx%d)...",
 			m.Height(), m.LeafGranularity(), m.LeafGranularity())

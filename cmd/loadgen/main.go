@@ -38,6 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
 	"net"
@@ -46,6 +47,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +59,8 @@ import (
 
 type config struct {
 	url      string
+	targets  string
+	affinity string
 	duration time.Duration
 	workers  int
 	rps      float64
@@ -85,7 +89,9 @@ type config struct {
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.url, "url", "", "base URL of a running geoind-server (e.g. http://localhost:8080); empty requires -self")
+	flag.StringVar(&cfg.url, "url", "", "base URL of a running geoind-server (e.g. http://localhost:8080); empty requires -self or -targets")
+	flag.StringVar(&cfg.targets, "targets", "", "comma-separated base URLs of a replica fleet; traffic is spread across them per -affinity and each replica's /metrics is scraped for the fleet duplicate-solve estimate")
+	flag.StringVar(&cfg.affinity, "affinity", "rr", "fleet traffic distribution with -targets: rr (round-robin per request) or user (each user ID sticks to one replica)")
 	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to drive load")
 	flag.IntVar(&cfg.workers, "workers", 8, "closed-loop workers / open-loop concurrency cap")
 	flag.Float64Var(&cfg.rps, "rps", 0, "open-loop arrival rate in requests/sec (0 = closed loop)")
@@ -113,40 +119,69 @@ func main() {
 }
 
 func run(cfg config, out io.Writer) int {
-	if (cfg.url == "") == !cfg.self {
-		log.Print("loadgen: exactly one of -url or -self is required")
+	modes := 0
+	for _, on := range []bool{cfg.url != "", cfg.targets != "", cfg.self} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		log.Print("loadgen: exactly one of -url, -targets or -self is required")
 		return 2
 	}
 	if cfg.workers < 1 || cfg.batchSize < 1 {
 		log.Print("loadgen: -workers and -batch-size must be >= 1")
 		return 2
 	}
-	base := cfg.url
+	if cfg.affinity == "" {
+		cfg.affinity = "rr"
+	}
+	if cfg.affinity != "rr" && cfg.affinity != "user" {
+		log.Printf("loadgen: unknown -affinity %q (rr or user)", cfg.affinity)
+		return 2
+	}
+	targets := []string{cfg.url}
+	if cfg.targets != "" {
+		targets = targets[:0]
+		for _, t := range strings.Split(cfg.targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targets = append(targets, t)
+			}
+		}
+		if len(targets) == 0 {
+			log.Print("loadgen: -targets is empty")
+			return 2
+		}
+	}
 	if cfg.self {
-		var shutdown func()
-		var err error
-		base, shutdown, err = startSelfServer(cfg)
+		selfURL, shutdown, err := startSelfServer(cfg)
 		if err != nil {
 			log.Printf("loadgen: start in-process server: %v", err)
 			return 2
 		}
+		targets = []string{selfURL}
 		defer shutdown()
 	}
+	base := targets[0]
 
 	info, err := fetchInfo(base, cfg.timeout)
 	if err != nil {
 		log.Printf("loadgen: %v", err)
 		return 2
 	}
-	log.Printf("target %s: mechanism=%s eps=%g region side=%g km", base, info.Mechanism, info.Epsilon, info.RegionSideKm)
+	log.Printf("target %s (%d replicas): mechanism=%s eps=%g region side=%g km",
+		base, len(targets), info.Mechanism, info.Epsilon, info.RegionSideKm)
 
-	r := newRunner(cfg, base)
+	r := newRunner(cfg, targets)
 	summary, err := r.drive(info.RegionSideKm)
 	if err != nil {
 		log.Printf("loadgen: %v", err)
 		return 2
 	}
 	summary.scrapeBudget(base, cfg.timeout)
+	if len(targets) > 1 {
+		summary.scrapeFleet(targets, cfg.timeout)
+	}
 
 	doc := summary.benchDocument()
 	enc := json.NewEncoder(out)
@@ -261,9 +296,10 @@ var latencyBounds = func() []float64 {
 // runner owns the shared, concurrency-safe run state. Latencies go into
 // lock-free histograms; status counts into a small mutex-guarded map.
 type runner struct {
-	cfg    config
-	base   string
-	client *http.Client
+	cfg     config
+	targets []string
+	rr      atomic.Uint64 // round-robin cursor across targets
+	client  *http.Client
 
 	reportHist *metrics.Histogram
 	batchHist  *metrics.Histogram
@@ -275,14 +311,14 @@ type runner struct {
 	canceled, transport atomic.Int64
 }
 
-func newRunner(cfg config, base string) *runner {
+func newRunner(cfg config, targets []string) *runner {
 	return &runner{
-		cfg:  cfg,
-		base: base,
+		cfg:     cfg,
+		targets: targets,
 		client: &http.Client{
 			Timeout: cfg.timeout,
 			Transport: &http.Transport{
-				MaxIdleConns:        cfg.workers * 2,
+				MaxIdleConns:        cfg.workers * 2 * len(targets),
 				MaxIdleConnsPerHost: cfg.workers * 2,
 			},
 		},
@@ -290,6 +326,21 @@ func newRunner(cfg config, base string) *runner {
 		batchHist:  metrics.NewHistogram(latencyBounds),
 		status:     make(map[int]int64),
 	}
+}
+
+// target picks the replica a request goes to: round-robin spreads every
+// request (cold channels land on arbitrary replicas, the worst case for
+// duplicate solves), user affinity models a session-sticky load balancer.
+func (r *runner) target(user string) string {
+	if len(r.targets) == 1 {
+		return r.targets[0]
+	}
+	if r.cfg.affinity == "user" {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(user))
+		return r.targets[h.Sum64()%uint64(len(r.targets))]
+	}
+	return r.targets[r.rr.Add(1)%uint64(len(r.targets))]
 }
 
 // drive runs the configured load and returns the summary. Closed loop:
@@ -392,7 +443,7 @@ func (r *runner) one(ctx context.Context, w *workload) {
 		reqCtx, cancel = context.WithTimeout(ctx, delay)
 		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, r.base+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, r.target(user)+path, bytes.NewReader(body))
 	if err != nil {
 		r.transport.Add(1)
 		return
@@ -458,6 +509,75 @@ type summary struct {
 	BudgetRefunds  float64 `json:"budget_refunds"`
 	RefundRate     float64 `json:"refund_rate"`
 	SolveRejected  float64 `json:"solve_rejected"`
+
+	// Fleet is present only with -targets: one scrape per replica plus the
+	// fleet-wide duplicate-solve estimate.
+	Fleet *fleetSummary `json:"fleet,omitempty"`
+}
+
+// replicaScrape is one replica's post-run /metrics digest.
+type replicaScrape struct {
+	URL string `json:"url"`
+	// Solves is the replica's LP-solve count (channel-cache misses).
+	Solves float64 `json:"solves"`
+	// RemoteHits counts channels this replica fetched from a peer instead
+	// of solving; Fallbacks counts remote lookups that gave up and solved
+	// locally — each fallback is a potential fleet-duplicate solve.
+	RemoteHits float64 `json:"remote_hits"`
+	Fallbacks  float64 `json:"fallbacks"`
+	Scraped    bool    `json:"scraped"`
+}
+
+// fleetSummary aggregates the per-replica scrapes. DuplicateSolveEstimate is
+// the sum of remote fallbacks across the fleet: with healthy fabric
+// ownership every channel is solved only by its owner, so any solve of a
+// non-owned key happened through the fallback path and is the fleet's
+// duplicate-solve signal (~0 when the fabric is on and peers are up).
+type fleetSummary struct {
+	Replicas               []replicaScrape `json:"replicas"`
+	TotalSolves            float64         `json:"total_solves"`
+	TotalRemoteHits        float64         `json:"total_remote_hits"`
+	DuplicateSolveEstimate float64         `json:"duplicate_solve_estimate"`
+}
+
+// scrapeFleet reads every replica's /metrics once after the run and digests
+// the fleet-wide solve distribution.
+func (s *summary) scrapeFleet(targets []string, timeout time.Duration) {
+	client := &http.Client{Timeout: timeout}
+	fleet := &fleetSummary{}
+	for _, t := range targets {
+		rs := replicaScrape{URL: t}
+		if samples, ok := scrapeMetrics(client, t); ok {
+			rs.Scraped = true
+			rs.Solves = samples["geoind_channel_cache_misses_total"]
+			rs.RemoteHits = samples[`geoind_fabric_tier_hits_total{tier="remote"}`]
+			rs.Fallbacks = samples["geoind_fabric_remote_fallbacks_total"]
+		}
+		fleet.Replicas = append(fleet.Replicas, rs)
+		fleet.TotalSolves += rs.Solves
+		fleet.TotalRemoteHits += rs.RemoteHits
+		fleet.DuplicateSolveEstimate += rs.Fallbacks
+	}
+	s.Fleet = fleet
+}
+
+// scrapeMetrics fetches and validates one replica's /metrics exposition.
+func scrapeMetrics(client *http.Client, base string) (map[string]float64, bool) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	samples, problems := metrics.Validate(string(body))
+	if len(problems) > 0 {
+		log.Printf("loadgen: %s/metrics failed validation: %s", base, problems[0])
+		return nil, false
+	}
+	return samples, true
 }
 
 func (r *runner) summarize(elapsed time.Duration) *summary {
@@ -584,6 +704,18 @@ func (s *summary) print() {
 	if s.MetricsScraped {
 		log.Printf("budget: %g charges, %g refunds (refund rate %.3f), %g solves shed",
 			s.BudgetCharges, s.BudgetRefunds, s.RefundRate, s.SolveRejected)
+	}
+	if s.Fleet != nil {
+		for _, rs := range s.Fleet.Replicas {
+			if !rs.Scraped {
+				log.Printf("fleet %s: scrape failed", rs.URL)
+				continue
+			}
+			log.Printf("fleet %s: %g LP solves, %g remote hits, %g fallbacks",
+				rs.URL, rs.Solves, rs.RemoteHits, rs.Fallbacks)
+		}
+		log.Printf("fleet total: %g LP solves, %g remote hits, duplicate-solve estimate %g",
+			s.Fleet.TotalSolves, s.Fleet.TotalRemoteHits, s.Fleet.DuplicateSolveEstimate)
 	}
 	log.Printf("5xx: %d (error rate %.4f)", s.Err5xx, s.ErrorRate)
 }

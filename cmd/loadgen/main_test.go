@@ -178,7 +178,90 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	if got := run(config{url: "http://x", self: true}, io.Discard); got != 2 {
 		t.Errorf("both -url and -self: exit %d, want 2", got)
 	}
+	if got := run(config{url: "http://x", targets: "http://a,http://b", workers: 1, batchSize: 1}, io.Discard); got != 2 {
+		t.Errorf("both -url and -targets: exit %d, want 2", got)
+	}
 	if got := run(config{self: true, workers: 0, batchSize: 1}, io.Discard); got != 2 {
 		t.Errorf("zero workers: exit %d, want 2", got)
+	}
+	if got := run(config{self: true, workers: 1, batchSize: 1, affinity: "sticky"}, io.Discard); got != 2 {
+		t.Errorf("bad affinity: exit %d, want 2", got)
+	}
+}
+
+// TestEndToEndTargets drives a fleet of two in-process replicas through the
+// -targets path: traffic reaches both, and the per-replica fleet scrape with
+// the duplicate-solve estimate lands in the summary.
+func TestEndToEndTargets(t *testing.T) {
+	base := config{workers: 1, selfMech: "pl", selfEps: 0.25, timeout: 5 * time.Second, seed: 3}
+	var urls []string
+	for i := 0; i < 2; i++ {
+		u, shutdown, err := startSelfServer(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer shutdown()
+		urls = append(urls, u)
+	}
+	for _, affinity := range []string{"rr", "user"} {
+		cfg := config{
+			targets:   strings.Join(urls, ","),
+			affinity:  affinity,
+			duration:  250 * time.Millisecond,
+			workers:   4,
+			timeout:   5 * time.Second,
+			users:     20,
+			zipfS:     1.3,
+			hotspots:  2,
+			hotFrac:   0.5,
+			batchSize: 1,
+			seed:      4,
+			max5xx:    0,
+		}
+		out := filepath.Join(t.TempDir(), affinity+".json")
+		cfg.out = out
+		if got := run(cfg, io.Discard); got != 0 {
+			t.Fatalf("affinity=%s: run exit %d, want 0", affinity, got)
+		}
+		raw, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc benchDocument
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatal(err)
+		}
+		fl := doc.Load.Fleet
+		if fl == nil || len(fl.Replicas) != 2 {
+			t.Fatalf("affinity=%s: fleet section %+v", affinity, fl)
+		}
+		for _, rs := range fl.Replicas {
+			if !rs.Scraped {
+				t.Errorf("affinity=%s: replica %s not scraped", affinity, rs.URL)
+			}
+		}
+		// PL replicas never solve channels, so the fleet-wide duplicate
+		// estimate must be exactly zero.
+		if fl.DuplicateSolveEstimate != 0 || fl.TotalSolves != 0 {
+			t.Errorf("affinity=%s: fleet totals %+v", affinity, fl)
+		}
+	}
+}
+
+// TestTargetAffinity pins the distribution contracts: user affinity is
+// sticky per user ID, round-robin alternates.
+func TestTargetAffinity(t *testing.T) {
+	r := newRunner(config{affinity: "user"}, []string{"http://a", "http://b", "http://c"})
+	for _, u := range []string{"u0", "u1", "u17"} {
+		first := r.target(u)
+		for i := 0; i < 10; i++ {
+			if got := r.target(u); got != first {
+				t.Fatalf("user %s moved from %s to %s", u, first, got)
+			}
+		}
+	}
+	rr := newRunner(config{affinity: "rr"}, []string{"http://a", "http://b"})
+	if rr.target("x") == rr.target("x") {
+		t.Fatal("round-robin returned the same target twice in a row")
 	}
 }

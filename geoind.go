@@ -11,10 +11,12 @@ import (
 
 	"geoind/internal/channel"
 	"geoind/internal/core"
+	"geoind/internal/fabric"
 	"geoind/internal/geo"
 	"geoind/internal/grid"
 	"geoind/internal/laplace"
 	"geoind/internal/lp"
+	"geoind/internal/metrics"
 	"geoind/internal/opt"
 	"geoind/internal/prior"
 )
@@ -577,11 +579,50 @@ type MSMConfig struct {
 	// LocalMassFloor bounds the prior mass left outside the relevance
 	// core; 0 means opt.DefaultLocalMassFloor. Requires LocalRadius > 0.
 	LocalMassFloor float64
+	// Fabric, when non-nil, joins this mechanism to a replica fleet: the
+	// channel store is backed by the tiered fabric chain (memory → CacheDir
+	// snapshots → hedged remote fetches from the key's owner), and
+	// Precompute is restricted to the keys this replica owns under the
+	// fleet's rendezvous hash, so each unique channel is solved exactly
+	// once fleet-wide. Peers must list every replica's base URL
+	// (identically on all replicas) and Self must be one of them. The
+	// fabric is an optimization only: an unreachable or corrupt peer
+	// degrades to a local solve, never a query failure.
+	Fabric *FabricConfig
+}
+
+// FabricConfig configures the distributed channel fabric (MSMConfig.Fabric).
+type FabricConfig struct {
+	// Peers is the full replica set as base URLs ("http://host:port"),
+	// identical on every replica; Self must be one of them. A single-entry
+	// set is a degenerate fleet: this replica owns every key and no remote
+	// tier is built.
+	Peers []string
+	Self  string
+	// MemBytes bounds the fabric's in-memory snapshot tier (0 means
+	// fabric.DefaultMemBytes, negative disables the tier). This tier sits
+	// behind the store's own resident cache (MSMConfig.CacheBytes) and
+	// mainly serves /v1/channels peers without touching disk.
+	MemBytes int64
+	// HedgeDelay is how long a remote fetch waits for the owner before
+	// issuing a cached-only hedge to the next ring replica; 0 means the
+	// package default, negative disables hedging.
+	HedgeDelay time.Duration
+	// FetchTimeout bounds one remote fetch attempt including hedges (0 =
+	// default).
+	FetchTimeout time.Duration
+	// FetchRetries is how many extra attempts follow a retryable fetch
+	// failure (0 = default; negative means no retries).
+	FetchRetries int
+	// FetchBackoff is the initial delay between attempts, doubling each
+	// retry (0 = default).
+	FetchBackoff time.Duration
 }
 
 // MSM is the paper's multi-step mechanism.
 type MSM struct {
-	m *core.Mechanism
+	m   *core.Mechanism
+	fab *fabric.Fabric // nil without MSMConfig.Fabric
 }
 
 // NewMSM allocates the budget across index levels (§5) and prepares the
@@ -592,9 +633,13 @@ func NewMSM(cfg MSMConfig) (*MSM, error) {
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
 	}
-	store, err := newChannelStore(cfg.CacheDir, cfg.CacheBytes, cfg.SolveTimeout, cfg.MaxSolves)
+	store, fab, err := newChannelStore(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
+	}
+	var owns func(channel.Key) bool
+	if fab != nil {
+		owns = fab.Owns
 	}
 	m, err := core.New(core.Config{
 		Eps:            cfg.Eps,
@@ -612,37 +657,62 @@ func NewMSM(cfg MSMConfig) (*MSM, error) {
 		PruneMass:      cfg.PruneMass,
 		LocalRadius:    cfg.LocalRadius,
 		LocalMassFloor: cfg.LocalMassFloor,
+		Owns:           owns,
 	}, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: %w", err)
 	}
-	return &MSM{m: m}, nil
+	return &MSM{m: m, fab: fab}, nil
 }
 
-// newChannelStore builds the channel store implied by the facade cache and
-// solve-lifecycle settings: nil (each mechanism gets a private in-memory
-// store) when everything is zero, otherwise a store with snapshot-byte cost
-// accounting, an optional per-solve timeout, optional solve admission
-// control, and — with a cache directory — read-through/write-behind snapshot
-// persistence.
-func newChannelStore(cacheDir string, cacheBytes int64, solveTimeout time.Duration, maxSolves int) (*channel.Store, error) {
-	if cacheDir == "" && cacheBytes == 0 && solveTimeout == 0 && maxSolves == 0 {
-		return nil, nil
+// newChannelStore builds the channel store implied by the facade cache,
+// solve-lifecycle and fleet settings: nil (each mechanism gets a private
+// in-memory store) when everything is zero, otherwise a store with
+// snapshot-byte cost accounting, an optional per-solve timeout, optional
+// solve admission control, and — with a cache directory or a fabric — a
+// read-through/write-behind backing. With cfg.Fabric set the backing is the
+// fabric's tiered chain (which owns the snapshot directory); otherwise it is
+// the plain DirCache.
+func newChannelStore(cfg MSMConfig) (*channel.Store, *fabric.Fabric, error) {
+	if cfg.Fabric == nil && cfg.CacheDir == "" && cfg.CacheBytes == 0 &&
+		cfg.SolveTimeout == 0 && cfg.MaxSolves == 0 {
+		return nil, nil, nil
 	}
 	opts := channel.Options{
-		MaxCost:      cacheBytes,
+		MaxCost:      cfg.CacheBytes,
 		CostFn:       opt.SnapshotCost,
-		SolveTimeout: solveTimeout,
-		MaxSolves:    maxSolves,
+		SolveTimeout: cfg.SolveTimeout,
+		MaxSolves:    cfg.MaxSolves,
 	}
-	if cacheDir != "" {
-		dc, err := channel.NewDirCache(cacheDir, opt.SnapshotCodec{})
+	var fab *fabric.Fabric
+	switch {
+	case cfg.Fabric != nil:
+		fc := cfg.Fabric
+		var err error
+		fab, err = fabric.New(fabric.Config{
+			Peers:        fc.Peers,
+			Self:         fc.Self,
+			CacheDir:     cfg.CacheDir,
+			Codec:        opt.SnapshotCodec{},
+			Cost:         opt.SnapshotCost,
+			MemBytes:     fc.MemBytes,
+			HedgeDelay:   fc.HedgeDelay,
+			FetchTimeout: fc.FetchTimeout,
+			FetchRetries: fc.FetchRetries,
+			FetchBackoff: fc.FetchBackoff,
+		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		opts.Backing = fab.Backing()
+	case cfg.CacheDir != "":
+		dc, err := channel.NewDirCache(cfg.CacheDir, opt.SnapshotCodec{})
+		if err != nil {
+			return nil, nil, err
 		}
 		opts.Backing = dc
 	}
-	return channel.New(opts), nil
+	return channel.New(opts), fab, nil
 }
 
 // Report implements Mechanism.
@@ -731,10 +801,55 @@ func (m *MSM) LocalInfo() (radius, massFloor float64, localChannels, denseFallba
 }
 
 // FlushCache blocks until every solved channel handed to the persistent
-// snapshot cache (MSMConfig.CacheDir) has been written to disk. A no-op
-// without a cache directory. Call after Precompute, or before shutdown, to
+// snapshot cache (MSMConfig.CacheDir) has been written to disk — including,
+// with a fabric, in-flight promotions between tiers. A no-op without a cache
+// directory or fabric. Call after Precompute, or before shutdown, to
 // guarantee the next process finds a fully populated cache.
-func (m *MSM) FlushCache() { m.m.SyncStore() }
+func (m *MSM) FlushCache() {
+	m.m.SyncStore()
+	if m.fab != nil {
+		m.fab.Sync()
+	}
+}
+
+// FabricStats snapshots the distributed channel fabric — per-tier hit/miss
+// counters and remote fetch/hedge/fallback activity. ok is false when the
+// mechanism was built without MSMConfig.Fabric.
+func (m *MSM) FabricStats() (fabric.Stats, bool) {
+	if m.fab == nil {
+		return fabric.Stats{}, false
+	}
+	return m.fab.Stats(), true
+}
+
+// FabricFetchLatency exposes the fabric's remote-fetch latency histogram
+// (seconds); nil without a fabric or for a single-replica fleet.
+func (m *MSM) FabricFetchLatency() *metrics.Histogram {
+	if m.fab == nil {
+		return nil
+	}
+	return m.fab.FetchLatency()
+}
+
+// OwnsChannel reports whether this replica owns key under the fleet's
+// rendezvous hash. Without a fabric every key is owned (single authority).
+func (m *MSM) OwnsChannel(key channel.Key) bool {
+	if m.fab == nil {
+		return true
+	}
+	return m.fab.Owns(key)
+}
+
+// ChannelSnapshot serves one channel in the persisted snapshot frame format
+// for the fleet's /v1/channels endpoint. The key is validated against this
+// mechanism's configuration (wrapped channel.ErrUnknownKey on mismatch).
+// With solve set, a cold channel is solved through the store's full
+// admission-controlled path; without it, only resident or locally cached
+// channels are served and a cold key returns channel.ErrNotCached — which is
+// what keeps hedged peer fetches from ever causing a duplicate solve.
+func (m *MSM) ChannelSnapshot(ctx context.Context, key channel.Key, solve bool) ([]byte, error) {
+	return m.m.ChannelSnapshot(ctx, key, solve)
+}
 
 // Static interface conformance checks.
 var (

@@ -1,0 +1,189 @@
+// FaultBacking: a fault-injection Backing test double shared by the
+// internal/channel and internal/fabric test suites. It keeps framed
+// snapshots in memory and serves them through the same verification path a
+// real tier uses (frame check, key check, codec decode), while injecting
+// configurable failures — dropped lookups, artificial latency, and
+// truncated- or flipped-byte payload corruption — so tests can prove that a
+// flapping backing never surfaces a wrong channel, only misses.
+//
+// It lives in the main package (not a _test.go file) because the fabric's
+// tests need it too and internal/channel's own tests are in-package; it has
+// no dependencies beyond the snapshot codec machinery already here.
+package channel
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// FaultBacking is a concurrency-safe in-memory Backing with fault injection.
+// Configure the exported knobs before sharing it across goroutines; they are
+// read without synchronization afterwards.
+type FaultBacking struct {
+	codec Codec
+
+	// DropRate is the probability that a Load pretends the snapshot is
+	// absent even though it exists (a flapping or lossy tier).
+	DropRate float64
+	// CorruptRate is the probability that a Load (or Frame) serves a
+	// corrupted copy of the snapshot — truncated or with a flipped byte —
+	// which must fail frame verification and read as a miss, never as a
+	// wrong channel.
+	CorruptRate float64
+	// Latency, when set, is the per-Load artificial delay, honoring the
+	// load context's cancellation.
+	Latency time.Duration
+	// FailStores makes Store drop writes silently (write-behind loss).
+	FailStores bool
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	data  map[Key][]byte
+	stats struct {
+		DirStats
+		dropped   int64
+		corrupted int64
+	}
+}
+
+// NewFaultBacking builds an empty FaultBacking with a deterministic fault
+// stream seeded by seed.
+func NewFaultBacking(codec Codec, seed uint64) *FaultBacking {
+	return &FaultBacking{
+		codec: codec,
+		rng:   rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		data:  make(map[Key][]byte),
+	}
+}
+
+// Put stores a pristine framed snapshot for key, bypassing fault injection
+// (test setup) and counting nothing.
+func (f *FaultBacking) Put(key Key, v any) error {
+	payload, err := f.codec.Encode(v)
+	if err != nil {
+		return err
+	}
+	frame := Snapshot(key, payload)
+	f.mu.Lock()
+	f.data[key] = frame
+	f.mu.Unlock()
+	return nil
+}
+
+// Frame returns the raw snapshot bytes for key with fault injection applied:
+// absent key or an injected drop reads as ok=false, and an injected
+// corruption returns damaged bytes that must fail Load verification. HTTP
+// tests serve these bytes directly to exercise a peer's receive-side
+// validation.
+func (f *FaultBacking) Frame(key Key) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	frame, ok := f.data[key]
+	if !ok {
+		return nil, false
+	}
+	if f.DropRate > 0 && f.rng.Float64() < f.DropRate {
+		f.stats.dropped++
+		return nil, false
+	}
+	if f.CorruptRate > 0 && f.rng.Float64() < f.CorruptRate {
+		f.stats.corrupted++
+		return f.corruptLocked(frame), true
+	}
+	return append([]byte(nil), frame...), true
+}
+
+// corruptLocked returns a damaged copy of frame: truncated at a random
+// offset, or with one random byte flipped. Callers hold f.mu.
+func (f *FaultBacking) corruptLocked(frame []byte) []byte {
+	if f.rng.IntN(2) == 0 && len(frame) > 1 {
+		return append([]byte(nil), frame[:f.rng.IntN(len(frame)-1)+1]...)
+	}
+	out := append([]byte(nil), frame...)
+	out[f.rng.IntN(len(out))] ^= 1 << uint(f.rng.IntN(8))
+	return out
+}
+
+// Load implements Backing through the full verification path: injected
+// latency, fault-filtered frame fetch, frame verification against key, codec
+// decode. Every injected fault degrades to a miss.
+func (f *FaultBacking) Load(ctx context.Context, key Key) (any, bool) {
+	if f.Latency > 0 {
+		t := time.NewTimer(f.Latency)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+	f.mu.Lock()
+	f.stats.Loads++
+	f.mu.Unlock()
+	frame, ok := f.Frame(key)
+	if !ok {
+		return nil, false
+	}
+	payload, err := Load(frame, key)
+	if err != nil {
+		if errors.Is(err, ErrSnapshotVersion) {
+			f.count(func(s *DirStats) { s.VersionMisses++ })
+		} else {
+			f.count(func(s *DirStats) { s.Errors++ })
+		}
+		return nil, false
+	}
+	v, err := f.codec.Decode(ctx, payload)
+	if err != nil {
+		f.count(func(s *DirStats) { s.Errors++ })
+		return nil, false
+	}
+	f.count(func(s *DirStats) { s.Hits++ })
+	return v, true
+}
+
+// Store implements Backing; writes are dropped when FailStores is set.
+func (f *FaultBacking) Store(key Key, v any) {
+	if f.FailStores {
+		f.count(func(s *DirStats) { s.WriteErrors++ })
+		return
+	}
+	if err := f.Put(key, v); err != nil {
+		f.count(func(s *DirStats) { s.WriteErrors++ })
+		return
+	}
+	f.count(func(s *DirStats) { s.Writes++ })
+}
+
+func (f *FaultBacking) count(fn func(*DirStats)) {
+	f.mu.Lock()
+	fn(&f.stats.DirStats)
+	f.mu.Unlock()
+}
+
+// Stats returns the DirCache-shaped counters.
+func (f *FaultBacking) Stats() DirStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats.DirStats
+}
+
+// FaultCounts reports how many faults were actually injected, so tests can
+// assert the fault path was exercised rather than silently skipped.
+func (f *FaultBacking) FaultCounts() (dropped, corrupted int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats.dropped, f.stats.corrupted
+}
+
+// Len returns the number of stored snapshots.
+func (f *FaultBacking) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.data)
+}
+
+var _ Backing = (*FaultBacking)(nil)

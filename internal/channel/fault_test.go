@@ -1,0 +1,226 @@
+package channel
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFaultBackingNeverServesWrongChannel is the flapping-tier correctness
+// suite (run under -race in CI): a store backed by a FaultBacking that drops
+// and corrupts aggressively, hammered by concurrent callers across a key
+// set, must only ever return the correct value for each key — a fault can
+// cost a re-solve, never a wrong channel or an error.
+func TestFaultBackingNeverServesWrongChannel(t *testing.T) {
+	fb := NewFaultBacking(stringCodec{}, 42)
+	fb.DropRate = 0.4
+	fb.CorruptRate = 0.4
+	fb.Latency = 100 * time.Microsecond
+
+	const keys = 24
+	want := func(cell int) string { return fmt.Sprintf("value-%d", cell) }
+	// Pre-populate the backing so read-throughs actually exercise the fault
+	// paths instead of always missing on an empty map.
+	for cell := 0; cell < keys; cell++ {
+		if err := fb.Put(testKey(cell), want(cell)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// MaxCost 1 forces constant eviction, so reads keep going back to the
+	// flapping backing for the whole run.
+	s := New(Options{Backing: fb, MaxCost: 1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 99))
+			for i := 0; i < 200; i++ {
+				cell := rng.IntN(keys)
+				v, _, err := s.GetOrComputeCtx(context.Background(), testKey(cell), func(context.Context) (any, error) {
+					return want(cell), nil
+				})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if v.(string) != want(cell) {
+					t.Errorf("worker %d: key %d returned %q", w, cell, v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s.Sync()
+
+	dropped, corrupted := fb.FaultCounts()
+	if dropped == 0 || corrupted == 0 {
+		t.Fatalf("fault paths not exercised: dropped=%d corrupted=%d", dropped, corrupted)
+	}
+	st := fb.Stats()
+	if st.Errors == 0 {
+		t.Fatalf("corrupted frames never rejected: %+v", st)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("backing never hit: %+v", st)
+	}
+}
+
+// TestFaultBackingDeterministicFaults pins the two injection modes: full
+// drop reads as a silent miss, full corruption reads as a counted rejection,
+// and neither ever surfaces bytes that decode to a value.
+func TestFaultBackingDeterministicFaults(t *testing.T) {
+	ctx := context.Background()
+	key := testKey(3)
+
+	drop := NewFaultBacking(stringCodec{}, 1)
+	drop.DropRate = 1
+	if err := drop.Put(key, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := drop.Load(ctx, key); ok {
+		t.Fatal("dropping backing returned a value")
+	}
+	if st := drop.Stats(); st.Errors != 0 || st.Hits != 0 {
+		t.Fatalf("drop must be a silent miss: %+v", st)
+	}
+
+	corrupt := NewFaultBacking(stringCodec{}, 2)
+	corrupt.CorruptRate = 1
+	if err := corrupt.Put(key, "x"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if v, ok := corrupt.Load(ctx, key); ok && v.(string) != "x" {
+			t.Fatalf("corrupted frame decoded to wrong value %q", v)
+		}
+	}
+	if st := corrupt.Stats(); st.Errors+st.VersionMisses == 0 {
+		t.Fatalf("corruption never counted: %+v", st)
+	}
+
+	fail := NewFaultBacking(stringCodec{}, 3)
+	fail.FailStores = true
+	fail.Store(key, "x")
+	if fail.Len() != 0 {
+		t.Fatal("FailStores persisted a snapshot")
+	}
+	if st := fail.Stats(); st.WriteErrors != 1 {
+		t.Fatalf("failed store not counted: %+v", st)
+	}
+}
+
+// TestFaultBackingHonorsLoadCancellation: a canceled load must return
+// promptly as a miss while injecting latency.
+func TestFaultBackingHonorsLoadCancellation(t *testing.T) {
+	fb := NewFaultBacking(stringCodec{}, 4)
+	fb.Latency = time.Hour
+	if err := fb.Put(testKey(1), "x"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, ok := fb.Load(ctx, testKey(1)); ok {
+		t.Fatal("canceled load returned a value")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("canceled load blocked on injected latency")
+	}
+}
+
+// tierStatsBacking is a minimal composite backing for the stats-surface
+// tests: it reports per-tier stats and a disk tier distinct from the sum.
+type tierStatsBacking struct {
+	FaultBacking
+	disk DirStats
+}
+
+func (b *tierStatsBacking) TierStats() []TierStats {
+	return []TierStats{
+		{Name: "mem", DirStats: DirStats{Loads: 10, Hits: 9}},
+		{Name: "disk", DirStats: b.disk},
+	}
+}
+
+func (b *tierStatsBacking) DiskStats() (DirStats, bool) { return b.disk, true }
+
+// TestBackingStatsGeneralized pins the satellite fix: a composite backing
+// reports its disk tier through BackingStats (so /v1/stats disk_errors and
+// version_misses keep their meaning), a plain DirCache-style backing still
+// reports itself, and BackingTierStats presents both uniformly.
+func TestBackingStatsGeneralized(t *testing.T) {
+	// Single-tier backing: unchanged legacy behaviour.
+	fb := NewFaultBacking(stringCodec{}, 5)
+	fb.Load(context.Background(), testKey(1)) // one miss
+	single := New(Options{Backing: fb})
+	ds, ok := single.BackingStats()
+	if !ok || ds.Loads != 1 {
+		t.Fatalf("single-tier BackingStats: %+v ok=%v", ds, ok)
+	}
+	tiers, ok := single.BackingTierStats()
+	if !ok || len(tiers) != 1 || tiers[0].Name != "disk" || tiers[0].Loads != 1 {
+		t.Fatalf("single-tier BackingTierStats: %+v ok=%v", tiers, ok)
+	}
+
+	// Composite backing: disk tier reported specifically, not the front tier.
+	comp := &tierStatsBacking{disk: DirStats{Loads: 4, Errors: 2, VersionMisses: 1}}
+	multi := New(Options{Backing: comp})
+	ds, ok = multi.BackingStats()
+	if !ok || ds.Errors != 2 || ds.VersionMisses != 1 {
+		t.Fatalf("composite BackingStats must surface the disk tier: %+v ok=%v", ds, ok)
+	}
+	tiers, ok = multi.BackingTierStats()
+	if !ok || len(tiers) != 2 || tiers[0].Name != "mem" || tiers[1].Name != "disk" {
+		t.Fatalf("composite BackingTierStats: %+v ok=%v", tiers, ok)
+	}
+
+	// No backing at all.
+	bare := New(Options{})
+	if _, ok := bare.BackingStats(); ok {
+		t.Fatal("no-backing store reported backing stats")
+	}
+	if _, ok := bare.BackingTierStats(); ok {
+		t.Fatal("no-backing store reported tier stats")
+	}
+}
+
+// TestStoreLoadCached pins the solve-free lookup used by hedged snapshot
+// serving: resident values hit, backed values hit without installing into
+// the store, absent values miss, and a LocalLoader backing is consulted via
+// its local path only.
+func TestStoreLoadCached(t *testing.T) {
+	ctx := context.Background()
+	fb := NewFaultBacking(stringCodec{}, 6)
+	s := New(Options{Backing: fb})
+
+	// Absent everywhere: miss, and no solve was triggered.
+	if _, ok := s.LoadCached(ctx, testKey(1)); ok {
+		t.Fatal("LoadCached hit on empty store")
+	}
+
+	// Resident: hit without touching the backing.
+	if _, _, err := s.GetOrCompute(testKey(2), func() (any, error) { return "resident", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.LoadCached(ctx, testKey(2)); !ok || v.(string) != "resident" {
+		t.Fatalf("resident LoadCached: %v %v", v, ok)
+	}
+
+	// Backing-only: hit, but the value is not installed in the store.
+	if err := fb.Put(testKey(3), "backed"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.LoadCached(ctx, testKey(3)); !ok || v.(string) != "backed" {
+		t.Fatalf("backed LoadCached: %v %v", v, ok)
+	}
+	if _, ok := s.Get(testKey(3)); ok {
+		t.Fatal("LoadCached installed the value into the store")
+	}
+}

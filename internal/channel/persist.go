@@ -225,13 +225,15 @@ func (d *DirCache) Dir() string { return d.dir }
 
 // Path returns the snapshot file path for key.
 func (d *DirCache) Path(key Key) string {
-	return filepath.Join(d.dir, pathComponent(key.Namespace), fmt.Sprintf("%016x.chan", contentHash(key)))
+	return filepath.Join(d.dir, pathComponent(key.Namespace), fmt.Sprintf("%016x.chan", ContentHash(key)))
 }
 
-// contentHash fingerprints the full key with the package's process-stable
-// FNV-1a hasher. Collisions are harmless: the snapshot embeds the full key,
-// so a colliding file fails Load's key check and reads as a miss.
-func contentHash(key Key) uint64 {
+// ContentHash fingerprints the full key with the package's process-stable
+// FNV-1a hasher. It addresses both DirCache snapshot files and the fabric's
+// consistent-hash key ownership, so every process derives the same placement
+// for the same key. Collisions are harmless: the snapshot embeds the full
+// key, so a colliding file fails Load's key check and reads as a miss.
+func ContentHash(key Key) uint64 {
 	h := NewHasher()
 	h.String(key.Namespace)
 	h.Int(key.Level)

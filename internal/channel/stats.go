@@ -1,0 +1,56 @@
+// Backing introspection surfaces. PR 4's single DirCache grew into the
+// fabric's tiered chains (internal/fabric), so the store can no longer
+// assume its Backing is one disk cache: these small optional interfaces let
+// a Backing report per-tier counters, expose which tier is the durable disk
+// one (so the legacy /v1/stats disk_errors / version_misses fields keep
+// meaning "the disk"), and answer cheap local-only lookups that must never
+// trigger a solve or a network fetch.
+package channel
+
+import (
+	"context"
+	"errors"
+)
+
+// TierStats is one tier's counters inside a composite Backing, identified by
+// a short stable name ("mem", "disk", "remote").
+type TierStats struct {
+	Name string
+	DirStats
+	// LoadNanos is the cumulative wall-clock time spent inside this tier's
+	// Load calls, letting per-tier latency be derived at scrape time.
+	LoadNanos int64
+}
+
+// TierStatser is implemented by composite Backings (the fabric's
+// TieredBacking) that can break their counters down per tier, ordered
+// fastest first.
+type TierStatser interface {
+	TierStats() []TierStats
+}
+
+// DiskStatser is implemented by Backings that contain (or are) a durable
+// local disk tier and can surface its counters specifically. ok=false means
+// the backing has no disk tier (e.g. a mem→remote chain).
+type DiskStatser interface {
+	DiskStats() (DirStats, bool)
+}
+
+// LocalLoader is implemented by Backings that can attempt a lookup against
+// their local tiers only — in-process memory or the local disk — without any
+// network fetch and without solving. Store.LoadCached uses it so "serve only
+// if already cached" requests (hedged snapshot fetches from peers) stay
+// cheap and side-effect-free.
+type LocalLoader interface {
+	LoadLocal(ctx context.Context, key Key) (any, bool)
+}
+
+// ErrUnknownKey reports a channel key that does not belong to the mechanism
+// asked to serve it: wrong namespace, level out of range, epsilon/prior/
+// variant mismatch. Peers treat it as a definitive miss (no retry).
+var ErrUnknownKey = errors.New("channel: key does not belong to this mechanism")
+
+// ErrNotCached reports a valid key whose channel is not currently cached
+// locally, returned by solve-free lookups (hedged fetches ask for cached
+// channels only, so a hedge can never trigger a duplicate LP solve).
+var ErrNotCached = errors.New("channel: not cached locally")

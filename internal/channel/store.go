@@ -606,14 +606,54 @@ func (s *Store) Clear() {
 	}
 }
 
-// BackingStats returns the backing cache's own counters when the configured
-// Backing exposes them (DirCache does); ok is false when there is no backing
-// or it keeps no stats.
+// BackingStats returns the counters of the backing's durable disk tier; ok
+// is false when there is no backing, no disk tier, or no stats at all. A
+// composite backing (DiskStatser) reports its disk tier specifically so the
+// long-standing /v1/stats disk_errors and version_misses fields keep meaning
+// "the local snapshot directory" even when the chain also has mem and remote
+// tiers; a plain single-tier backing (DirCache) reports itself as before.
 func (s *Store) BackingStats() (DirStats, bool) {
-	if b, ok := s.backing.(interface{ Stats() DirStats }); ok {
+	switch b := s.backing.(type) {
+	case DiskStatser:
+		return b.DiskStats()
+	case interface{ Stats() DirStats }:
 		return b.Stats(), true
 	}
 	return DirStats{}, false
+}
+
+// BackingTierStats returns the per-tier breakdown of a composite backing.
+// A single-tier backing with stats is reported as one "disk" tier so callers
+// can render uniformly; ok is false only when no stats exist at all.
+func (s *Store) BackingTierStats() ([]TierStats, bool) {
+	switch b := s.backing.(type) {
+	case TierStatser:
+		return b.TierStats(), true
+	case interface{ Stats() DirStats }:
+		return []TierStats{{Name: "disk", DirStats: b.Stats()}}, true
+	}
+	return nil, false
+}
+
+// LoadCached returns the channel for key only if it is already available
+// without solving and without leaving the machine: a resident completed
+// entry, or a hit in the backing's local tiers. It never starts a solve,
+// never joins a flight, and never performs a remote fetch, so peers can ask
+// "do you already have this?" (hedged snapshot fetches) at pure lookup cost.
+// The loaded value is not installed in the store: serving a snapshot to a
+// peer should not perturb this replica's resident set or LRU order.
+func (s *Store) LoadCached(ctx context.Context, key Key) (any, bool) {
+	if v, ok := s.Get(key); ok {
+		return v, true
+	}
+	switch b := s.backing.(type) {
+	case nil:
+		return nil, false
+	case LocalLoader:
+		return b.LoadLocal(ctx, key)
+	default:
+		return b.Load(ctx, key)
+	}
 }
 
 // Stats returns a snapshot of the store counters.

@@ -99,6 +99,14 @@ type Config struct {
 	// include the level budget, metric and a prior fingerprint, so distinct
 	// mechanisms sharing a store never collide.
 	Store *channel.Store
+	// Owns, when non-nil, restricts PrecomputeCtx to the channel keys it
+	// returns true for (the fabric installs its consistent-hash ownership
+	// test here, so a fleet's replicas precompute disjoint partitions of
+	// the key space — each unique channel is solved by exactly one
+	// replica). Query-time descent is unaffected: a non-owned channel is
+	// fetched from its owner through the store's backing, or solved
+	// locally as a last resort.
+	Owns func(key channel.Key) bool
 	// SpannerStretch, when > 0, replaces each per-level full-constraint LP
 	// with the spanner-reduced formulation of Bordenabe et al. at this
 	// stretch factor (>= 1; stretch -> 1 recovers the exact LP). Reduced
@@ -460,10 +468,7 @@ func (m *Mechanism) channel(ctx context.Context, level, parentIdx int) (*opt.Cha
 	if m.cfg.DisableCache {
 		return m.solveChannel(ctx, level, parentIdx)
 	}
-	key := channel.NewKey(storeNamespace, level, parentIdx, m.alloc.Eps[level], int(m.cfg.Metric), m.priorHash)
-	if m.variant != 0 {
-		key = key.WithVariant(m.variant)
-	}
+	key := m.storeKey(level, parentIdx)
 	v, _, err := m.store.GetOrComputeCtx(ctx, key, func(solveCtx context.Context) (any, error) {
 		// solveCtx is the store's detached solve context, not the caller's
 		// request ctx: the solve outlives any individual waiter and is only
@@ -481,6 +486,75 @@ func (m *Mechanism) channel(ctx context.Context, level, parentIdx int) (*opt.Cha
 		return m.solveChannel(ctx, level, parentIdx)
 	}
 	return ch, nil
+}
+
+// storeKey assembles the store key for the channel descending from
+// parentIdx at level. Every replica with the same configuration derives the
+// same key (the prior hash and variant are content fingerprints), which is
+// what lets a fleet address each other's snapshots.
+func (m *Mechanism) storeKey(level, parentIdx int) channel.Key {
+	key := channel.NewKey(storeNamespace, level, parentIdx, m.alloc.Eps[level], int(m.cfg.Metric), m.priorHash)
+	if m.variant != 0 {
+		key = key.WithVariant(m.variant)
+	}
+	return key
+}
+
+// levelCells returns the number of parent cells at level (the virtual root
+// is the single level-0 parent).
+func (m *Mechanism) levelCells(level int) int {
+	if level == 0 {
+		return 1
+	}
+	return m.hier.LevelGrid(level).NumCells()
+}
+
+// ChannelSnapshot serves one channel in the persisted GICH frame format for
+// the fabric's snapshot endpoint. The key is validated against this
+// mechanism's own configuration — namespace, level range, exact level
+// budget, cell range, metric, prior fingerprint and variant — so a peer can
+// never make this replica solve (or leak) a channel outside its index;
+// mismatches return ErrUnknownKey. With solve set the channel is obtained
+// through the store's full path (singleflight, read-through, admission
+// control — the caller should be the key's owner); without it only resident
+// or locally cached channels are served, and a cold key returns
+// ErrNotCached so a hedged fetch can never cause a duplicate solve.
+func (m *Mechanism) ChannelSnapshot(ctx context.Context, key channel.Key, solve bool) ([]byte, error) {
+	if m.cfg.DisableCache {
+		return nil, fmt.Errorf("%w: channel cache disabled", channel.ErrUnknownKey)
+	}
+	if key.Namespace != storeNamespace {
+		return nil, fmt.Errorf("%w: namespace %q", channel.ErrUnknownKey, key.Namespace)
+	}
+	if key.Level < 0 || key.Level >= m.Height() {
+		return nil, fmt.Errorf("%w: level %d outside [0,%d)", channel.ErrUnknownKey, key.Level, m.Height())
+	}
+	if key.Cell < 0 || key.Cell >= m.levelCells(key.Level) {
+		return nil, fmt.Errorf("%w: cell %d outside level %d", channel.ErrUnknownKey, key.Cell, key.Level)
+	}
+	if want := m.storeKey(key.Level, key.Cell); key != want {
+		return nil, fmt.Errorf("%w: budget/metric/prior/variant mismatch", channel.ErrUnknownKey)
+	}
+	var v any
+	if solve {
+		var err error
+		v, _, err = m.store.GetOrComputeCtx(ctx, key, func(solveCtx context.Context) (any, error) {
+			return m.solveChannel(solveCtx, key.Level, key.Cell)
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var ok bool
+		if v, ok = m.store.LoadCached(ctx, key); !ok {
+			return nil, channel.ErrNotCached
+		}
+	}
+	payload, err := opt.SnapshotCodec{}.Encode(v)
+	if err != nil {
+		return nil, fmt.Errorf("msm: encode snapshot: %w", err)
+	}
+	return channel.Snapshot(key, payload), nil
 }
 
 // solveChannel performs the LP solve for one (level, parent) subdomain,
@@ -824,6 +898,13 @@ func (m *Mechanism) PrecomputeCtx(ctx context.Context) error {
 		level := level
 		ps := parents
 		if err := channel.ForEachCtx(ctx, workers, len(ps), func(i int) error {
+			// Owner-only precompute: replicas in a fabric fleet warm
+			// disjoint key partitions, so each unique channel is solved by
+			// exactly one replica. Non-owned channels are pulled lazily from
+			// their owner (or solved as a fallback) at query time.
+			if m.cfg.Owns != nil && !m.cfg.Owns(m.storeKey(level, ps[i])) {
+				return nil
+			}
 			_, err := m.channel(ctx, level, ps[i])
 			return err
 		}); err != nil {

@@ -1,0 +1,150 @@
+// Package fabric turns a fleet of geoind replicas that share nothing but
+// the network into one logical channel cache. It builds on the channel
+// store's Backing hook (PR 4): each replica's store is backed by a tiered
+// chain — in-memory → local snapshot directory → remote HTTP fetch from the
+// key's owner — with rendezvous-hash ownership deciding, identically on
+// every replica, which one is allowed to run the LP solve for each key.
+// Non-owners fetch the owner's snapshot (hedged, retried, fully
+// re-verified) and fall back to solving locally if the owner is
+// unreachable: the fabric deduplicates solves fleet-wide but is never a
+// correctness or availability dependency.
+package fabric
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"geoind/internal/channel"
+	"geoind/internal/metrics"
+)
+
+// DefaultMemBytes bounds the in-memory tier when the config leaves it zero.
+const DefaultMemBytes = 64 << 20
+
+// Config assembles a Fabric.
+type Config struct {
+	// Peers is the full replica set (base URLs, identical strings on every
+	// replica); Self must be one of them. A single-peer set builds a
+	// degenerate fabric with no remote tier: this replica owns every key.
+	Peers []string
+	Self  string
+
+	// CacheDir, when non-empty, adds the local snapshot directory tier.
+	CacheDir string
+	// Codec encodes/decodes snapshot payloads (required).
+	Codec channel.Codec
+	// Cost sizes values for the memory tier (typically opt.SnapshotCost).
+	Cost func(any) int64
+	// MemBytes bounds the in-memory tier (0 = DefaultMemBytes, <0 =
+	// disable the tier).
+	MemBytes int64
+
+	// Remote fetch tuning; zero values select the package defaults.
+	HedgeDelay   time.Duration
+	FetchTimeout time.Duration
+	FetchRetries int
+	FetchBackoff time.Duration
+	Client       *http.Client
+}
+
+// Stats is a point-in-time snapshot of fabric behaviour for /v1/stats and
+// /metrics.
+type Stats struct {
+	Self  string
+	Peers []string
+	// Tiers is the per-tier breakdown, fastest first.
+	Tiers []channel.TierStats
+	// Remote is nil for a degenerate single-replica fabric.
+	Remote *RemoteStats
+}
+
+// Fabric is one replica's view of the fleet-wide channel cache.
+type Fabric struct {
+	ring    *Ring
+	backing *TieredBacking
+	remote  *RemoteTier // nil when the fleet has one replica
+	mem     *MemTier    // nil when disabled
+	disk    *channel.DirCache
+}
+
+// New assembles the tier chain for this replica.
+func New(cfg Config) (*Fabric, error) {
+	if cfg.Codec == nil {
+		return nil, fmt.Errorf("fabric: nil codec")
+	}
+	ring, err := NewRing(cfg.Peers, cfg.Self)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fabric{ring: ring}
+	var tiers []Tier
+	if cfg.MemBytes >= 0 {
+		memBytes := cfg.MemBytes
+		if memBytes == 0 {
+			memBytes = DefaultMemBytes
+		}
+		f.mem = NewMemTier(memBytes, cfg.Cost)
+		tiers = append(tiers, f.mem)
+	}
+	if cfg.CacheDir != "" {
+		dc, err := channel.NewDirCache(cfg.CacheDir, cfg.Codec)
+		if err != nil {
+			return nil, err
+		}
+		f.disk = dc
+		tiers = append(tiers, &DiskTier{DirCache: dc})
+	}
+	if len(ring.Peers()) > 1 {
+		f.remote = NewRemoteTier(ring, cfg.Codec, RemoteOptions{
+			Client:       cfg.Client,
+			HedgeDelay:   cfg.HedgeDelay,
+			FetchTimeout: cfg.FetchTimeout,
+			Retries:      cfg.FetchRetries,
+			Backoff:      cfg.FetchBackoff,
+		})
+		tiers = append(tiers, f.remote)
+	}
+	if len(tiers) == 0 {
+		return nil, fmt.Errorf("fabric: no tiers (single replica, no cache dir, memory tier disabled)")
+	}
+	f.backing = NewTieredBacking(tiers...)
+	return f, nil
+}
+
+// Backing returns the chain to install as the channel store's Backing.
+func (f *Fabric) Backing() channel.Backing { return f.backing }
+
+// Ring returns the ownership ring.
+func (f *Fabric) Ring() *Ring { return f.ring }
+
+// Owns reports whether this replica owns key (and is therefore the one that
+// precomputes and solves it).
+func (f *Fabric) Owns(key channel.Key) bool { return f.ring.OwnsKey(key) }
+
+// Sync waits for in-flight tier promotions (call alongside Store.Sync
+// before exit).
+func (f *Fabric) Sync() { f.backing.Sync() }
+
+// FetchLatency exposes the remote-fetch latency histogram (nil for a
+// single-replica fabric); observations are in seconds.
+func (f *Fabric) FetchLatency() *metrics.Histogram {
+	if f.remote == nil {
+		return nil
+	}
+	return f.remote.LatencyHistogram()
+}
+
+// Stats snapshots every tier plus the remote fetch counters.
+func (f *Fabric) Stats() Stats {
+	st := Stats{
+		Self:  f.ring.Self(),
+		Peers: f.ring.Peers(),
+		Tiers: f.backing.TierStats(),
+	}
+	if f.remote != nil {
+		rs := f.remote.RemoteStats()
+		st.Remote = &rs
+	}
+	return st
+}

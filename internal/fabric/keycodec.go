@@ -1,0 +1,99 @@
+// Wire form of channel keys for the snapshot endpoint.
+//
+// GET /v1/channels/{hash} carries the key's content hash in the path — the
+// same FNV-1a fingerprint the DirCache uses for file names, so a fetch URL
+// is to the fleet what a snapshot path is to a volume — and the full key in
+// query parameters, mirroring the snapshot frame's own design: the hash
+// addresses, the full key verifies. The server recomputes the hash from the
+// parsed fields and rejects a mismatch before doing any work, and the framed
+// response re-embeds the key so the receiving side verifies end to end.
+//
+// ?solve=1 asks the serving replica to solve on a local miss (sent to the
+// key's owner, which is the one replica entitled to solve it); without it
+// the server answers only from its local caches (hedge requests, which must
+// never cause a duplicate LP solve on a non-owner).
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"geoind/internal/channel"
+)
+
+// SnapshotPathPrefix is the snapshot endpoint route prefix (the trailing
+// element is the key's content hash in hex).
+const SnapshotPathPrefix = "/v1/channels/"
+
+// SnapshotURL renders the fetch URL for key against a peer base URL.
+func SnapshotURL(base string, key channel.Key, solve bool) string {
+	q := url.Values{}
+	q.Set("ns", key.Namespace)
+	q.Set("level", strconv.Itoa(key.Level))
+	q.Set("cell", strconv.Itoa(key.Cell))
+	q.Set("eps", strconv.FormatFloat(math.Float64frombits(key.EpsBits), 'x', -1, 64))
+	q.Set("metric", strconv.Itoa(key.Metric))
+	q.Set("prior", strconv.FormatUint(key.PriorHash, 16))
+	if key.Variant != 0 {
+		q.Set("variant", strconv.FormatUint(key.Variant, 16))
+	}
+	if solve {
+		q.Set("solve", "1")
+	}
+	return fmt.Sprintf("%s%s%016x?%s",
+		strings.TrimSuffix(base, "/"), SnapshotPathPrefix, channel.ContentHash(key), q.Encode())
+}
+
+// ParseSnapshotRequest reconstructs the key and solve flag from a snapshot
+// request and verifies the path hash against the parsed fields, so a
+// truncated or hand-mangled URL is rejected up front instead of producing a
+// framed snapshot for the wrong key.
+func ParseSnapshotRequest(r *http.Request) (channel.Key, bool, error) {
+	rest, ok := strings.CutPrefix(r.URL.Path, SnapshotPathPrefix)
+	if !ok || rest == "" || strings.Contains(rest, "/") {
+		return channel.Key{}, false, fmt.Errorf("fabric: bad snapshot path %q", r.URL.Path)
+	}
+	wantHash, err := strconv.ParseUint(rest, 16, 64)
+	if err != nil {
+		return channel.Key{}, false, fmt.Errorf("fabric: bad key hash %q: %w", rest, err)
+	}
+	q := r.URL.Query()
+	atoi := func(name string) (int, error) {
+		v, err := strconv.Atoi(q.Get(name))
+		if err != nil {
+			return 0, fmt.Errorf("fabric: bad %s %q", name, q.Get(name))
+		}
+		return v, nil
+	}
+	key := channel.Key{Namespace: q.Get("ns")}
+	if key.Level, err = atoi("level"); err != nil {
+		return channel.Key{}, false, err
+	}
+	if key.Cell, err = atoi("cell"); err != nil {
+		return channel.Key{}, false, err
+	}
+	eps, err := strconv.ParseFloat(q.Get("eps"), 64)
+	if err != nil {
+		return channel.Key{}, false, fmt.Errorf("fabric: bad eps %q", q.Get("eps"))
+	}
+	key.EpsBits = math.Float64bits(eps)
+	if key.Metric, err = atoi("metric"); err != nil {
+		return channel.Key{}, false, err
+	}
+	if key.PriorHash, err = strconv.ParseUint(q.Get("prior"), 16, 64); err != nil {
+		return channel.Key{}, false, fmt.Errorf("fabric: bad prior %q", q.Get("prior"))
+	}
+	if v := q.Get("variant"); v != "" {
+		if key.Variant, err = strconv.ParseUint(v, 16, 64); err != nil {
+			return channel.Key{}, false, fmt.Errorf("fabric: bad variant %q", v)
+		}
+	}
+	if got := channel.ContentHash(key); got != wantHash {
+		return channel.Key{}, false, fmt.Errorf("fabric: key hash %016x does not match fields (%016x)", wantHash, got)
+	}
+	return key, q.Get("solve") == "1", nil
+}

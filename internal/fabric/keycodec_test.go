@@ -1,0 +1,55 @@
+package fabric
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"geoind/internal/channel"
+)
+
+func TestSnapshotURLRoundTrip(t *testing.T) {
+	keys := []channel.Key{
+		channel.NewKey("msm", 0, 0, 0.25, 0, 0xdeadbeef),
+		channel.NewKey("msm", 3, 1234, 1.0/3.0, 1, 0xffffffffffffffff).WithVariant(42),
+		channel.NewKey("adaptive", 7, 99, 1e-9, 0, 1),
+		{Namespace: "", Level: -1, Cell: 0, EpsBits: 0x3fd5555555555555, Metric: 0, PriorHash: 0},
+	}
+	for _, solve := range []bool{false, true} {
+		for _, key := range keys {
+			u := SnapshotURL("http://peer:8080/", key, solve)
+			if !strings.HasPrefix(u, "http://peer:8080"+SnapshotPathPrefix) {
+				t.Fatalf("URL %q lacks prefix", u)
+			}
+			r := httptest.NewRequest("GET", u, nil)
+			got, gotSolve, err := ParseSnapshotRequest(r)
+			if err != nil {
+				t.Fatalf("parse %q: %v", u, err)
+			}
+			if got != key || gotSolve != solve {
+				t.Fatalf("round trip %q: got %+v solve=%v, want %+v solve=%v", u, got, gotSolve, key, solve)
+			}
+		}
+	}
+}
+
+func TestParseSnapshotRequestRejectsMangledURLs(t *testing.T) {
+	key := channel.NewKey("msm", 1, 5, 0.5, 0, 0xabc)
+	good := SnapshotURL("http://peer", key, true)
+	bad := []string{
+		"http://peer/v1/channels/",                     // missing hash
+		"http://peer/v1/channels/zzzz",                 // unparsable hash
+		"http://peer/v1/channels/0/extra",              // extra path element
+		strings.Replace(good, "level=1", "level=2", 1), // field no longer matches hash
+		strings.Replace(good, "level=1", "level=x", 1), // unparsable field
+		strings.Replace(good, "prior=abc", "prior=abd", 1),
+	}
+	for _, u := range bad {
+		if _, _, err := ParseSnapshotRequest(httptest.NewRequest("GET", u, nil)); err == nil {
+			t.Errorf("mangled URL accepted: %q", u)
+		}
+	}
+	if _, _, err := ParseSnapshotRequest(httptest.NewRequest("GET", good, nil)); err != nil {
+		t.Fatalf("good URL rejected: %v", err)
+	}
+}

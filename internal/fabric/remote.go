@@ -1,0 +1,350 @@
+// RemoteTier: fetch a peer's snapshot instead of re-running the LP.
+//
+// On a local miss for a key this replica does not own, the remote tier asks
+// the key's owner for its snapshot (?solve=1 — the owner solves on its own
+// miss, so a cold key is solved exactly once per fleet, by its owner). The
+// fetch is hedged: if the owner has not answered within HedgeDelay, a second
+// request goes to the next replica on the rendezvous order with ?solve=0 —
+// "serve it only if you already have it" — so hedging can only ever cost
+// latency, never a duplicate solve. First success wins and cancels the
+// loser through the shared fetch context. Transient failures (connection
+// errors, 5xx, 429) are retried with exponential backoff up to Retries
+// times; a definitive owner miss (404 on a solve request only happens if
+// the owner considers the key foreign) or exhausted retries make the tier
+// report a miss, and the store falls back to solving locally — ownership is
+// an optimization for solve dedup, never a correctness or availability
+// dependency.
+//
+// Received payloads go through exactly the verification a local snapshot
+// file does: channel.Load re-checks the CRC and the full embedded key, and
+// the codec re-validates the decoded channel (row sums, geometry, cum
+// reconstruction — opt.SnapshotCodec), so a corrupt, truncated or
+// foreign-version peer response degrades to a local solve and a fetched
+// channel samples bit-identically to a locally solved one.
+package fabric
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"geoind/internal/channel"
+	"geoind/internal/metrics"
+)
+
+// Remote tier defaults, chosen for LAN fleets: the hedge delay is well above
+// a healthy snapshot round trip but far below an LP solve, and the retry
+// budget keeps worst-case added latency bounded (fetch path total <
+// 2*Timeout) before falling back to the local solve.
+const (
+	DefaultHedgeDelay   = 150 * time.Millisecond
+	DefaultFetchTimeout = 15 * time.Second
+	DefaultFetchBackoff = 100 * time.Millisecond
+	DefaultFetchRetries = 2
+	// DefaultMaxBody caps a snapshot response read; larger is certainly not
+	// one of our channels.
+	DefaultMaxBody = 256 << 20
+)
+
+// fetchLatencyBounds are the remote-fetch histogram buckets in seconds.
+var fetchLatencyBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// RemoteOptions tunes a RemoteTier; the zero value selects every default.
+type RemoteOptions struct {
+	// Client is the HTTP client used for snapshot fetches (default
+	// http.DefaultClient). Its transport is shared by hedged requests.
+	Client *http.Client
+	// HedgeDelay is how long to wait on the owner before hedging to the
+	// next replica on the ring; <0 disables hedging.
+	HedgeDelay time.Duration
+	// FetchTimeout bounds one Load's whole fetch attempt set (all retries
+	// and hedges for one key).
+	FetchTimeout time.Duration
+	// Retries is how many times a transiently failed owner fetch is retried
+	// before giving up (<0 disables retries; 0 selects the default).
+	Retries int
+	// Backoff is the initial retry backoff, doubled per attempt.
+	Backoff time.Duration
+	// MaxBody caps the accepted response size.
+	MaxBody int64
+}
+
+// RemoteStats is a snapshot of remote-tier behaviour beyond the
+// DirCache-shaped counters.
+type RemoteStats struct {
+	// Fetches counts HTTP requests issued (primaries, hedges and retries).
+	Fetches int64
+	// Hedges counts hedged (second) requests launched; HedgeWins counts
+	// hedges that answered first with a usable snapshot.
+	Hedges    int64
+	HedgeWins int64
+	// Retries counts re-fetches after a transient failure.
+	Retries int64
+	// Fallbacks counts Loads that gave up (miss → the caller solves
+	// locally).
+	Fallbacks int64
+	// FetchP50Ms / FetchP99Ms are latency quantile estimates over completed
+	// fetch attempts, in milliseconds.
+	FetchP50Ms float64
+	FetchP99Ms float64
+}
+
+// RemoteTier fetches owner snapshots over HTTP. It implements Tier with
+// Local() == false: it is never written to and never consulted by local-only
+// lookups.
+type RemoteTier struct {
+	ring    *Ring
+	codec   channel.Codec
+	client  *http.Client
+	hedge   time.Duration
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+	maxBody int64
+
+	loads, hits, errs, versionMisses         atomic.Int64
+	fetches, hedges, hedgeWins, retriedCount atomic.Int64
+	fallbacks                                atomic.Int64
+	latency                                  *metrics.Histogram
+}
+
+// NewRemoteTier builds a remote tier over ring, decoding payloads with
+// codec.
+func NewRemoteTier(ring *Ring, codec channel.Codec, opts RemoteOptions) *RemoteTier {
+	t := &RemoteTier{
+		ring:    ring,
+		codec:   codec,
+		client:  opts.Client,
+		hedge:   opts.HedgeDelay,
+		timeout: opts.FetchTimeout,
+		retries: opts.Retries,
+		backoff: opts.Backoff,
+		maxBody: opts.MaxBody,
+		latency: metrics.NewHistogram(fetchLatencyBounds),
+	}
+	if t.client == nil {
+		t.client = http.DefaultClient
+	}
+	if t.hedge == 0 {
+		t.hedge = DefaultHedgeDelay
+	}
+	if t.timeout == 0 {
+		t.timeout = DefaultFetchTimeout
+	}
+	if t.retries == 0 {
+		t.retries = DefaultFetchRetries
+	} else if t.retries < 0 {
+		t.retries = 0
+	}
+	if t.backoff == 0 {
+		t.backoff = DefaultFetchBackoff
+	}
+	if t.maxBody == 0 {
+		t.maxBody = DefaultMaxBody
+	}
+	return t
+}
+
+// Name implements Tier.
+func (t *RemoteTier) Name() string { return "remote" }
+
+// Local implements Tier.
+func (t *RemoteTier) Local() bool { return false }
+
+// Store implements channel.Backing as a no-op: snapshots are pulled by the
+// replicas that need them, never pushed.
+func (t *RemoteTier) Store(channel.Key, any) {}
+
+// Stats implements Tier with the DirCache-shaped counters.
+func (t *RemoteTier) Stats() channel.DirStats {
+	return channel.DirStats{
+		Loads:         t.loads.Load(),
+		Hits:          t.hits.Load(),
+		Errors:        t.errs.Load(),
+		VersionMisses: t.versionMisses.Load(),
+	}
+}
+
+// RemoteStats returns the fetch/hedge/retry counters and latency quantiles.
+func (t *RemoteTier) RemoteStats() RemoteStats {
+	return RemoteStats{
+		Fetches:    t.fetches.Load(),
+		Hedges:     t.hedges.Load(),
+		HedgeWins:  t.hedgeWins.Load(),
+		Retries:    t.retriedCount.Load(),
+		Fallbacks:  t.fallbacks.Load(),
+		FetchP50Ms: t.latency.Quantile(0.50) * 1e3,
+		FetchP99Ms: t.latency.Quantile(0.99) * 1e3,
+	}
+}
+
+// LatencyHistogram exposes the fetch-latency histogram for registration in
+// a metrics registry (observations are in seconds).
+func (t *RemoteTier) LatencyHistogram() *metrics.Histogram { return t.latency }
+
+// Load implements channel.Backing: fetch the snapshot for a key this
+// replica does not own from the key's owner, hedged and retried. For a key
+// this replica owns the tier is an instant miss — the owner is the one that
+// solves.
+func (t *RemoteTier) Load(ctx context.Context, key channel.Key) (any, bool) {
+	order := t.ring.Order(channel.ContentHash(key))
+	if order[0] == t.ring.Self() {
+		return nil, false
+	}
+	t.loads.Add(1)
+	// The hedge target is the best-ranked peer after the owner that is not
+	// this replica (asking ourselves over HTTP would deadlock a busy server
+	// for no information we don't already have).
+	hedgePeer := ""
+	for _, p := range order[1:] {
+		if p != t.ring.Self() {
+			hedgePeer = p
+			break
+		}
+	}
+	fctx, cancel := context.WithTimeout(ctx, t.timeout)
+	defer cancel()
+	backoff := t.backoff
+	for attempt := 0; ; attempt++ {
+		v, ok, retryable := t.fetchHedged(fctx, cancel, key, order[0], hedgePeer)
+		if ok {
+			t.hits.Add(1)
+			return v, true
+		}
+		if !retryable || attempt >= t.retries || fctx.Err() != nil {
+			t.fallbacks.Add(1)
+			return nil, false
+		}
+		t.retriedCount.Add(1)
+		select {
+		case <-time.After(backoff):
+		case <-fctx.Done():
+			t.fallbacks.Add(1)
+			return nil, false
+		}
+		backoff *= 2
+	}
+}
+
+type fetchResult struct {
+	v         any
+	ok        bool
+	retryable bool
+	hedged    bool
+}
+
+// fetchHedged runs one owner fetch with an optional hedge: if the owner has
+// not answered within the hedge delay, a cached-only request goes to
+// hedgePeer; the first usable answer wins and cancel aborts the other
+// request via the shared context.
+func (t *RemoteTier) fetchHedged(ctx context.Context, cancel context.CancelFunc, key channel.Key, owner, hedgePeer string) (any, bool, bool) {
+	results := make(chan fetchResult, 2)
+	launch := func(peer string, solve, hedged bool) {
+		t.fetches.Add(1)
+		go func() {
+			v, ok, retryable := t.fetchOne(ctx, key, peer, solve)
+			results <- fetchResult{v, ok, retryable, hedged}
+		}()
+	}
+	launch(owner, true, false)
+	pending := 1
+
+	var hedgeC <-chan time.Time
+	if hedgePeer != "" && t.hedge >= 0 {
+		timer := time.NewTimer(t.hedge)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	retryable := false
+	for pending > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			t.hedges.Add(1)
+			launch(hedgePeer, false, true)
+			pending++
+		case r := <-results:
+			pending--
+			if r.ok {
+				if r.hedged {
+					t.hedgeWins.Add(1)
+				}
+				cancel() // first success wins; abort the other request
+				return r.v, true, false
+			}
+			if !r.hedged {
+				retryable = r.retryable
+			}
+		}
+	}
+	return nil, false, retryable
+}
+
+// fetchOne performs a single snapshot GET against peer and fully verifies
+// the response: HTTP status triage, CRC + key re-verification of the frame,
+// codec re-validation of the payload. retryable reports whether a failure
+// looks transient (network error, 5xx, 429) rather than definitive (404,
+// corrupt frame for this exact key, foreign snapshot version).
+func (t *RemoteTier) fetchOne(ctx context.Context, key channel.Key, peer string, solve bool) (any, bool, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, SnapshotURL(peer, key, solve), nil)
+	if err != nil {
+		t.errs.Add(1)
+		return nil, false, false
+	}
+	start := time.Now()
+	resp, err := t.client.Do(req)
+	if err != nil {
+		// Context cancellation (the hedge race was won, the caller gave up)
+		// is not a peer error.
+		if ctx.Err() == nil {
+			t.errs.Add(1)
+		}
+		return nil, false, true
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	t.latency.Observe(time.Since(start).Seconds())
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, false, false // definitive: not cached there / foreign key
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+		t.errs.Add(1)
+		return nil, false, true
+	default:
+		t.errs.Add(1)
+		return nil, false, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, t.maxBody+1))
+	if err != nil || int64(len(data)) > t.maxBody {
+		t.errs.Add(1)
+		return nil, false, true
+	}
+	payload, err := channel.Load(data, key)
+	if err != nil {
+		if errors.Is(err, channel.ErrSnapshotVersion) {
+			// A peer running a different snapshot format: expected during
+			// rollouts, counted separately, not retried (it will keep
+			// sending the same version).
+			t.versionMisses.Add(1)
+			return nil, false, false
+		}
+		t.errs.Add(1)
+		return nil, false, true
+	}
+	v, err := t.codec.Decode(ctx, payload)
+	if err != nil {
+		t.errs.Add(1)
+		return nil, false, true
+	}
+	return v, true, false
+}
+
+var _ Tier = (*RemoteTier)(nil)

@@ -1,0 +1,437 @@
+package fabric
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"geoind/internal/channel"
+	"geoind/internal/geo"
+	"geoind/internal/grid"
+	"geoind/internal/opt"
+)
+
+// newSnapshotServer runs an httptest server speaking the snapshot endpoint
+// protocol: parse the key, look the frame up in fb (fault injection and
+// all), serve the raw bytes. before, when non-nil, runs first and may hijack
+// the response (returning false serves nothing else).
+func newSnapshotServer(t *testing.T, fb *channel.FaultBacking, before func(w http.ResponseWriter, r *http.Request) bool) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if before != nil && !before(w, r) {
+			return
+		}
+		key, _, err := ParseSnapshotRequest(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		frame, ok := fb.Frame(key)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(frame)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// ownedKey returns a test key whose rendezvous owner is owner.
+func ownedKey(t *testing.T, ring *Ring, owner string) channel.Key {
+	t.Helper()
+	for cell := 0; cell < 100000; cell++ {
+		key := tkey(cell)
+		if ring.Owner(channel.ContentHash(key)) == owner {
+			return key
+		}
+	}
+	t.Fatalf("no test key owned by %q", owner)
+	return channel.Key{}
+}
+
+const fakeSelf = "http://self.invalid"
+
+// twoPeerTier builds a RemoteTier whose only real peer is srv.
+func twoPeerTier(t *testing.T, srv *httptest.Server, codec channel.Codec, opts RemoteOptions) (*RemoteTier, *Ring) {
+	t.Helper()
+	ring, err := NewRing([]string{fakeSelf, srv.URL}, fakeSelf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRemoteTier(ring, codec, opts), ring
+}
+
+func TestRemoteTierFetchesOwnerSnapshot(t *testing.T) {
+	fb := channel.NewFaultBacking(strCodec{}, 1)
+	var requests atomic.Int64
+	srv := newSnapshotServer(t, fb, func(http.ResponseWriter, *http.Request) bool {
+		requests.Add(1)
+		return true
+	})
+	rt, ring := twoPeerTier(t, srv, strCodec{}, RemoteOptions{HedgeDelay: -1})
+
+	remoteKey := ownedKey(t, ring, srv.URL)
+	if err := fb.Put(remoteKey, "from-owner"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := rt.Load(context.Background(), remoteKey)
+	if !ok || v.(string) != "from-owner" {
+		t.Fatalf("owner fetch: %v %v", v, ok)
+	}
+
+	// A key this replica owns never goes over the network.
+	selfKey := ownedKey(t, ring, fakeSelf)
+	before := requests.Load()
+	if _, ok := rt.Load(context.Background(), selfKey); ok {
+		t.Fatal("self-owned key fetched remotely")
+	}
+	if requests.Load() != before {
+		t.Fatal("self-owned miss issued an HTTP request")
+	}
+	st := rt.Stats()
+	if st.Hits != 1 || st.Errors != 0 {
+		t.Fatalf("remote stats: %+v", st)
+	}
+	if rs := rt.RemoteStats(); rs.Fetches != 1 || rs.Fallbacks != 0 {
+		t.Fatalf("remote fetch stats: %+v", rs)
+	}
+}
+
+// TestRemoteFetchedChannelBitIdentical is the acceptance round trip: a real
+// OPT channel solved locally, framed, served over HTTP, fetched and
+// re-validated by the remote tier must expose the identical distribution
+// and the identical sample stream as the original.
+func TestRemoteFetchedChannelBitIdentical(t *testing.T) {
+	g, err := grid.New(geo.NewSquare(10), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := make([]float64, g.NumCells())
+	for i := range prior {
+		prior[i] = float64(i%4) + 1
+	}
+	orig, err := opt.Build(1.2, g, prior, geo.Euclidean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	codec := opt.SnapshotCodec{}
+	fb := channel.NewFaultBacking(codec, 2)
+	srv := newSnapshotServer(t, fb, nil)
+	rt, ring := twoPeerTier(t, srv, codec, RemoteOptions{HedgeDelay: -1})
+	key := ownedKey(t, ring, srv.URL)
+	if err := fb.Put(key, orig); err != nil {
+		t.Fatal(err)
+	}
+
+	v, ok := rt.Load(context.Background(), key)
+	if !ok {
+		t.Fatal("remote fetch missed")
+	}
+	fetched, ok := v.(*opt.Channel)
+	if !ok {
+		t.Fatalf("fetched %T", v)
+	}
+	ko, kf := orig.DenseK(), fetched.DenseK()
+	if len(ko) != len(kf) {
+		t.Fatalf("K size %d vs %d", len(ko), len(kf))
+	}
+	for i := range ko {
+		if ko[i] != kf[i] {
+			t.Fatalf("K[%d]: %v vs %v (not bit-identical)", i, ko[i], kf[i])
+		}
+	}
+	ra := rand.New(rand.NewPCG(7, 7))
+	rb := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 2000; i++ {
+		x := i % orig.N()
+		if a, b := orig.SampleIndex(x, ra), fetched.SampleIndex(x, rb); a != b {
+			t.Fatalf("draw %d diverged: %d vs %d", i, a, b)
+		}
+	}
+}
+
+func TestRemoteCorruptResponseDegradesToMiss(t *testing.T) {
+	fb := channel.NewFaultBacking(strCodec{}, 3)
+	fb.CorruptRate = 1
+	srv := newSnapshotServer(t, fb, nil)
+	rt, ring := twoPeerTier(t, srv, strCodec{}, RemoteOptions{
+		HedgeDelay: -1, Retries: -1,
+	})
+	key := ownedKey(t, ring, srv.URL)
+	if err := fb.Put(key, "pristine"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := rt.Load(context.Background(), key); ok {
+		t.Fatalf("corrupt response surfaced a value: %v", v)
+	}
+	st := rt.Stats()
+	if st.Errors+st.VersionMisses == 0 {
+		t.Fatalf("corruption not counted: %+v", st)
+	}
+	if rs := rt.RemoteStats(); rs.Fallbacks != 1 {
+		t.Fatalf("fallback not counted: %+v", rs)
+	}
+}
+
+func TestRemoteForeignVersionCountsAsVersionMiss(t *testing.T) {
+	codec := strCodec{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key, _, err := ParseSnapshotRequest(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		payload, _ := codec.Encode("old-format")
+		frame := channel.Snapshot(key, payload)
+		binary.LittleEndian.PutUint32(frame[4:], 99) // foreign version
+		binary.LittleEndian.PutUint32(frame[len(frame)-4:], crc32.ChecksumIEEE(frame[:len(frame)-4]))
+		w.Write(frame)
+	}))
+	defer srv.Close()
+	rt, ring := twoPeerTier(t, srv, codec, RemoteOptions{HedgeDelay: -1, Retries: -1})
+	key := ownedKey(t, ring, srv.URL)
+	if _, ok := rt.Load(context.Background(), key); ok {
+		t.Fatal("foreign-version frame accepted")
+	}
+	if st := rt.Stats(); st.VersionMisses != 1 || st.Errors != 0 {
+		t.Fatalf("foreign version must be a version miss, not an error: %+v", st)
+	}
+}
+
+// TestRemoteHedgeWins: a slow owner is overtaken by a hedged cached-only
+// fetch to the next replica on the ring; first success wins and the loser
+// is canceled.
+func TestRemoteHedgeWins(t *testing.T) {
+	fb := channel.NewFaultBacking(strCodec{}, 4)
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	slow := newSnapshotServer(t, fb, func(w http.ResponseWriter, r *http.Request) bool {
+		select { // park until canceled or the test ends
+		case <-r.Context().Done():
+		case <-release:
+		}
+		return false
+	})
+	var hedgeSolve atomic.Bool
+	fast := newSnapshotServer(t, fb, func(w http.ResponseWriter, r *http.Request) bool {
+		if _, solve, err := ParseSnapshotRequest(r); err == nil && solve {
+			hedgeSolve.Store(true)
+		}
+		return true
+	})
+	ring, err := NewRing([]string{fakeSelf, slow.URL, fast.URL}, fakeSelf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRemoteTier(ring, strCodec{}, RemoteOptions{HedgeDelay: 5 * time.Millisecond})
+	key := ownedKey(t, ring, slow.URL)
+	if err := fb.Put(key, "hedged"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := rt.Load(context.Background(), key)
+	if !ok || v.(string) != "hedged" {
+		t.Fatalf("hedged fetch: %v %v", v, ok)
+	}
+	rs := rt.RemoteStats()
+	if rs.Hedges != 1 || rs.HedgeWins != 1 {
+		t.Fatalf("hedge not counted: %+v", rs)
+	}
+	if hedgeSolve.Load() {
+		t.Fatal("hedge request asked a non-owner to solve")
+	}
+}
+
+func TestRemoteRetriesTransientFailures(t *testing.T) {
+	fb := channel.NewFaultBacking(strCodec{}, 5)
+	var n atomic.Int64
+	srv := newSnapshotServer(t, fb, func(w http.ResponseWriter, r *http.Request) bool {
+		if n.Add(1) == 1 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return false
+		}
+		return true
+	})
+	rt, ring := twoPeerTier(t, srv, strCodec{}, RemoteOptions{
+		HedgeDelay: -1, Retries: 2, Backoff: time.Millisecond,
+	})
+	key := ownedKey(t, ring, srv.URL)
+	if err := fb.Put(key, "second-try"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := rt.Load(context.Background(), key)
+	if !ok || v.(string) != "second-try" {
+		t.Fatalf("retried fetch: %v %v", v, ok)
+	}
+	if rs := rt.RemoteStats(); rs.Retries != 1 || rs.Fetches != 2 {
+		t.Fatalf("retry accounting: %+v", rs)
+	}
+}
+
+func TestRemoteDefinitiveMissDoesNotRetry(t *testing.T) {
+	fb := channel.NewFaultBacking(strCodec{}, 6) // empty: every fetch is 404
+	var n atomic.Int64
+	srv := newSnapshotServer(t, fb, func(http.ResponseWriter, *http.Request) bool {
+		n.Add(1)
+		return true
+	})
+	rt, ring := twoPeerTier(t, srv, strCodec{}, RemoteOptions{
+		HedgeDelay: -1, Retries: 5, Backoff: time.Millisecond,
+	})
+	if _, ok := rt.Load(context.Background(), ownedKey(t, ring, srv.URL)); ok {
+		t.Fatal("404 produced a value")
+	}
+	if n.Load() != 1 {
+		t.Fatalf("definitive miss fetched %d times", n.Load())
+	}
+}
+
+func TestRemoteLoadHonorsCancellation(t *testing.T) {
+	fb := channel.NewFaultBacking(strCodec{}, 7)
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	srv := newSnapshotServer(t, fb, func(w http.ResponseWriter, r *http.Request) bool {
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+		return false
+	})
+	rt, ring := twoPeerTier(t, srv, strCodec{}, RemoteOptions{HedgeDelay: -1})
+	key := ownedKey(t, ring, srv.URL)
+	if err := fb.Put(key, "never"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, ok := rt.Load(ctx, key); ok {
+		t.Fatal("canceled load returned a value")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("canceled load did not return promptly")
+	}
+}
+
+// TestFlappingRemoteNeverServesWrongChannel is the fabric half of the
+// fault-injection race suite: a full store with a mem→remote chain over a
+// flapping peer (drops, corruption, transient 500s) under concurrent load
+// must always produce the correct channel for every key — faults cost a
+// local re-solve, never correctness.
+func TestFlappingRemoteNeverServesWrongChannel(t *testing.T) {
+	fb := channel.NewFaultBacking(strCodec{}, 8)
+	fb.DropRate = 0.25
+	fb.CorruptRate = 0.25
+	var n atomic.Int64
+	srv := newSnapshotServer(t, fb, func(w http.ResponseWriter, r *http.Request) bool {
+		if n.Add(1)%5 == 0 { // transient server failures too
+			http.Error(w, "flap", http.StatusInternalServerError)
+			return false
+		}
+		return true
+	})
+	rt, _ := twoPeerTier(t, srv, strCodec{}, RemoteOptions{
+		HedgeDelay: -1, Retries: 1, Backoff: time.Millisecond,
+	})
+	const keys = 16
+	want := func(cell int) string { return fmt.Sprintf("value-%d", cell) }
+	for cell := 0; cell < keys; cell++ {
+		if err := fb.Put(tkey(cell), want(cell)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// MaxCost 1 keeps evicting so the chain stays hot for the whole run.
+	s := channel.New(channel.Options{
+		Backing: NewTieredBacking(NewMemTier(4, nil), rt),
+		MaxCost: 1,
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 17))
+			for i := 0; i < 60; i++ {
+				cell := rng.IntN(keys)
+				v, _, err := s.GetOrComputeCtx(context.Background(), tkey(cell), func(context.Context) (any, error) {
+					return want(cell), nil // local-solve fallback
+				})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if v.(string) != want(cell) {
+					t.Errorf("worker %d: key %d got %q", w, cell, v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s.Sync()
+}
+
+// TestFabricAssembly covers New's tier selection and the degenerate
+// single-replica fabric.
+func TestFabricAssembly(t *testing.T) {
+	if _, err := New(Config{Peers: []string{"a"}, Self: "a"}); err == nil {
+		t.Error("nil codec accepted")
+	}
+	if _, err := New(Config{Peers: []string{"a"}, Self: "b", Codec: strCodec{}}); err == nil {
+		t.Error("self outside peers accepted")
+	}
+	if _, err := New(Config{Peers: []string{"a"}, Self: "a", Codec: strCodec{}, MemBytes: -1}); err == nil {
+		t.Error("tierless fabric accepted")
+	}
+
+	single, err := New(Config{Peers: []string{"http://a"}, Self: "http://a", Codec: strCodec{}, CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.FetchLatency() != nil {
+		t.Error("single-replica fabric has a remote tier")
+	}
+	for cell := 0; cell < 50; cell++ {
+		if !single.Owns(tkey(cell)) {
+			t.Fatal("single replica must own every key")
+		}
+	}
+	st := single.Stats()
+	if st.Remote != nil || len(st.Tiers) != 2 || st.Tiers[0].Name != "mem" || st.Tiers[1].Name != "disk" {
+		t.Fatalf("single-replica stats: %+v", st)
+	}
+
+	fleet, err := New(Config{
+		Peers: []string{"http://a", "http://b"}, Self: "http://a",
+		Codec: strCodec{}, CacheDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := 0
+	for cell := 0; cell < 200; cell++ {
+		if fleet.Owns(tkey(cell)) {
+			owned++
+		}
+	}
+	if owned == 0 || owned == 200 {
+		t.Fatalf("2-replica ownership degenerate: %d/200", owned)
+	}
+	st = fleet.Stats()
+	if st.Remote == nil || len(st.Tiers) != 3 || st.Tiers[2].Name != "remote" {
+		t.Fatalf("fleet stats: %+v", st)
+	}
+	if fleet.FetchLatency() == nil {
+		t.Error("fleet fabric lacks a fetch-latency histogram")
+	}
+}

@@ -1,0 +1,101 @@
+// Consistent-hash ownership of channel keys across a replica fleet.
+//
+// The fabric assigns every channel key exactly one owner replica via
+// rendezvous (highest-random-weight) hashing: each peer's score for a key is
+// a stable FNV-1a hash of (peer URL, key content hash), and the peer with
+// the highest score owns the key. Rendezvous hashing needs no virtual nodes
+// or ring state, is deterministic across processes (the same property the
+// DirCache relies on for content addressing), and the full descending score
+// order doubles as the hedge/fallback sequence: the second-ranked peer is
+// the natural target for a hedged fetch or for picking up ownership when the
+// first is gone.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"geoind/internal/channel"
+)
+
+// Ring is an immutable rendezvous hash over a static replica set. The zero
+// value is not usable; construct with NewRing. Safe for concurrent use.
+type Ring struct {
+	peers []string
+	self  string
+}
+
+// NewRing validates and builds a ring. peers are replica base URLs (the
+// strings must match across the fleet byte-for-byte — they are hashed, not
+// resolved); self must be one of them. Duplicates are rejected rather than
+// deduplicated so a misconfigured fleet fails at startup, not at query time.
+func NewRing(peers []string, self string) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("fabric: empty peer set")
+	}
+	seen := make(map[string]bool, len(peers))
+	hasSelf := false
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("fabric: empty peer URL")
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("fabric: duplicate peer %q", p)
+		}
+		seen[p] = true
+		if p == self {
+			hasSelf = true
+		}
+	}
+	if !hasSelf {
+		return nil, fmt.Errorf("fabric: self %q not in peer set %v", self, peers)
+	}
+	return &Ring{peers: append([]string(nil), peers...), self: self}, nil
+}
+
+// Peers returns the replica set (do not mutate).
+func (r *Ring) Peers() []string { return r.peers }
+
+// Self returns this replica's own URL.
+func (r *Ring) Self() string { return r.self }
+
+// score is the rendezvous weight of peer for a key hash: process-stable so
+// every replica computes the same ownership.
+func score(peer string, keyHash uint64) uint64 {
+	h := channel.NewHasher()
+	h.String(peer)
+	h.Uint64(keyHash)
+	return h.Sum()
+}
+
+// Order returns the peers ranked by descending rendezvous score for keyHash
+// (ties broken lexicographically, so the order is total and identical on
+// every replica). Order[0] is the owner; Order[1] is the hedge target.
+func (r *Ring) Order(keyHash uint64) []string {
+	out := append([]string(nil), r.peers...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := score(out[i], keyHash), score(out[j], keyHash)
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Owner returns the owning peer for keyHash.
+func (r *Ring) Owner(keyHash uint64) string {
+	best := r.peers[0]
+	bestScore := score(best, keyHash)
+	for _, p := range r.peers[1:] {
+		if s := score(p, keyHash); s > bestScore || (s == bestScore && p < best) {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// OwnsKey reports whether this replica owns key.
+func (r *Ring) OwnsKey(key channel.Key) bool {
+	return r.Owner(channel.ContentHash(key)) == r.self
+}

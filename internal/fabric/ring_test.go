@@ -1,0 +1,97 @@
+package fabric
+
+import (
+	"testing"
+
+	"geoind/internal/channel"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, "a"); err == nil {
+		t.Error("empty peer set accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, "a"); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+	if _, err := NewRing([]string{"a", "b"}, "c"); err == nil {
+		t.Error("self outside peer set accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, "a"); err == nil {
+		t.Error("empty peer URL accepted")
+	}
+	if _, err := NewRing([]string{"a"}, "a"); err != nil {
+		t.Errorf("single-peer ring rejected: %v", err)
+	}
+}
+
+// TestRingDeterministicOwnership pins the properties the fleet depends on:
+// every replica computes the same owner and the same full order for every
+// key, the order is a permutation of the peer set, and ownership spreads
+// across peers rather than collapsing onto one.
+func TestRingDeterministicOwnership(t *testing.T) {
+	peers := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	ra, err := NewRing(peers, peers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NewRing(peers, peers[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make(map[string]int)
+	for cell := 0; cell < 600; cell++ {
+		key := channel.NewKey("t", 1, cell, 0.5, 0, 0xabc)
+		h := channel.ContentHash(key)
+		oa, ob := ra.Owner(h), rb.Owner(h)
+		if oa != ob {
+			t.Fatalf("cell %d: replicas disagree on owner: %q vs %q", cell, oa, ob)
+		}
+		order := ra.Order(h)
+		if len(order) != len(peers) || order[0] != oa {
+			t.Fatalf("cell %d: order %v inconsistent with owner %q", cell, order, oa)
+		}
+		seen := make(map[string]bool)
+		for _, p := range order {
+			seen[p] = true
+		}
+		if len(seen) != len(peers) {
+			t.Fatalf("cell %d: order %v is not a permutation", cell, order)
+		}
+		if got := ra.OwnsKey(key); got != (oa == ra.Self()) {
+			t.Fatalf("cell %d: OwnsKey=%v but owner=%q", cell, got, oa)
+		}
+		owned[oa]++
+	}
+	for _, p := range peers {
+		if owned[p] < 60 { // each peer should own a nontrivial share of 600
+			t.Fatalf("degenerate ownership distribution: %v", owned)
+		}
+	}
+}
+
+// TestRingExactlyOneOwner: for every key, exactly one replica in the fleet
+// answers OwnsKey true — the invariant that makes owner-only precompute a
+// partition of the key space.
+func TestRingExactlyOneOwner(t *testing.T) {
+	peers := []string{"http://a", "http://b", "http://c", "http://d"}
+	rings := make([]*Ring, len(peers))
+	for i, p := range peers {
+		r, err := NewRing(peers, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[i] = r
+	}
+	for cell := 0; cell < 300; cell++ {
+		key := channel.NewKey("t", 2, cell, 0.25, 0, 7)
+		owners := 0
+		for _, r := range rings {
+			if r.OwnsKey(key) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("cell %d owned by %d replicas", cell, owners)
+		}
+	}
+}

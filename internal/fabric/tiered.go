@@ -1,0 +1,262 @@
+// TieredBacking: the fabric's backing chain, consulted fastest-first.
+//
+// A replica's channel store sees one Backing; behind it the fabric chains an
+// in-memory tier (decoded values, LRU-bounded), the local DirCache (the PR 4
+// snapshot directory), and a remote HTTP tier that fetches the owner's
+// snapshot over the network. A hit at any tier is promoted write-behind into
+// every faster local tier, so a channel fetched once from a peer costs a map
+// lookup ever after — and is persisted locally, surviving restarts without
+// re-fetching. Every tier keeps DirCache-shaped counters plus cumulative
+// load latency, surfaced per tier through the store's generalized stats
+// (channel.TierStatser) into /v1/stats and /metrics.
+package fabric
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geoind/internal/channel"
+)
+
+// Tier is one level of a TieredBacking: a Backing that also identifies
+// itself and reports its counters. Local tiers (memory, disk) accept
+// promotions and are consulted by solve-free LoadLocal lookups; non-local
+// tiers (remote) are skipped by both.
+type Tier interface {
+	channel.Backing
+	Name() string
+	Local() bool
+	Stats() channel.DirStats
+}
+
+// TieredBacking chains tiers fastest-first and implements channel.Backing
+// plus the store's introspection interfaces (TierStatser, DiskStatser,
+// LocalLoader). Safe for concurrent use.
+type TieredBacking struct {
+	tiers []Tier
+	nanos []atomic.Int64 // per-tier cumulative Load wall time
+
+	promotions sync.WaitGroup // in-flight write-behind promotions
+}
+
+// NewTieredBacking chains the given tiers, consulted in order.
+func NewTieredBacking(tiers ...Tier) *TieredBacking {
+	return &TieredBacking{tiers: tiers, nanos: make([]atomic.Int64, len(tiers))}
+}
+
+// Load implements channel.Backing: consult each tier in order and promote a
+// hit into every faster local tier (asynchronously — the waiter gets its
+// channel immediately; Sync waits for promotions, e.g. before exit).
+func (t *TieredBacking) Load(ctx context.Context, key channel.Key) (any, bool) {
+	return t.load(ctx, key, false)
+}
+
+// LoadLocal implements channel.LocalLoader: like Load but consults local
+// tiers only, so "serve only if already cached" lookups never touch the
+// network.
+func (t *TieredBacking) LoadLocal(ctx context.Context, key channel.Key) (any, bool) {
+	return t.load(ctx, key, true)
+}
+
+func (t *TieredBacking) load(ctx context.Context, key channel.Key, localOnly bool) (any, bool) {
+	for i, tier := range t.tiers {
+		if localOnly && !tier.Local() {
+			continue
+		}
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		start := time.Now()
+		v, ok := tier.Load(ctx, key)
+		t.nanos[i].Add(int64(time.Since(start)))
+		if ok {
+			t.promote(i, key, v)
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// promote writes a value that hit at tier index from into every faster
+// local tier, in the background.
+func (t *TieredBacking) promote(from int, key channel.Key, v any) {
+	if from == 0 {
+		return
+	}
+	t.promotions.Add(1)
+	go func() {
+		defer t.promotions.Done()
+		for j := from - 1; j >= 0; j-- {
+			if t.tiers[j].Local() {
+				t.tiers[j].Store(key, v)
+			}
+		}
+	}()
+}
+
+// Store implements channel.Backing write-behind: freshly solved channels are
+// persisted into every local tier. Remote tiers are not written — peers pull
+// snapshots over HTTP; nothing is pushed.
+func (t *TieredBacking) Store(key channel.Key, v any) {
+	for _, tier := range t.tiers {
+		if tier.Local() {
+			tier.Store(key, v)
+		}
+	}
+}
+
+// Sync waits for promotions started so far to land (the store's own Sync
+// covers write-behind of solved values; this covers promotion of fetched
+// ones).
+func (t *TieredBacking) Sync() {
+	t.promotions.Wait()
+}
+
+// TierStats implements channel.TierStatser.
+func (t *TieredBacking) TierStats() []channel.TierStats {
+	out := make([]channel.TierStats, len(t.tiers))
+	for i, tier := range t.tiers {
+		out[i] = channel.TierStats{
+			Name:      tier.Name(),
+			DirStats:  tier.Stats(),
+			LoadNanos: t.nanos[i].Load(),
+		}
+	}
+	return out
+}
+
+// DiskStats implements channel.DiskStatser: the durable disk tier's own
+// counters, preserving the meaning of the legacy /v1/stats disk fields.
+func (t *TieredBacking) DiskStats() (channel.DirStats, bool) {
+	for _, tier := range t.tiers {
+		if d, ok := tier.(*DiskTier); ok {
+			return d.Stats(), true
+		}
+	}
+	return channel.DirStats{}, false
+}
+
+var (
+	_ channel.Backing     = (*TieredBacking)(nil)
+	_ channel.TierStatser = (*TieredBacking)(nil)
+	_ channel.DiskStatser = (*TieredBacking)(nil)
+	_ channel.LocalLoader = (*TieredBacking)(nil)
+)
+
+// MemTier is a bounded in-memory tier of decoded channel values with LRU
+// eviction by cost. It exists for values the store itself no longer holds
+// (evicted, or loaded by solve-free peer lookups): hitting here skips both
+// the disk read+decode and any network fetch.
+type MemTier struct {
+	maxBytes int64
+	cost     func(any) int64
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[channel.Key]*list.Element
+	total int64
+
+	loads, hits, writes atomic.Int64
+}
+
+type memItem struct {
+	key  channel.Key
+	v    any
+	cost int64
+}
+
+// NewMemTier builds a memory tier holding at most maxBytes of cost (as
+// measured by cost, typically opt.SnapshotCost); cost nil charges 1 per
+// entry.
+func NewMemTier(maxBytes int64, cost func(any) int64) *MemTier {
+	if cost == nil {
+		cost = func(any) int64 { return 1 }
+	}
+	return &MemTier{
+		maxBytes: maxBytes,
+		cost:     cost,
+		ll:       list.New(),
+		items:    make(map[channel.Key]*list.Element),
+	}
+}
+
+// Name implements Tier.
+func (m *MemTier) Name() string { return "mem" }
+
+// Local implements Tier.
+func (m *MemTier) Local() bool { return true }
+
+// Load implements channel.Backing.
+func (m *MemTier) Load(_ context.Context, key channel.Key) (any, bool) {
+	m.loads.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.items[key]
+	if !ok {
+		return nil, false
+	}
+	m.ll.MoveToFront(el)
+	m.hits.Add(1)
+	return el.Value.(*memItem).v, true
+}
+
+// Store implements channel.Backing: insert (or refresh) and evict LRU
+// entries beyond the byte bound. A single value larger than the bound is
+// simply not retained.
+func (m *MemTier) Store(key channel.Key, v any) {
+	c := m.cost(v)
+	m.writes.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[key]; ok {
+		it := el.Value.(*memItem)
+		m.total += c - it.cost
+		it.v, it.cost = v, c
+		m.ll.MoveToFront(el)
+	} else {
+		m.items[key] = m.ll.PushFront(&memItem{key: key, v: v, cost: c})
+		m.total += c
+	}
+	for m.total > m.maxBytes && m.ll.Len() > 0 {
+		back := m.ll.Back()
+		it := back.Value.(*memItem)
+		m.ll.Remove(back)
+		delete(m.items, it.key)
+		m.total -= it.cost
+	}
+}
+
+// Stats implements Tier (Writes counts inserts; eviction is implicit).
+func (m *MemTier) Stats() channel.DirStats {
+	return channel.DirStats{
+		Loads:  m.loads.Load(),
+		Hits:   m.hits.Load(),
+		Writes: m.writes.Load(),
+	}
+}
+
+// Len returns the resident entry count.
+func (m *MemTier) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}
+
+// DiskTier adapts the PR 4 DirCache to the Tier interface.
+type DiskTier struct {
+	*channel.DirCache
+}
+
+// Name implements Tier.
+func (*DiskTier) Name() string { return "disk" }
+
+// Local implements Tier.
+func (*DiskTier) Local() bool { return true }
+
+var (
+	_ Tier = (*MemTier)(nil)
+	_ Tier = (*DiskTier)(nil)
+)

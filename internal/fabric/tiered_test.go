@@ -1,0 +1,194 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"geoind/internal/channel"
+)
+
+// strCodec mirrors the channel package's test codec: payload = "S:" + value.
+type strCodec struct{}
+
+func (strCodec) Encode(v any) ([]byte, error) {
+	s, ok := v.(string)
+	if !ok {
+		return nil, fmt.Errorf("strCodec: %T", v)
+	}
+	return append([]byte("S:"), s...), nil
+}
+
+func (strCodec) Decode(_ context.Context, data []byte) (any, error) {
+	if len(data) < 2 || string(data[:2]) != "S:" {
+		return nil, fmt.Errorf("strCodec: bad payload")
+	}
+	return string(data[2:]), nil
+}
+
+// faultTier adapts a FaultBacking to the Tier interface under a chosen name
+// and locality, standing in for disk or remote tiers in chain tests.
+type faultTier struct {
+	*channel.FaultBacking
+	name  string
+	local bool
+}
+
+func (ft *faultTier) Name() string { return ft.name }
+func (ft *faultTier) Local() bool  { return ft.local }
+
+func tkey(cell int) channel.Key {
+	return channel.NewKey("t", 1, cell, 0.5, 0, 0xfab)
+}
+
+// TestTieredPromotion: a hit in a slower tier is promoted write-behind into
+// every faster local tier, so the next load stops at the front.
+func TestTieredPromotion(t *testing.T) {
+	ctx := context.Background()
+	mem := NewMemTier(1<<20, nil)
+	slow := &faultTier{FaultBacking: channel.NewFaultBacking(strCodec{}, 1), name: "slow", local: true}
+	if err := slow.Put(tkey(1), "hello"); err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTieredBacking(mem, slow)
+
+	v, ok := tb.Load(ctx, tkey(1))
+	if !ok || v.(string) != "hello" {
+		t.Fatalf("Load through chain: %v %v", v, ok)
+	}
+	tb.Sync() // wait for the promotion
+	if v, ok := mem.Load(ctx, tkey(1)); !ok || v.(string) != "hello" {
+		t.Fatalf("hit not promoted to mem tier: %v %v", v, ok)
+	}
+	slowLoads := slow.Stats().Loads
+	if _, ok := tb.Load(ctx, tkey(1)); !ok {
+		t.Fatal("second load missed")
+	}
+	if got := slow.Stats().Loads; got != slowLoads {
+		t.Fatalf("second load reached the slow tier (%d -> %d loads)", slowLoads, got)
+	}
+}
+
+// TestTieredLocalOnlyAndStoreScope: LoadLocal never consults non-local
+// tiers, and Store writes local tiers only.
+func TestTieredLocalOnlyAndStoreScope(t *testing.T) {
+	ctx := context.Background()
+	local := &faultTier{FaultBacking: channel.NewFaultBacking(strCodec{}, 2), name: "mem", local: true}
+	remote := &faultTier{FaultBacking: channel.NewFaultBacking(strCodec{}, 3), name: "remote", local: false}
+	if err := remote.Put(tkey(2), "remote-only"); err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTieredBacking(local, remote)
+
+	if _, ok := tb.LoadLocal(ctx, tkey(2)); ok {
+		t.Fatal("LoadLocal consulted the remote tier")
+	}
+	if remote.Stats().Loads != 0 {
+		t.Fatal("LoadLocal issued a remote load")
+	}
+	if v, ok := tb.Load(ctx, tkey(2)); !ok || v.(string) != "remote-only" {
+		t.Fatalf("full Load: %v %v", v, ok)
+	}
+	tb.Sync()
+	// The remote hit was promoted into the local tier; LoadLocal now hits.
+	if v, ok := tb.LoadLocal(ctx, tkey(2)); !ok || v.(string) != "remote-only" {
+		t.Fatalf("promotion did not reach the local tier: %v %v", v, ok)
+	}
+
+	tb.Store(tkey(3), "solved")
+	if remote.Stats().Writes != 0 {
+		t.Fatal("Store wrote to the remote tier")
+	}
+	if v, ok := local.Load(ctx, tkey(3)); !ok || v.(string) != "solved" {
+		t.Fatalf("Store missed the local tier: %v %v", v, ok)
+	}
+}
+
+// TestTieredStatsSurfaces: per-tier stats carry tier names in chain order,
+// and DiskStats reports the real DiskTier specifically.
+func TestTieredStatsSurfaces(t *testing.T) {
+	ctx := context.Background()
+	mem := NewMemTier(1<<20, nil)
+	dc, err := channel.NewDirCache(t.TempDir(), strCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := &DiskTier{DirCache: dc}
+	tb := NewTieredBacking(mem, disk)
+
+	tb.Store(tkey(4), "v")
+	if _, ok := tb.Load(ctx, tkey(4)); !ok {
+		t.Fatal("load after store missed")
+	}
+	ts := tb.TierStats()
+	if len(ts) != 2 || ts[0].Name != "mem" || ts[1].Name != "disk" {
+		t.Fatalf("tier stats: %+v", ts)
+	}
+	if ts[0].Hits != 1 || ts[0].Writes != 1 {
+		t.Fatalf("mem tier counters: %+v", ts[0])
+	}
+	ds, ok := tb.DiskStats()
+	if !ok || ds.Writes != 1 {
+		t.Fatalf("disk stats: %+v ok=%v", ds, ok)
+	}
+
+	// A chain without a DiskTier reports no disk stats.
+	if _, ok := NewTieredBacking(mem).DiskStats(); ok {
+		t.Fatal("memory-only chain reported disk stats")
+	}
+}
+
+// TestMemTierLRUEviction: the byte bound evicts least-recently-used entries.
+func TestMemTierLRUEviction(t *testing.T) {
+	ctx := context.Background()
+	mem := NewMemTier(2, func(any) int64 { return 1 })
+	mem.Store(tkey(0), "a")
+	mem.Store(tkey(1), "b")
+	if _, ok := mem.Load(ctx, tkey(0)); !ok { // touch 0: 1 becomes LRU
+		t.Fatal("miss on resident entry")
+	}
+	mem.Store(tkey(2), "c")
+	if mem.Len() != 2 {
+		t.Fatalf("len = %d after eviction", mem.Len())
+	}
+	if _, ok := mem.Load(ctx, tkey(1)); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := mem.Load(ctx, tkey(0)); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	// Refreshing an existing key updates cost in place.
+	mem.Store(tkey(0), "a2")
+	if v, _ := mem.Load(ctx, tkey(0)); v.(string) != "a2" {
+		t.Fatalf("refresh did not replace value: %v", v)
+	}
+}
+
+// TestTieredBackingThroughStore wires the chain as a real store Backing and
+// checks the generalized stats surface end to end.
+func TestTieredBackingThroughStore(t *testing.T) {
+	mem := NewMemTier(1<<20, nil)
+	dc, err := channel.NewDirCache(t.TempDir(), strCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTieredBacking(mem, &DiskTier{DirCache: dc})
+	s := channel.New(channel.Options{Backing: tb})
+
+	if _, _, err := s.GetOrCompute(tkey(7), func() (any, error) { return "solved", nil }); err != nil {
+		t.Fatal(err)
+	}
+	s.Sync()
+	tiers, ok := s.BackingTierStats()
+	if !ok || len(tiers) != 2 {
+		t.Fatalf("BackingTierStats through store: %+v ok=%v", tiers, ok)
+	}
+	ds, ok := s.BackingStats()
+	if !ok || ds.Writes != 1 {
+		t.Fatalf("BackingStats through store must be the disk tier: %+v ok=%v", ds, ok)
+	}
+	// LoadCached consults local tiers only — and hits after the write-behind.
+	if v, ok := s.LoadCached(context.Background(), tkey(7)); !ok || v.(string) != "solved" {
+		t.Fatalf("LoadCached: %v %v", v, ok)
+	}
+}

@@ -298,6 +298,14 @@ func (r *Registry) Histogram(name, help string, ls Labels, bounds []float64) *Hi
 	return h
 }
 
+// RegisterHistogram adds an externally owned histogram as a series, for
+// subsystems that observe into a histogram constructed before (or without)
+// any registry — e.g. the fabric's remote-fetch latency histogram, which
+// exists whether or not the metrics endpoint is enabled.
+func (r *Registry) RegisterHistogram(name, help string, ls Labels, h *Histogram) {
+	r.addSeries(name, help, kindHistogram, &series{labels: renderLabels(ls), hist: h})
+}
+
 // GaugeFunc registers a gauge sampled by fn at scrape time.
 func (r *Registry) GaugeFunc(name, help string, ls Labels, fn func() float64) {
 	r.addSeries(name, help, kindGauge, &series{labels: renderLabels(ls), fn: fn})

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"time"
 
+	"geoind/internal/channel"
+	"geoind/internal/fabric"
 	"geoind/internal/metrics"
 )
 
@@ -40,7 +42,7 @@ type serverMetrics struct {
 // everything a load balancer touches.
 var instrumentedEndpoints = []string{
 	"/healthz", "/v1/healthz", "/v1/info", "/v1/report", "/v1/report:batch",
-	"/v1/budget", "/v1/stats",
+	"/v1/budget", "/v1/stats", "/v1/channels",
 }
 
 // newServerMetrics builds the registry and request instruments for one
@@ -108,6 +110,73 @@ func newServerMetrics(mech Reporter) *serverMetrics {
 		reg.GaugeFunc("geoind_solve_queue_depth",
 			"Admitted solves waiting for a free solve slot.", nil,
 			func() float64 { return float64(ss.StoreStats().Queued) })
+	}
+	if fs, ok := mech.(FabricStatser); ok {
+		if fst, have := fs.FabricStats(); have {
+			// The tier chain is fixed at startup, so one series per tier can
+			// be registered up front; each samples the live counters by name.
+			for _, t := range fst.Tiers {
+				name := t.Name
+				tier := func() channel.TierStats {
+					st, _ := fs.FabricStats()
+					for _, cand := range st.Tiers {
+						if cand.Name == name {
+							return cand
+						}
+					}
+					return channel.TierStats{}
+				}
+				ls := metrics.Labels{"tier": name}
+				reg.CounterFunc("geoind_fabric_tier_loads_total",
+					"Channel lookups that reached this fabric tier.", ls,
+					func() float64 { return float64(tier().Loads) })
+				reg.CounterFunc("geoind_fabric_tier_hits_total",
+					"Fabric tier lookups that returned a verified channel.", ls,
+					func() float64 { return float64(tier().Hits) })
+				reg.CounterFunc("geoind_fabric_tier_errors_total",
+					"Fabric tier snapshots rejected as corrupt or undecodable.", ls,
+					func() float64 { return float64(tier().Errors) })
+				reg.CounterFunc("geoind_fabric_tier_version_misses_total",
+					"Intact fabric-tier snapshots skipped for a foreign format version.", ls,
+					func() float64 { return float64(tier().VersionMisses) })
+				reg.CounterFunc("geoind_fabric_tier_writes_total",
+					"Snapshots stored into this fabric tier (write-behind and promotions).", ls,
+					func() float64 { return float64(tier().Writes) })
+			}
+			remote := func() *fabric.RemoteStats {
+				st, _ := fs.FabricStats()
+				return st.Remote
+			}
+			if remote() != nil {
+				sample := func(pick func(*fabric.RemoteStats) int64) func() float64 {
+					return func() float64 {
+						if rs := remote(); rs != nil {
+							return float64(pick(rs))
+						}
+						return 0
+					}
+				}
+				reg.CounterFunc("geoind_fabric_remote_fetches_total",
+					"Remote snapshot HTTP requests issued (primaries, hedges, retries).", nil,
+					sample(func(rs *fabric.RemoteStats) int64 { return rs.Fetches }))
+				reg.CounterFunc("geoind_fabric_remote_hedges_total",
+					"Hedged second fetches launched after the latency threshold.", nil,
+					sample(func(rs *fabric.RemoteStats) int64 { return rs.Hedges }))
+				reg.CounterFunc("geoind_fabric_remote_hedge_wins_total",
+					"Hedged fetches that answered first with a usable snapshot.", nil,
+					sample(func(rs *fabric.RemoteStats) int64 { return rs.HedgeWins }))
+				reg.CounterFunc("geoind_fabric_remote_retries_total",
+					"Remote fetch retries after transient failures.", nil,
+					sample(func(rs *fabric.RemoteStats) int64 { return rs.Retries }))
+				reg.CounterFunc("geoind_fabric_remote_fallbacks_total",
+					"Remote lookups that gave up; the local solve path took over.", nil,
+					sample(func(rs *fabric.RemoteStats) int64 { return rs.Fallbacks }))
+			}
+			if h := fs.FabricFetchLatency(); h != nil {
+				reg.RegisterHistogram("geoind_fabric_fetch_duration_seconds",
+					"Remote snapshot fetch latency (completed attempts).", nil, h)
+			}
+		}
 	}
 	if ds, ok := mech.(DirStatser); ok {
 		if _, have := ds.DirCacheStats(); have {

@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"geoind/internal/channel"
+	"geoind/internal/fabric"
 	"geoind/internal/geo"
+	"geoind/internal/metrics"
 )
 
 // Reporter is the mechanism interface the server fronts. The public
@@ -78,6 +80,24 @@ type DirStatser interface {
 	DirCacheStats() (channel.DirStats, bool)
 }
 
+// ChannelSource is optionally implemented by mechanisms that can serve
+// their solved channels as verified snapshot frames (geoind.MSM is one).
+// When the mechanism provides it, GET /v1/channels/{key} streams the
+// persisted GICH framing to fleet peers; the frame carries the full key and
+// a CRC, and the fetching peer re-verifies both before use.
+type ChannelSource interface {
+	ChannelSnapshot(ctx context.Context, key channel.Key, solve bool) ([]byte, error)
+}
+
+// FabricStatser is optionally implemented by mechanisms joined to a channel
+// fabric (geoind.MSM with MSMConfig.Fabric is). When the mechanism provides
+// it, /v1/stats exposes the per-tier and remote-fetch counters and /metrics
+// exposes the same series plus the fetch-latency histogram.
+type FabricStatser interface {
+	FabricStats() (fabric.Stats, bool)
+	FabricFetchLatency() *metrics.Histogram
+}
+
 // MaxBatchSize bounds the number of points one /v1/report:batch request may
 // carry; larger batches are rejected with 413 before any budget is charged.
 const MaxBatchSize = 1024
@@ -116,6 +136,7 @@ func New(mech Reporter, ledger *Ledger, region geo.Rect) (*Server, error) {
 	s.mux.HandleFunc("/v1/report:batch", s.instrument("/v1/report:batch", s.handleReportBatch))
 	s.mux.HandleFunc("/v1/budget", s.instrument("/v1/budget", s.handleBudget))
 	s.mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
+	s.mux.HandleFunc(fabric.SnapshotPathPrefix, s.instrument("/v1/channels", s.handleChannelSnapshot))
 	// The scrape endpoint is deliberately not instrumented: a Prometheus
 	// server polling every few seconds would dominate the request counters.
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -285,12 +306,67 @@ type LocalStats struct {
 	DenseFallbacks int64 `json:"dense_fallbacks"`
 }
 
+// FabricTierStats is one backing tier of the fabric section, fastest first.
+type FabricTierStats struct {
+	// Name identifies the tier ("mem", "disk", "remote").
+	Name string `json:"name"`
+	// Loads counts lookups that reached this tier; Hits of them returned a
+	// verified channel.
+	Loads int64 `json:"loads"`
+	Hits  int64 `json:"hits"`
+	// Errors counts snapshots found but rejected (corrupt, truncated, key
+	// mismatch, undecodable); VersionMisses counts intact snapshots written
+	// by a foreign format version (benign).
+	Errors        int64 `json:"errors"`
+	VersionMisses int64 `json:"version_misses"`
+	// Writes counts snapshots stored into this tier (write-behind and
+	// promotions); WriteErrors counts failed stores.
+	Writes      int64 `json:"writes"`
+	WriteErrors int64 `json:"write_errors"`
+	// LoadMsTotal is the cumulative wall-clock time spent in this tier's
+	// loads, in milliseconds.
+	LoadMsTotal float64 `json:"load_ms_total"`
+}
+
+// FabricRemoteStats is the remote-fetch section of the fabric stats, absent
+// for a single-replica fleet.
+type FabricRemoteStats struct {
+	// Fetches counts HTTP snapshot requests issued (primaries, hedges,
+	// retries).
+	Fetches int64 `json:"fetches"`
+	// Hedges counts hedged second requests launched after the latency
+	// threshold; HedgeWins of them answered first with a usable snapshot.
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedge_wins"`
+	// Retries counts re-fetches after transient failures.
+	Retries int64 `json:"retries"`
+	// Fallbacks counts remote lookups that gave up — the local LP solve
+	// path took over (owner down, repeated corruption, timeout).
+	Fallbacks int64 `json:"fallbacks"`
+	// FetchP50Ms / FetchP99Ms are fetch-latency quantile estimates in
+	// milliseconds.
+	FetchP50Ms float64 `json:"fetch_p50_ms"`
+	FetchP99Ms float64 `json:"fetch_p99_ms"`
+}
+
+// FabricStats is the distributed-channel-fabric section of a stats response.
+type FabricStats struct {
+	// Self is this replica's base URL; Peers is the full replica set.
+	Self  string   `json:"self"`
+	Peers []string `json:"peers"`
+	// Tiers is the per-tier breakdown of the backing chain, fastest first.
+	Tiers []FabricTierStats `json:"tiers"`
+	// Remote is present only for fleets with more than one replica.
+	Remote *FabricRemoteStats `json:"remote,omitempty"`
+}
+
 // StatsResponse is the /v1/stats response body.
 type StatsResponse struct {
 	Mechanism    string             `json:"mechanism"`
 	ChannelCache *ChannelCacheStats `json:"channel_cache,omitempty"`
 	Sampler      *SamplerStats      `json:"sampler,omitempty"`
 	Local        *LocalStats        `json:"local,omitempty"`
+	Fabric       *FabricStats       `json:"fabric,omitempty"`
 }
 
 // errorResponse is the uniform error body.
@@ -383,7 +459,91 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	if fs, ok := s.mech.(FabricStatser); ok {
+		if fst, ok := fs.FabricStats(); ok {
+			sec := &FabricStats{Self: fst.Self, Peers: fst.Peers}
+			for _, t := range fst.Tiers {
+				sec.Tiers = append(sec.Tiers, FabricTierStats{
+					Name:          t.Name,
+					Loads:         t.Loads,
+					Hits:          t.Hits,
+					Errors:        t.Errors,
+					VersionMisses: t.VersionMisses,
+					Writes:        t.Writes,
+					WriteErrors:   t.WriteErrors,
+					LoadMsTotal:   float64(t.LoadNanos) / 1e6,
+				})
+			}
+			if t := fst.Remote; t != nil {
+				sec.Remote = &FabricRemoteStats{
+					Fetches:    t.Fetches,
+					Hedges:     t.Hedges,
+					HedgeWins:  t.HedgeWins,
+					Retries:    t.Retries,
+					Fallbacks:  t.Fallbacks,
+					FetchP50Ms: t.FetchP50Ms,
+					FetchP99Ms: t.FetchP99Ms,
+				}
+			}
+			resp.Fabric = sec
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleChannelSnapshot serves GET /v1/channels/{key}: the fleet-internal
+// snapshot endpoint peers fetch verified channel frames from. The key is
+// parsed and hash-checked from the URL, then validated by the mechanism
+// against its own configuration, so a malformed or foreign request can never
+// trigger work for a channel outside this replica's index. A cached-only
+// request (solve=0, what hedges send) for a cold key answers 404 — the
+// definitive "not here" that makes a hedge unable to cause duplicate solves.
+func (s *Server) handleChannelSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	cs, ok := s.mech.(ChannelSource)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{"mechanism serves no channel snapshots"})
+		return
+	}
+	key, solve, err := fabric.ParseSnapshotRequest(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad snapshot request: " + err.Error()})
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	frame, err := cs.ChannelSnapshot(ctx, key, solve)
+	if err != nil {
+		writeChannelError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(frame)))
+	_, _ = w.Write(frame)
+}
+
+// writeChannelError maps a snapshot-endpoint error to an HTTP status. The
+// mapping is what the remote tier's retry triage keys off: 404 (unknown key,
+// not cached) is definitive, 429/5xx are retryable.
+func writeChannelError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, channel.ErrUnknownKey):
+		writeJSON(w, http.StatusNotFound, errorResponse{err.Error()})
+	case errors.Is(err, channel.ErrNotCached):
+		writeJSON(w, http.StatusNotFound, errorResponse{err.Error()})
+	case errors.Is(err, channel.ErrSolveOverload):
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{err.Error()})
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, statusClientClosedRequest, errorResponse{err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+	}
 }
 
 func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
