@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race race-persist fuzz-short bench-smoke bench-json bench-ctx bench-sample bench-local bench-load bench-fabric bench-diff load-smoke fleet-smoke
+.PHONY: ci fmt-check vet build test race race-persist fuzz-short bench-smoke bench-json bench-ctx bench-sample bench-local bench-load bench-fabric bench-trace bench-diff load-smoke fleet-smoke trace-smoke
 
-ci: fmt-check vet build race race-persist bench-smoke load-smoke fleet-smoke
+ci: fmt-check vet build race race-persist bench-smoke load-smoke fleet-smoke trace-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -38,10 +38,11 @@ race:
 # populated-directory paths; the AliasSharing suites race the once-guarded
 # lazy alias-table build across goroutines sharing one channel; the fabric
 # suites race tier promotion, hedged fetches, fault-injected backings and the
-# in-process fleet tests.
+# in-process fleet tests; the session Concurrent/Journal suites hammer
+# Spend/Refund/Save across shards while the journal appends and compacts.
 race-persist:
-	$(GO) test -race -count=2 -run 'Snapshot|DirCache|Backing|WarmRestart|CacheBytes|AliasSharing|LocalParallel|RelevanceDomain|Remote|Tiered|Ring|Fabric|Fleet' \
-		./internal/channel ./internal/opt ./internal/fabric .
+	$(GO) test -race -count=2 -run 'Snapshot|DirCache|Backing|WarmRestart|CacheBytes|AliasSharing|LocalParallel|RelevanceDomain|Remote|Tiered|Ring|Fabric|Fleet|Concurrent|Journal|Rollover|Trace' \
+		./internal/channel ./internal/opt ./internal/fabric ./internal/session ./internal/server .
 
 # Short native-fuzz pass over the two snapshot decode layers (the checksummed
 # frame in internal/channel and the channel payload codec in internal/opt).
@@ -51,6 +52,8 @@ fuzz-short:
 	$(GO) test -run xxx -fuzz FuzzSnapshotLoad -fuzztime 10s ./internal/channel
 	$(GO) test -run xxx -fuzz FuzzSnapshotCodec -fuzztime 10s ./internal/opt
 	$(GO) test -run xxx -fuzz FuzzLocalRelevance -fuzztime 10s ./internal/opt
+	$(GO) test -run xxx -fuzz FuzzJournalRecord -fuzztime 10s ./internal/session
+	$(GO) test -run xxx -fuzz FuzzSessionSnapshot -fuzztime 10s ./internal/session
 
 bench-smoke:
 	$(GO) test -run xxx -bench 'MSMReportParallel|AdaptiveReportParallel|ReportBatch/msm|ReportLoop/msm' -benchtime 50x .
@@ -130,6 +133,27 @@ bench-fabric:
 fleet-smoke:
 	GEOIND_FLEET_SMOKE=1 $(GO) test -run TestFleetSmoke -v -timeout 300s ./cmd/geoind-server/
 
+# Record the trace-pipeline baseline (BENCH_trace.json): the stateful
+# /v1/trace endpoint over a journaled session store (latency quantiles +
+# memo-hit rate), the offline predictive-vs-independent budget economics
+# (spend_ratio <= 0.5 at equal-or-better adversary error), and the per-record
+# journal durability cost. Custom units survive into the JSON via benchjson's
+# metrics map. Regenerate deliberately, on a quiet machine.
+bench-trace:
+	{ $(GO) test -run xxx -bench 'TraceEndpoint|TracePredictiveSavings' \
+		-benchtime 3x -benchmem . ; \
+	  $(GO) test -run xxx -bench 'JournalAppend' -benchtime 2000x -benchmem ./internal/session ; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_trace.json
+	@echo wrote BENCH_trace.json
+
+# Single-process crash-durability smoke: builds the real geoind-server binary
+# with a journaled -ledger-dir and the /v1/trace pipeline enabled, SIGKILLs
+# it with concurrent trace traffic in flight, restarts it on the same journal
+# and asserts no user over-spent their window budget, zero 5xx throughout,
+# and that a stationary user's memoized release survived the crash.
+trace-smoke:
+	GEOIND_TRACE_SMOKE=1 $(GO) test -run TestTraceSmoke -v -timeout 300s ./cmd/geoind-server/
+
 # Compare a fresh benchmark run against the committed baseline. Warn-only:
 # regressions above 20% are flagged but never fail the target.
 bench-diff:
@@ -154,3 +178,8 @@ bench-diff:
 	$(GO) test -run xxx -bench 'FabricFleet|FabricIsolated' \
 		-benchtime 3x -benchmem . | $(GO) run ./cmd/benchjson > /tmp/bench_fabric_current.json
 	$(GO) run ./cmd/benchjson -diff -threshold 50 BENCH_fabric.json /tmp/bench_fabric_current.json
+	{ $(GO) test -run xxx -bench 'TraceEndpoint|TracePredictiveSavings' \
+		-benchtime 3x -benchmem . ; \
+	  $(GO) test -run xxx -bench 'JournalAppend' -benchtime 2000x -benchmem ./internal/session ; } \
+	  | $(GO) run ./cmd/benchjson > /tmp/bench_trace_current.json
+	$(GO) run ./cmd/benchjson -diff -threshold 50 BENCH_trace.json /tmp/bench_trace_current.json

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"geoind/internal/server"
+	"geoind/internal/session"
 )
 
 // ErrBudgetExhausted is returned by Budgeted.Report when a user's window
@@ -39,6 +40,34 @@ func NewBudgeted(mech Mechanism, limit float64, window time.Duration) (*Budgeted
 	}
 	return &Budgeted{mech: mech, ledger: l}, nil
 }
+
+// NewBudgetedDurable is NewBudgeted with crash-safe accounting: per-user
+// state is journaled to dir (append-only log plus periodic snapshots) and
+// replayed on the next open, so a process crash cannot reset anyone's spend.
+// Call Close when done to flush and compact the journal.
+func NewBudgetedDurable(mech Mechanism, limit float64, window time.Duration, dir string) (*Budgeted, error) {
+	if mech == nil {
+		return nil, fmt.Errorf("geoind: nil mechanism")
+	}
+	if limit < mech.Epsilon() {
+		return nil, fmt.Errorf("geoind: budget limit %g below per-report epsilon %g", limit, mech.Epsilon())
+	}
+	st, err := session.Open(session.Config{Limit: limit, Window: window, Dir: dir})
+	if err != nil {
+		return nil, fmt.Errorf("geoind: %w", err)
+	}
+	l, err := server.NewLedgerStore(st)
+	if err != nil {
+		_ = st.Close()
+		return nil, fmt.Errorf("geoind: %w", err)
+	}
+	return &Budgeted{mech: mech, ledger: l}, nil
+}
+
+// Close flushes and compacts the durable accounting state, when the Budgeted
+// was opened with NewBudgetedDurable. It is a no-op error-free close for
+// memory-only instances.
+func (b *Budgeted) Close() error { return b.ledger.Sessions().Close() }
 
 // Report sanitizes x on behalf of user, debiting the per-report epsilon from
 // the user's window budget. It returns ErrBudgetExhausted (without reporting

@@ -28,13 +28,17 @@ import (
 	"strings"
 )
 
-// Case is one benchmark measurement.
+// Case is one benchmark measurement. Custom units emitted with
+// testing.B.ReportMetric (anything other than ns/op, B/op, allocs/op and
+// MB/s) are preserved under Metrics so domain numbers like a memo-hit rate
+// or a budget spend ratio survive into the committed baseline.
 type Case struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the JSON document: the machine's GOMAXPROCS at record time plus
@@ -106,6 +110,7 @@ func Parse(r io.Reader) (*Report, error) {
 		c.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
 		c.BytesPerOp = metric(m[5], "B/op")
 		c.AllocsPerOp = metric(m[5], "allocs/op")
+		c.Metrics = customMetrics(m[5])
 		byName[c.Name] = c
 	}
 	if err := sc.Err(); err != nil {
@@ -133,6 +138,33 @@ func metric(tail, unit string) float64 {
 		}
 	}
 	return 0
+}
+
+// standardUnits are the units already captured in dedicated Case fields (or,
+// for MB/s and reports/s, derivable throughput noise not worth baselining).
+var standardUnits = map[string]bool{
+	"ns/op": true, "B/op": true, "allocs/op": true, "MB/s": true, "reports/s": true,
+}
+
+// customMetrics collects every remaining "<value> <unit>" pair of the line
+// tail — the ReportMetric output; nil when the line has none.
+func customMetrics(tail string) map[string]float64 {
+	fields := strings.Fields(tail)
+	var out map[string]float64
+	for i := 1; i < len(fields); i++ {
+		if standardUnits[fields[i]] {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			continue
+		}
+		if out == nil {
+			out = map[string]float64{}
+		}
+		out[fields[i]] = v
+	}
+	return out
 }
 
 // DiffLine is one case comparison in a diff report.

@@ -46,6 +46,33 @@ func TestParse(t *testing.T) {
 	if f := rep.Cases[0].NsPerOp; f != 331.0 {
 		t.Errorf("fractional ns/op = %v, want 331.0", f)
 	}
+	if c.Metrics != nil {
+		t.Errorf("standard-units case grew custom metrics: %v", c.Metrics)
+	}
+}
+
+func TestParseKeepsCustomMetrics(t *testing.T) {
+	const line = "BenchmarkTracePredictiveSavings-8   3   100 ns/op   0.42 spend_ratio   1.9 ind_adv_km   16 B/op   2 allocs/op\n"
+	rep, err := Parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cases) != 1 {
+		t.Fatalf("%d cases, want 1", len(rep.Cases))
+	}
+	c := rep.Cases[0]
+	if c.BytesPerOp != 16 || c.AllocsPerOp != 2 {
+		t.Errorf("standard units misparsed: %+v", c)
+	}
+	if got := c.Metrics["spend_ratio"]; got != 0.42 {
+		t.Errorf("spend_ratio = %v, want 0.42", got)
+	}
+	if got := c.Metrics["ind_adv_km"]; got != 1.9 {
+		t.Errorf("ind_adv_km = %v, want 1.9", got)
+	}
+	if len(c.Metrics) != 2 {
+		t.Errorf("metrics = %v, want exactly the two custom units", c.Metrics)
+	}
 }
 
 func TestParseIgnoresNoise(t *testing.T) {

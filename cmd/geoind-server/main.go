@@ -14,6 +14,12 @@
 //	                                locations in input order; the whole batch budget
 //	                                (len x eps) is charged atomically or not at all
 //	GET  /v1/budget?user_id=u       remaining budget in the current window
+//	POST /v1/trace                  {"user_id":"u","x":3.2,"y":11.7} -> one step of a
+//	                                continuous trace: the predictive mechanism re-releases
+//	                                the user's previous report (for a fraction of eps)
+//	                                while they have not moved beyond -trace-theta; enabled
+//	                                by -trace-theta, stateful per user, durable with
+//	                                -ledger-dir
 //	GET  /v1/stats                  channel-cache counters (hits, solves,
 //	                                persistent-cache disk hits/writes) and
 //	                                sampler/pruning configuration
@@ -65,7 +71,9 @@ import (
 
 	"geoind"
 	"geoind/internal/channel"
+	"geoind/internal/fabric"
 	"geoind/internal/server"
+	"geoind/internal/session"
 )
 
 // logCacheStats reports how much of the precompute phase was served from the
@@ -94,6 +102,10 @@ type serverConfig struct {
 	budgetLimit  float64
 	budgetWindow time.Duration
 	ledgerFile   string
+	ledgerDir    string
+	ledgerSync   int
+	traceTheta   float64
+	traceEpsTest float64
 	cacheDir     string
 	cacheBytes   int64
 	reqTimeout   time.Duration
@@ -126,7 +138,11 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", -1, "channel-pipeline parallelism: LP block solves, precompute fan-out and concurrent sampling (0 or 1 = sequential, negative = one per CPU)")
 	flag.Float64Var(&cfg.budgetLimit, "budget", 1.0, "per-user budget per window (0 disables enforcement)")
 	flag.DurationVar(&cfg.budgetWindow, "budget-window", 24*time.Hour, "budget accounting window")
-	flag.StringVar(&cfg.ledgerFile, "ledger-file", "", "optional ledger persistence file")
+	flag.StringVar(&cfg.ledgerFile, "ledger-file", "", "optional ledger persistence file (legacy JSON snapshot saved on shutdown; with -ledger-dir it is only read once as a migration source)")
+	flag.StringVar(&cfg.ledgerDir, "ledger-dir", "", "durable per-user session directory: budget spend and trace state are journaled (append-only log + snapshots) and survive crashes, unlike -ledger-file which only persists on clean shutdown")
+	flag.IntVar(&cfg.ledgerSync, "ledger-sync", 0, "fsync the session journal every N records (0 = default 1, every record; larger trades the tail of the journal for throughput)")
+	flag.Float64Var(&cfg.traceTheta, "trace-theta", 0, "enable POST /v1/trace with this predictive test threshold (km): stationary users re-release their last report for only -trace-eps-test per step (0 = endpoint disabled; requires -budget > 0)")
+	flag.Float64Var(&cfg.traceEpsTest, "trace-eps-test", 0, "per-step budget of the /v1/trace prediction test (0 = default eps/4)")
 	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent channel snapshot directory (restarts and replicas sharing it skip the LP solve phase)")
 	flag.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "resident channel-matrix byte budget with LRU eviction (0 = unbounded; evicted channels reload from -cache-dir)")
 	flag.DurationVar(&cfg.reqTimeout, "request-timeout", 0, "per-request deadline for /v1/report and /v1/report:batch (0 = none; a request past the deadline is canceled and answered 504 with its budget refunded)")
@@ -320,22 +336,80 @@ func run(cfg serverConfig) error {
 	}
 
 	var ledger *server.Ledger
+	var sessions *session.Store
 	if budgetLimit > 0 {
-		var err error
-		ledger, err = server.NewLedger(budgetLimit, budgetWindow, nil)
-		if err != nil {
-			return err
-		}
-		if ledgerFile != "" {
-			if f, err := os.Open(ledgerFile); err == nil {
-				if err := ledger.Load(f); err != nil {
-					f.Close()
-					return fmt.Errorf("restore ledger: %w", err)
+		if cfg.ledgerDir != "" {
+			// Durable sessions: every spend and memo update is journaled, so a
+			// crash (not just a clean shutdown) preserves budget accounting.
+			// In a fleet, each replica journals only the users it owns under
+			// the same rendezvous hash that assigns channels, so replicas
+			// sharing a volume pattern never fight over foreign users' state.
+			var owns func(string) bool
+			if fabricCfg != nil {
+				ring, err := fabric.NewRing(fabricCfg.Peers, fabricCfg.Self)
+				if err != nil {
+					return err
 				}
-				f.Close()
-				log.Printf("restored ledger from %s (%d users)", ledgerFile, ledger.Users())
-			} else if !errors.Is(err, os.ErrNotExist) {
+				owns = func(user string) bool {
+					h := channel.NewHasher()
+					h.String(user)
+					return ring.Owner(h.Sum()) == ring.Self()
+				}
+			}
+			var err error
+			sessions, err = session.Open(session.Config{
+				Limit:     budgetLimit,
+				Window:    budgetWindow,
+				Dir:       cfg.ledgerDir,
+				SyncEvery: cfg.ledgerSync,
+				Owns:      owns,
+			})
+			if err != nil {
 				return err
+			}
+			defer func() {
+				if err := sessions.Close(); err != nil {
+					log.Printf("session store close: %v", err)
+				}
+			}()
+			ledger, err = server.NewLedgerStore(sessions)
+			if err != nil {
+				return err
+			}
+			log.Printf("session journal in %s (%d users replayed)", cfg.ledgerDir, ledger.Users())
+			if ledgerFile != "" {
+				// One-shot migration from the legacy JSON snapshot: only into
+				// an empty journal, so replayed journal state always wins.
+				if ledger.Users() > 0 {
+					log.Printf("ignoring -ledger-file %s: journal already has state", ledgerFile)
+				} else if f, err := os.Open(ledgerFile); err == nil {
+					if err := ledger.Load(f); err != nil {
+						f.Close()
+						return fmt.Errorf("migrate ledger: %w", err)
+					}
+					f.Close()
+					log.Printf("migrated ledger from %s into journal (%d users)", ledgerFile, ledger.Users())
+				} else if !errors.Is(err, os.ErrNotExist) {
+					return err
+				}
+			}
+		} else {
+			var err error
+			ledger, err = server.NewLedger(budgetLimit, budgetWindow, nil)
+			if err != nil {
+				return err
+			}
+			if ledgerFile != "" {
+				if f, err := os.Open(ledgerFile); err == nil {
+					if err := ledger.Load(f); err != nil {
+						f.Close()
+						return fmt.Errorf("restore ledger: %w", err)
+					}
+					f.Close()
+					log.Printf("restored ledger from %s (%d users)", ledgerFile, ledger.Users())
+				} else if !errors.Is(err, os.ErrNotExist) {
+					return err
+				}
 			}
 		}
 	}
@@ -343,6 +417,25 @@ func run(cfg serverConfig) error {
 	srv, err := server.New(mech, ledger, region)
 	if err != nil {
 		return err
+	}
+	if cfg.traceTheta > 0 {
+		if ledger == nil {
+			return fmt.Errorf("-trace-theta requires budget enforcement (-budget > 0)")
+		}
+		epsTest := cfg.traceEpsTest
+		if epsTest == 0 {
+			epsTest = mech.Epsilon() / 4
+		}
+		if err := srv.EnableTrace(server.TraceConfig{
+			Theta:   cfg.traceTheta,
+			EpsTest: epsTest,
+			Seed:    seed,
+		}); err != nil {
+			return err
+		}
+		log.Printf("trace endpoint enabled (theta=%g km, epsTest=%g)", cfg.traceTheta, epsTest)
+	} else if cfg.traceEpsTest != 0 {
+		return fmt.Errorf("-trace-eps-test requires -trace-theta")
 	}
 	srv.SetRequestTimeout(reqTimeout)
 	httpSrv := &http.Server{
@@ -375,7 +468,7 @@ func run(cfg serverConfig) error {
 	if flush != nil {
 		flush() // make sure every solved channel reached the snapshot cache
 	}
-	if ledger != nil && ledgerFile != "" {
+	if ledger != nil && ledgerFile != "" && cfg.ledgerDir == "" {
 		f, err := os.CreateTemp(".", "ledger-*.tmp")
 		if err != nil {
 			return err

@@ -72,6 +72,7 @@ type config struct {
 	hotFrac   float64
 	batchFrac float64
 	batchSize int
+	traceFrac float64
 	chaosFrac float64
 	chaosAt   time.Duration
 	seed      int64
@@ -102,6 +103,7 @@ func main() {
 	flag.Float64Var(&cfg.hotFrac, "hotspot-frac", 0.8, "fraction of reports drawn from a hotspot (rest uniform)")
 	flag.Float64Var(&cfg.batchFrac, "batch-frac", 0.2, "fraction of requests sent as /v1/report:batch")
 	flag.IntVar(&cfg.batchSize, "batch-size", 16, "points per batch request")
+	flag.Float64Var(&cfg.traceFrac, "trace-frac", 0, "fraction of requests sent as /v1/trace continuous-reporting steps: each user follows a persistent random walk, so the server's predictive memo gets realistic dwell patterns (requires a trace-enabled target; with -self also -self-budget)")
 	flag.Float64Var(&cfg.chaosFrac, "chaos-frac", 0.05, "fraction of requests abandoned mid-flight (client disconnect chaos)")
 	flag.DurationVar(&cfg.chaosAt, "chaos-after", 2*time.Millisecond, "mean time before a chaos request is abandoned")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
@@ -131,6 +133,14 @@ func run(cfg config, out io.Writer) int {
 	}
 	if cfg.workers < 1 || cfg.batchSize < 1 {
 		log.Print("loadgen: -workers and -batch-size must be >= 1")
+		return 2
+	}
+	if cfg.traceFrac < 0 || cfg.traceFrac > 1 {
+		log.Print("loadgen: -trace-frac must be in [0, 1]")
+		return 2
+	}
+	if cfg.traceFrac > 0 && cfg.self && cfg.selfBudget <= 0 {
+		log.Print("loadgen: -trace-frac with -self requires -self-budget > 0 (the trace endpoint needs budget sessions)")
 		return 2
 	}
 	if cfg.affinity == "" {
@@ -264,6 +274,18 @@ func startSelfServer(cfg config) (baseURL string, shutdown func(), err error) {
 	if err != nil {
 		return "", nil, err
 	}
+	if cfg.traceFrac > 0 {
+		// Theta covers the random walk's typical step so dwelling users hit
+		// the memo; epsTest at eps/4 keeps the test cheap relative to a
+		// fresh report.
+		if err := srv.EnableTrace(server.TraceConfig{
+			Theta:   2,
+			EpsTest: cfg.selfEps / 4,
+			Seed:    uint64(cfg.seed),
+		}); err != nil {
+			return "", nil, err
+		}
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err
@@ -303,12 +325,13 @@ type runner struct {
 
 	reportHist *metrics.Histogram
 	batchHist  *metrics.Histogram
+	traceHist  *metrics.Histogram
 
 	mu     sync.Mutex
 	status map[int]int64
 
-	reports, batches    atomic.Int64 // completed with an HTTP status
-	canceled, transport atomic.Int64
+	reports, batches, traces atomic.Int64 // completed with an HTTP status
+	canceled, transport      atomic.Int64
 }
 
 func newRunner(cfg config, targets []string) *runner {
@@ -324,6 +347,7 @@ func newRunner(cfg config, targets []string) *runner {
 		},
 		reportHist: metrics.NewHistogram(latencyBounds),
 		batchHist:  metrics.NewHistogram(latencyBounds),
+		traceHist:  metrics.NewHistogram(latencyBounds),
 		status:     make(map[int]int64),
 	}
 }
@@ -413,11 +437,17 @@ func (r *runner) drive(side float64) (*summary, error) {
 // otherwise a single report; with probability chaos-frac the request is
 // abandoned after an exponentially distributed delay.
 func (r *runner) one(ctx context.Context, w *workload) {
-	isBatch := w.rng.Float64() < r.cfg.batchFrac
+	draw := w.rng.Float64()
+	isTrace := draw < r.cfg.traceFrac
+	isBatch := !isTrace && draw < r.cfg.traceFrac+r.cfg.batchFrac
 	var path string
 	var body []byte
 	user := w.user()
-	if isBatch {
+	if isTrace {
+		path = "/v1/trace"
+		x, y := w.traceStep(user)
+		body = []byte(fmt.Sprintf(`{"user_id":%q,"x":%g,"y":%g}`, user, x, y))
+	} else if isBatch {
 		path = "/v1/report:batch"
 		type rr struct {
 			UserID string  `json:"user_id"`
@@ -465,10 +495,14 @@ func (r *runner) one(ctx context.Context, w *workload) {
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 
-	if isBatch {
+	switch {
+	case isTrace:
+		r.traces.Add(1)
+		r.traceHist.Observe(lat)
+	case isBatch:
 		r.batches.Add(1)
 		r.batchHist.Observe(lat)
-	} else {
+	default:
 		r.reports.Add(1)
 		r.reportHist.Observe(lat)
 	}
@@ -495,6 +529,7 @@ type summary struct {
 	Throughput   float64          `json:"throughput_rps"`
 	Report       classStats       `json:"report"`
 	Batch        classStats       `json:"batch"`
+	Trace        classStats       `json:"trace"`
 	StatusCounts map[string]int64 `json:"status_counts"`
 	Canceled     int64            `json:"canceled"`
 	Transport    int64            `json:"transport_errors"`
@@ -509,6 +544,13 @@ type summary struct {
 	BudgetRefunds  float64 `json:"budget_refunds"`
 	RefundRate     float64 `json:"refund_rate"`
 	SolveRejected  float64 `json:"solve_rejected"`
+
+	// Trace pipeline counters (0 when the endpoint is disabled):
+	// MemoHitRate = memo hits / (memo hits + fresh), the fraction of trace
+	// steps served by re-releasing the session's prediction.
+	TraceFresh    float64 `json:"trace_fresh"`
+	TraceMemoHits float64 `json:"trace_memo_hits"`
+	MemoHitRate   float64 `json:"memo_hit_rate"`
 
 	// Fleet is present only with -targets: one scrape per replica plus the
 	// fleet-wide duplicate-solve estimate.
@@ -599,7 +641,7 @@ func (r *runner) summarize(elapsed time.Duration) *summary {
 		}
 	}
 	r.mu.Unlock()
-	s.Completed = r.reports.Load() + r.batches.Load()
+	s.Completed = r.reports.Load() + r.batches.Load() + r.traces.Load()
 	if s.DurationSec > 0 {
 		s.Throughput = float64(s.Completed) / s.DurationSec
 	}
@@ -608,6 +650,7 @@ func (r *runner) summarize(elapsed time.Duration) *summary {
 	}
 	s.Report = digest(r.reportHist)
 	s.Batch = digest(r.batchHist)
+	s.Trace = digest(r.traceHist)
 	return s
 }
 
@@ -645,6 +688,11 @@ func (s *summary) scrapeBudget(base string, timeout time.Duration) {
 	if s.BudgetCharges > 0 {
 		s.RefundRate = s.BudgetRefunds / s.BudgetCharges
 	}
+	s.TraceFresh = samples["geoind_trace_fresh_total"]
+	s.TraceMemoHits = samples["geoind_trace_memo_hits_total"]
+	if steps := s.TraceFresh + s.TraceMemoHits; steps > 0 {
+		s.MemoHitRate = s.TraceMemoHits / steps
+	}
 }
 
 // benchCase / benchDocument mirror cmd/benchjson's schema so the committed
@@ -681,6 +729,7 @@ func (s *summary) benchDocument() *benchDocument {
 	}
 	add("report", s.Report)
 	add("batch", s.Batch)
+	add("trace", s.Trace)
 	sort.Slice(doc.Cases, func(i, j int) bool { return doc.Cases[i].Name < doc.Cases[j].Name })
 	return doc
 }
@@ -693,6 +742,9 @@ func (s *summary) print() {
 	if s.Batch.Count > 0 {
 		log.Printf("batch:  n=%d p50=%.2fms p99=%.2fms p999=%.2fms", s.Batch.Count, s.Batch.P50Ms, s.Batch.P99Ms, s.Batch.P999Ms)
 	}
+	if s.Trace.Count > 0 {
+		log.Printf("trace:  n=%d p50=%.2fms p99=%.2fms p999=%.2fms", s.Trace.Count, s.Trace.P50Ms, s.Trace.P99Ms, s.Trace.P999Ms)
+	}
 	codes := make([]string, 0, len(s.StatusCounts))
 	for c := range s.StatusCounts {
 		codes = append(codes, c)
@@ -704,6 +756,10 @@ func (s *summary) print() {
 	if s.MetricsScraped {
 		log.Printf("budget: %g charges, %g refunds (refund rate %.3f), %g solves shed",
 			s.BudgetCharges, s.BudgetRefunds, s.RefundRate, s.SolveRejected)
+		if s.TraceFresh+s.TraceMemoHits > 0 {
+			log.Printf("trace pipeline: %g fresh, %g memo hits (hit rate %.3f)",
+				s.TraceFresh, s.TraceMemoHits, s.MemoHitRate)
+		}
 	}
 	if s.Fleet != nil {
 		for _, rs := range s.Fleet.Replicas {

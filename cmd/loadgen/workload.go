@@ -19,6 +19,9 @@ type workload struct {
 	side     float64
 	hotspots []hotspot
 	hotFrac  float64
+	// tracePos is each user's current position in their continuous random
+	// walk (per-worker, like everything else here, so no locking).
+	tracePos map[string][2]float64
 }
 
 type hotspot struct {
@@ -40,10 +43,11 @@ func newWorkload(seed int64, side float64, users uint64, zipfS float64, nHotspot
 	}
 	rng := rand.New(rand.NewSource(seed))
 	w := &workload{
-		rng:     rng,
-		zipf:    rand.NewZipf(rng, zipfS, 1, users-1),
-		side:    side,
-		hotFrac: hotFrac,
+		rng:      rng,
+		zipf:     rand.NewZipf(rng, zipfS, 1, users-1),
+		side:     side,
+		hotFrac:  hotFrac,
+		tracePos: make(map[string][2]float64),
 	}
 	// Hotspot centers are drawn once per workload from the same seed, kept
 	// away from the region edge so their Gaussian mass mostly stays inside.
@@ -73,6 +77,23 @@ func (w *workload) point() (x, y float64) {
 		return x, y
 	}
 	return w.rng.Float64() * w.side, w.rng.Float64() * w.side
+}
+
+// traceStep advances (or starts) the user's persistent random walk and
+// returns their new position. Steps are small Gaussian moves (~200m), so a
+// frequently reporting user mostly dwells — the regime the server's
+// predictive /v1/trace pipeline is built to exploit.
+func (w *workload) traceStep(user string) (x, y float64) {
+	pos, ok := w.tracePos[user]
+	if !ok {
+		pos[0], pos[1] = w.point()
+	} else {
+		const walkSigma = 0.2 // km per step
+		pos[0] = clamp(pos[0]+w.rng.NormFloat64()*walkSigma, 0, w.side)
+		pos[1] = clamp(pos[1]+w.rng.NormFloat64()*walkSigma, 0, w.side)
+	}
+	w.tracePos[user] = pos
+	return pos[0], pos[1]
 }
 
 func clamp(v, lo, hi float64) float64 {

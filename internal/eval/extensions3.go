@@ -22,6 +22,12 @@ type TrajectoryRow struct {
 	IndLoss        float64
 	PredLoss       float64
 	PredFreshShare float64
+	// IndAdvErr/PredAdvErr are the empirical Bayesian adversary's mean
+	// localization error (km) against each reporter's releases: re-released
+	// predictions repeat one observation, so this is where any
+	// temporal-correlation leakage of the predictive mechanism would show.
+	IndAdvErr  float64
+	PredAdvErr float64
 }
 
 // TrajectoryResult is the trajectory comparison.
@@ -59,6 +65,9 @@ func (c *Context) RunTrajectory(epsReport float64, steps int) (*TrajectoryResult
 			return nil, err
 		}
 		row := TrajectoryRow{Profile: prof.name, Steps: steps}
+		pts := make([][]geo.Point, 0, len(traces))
+		indRuns := make([][]trajectory.Step, 0, len(traces))
+		predRuns := make([][]trajectory.Step, 0, len(traces))
 		for ti, tr := range traces {
 			indMech, err := laplace.New(epsReport, c.rng(uint64(1000+ti)))
 			if err != nil {
@@ -90,6 +99,9 @@ func (c *Context) RunTrajectory(epsReport float64, steps int) (*TrajectoryResult
 			row.IndLoss += indSum.MeanLoss
 			row.PredLoss += predSum.MeanLoss
 			row.PredFreshShare += float64(predSum.Fresh) / float64(predSum.Steps)
+			pts = append(pts, tr.Points)
+			indRuns = append(indRuns, ind)
+			predRuns = append(predRuns, pred)
 		}
 		n := float64(len(traces))
 		row.IndSpent /= n
@@ -97,6 +109,13 @@ func (c *Context) RunTrajectory(epsReport float64, steps int) (*TrajectoryResult
 		row.IndLoss /= n
 		row.PredLoss /= n
 		row.PredFreshShare /= n
+		acfg := trajectory.AdversaryConfig{Region: region, Granularity: 24, Eps: epsReport}
+		if row.IndAdvErr, err = trajectory.EmpiricalAdversaryError(acfg, pts, indRuns); err != nil {
+			return nil, err
+		}
+		if row.PredAdvErr, err = trajectory.EmpiricalAdversaryError(acfg, pts, predRuns); err != nil {
+			return nil, err
+		}
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
@@ -113,15 +132,17 @@ func (r *TrajectoryResult) Table() *Table {
 	t := &Table{
 		Title: fmt.Sprintf("Extension: trajectory protection, independent vs predictive (PL, eps=%.1f/report)", r.Eps),
 		Columns: []string{"mobility profile", "steps", "ind_spent", "pred_spent",
-			"ind_loss_km", "pred_loss_km", "pred_fresh_share"},
+			"ind_loss_km", "pred_loss_km", "pred_fresh_share", "ind_adv_err_km", "pred_adv_err_km"},
 		Notes: []string{
 			"predictive mechanism of Chatzikokolakis et al. (PETS 2014): a cheap private test re-releases the previous report while the user dwells",
 			"savings grow with temporal correlation; utility stays comparable",
+			"adv_err: empirical Bayesian attacker's mean localization error (larger = more private); predictive should not fall below independent",
 		},
 	}
 	for _, row := range r.Rows {
 		t.AddRow(row.Profile, fmt.Sprintf("%d", row.Steps), f3(row.IndSpent), f3(row.PredSpent),
-			f3(row.IndLoss), f3(row.PredLoss), f3(row.PredFreshShare))
+			f3(row.IndLoss), f3(row.PredLoss), f3(row.PredFreshShare),
+			f3(row.IndAdvErr), f3(row.PredAdvErr))
 	}
 	return t
 }

@@ -8,6 +8,7 @@ import (
 	"geoind/internal/channel"
 	"geoind/internal/fabric"
 	"geoind/internal/metrics"
+	"geoind/internal/session"
 )
 
 // latencyBuckets are the request-duration histogram bounds in seconds:
@@ -42,13 +43,16 @@ type serverMetrics struct {
 // everything a load balancer touches.
 var instrumentedEndpoints = []string{
 	"/healthz", "/v1/healthz", "/v1/info", "/v1/report", "/v1/report:batch",
-	"/v1/budget", "/v1/stats", "/v1/channels",
+	"/v1/budget", "/v1/trace", "/v1/stats", "/v1/channels",
 }
 
 // newServerMetrics builds the registry and request instruments for one
 // server and wires the scrape-time gauges over the mechanism's store,
-// sampler and solve-queue counters (when the mechanism exposes them).
-func newServerMetrics(mech Reporter) *serverMetrics {
+// sampler and solve-queue counters (when the mechanism exposes them), the
+// ledger's session/journal counters (when budgets are enforced), and the
+// trace pipeline's counters (zero until EnableTrace).
+func newServerMetrics(s *Server) *serverMetrics {
+	mech := s.mech
 	reg := metrics.NewRegistry()
 	m := &serverMetrics{
 		reg:     reg,
@@ -194,6 +198,64 @@ func newServerMetrics(mech Reporter) *serverMetrics {
 				})
 		}
 	}
+	if s.ledger != nil {
+		sess := s.ledger.Sessions()
+		reg.GaugeFunc("geoind_sessions",
+			"Users with live session entries (idle entries are GCed).", nil,
+			func() float64 { return float64(sess.Stats().Users) })
+		reg.CounterFunc("geoind_session_evictions_total",
+			"Idle session entries garbage-collected.", nil,
+			func() float64 { return float64(sess.Stats().Evicted) })
+		reg.CounterFunc("geoind_session_memo_hits_total",
+			"Memo reads that found a previous release for the user.", nil,
+			func() float64 { return float64(sess.Stats().MemoHits) })
+		reg.CounterFunc("geoind_session_memo_writes_total",
+			"Releases memoized as session predictions.", nil,
+			func() float64 { return float64(sess.Stats().MemoWrites) })
+		journal := func(pick func(*session.JournalStats) int64) func() float64 {
+			return func() float64 {
+				if js := sess.Stats().Journal; js != nil {
+					return float64(pick(js))
+				}
+				return 0
+			}
+		}
+		reg.CounterFunc("geoind_session_journal_records_total",
+			"Session-state records appended to the durability journal.", nil,
+			journal(func(js *session.JournalStats) int64 { return js.Records }))
+		reg.CounterFunc("geoind_session_journal_bytes_total",
+			"Bytes appended to the session journal.", nil,
+			journal(func(js *session.JournalStats) int64 { return js.Bytes }))
+		reg.CounterFunc("geoind_session_journal_syncs_total",
+			"fsync calls on the session journal.", nil,
+			journal(func(js *session.JournalStats) int64 { return js.Syncs }))
+		reg.CounterFunc("geoind_session_journal_compactions_total",
+			"Journal compactions (snapshot + segment rotation).", nil,
+			journal(func(js *session.JournalStats) int64 { return js.Compactions }))
+		reg.CounterFunc("geoind_session_journal_anomalies_total",
+			"Replay anomalies tolerated (torn tails truncated, spends clamped).", nil,
+			journal(func(js *session.JournalStats) int64 { return js.Anomalies }))
+	}
+	trace := func(pick func(*traceState) int64) func() float64 {
+		return func() float64 {
+			if ts := s.trace.Load(); ts != nil {
+				return float64(pick(ts))
+			}
+			return 0
+		}
+	}
+	reg.CounterFunc("geoind_trace_fresh_total",
+		"Trace steps that ran the underlying mechanism.", nil,
+		trace(func(ts *traceState) int64 { return ts.fresh.Load() }))
+	reg.CounterFunc("geoind_trace_memo_hits_total",
+		"Trace steps that re-released the session's previous release.", nil,
+		trace(func(ts *traceState) int64 { return ts.memoHits.Load() }))
+	reg.CounterFunc("geoind_trace_independent_total",
+		"Trace steps served in independent (full-epsilon) mode.", nil,
+		trace(func(ts *traceState) int64 { return ts.independent.Load() }))
+	reg.CounterFunc("geoind_trace_denied_total",
+		"Trace steps refused because the user's budget window was exhausted.", nil,
+		trace(func(ts *traceState) int64 { return ts.denied.Load() }))
 	return m
 }
 

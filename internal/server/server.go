@@ -13,6 +13,7 @@ import (
 	"geoind/internal/fabric"
 	"geoind/internal/geo"
 	"geoind/internal/metrics"
+	"geoind/internal/session"
 )
 
 // Reporter is the mechanism interface the server fronts. The public
@@ -112,6 +113,7 @@ type Server struct {
 	metrics    *serverMetrics
 	reqTimeout time.Duration
 	draining   atomic.Bool
+	trace      atomic.Pointer[traceState]
 }
 
 // New assembles a server. The ledger may be nil, in which case budgets are
@@ -128,13 +130,14 @@ func New(mech Reporter, ledger *Ledger, region geo.Rect) (*Server, error) {
 			ledger.Limit(), mech.Epsilon())
 	}
 	s := &Server{mech: mech, ledger: ledger, region: region, mux: http.NewServeMux()}
-	s.metrics = newServerMetrics(mech)
+	s.metrics = newServerMetrics(s)
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealth))
 	s.mux.HandleFunc("/v1/healthz", s.instrument("/v1/healthz", s.handleReady))
 	s.mux.HandleFunc("/v1/info", s.instrument("/v1/info", s.handleInfo))
 	s.mux.HandleFunc("/v1/report", s.instrument("/v1/report", s.handleReport))
 	s.mux.HandleFunc("/v1/report:batch", s.instrument("/v1/report:batch", s.handleReportBatch))
 	s.mux.HandleFunc("/v1/budget", s.instrument("/v1/budget", s.handleBudget))
+	s.mux.HandleFunc("/v1/trace", s.instrument("/v1/trace", s.handleTrace))
 	s.mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
 	s.mux.HandleFunc(fabric.SnapshotPathPrefix, s.instrument("/v1/channels", s.handleChannelSnapshot))
 	// The scrape endpoint is deliberately not instrumented: a Prometheus
@@ -367,6 +370,23 @@ type StatsResponse struct {
 	Sampler      *SamplerStats      `json:"sampler,omitempty"`
 	Local        *LocalStats        `json:"local,omitempty"`
 	Fabric       *FabricStats       `json:"fabric,omitempty"`
+	Sessions     *session.Stats     `json:"sessions,omitempty"`
+	Trace        *TraceStats        `json:"trace,omitempty"`
+}
+
+// TraceStats is the /v1/trace section of StatsResponse.
+type TraceStats struct {
+	// Theta and EpsTest echo the predictive-test configuration.
+	Theta   float64 `json:"theta"`
+	EpsTest float64 `json:"eps_test"`
+	// Fresh counts steps where the underlying mechanism ran; MemoHits counts
+	// re-released predictions (each cost only EpsTest).
+	Fresh    int64 `json:"fresh"`
+	MemoHits int64 `json:"memo_hits"`
+	// Independent counts mode=independent steps; Denied counts 429s from an
+	// exhausted budget window.
+	Independent int64 `json:"independent"`
+	Denied      int64 `json:"denied"`
 }
 
 // errorResponse is the uniform error body.
@@ -486,6 +506,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 			resp.Fabric = sec
+		}
+	}
+	if s.ledger != nil {
+		st := s.ledger.Sessions().Stats()
+		resp.Sessions = &st
+	}
+	if ts := s.trace.Load(); ts != nil {
+		resp.Trace = &TraceStats{
+			Theta:       ts.cfg.Theta,
+			EpsTest:     ts.cfg.EpsTest,
+			Fresh:       ts.fresh.Load(),
+			MemoHits:    ts.memoHits.Load(),
+			Independent: ts.independent.Load(),
+			Denied:      ts.denied.Load(),
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

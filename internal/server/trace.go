@@ -1,0 +1,242 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"geoind/internal/geo"
+	"geoind/internal/trajectory"
+)
+
+// TraceConfig parameterizes the stateful /v1/trace endpoint.
+type TraceConfig struct {
+	// Theta is the predictive test threshold in km: while the user stays
+	// within ~theta of their last release, the test tends to pass and the
+	// step costs only EpsTest.
+	Theta float64
+	// EpsTest is the privacy budget of each private test (typically a small
+	// fraction of the report epsilon).
+	EpsTest float64
+	// Seed fixes the test-noise randomness (0 is a valid fixed seed).
+	Seed uint64
+}
+
+// traceState is the server-side state of the trace pipeline. The per-user
+// state (budget, last release) lives in the session store; this holds only
+// the shared configuration, the test-noise rng and the counters.
+type traceState struct {
+	cfg TraceConfig
+	rng *rand.Rand // over a locked source: safe for concurrent handlers
+
+	fresh       atomic.Int64
+	memoHits    atomic.Int64
+	independent atomic.Int64
+	denied      atomic.Int64
+}
+
+// lockedSource serializes a rand.Source for concurrent use. rand/v2's Rand
+// keeps no state outside its source, so locking Uint64 is sufficient.
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Uint64()
+}
+
+// EnableTrace switches on POST /v1/trace with the given predictive-test
+// configuration. It requires budget enforcement: per-user sticky trace state
+// without per-user budget accounting would be privacy theater. Call before
+// serving traffic.
+func (s *Server) EnableTrace(cfg TraceConfig) error {
+	if s.ledger == nil {
+		return fmt.Errorf("server: trace requires a budget ledger (per-user sessions track spend)")
+	}
+	pcfg := trajectory.PredictiveConfig{Theta: cfg.Theta, EpsTest: cfg.EpsTest}
+	if err := pcfg.Validate(); err != nil {
+		return fmt.Errorf("server: trace config: %w", err)
+	}
+	if worst := s.mech.Epsilon() + cfg.EpsTest; s.ledger.Limit() < worst {
+		return fmt.Errorf("server: ledger limit %g below worst-case trace step cost %g (eps + epsTest): no moving user could ever report",
+			s.ledger.Limit(), worst)
+	}
+	s.trace.Store(&traceState{
+		cfg: cfg,
+		rng: rand.New(&lockedSource{src: rand.NewPCG(cfg.Seed, 0x7ace)}),
+	})
+	return nil
+}
+
+// TraceRequest is the /v1/trace request body: one point of a user's
+// mobility trace.
+type TraceRequest struct {
+	// UserID identifies the sticky session and budget account (required).
+	UserID string `json:"user_id"`
+	// X, Y are the true planar coordinates in km.
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	// Mode selects the reporting strategy: "predictive" (default) runs the
+	// test-then-release mechanism against the session's last release;
+	// "independent" pays full epsilon for a fresh report (the baseline).
+	Mode string `json:"mode,omitempty"`
+}
+
+// TraceResponse is the /v1/trace response body.
+type TraceResponse struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	// EpsSpent is this step's budget cost: epsTest for a re-released
+	// prediction, epsTest+eps (or eps on the session's first step) for a
+	// fresh report.
+	EpsSpent float64 `json:"eps_spent"`
+	// Fresh reports whether the underlying mechanism ran (false = the
+	// session's previous release was re-released).
+	Fresh     bool    `json:"fresh"`
+	Mode      string  `json:"mode"`
+	Remaining float64 `json:"remaining_budget"`
+	Mechanism string  `json:"mechanism"`
+}
+
+// traceBudget adapts the ledger (plus budget metrics) to the stepwise
+// trajectory API for one user.
+type traceBudget struct {
+	s    *Server
+	user string
+}
+
+func (b traceBudget) Spend(eps float64) error {
+	if err := b.s.ledger.Spend(b.user, eps); err != nil {
+		return err
+	}
+	b.s.metrics.chargeBudget(eps)
+	return nil
+}
+
+func (b traceBudget) Refund(eps float64) {
+	b.s.ledger.Refund(b.user, eps)
+	b.s.metrics.refundBudget(eps)
+}
+
+// serverReporter adapts the server's cancelable report path to the
+// context-free trajectory.Reporter interface for the duration of one request:
+// Report runs under the request context (timeout + client disconnect).
+type serverReporter struct {
+	s   *Server
+	ctx context.Context
+}
+
+func (m serverReporter) Report(x geo.Point) (geo.Point, error) { return m.s.reportOne(m.ctx, x) }
+func (m serverReporter) Epsilon() float64                      { return m.s.mech.Epsilon() }
+
+// handleTrace serves POST /v1/trace: one true location in, one released
+// location out, with per-user sticky state (budget window + last release) in
+// the session store. Budget is charged before any noise is drawn and fully
+// refunded when the release fails or is canceled.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	ts := s.trace.Load()
+	if ts == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			"trace endpoint disabled (start the server with -trace-theta)"})
+		return
+	}
+	var req TraceRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"invalid JSON: " + err.Error()})
+		return
+	}
+	if req.UserID == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"user_id required"})
+		return
+	}
+	x := geo.Point{X: req.X, Y: req.Y}
+	if !s.region.ContainsClosed(x) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			fmt.Sprintf("location %v outside service region %v", x, s.region)})
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "predictive"
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	switch mode {
+	case "independent":
+		eps := s.mech.Epsilon()
+		if err := s.ledger.Spend(req.UserID, eps); err != nil {
+			s.writeTraceSpendError(w, ts, err)
+			return
+		}
+		s.metrics.chargeBudget(eps)
+		z, err := s.reportOne(ctx, x)
+		if err != nil {
+			s.ledger.Refund(req.UserID, eps)
+			s.metrics.refundBudget(eps)
+			writeReportError(w, err)
+			return
+		}
+		ts.independent.Add(1)
+		writeJSON(w, http.StatusOK, TraceResponse{
+			X: z.X, Y: z.Y, EpsSpent: eps, Fresh: true, Mode: mode,
+			Remaining: s.ledger.Remaining(req.UserID), Mechanism: s.mech.Name(),
+		})
+
+	case "predictive":
+		sess := s.ledger.Sessions()
+		memo, ok := sess.Memo(req.UserID)
+		st := trajectory.State{HasRelease: ok, Release: memo}
+		pcfg := trajectory.PredictiveConfig{Theta: ts.cfg.Theta, EpsTest: ts.cfg.EpsTest}
+		step, next, err := trajectory.StepPredictive(
+			serverReporter{s, ctx}, traceBudget{s, req.UserID}, st, x, pcfg, ts.rng)
+		if err != nil {
+			if errors.Is(err, ErrBudgetExhausted) {
+				s.writeTraceSpendError(w, ts, err)
+				return
+			}
+			writeReportError(w, err)
+			return
+		}
+		if step.Fresh {
+			// Persist the new release as the session's prediction; the memo
+			// write is journaled with the same durability as the spend.
+			sess.SetMemo(req.UserID, next.Release)
+			ts.fresh.Add(1)
+		} else {
+			ts.memoHits.Add(1)
+		}
+		writeJSON(w, http.StatusOK, TraceResponse{
+			X: step.Released.X, Y: step.Released.Y, EpsSpent: step.Spent,
+			Fresh: step.Fresh, Mode: mode,
+			Remaining: s.ledger.Remaining(req.UserID), Mechanism: s.mech.Name(),
+		})
+
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			fmt.Sprintf("unknown mode %q (want \"predictive\" or \"independent\")", req.Mode)})
+	}
+}
+
+func (s *Server) writeTraceSpendError(w http.ResponseWriter, ts *traceState, err error) {
+	if errors.Is(err, ErrBudgetExhausted) {
+		ts.denied.Add(1)
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+}

@@ -1,0 +1,42 @@
+package session
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkJournalAppend measures the cost one accepted Spend pays for
+// durability under the two interesting fsync policies: SyncEvery=1 (the
+// default — every record hits disk before Spend returns) and SyncEvery=64
+// (bounded-loss batching). The memory-only store is the no-journal floor.
+func BenchmarkJournalAppend(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		dir  bool
+		sync int
+	}{
+		{"memory", false, 0},
+		{"sync=1", true, 1},
+		{"sync=64", true, 64},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := Config{Limit: 1e12, Window: time.Hour, SyncEvery: tc.sync}
+			if tc.dir {
+				cfg.Dir = b.TempDir()
+			}
+			s, err := Open(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Spend(fmt.Sprintf("u%d", i%1024), 0.001); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

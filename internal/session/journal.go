@@ -1,0 +1,670 @@
+// Journal: crash-safe durability for the session store, mirroring the
+// versioned-framing + CRC idiom of internal/channel/persist.go ("GICH").
+//
+// Layout inside the directory:
+//
+//	sessions.wal      append-only segment of absolute-state records
+//	sessions.wal.old  previous segment, present only between rotation and
+//	                  snapshot publication during compaction
+//	sessions.snap     snapshot of all user state at the last compaction
+//
+// Segment framing (all little-endian):
+//
+//	magic "GISJ" | version uint32 | limit float64 bits | window int64 ns |
+//	crc32 uint32 of the preceding 20 bytes
+//
+// followed by records, each:
+//
+//	length uint32 | body | crc32 uint32 of body
+//
+// where body is op uint8 (1 = state) | at int64 | seq uint64 |
+// userLen uint32 | user | spent float64 | windowStart int64 |
+// hasMemo uint8 | memoX float64 | memoY float64.
+//
+// Records carry the user's *absolute* post-mutation state stamped with a
+// store-wide sequence number; replay applies a record only when its seq is
+// newer than what is already loaded. That makes replay idempotent and makes
+// the snapshot/segment overlap produced by concurrent compaction
+// commutative: snapshot, then sessions.wal.old, then sessions.wal can be
+// applied in order at any crash point without double-counting or
+// resurrecting stale state.
+//
+// Snapshot framing ("GISS"): magic | version uint32 | limit float64 bits |
+// window int64 | count uint64 | per-user (seq uint64 | userLen uint32 |
+// user | spent float64 | windowStart int64 | hasMemo uint8 | memoX |
+// memoY) | crc32 uint32 of everything preceding. Snapshots are published
+// with the temp-file + atomic-rename pattern of channel.DirCache.
+//
+// Compaction: (1) under the journal mutex, fsync and rotate sessions.wal to
+// sessions.wal.old and start a fresh segment; (2) export the live store;
+// (3) write the snapshot; (4) delete sessions.wal.old. A crash between any
+// two steps is recovered by ordered seq-gated replay. A torn record at the
+// tail of a segment (crash mid-append) ends that segment's replay and is
+// truncated away; with SyncEvery=1 that is at most the one record whose
+// write was interrupted.
+package session
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geoind/internal/geo"
+)
+
+const (
+	walMagic  = "GISJ"
+	snapMagic = "GISS"
+	// JournalVersion is bumped on any incompatible framing change.
+	JournalVersion = 1
+	// DefaultCompactEvery is the records-per-segment threshold that
+	// triggers background compaction.
+	DefaultCompactEvery = 4096
+
+	opState uint8 = 1
+
+	walName    = "sessions.wal"
+	walOldName = "sessions.wal.old"
+	snapName   = "sessions.snap"
+
+	walHeaderLen = 4 + 4 + 8 + 8 + 4
+	recordFixed  = 1 + 8 + 8 + 4 + 8 + 8 + 1 + 8 + 8 // body minus the user bytes
+	maxUserLen   = 4096
+)
+
+var (
+	// ErrJournal wraps any framing/CRC violation found while decoding.
+	ErrJournal = errors.New("session: corrupt journal")
+	// ErrJournalVersion marks a well-formed header with an unknown version.
+	ErrJournalVersion = errors.New("session: unsupported journal version")
+	// errTorn marks an incomplete record at the tail of a segment — the
+	// expected shape of a crash mid-append, recovered by truncation.
+	errTorn = errors.New("session: torn journal tail")
+)
+
+// record is one absolute-state journal entry.
+type record struct {
+	at          int64 // clock reading at append time (unix ns)
+	seq         uint64
+	user        string
+	spent       float64
+	windowStart int64 // unix ns
+	hasMemo     bool
+	memoX       float64
+	memoY       float64
+}
+
+type journal struct {
+	dir          string
+	limit        float64
+	window       time.Duration
+	syncEvery    int
+	compactEvery int
+
+	// mu guards the active segment file. It is a leaf lock: the append path
+	// acquires it while holding a shard mutex, so nothing acquired under mu
+	// may ever wait on a shard.
+	mu         sync.Mutex
+	f          *os.File
+	unsynced   int
+	segRecords int // records in the active segment since last rotation
+
+	// compactMu serializes compactions (background and explicit).
+	compactMu  sync.Mutex
+	compacting atomic.Bool
+	wg         sync.WaitGroup
+
+	appended    atomic.Int64
+	bytes       atomic.Int64
+	syncs       atomic.Int64
+	compactions atomic.Int64
+	replayed    atomic.Int64
+	anomalies   atomic.Int64
+	failures    atomic.Int64
+}
+
+// JournalStats is a point-in-time snapshot of journal counters.
+type JournalStats struct {
+	// Records and Bytes count appends since the store was opened.
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	Syncs   int64 `json:"syncs"`
+	// Compactions counts snapshot publications (including the one at open).
+	Compactions int64 `json:"compactions"`
+	// Replayed counts records applied during startup replay.
+	Replayed int64 `json:"replayed"`
+	// Anomalies counts torn tails, CRC failures and over-limit clamps seen
+	// during replay. Nonzero after an unclean shutdown is expected (the torn
+	// tail); growth during steady state is not.
+	Anomalies int64 `json:"anomalies"`
+	// Failures counts background compactions that errored (state stays
+	// safe: the journal keeps growing until one succeeds).
+	Failures int64 `json:"failures"`
+}
+
+func (j *journal) stats() *JournalStats {
+	return &JournalStats{
+		Records:     j.appended.Load(),
+		Bytes:       j.bytes.Load(),
+		Syncs:       j.syncs.Load(),
+		Compactions: j.compactions.Load(),
+		Replayed:    j.replayed.Load(),
+		Anomalies:   j.anomalies.Load(),
+		Failures:    j.failures.Load(),
+	}
+}
+
+// ---- record codec ----
+
+func appendUint32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendUint64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendFloat(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// encodeRecord frames one record: length | body | crc32(body).
+func encodeRecord(rec record) ([]byte, error) {
+	if len(rec.user) == 0 || len(rec.user) > maxUserLen {
+		return nil, fmt.Errorf("%w: user ID length %d", ErrJournal, len(rec.user))
+	}
+	body := make([]byte, 0, recordFixed+len(rec.user))
+	body = append(body, opState)
+	body = appendUint64(body, uint64(rec.at))
+	body = appendUint64(body, rec.seq)
+	body = appendUint32(body, uint32(len(rec.user)))
+	body = append(body, rec.user...)
+	body = appendFloat(body, rec.spent)
+	body = appendUint64(body, uint64(rec.windowStart))
+	if rec.hasMemo {
+		body = append(body, 1)
+	} else {
+		body = append(body, 0)
+	}
+	body = appendFloat(body, rec.memoX)
+	body = appendFloat(body, rec.memoY)
+
+	out := make([]byte, 0, 4+len(body)+4)
+	out = appendUint32(out, uint32(len(body)))
+	out = append(out, body...)
+	out = appendUint32(out, crc32.ChecksumIEEE(body))
+	return out, nil
+}
+
+// decodeRecord parses one framed record from the front of data, returning
+// the bytes consumed. errTorn means data ends mid-record (valid crash
+// tail); ErrJournal means the bytes are positively malformed.
+func decodeRecord(data []byte) (record, int, error) {
+	var rec record
+	if len(data) < 4 {
+		return rec, 0, errTorn
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if n < recordFixed || n > recordFixed+maxUserLen {
+		return rec, 0, fmt.Errorf("%w: record length %d", ErrJournal, n)
+	}
+	if len(data) < 4+n+4 {
+		return rec, 0, errTorn
+	}
+	body := data[4 : 4+n]
+	sum := binary.LittleEndian.Uint32(data[4+n:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return rec, 0, fmt.Errorf("%w: record checksum mismatch", ErrJournal)
+	}
+	if body[0] != opState {
+		return rec, 0, fmt.Errorf("%w: unknown op %d", ErrJournal, body[0])
+	}
+	rec.at = int64(binary.LittleEndian.Uint64(body[1:]))
+	rec.seq = binary.LittleEndian.Uint64(body[9:])
+	userLen := int(binary.LittleEndian.Uint32(body[17:]))
+	if userLen == 0 || userLen > maxUserLen || recordFixed+userLen != n {
+		return rec, 0, fmt.Errorf("%w: user length %d in %d-byte record", ErrJournal, userLen, n)
+	}
+	p := 21
+	rec.user = string(body[p : p+userLen])
+	p += userLen
+	rec.spent = math.Float64frombits(binary.LittleEndian.Uint64(body[p:]))
+	rec.windowStart = int64(binary.LittleEndian.Uint64(body[p+8:]))
+	rec.hasMemo = body[p+16] != 0
+	rec.memoX = math.Float64frombits(binary.LittleEndian.Uint64(body[p+17:]))
+	rec.memoY = math.Float64frombits(binary.LittleEndian.Uint64(body[p+25:]))
+	return rec, 4 + n + 4, nil
+}
+
+// ---- segment header ----
+
+func encodeWALHeader(limit float64, window time.Duration) []byte {
+	b := make([]byte, 0, walHeaderLen)
+	b = append(b, walMagic...)
+	b = appendUint32(b, JournalVersion)
+	b = appendFloat(b, limit)
+	b = appendUint64(b, uint64(window))
+	b = appendUint32(b, crc32.ChecksumIEEE(b))
+	return b
+}
+
+func checkWALHeader(data []byte, limit float64, window time.Duration) error {
+	if len(data) < walHeaderLen {
+		return fmt.Errorf("%w: segment shorter than its header", ErrJournal)
+	}
+	if string(data[:4]) != walMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrJournal, data[:4])
+	}
+	if crc32.ChecksumIEEE(data[:walHeaderLen-4]) != binary.LittleEndian.Uint32(data[walHeaderLen-4:]) {
+		return fmt.Errorf("%w: header checksum mismatch", ErrJournal)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != JournalVersion {
+		return fmt.Errorf("%w: segment version %d", ErrJournalVersion, v)
+	}
+	gotLimit := math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	gotWindow := time.Duration(binary.LittleEndian.Uint64(data[16:]))
+	if gotLimit != limit || gotWindow != window {
+		return fmt.Errorf("session: journal limit/window (%g, %v) do not match configuration (%g, %v)",
+			gotLimit, gotWindow, limit, window)
+	}
+	return nil
+}
+
+// ---- snapshot codec ----
+
+func encodeSnapshot(limit float64, window time.Duration, states []State) []byte {
+	b := make([]byte, 0, 32+len(states)*64)
+	b = append(b, snapMagic...)
+	b = appendUint32(b, JournalVersion)
+	b = appendFloat(b, limit)
+	b = appendUint64(b, uint64(window))
+	b = appendUint64(b, uint64(len(states)))
+	for _, st := range states {
+		b = appendUint64(b, st.Seq)
+		b = appendUint32(b, uint32(len(st.User)))
+		b = append(b, st.User...)
+		b = appendFloat(b, st.Spent)
+		b = appendUint64(b, uint64(st.WindowStart.UnixNano()))
+		if st.HasMemo {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendFloat(b, st.Memo.X)
+		b = appendFloat(b, st.Memo.Y)
+	}
+	return appendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+func decodeSnapshot(data []byte, limit float64, window time.Duration) ([]State, error) {
+	if len(data) < 32+4 {
+		return nil, fmt.Errorf("%w: snapshot too short", ErrJournal)
+	}
+	if string(data[:4]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic %q", ErrJournal, data[:4])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrJournal)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != JournalVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d", ErrJournalVersion, v)
+	}
+	gotLimit := math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	gotWindow := time.Duration(binary.LittleEndian.Uint64(data[16:]))
+	if gotLimit != limit || gotWindow != window {
+		return nil, fmt.Errorf("session: snapshot limit/window (%g, %v) do not match configuration (%g, %v)",
+			gotLimit, gotWindow, limit, window)
+	}
+	count := binary.LittleEndian.Uint64(data[24:])
+	if count > uint64(len(data)) { // cheap upper bound before allocating
+		return nil, fmt.Errorf("%w: snapshot claims %d users in %d bytes", ErrJournal, count, len(data))
+	}
+	states := make([]State, 0, count)
+	p := 32
+	for i := uint64(0); i < count; i++ {
+		if len(body)-p < 8+4 {
+			return nil, fmt.Errorf("%w: snapshot truncated at user %d", ErrJournal, i)
+		}
+		seq := binary.LittleEndian.Uint64(body[p:])
+		userLen := int(binary.LittleEndian.Uint32(body[p+8:]))
+		p += 12
+		if userLen == 0 || userLen > maxUserLen || len(body)-p < userLen+33 {
+			return nil, fmt.Errorf("%w: snapshot user %d length %d", ErrJournal, i, userLen)
+		}
+		user := string(body[p : p+userLen])
+		p += userLen
+		st := State{
+			User:        user,
+			Seq:         seq,
+			Spent:       math.Float64frombits(binary.LittleEndian.Uint64(body[p:])),
+			WindowStart: time.Unix(0, int64(binary.LittleEndian.Uint64(body[p+8:]))),
+			HasMemo:     body[p+16] != 0,
+		}
+		st.Memo.X = math.Float64frombits(binary.LittleEndian.Uint64(body[p+17:]))
+		st.Memo.Y = math.Float64frombits(binary.LittleEndian.Uint64(body[p+25:]))
+		states = append(states, st)
+		p += 33
+	}
+	if p != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing snapshot bytes", ErrJournal, len(body)-p)
+	}
+	return states, nil
+}
+
+// ---- open / replay ----
+
+// openJournal loads the directory's persisted state (snapshot, rotated
+// segment, active segment — in that order, seq-gated) and returns the
+// journal positioned to append to the active segment. Config mismatches and
+// positive corruption (a bad CRC anywhere but a segment tail) are errors:
+// serving with a damaged budget history could let users over-spend.
+func openJournal(cfg Config) (*journal, map[string]State, error) {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("session: journal dir: %w", err)
+	}
+	j := &journal{
+		dir:          cfg.Dir,
+		limit:        cfg.Limit,
+		window:       cfg.Window,
+		syncEvery:    cfg.SyncEvery,
+		compactEvery: cfg.CompactEvery,
+	}
+	if j.syncEvery <= 0 {
+		j.syncEvery = 1
+	}
+	if j.compactEvery <= 0 {
+		j.compactEvery = DefaultCompactEvery
+	}
+
+	states := make(map[string]State)
+	if data, err := os.ReadFile(filepath.Join(cfg.Dir, snapName)); err == nil {
+		loaded, derr := decodeSnapshot(data, cfg.Limit, cfg.Window)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		for _, st := range loaded {
+			states[st.User] = st
+			j.replayed.Add(1)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("session: read snapshot: %w", err)
+	}
+
+	for _, name := range []string{walOldName, walName} {
+		if err := j.replaySegment(filepath.Join(cfg.Dir, name), states); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Clamp any replayed over-spend defensively: records are only written
+	// for accepted operations, so this fires only on tampered or anomalous
+	// history — never silently grant budget beyond the limit.
+	for u, st := range states {
+		if st.Spent > cfg.Limit {
+			st.Spent = cfg.Limit
+			states[u] = st
+			j.anomalies.Add(1)
+		}
+	}
+
+	if err := j.openSegment(); err != nil {
+		return nil, nil, err
+	}
+	return j, states, nil
+}
+
+// replaySegment applies one segment's records (seq-gated) into states. A
+// torn tail is truncated in place; a missing file is fine.
+func (j *journal) replaySegment(path string, states map[string]State) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("session: read journal segment: %w", err)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	if err := checkWALHeader(data, j.limit, j.window); err != nil {
+		return fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	p := walHeaderLen
+	for p < len(data) {
+		rec, n, err := decodeRecord(data[p:])
+		if errors.Is(err, errTorn) {
+			// Crash mid-append: drop the torn tail and stop. Everything
+			// before it was fully framed and checksummed.
+			j.anomalies.Add(1)
+			if terr := os.Truncate(path, int64(p)); terr != nil {
+				return fmt.Errorf("session: truncate torn journal tail: %w", terr)
+			}
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("%s at offset %d: %w", filepath.Base(path), p, err)
+		}
+		p += n
+		prev, ok := states[rec.user]
+		if ok && rec.seq <= prev.Seq {
+			continue // stale relative to the snapshot or a later record
+		}
+		states[rec.user] = State{
+			User:        rec.user,
+			Seq:         rec.seq,
+			Spent:       rec.spent,
+			WindowStart: time.Unix(0, rec.windowStart),
+			HasMemo:     rec.hasMemo,
+			Memo:        geo.Point{X: rec.memoX, Y: rec.memoY},
+		}
+		j.replayed.Add(1)
+	}
+	return nil
+}
+
+// openSegment opens (or creates) the active segment for appending,
+// validating the header when the file already has one.
+func (j *journal) openSegment() error {
+	path := filepath.Join(j.dir, walName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("session: open journal: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("session: stat journal: %w", err)
+	}
+	if info.Size() == 0 {
+		if _, err := f.Write(encodeWALHeader(j.limit, j.window)); err != nil {
+			f.Close()
+			return fmt.Errorf("session: write journal header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("session: sync journal header: %w", err)
+		}
+	} else if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return fmt.Errorf("session: seek journal: %w", err)
+	}
+	j.mu.Lock()
+	j.f = f
+	j.segRecords = 0
+	j.unsynced = 0
+	j.mu.Unlock()
+	return nil
+}
+
+// append writes one record to the active segment, honoring the fsync
+// policy. Called with a shard mutex held; must never block on anything but
+// j.mu and the disk. Failures are counted, not propagated: the in-memory
+// state is already mutated and remains authoritative for this process —
+// durability degrades, admission control does not.
+func (j *journal) append(rec record) {
+	frame, err := encodeRecord(rec)
+	if err != nil {
+		j.anomalies.Add(1)
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		j.failures.Add(1)
+		return
+	}
+	j.appended.Add(1)
+	j.bytes.Add(int64(len(frame)))
+	j.segRecords++
+	j.unsynced++
+	if j.unsynced >= j.syncEvery {
+		if err := j.f.Sync(); err != nil {
+			j.failures.Add(1)
+		} else {
+			j.syncs.Add(1)
+		}
+		j.unsynced = 0
+	}
+}
+
+func (j *journal) shouldCompact() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.segRecords >= j.compactEvery
+}
+
+func (j *journal) sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	j.unsynced = 0
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.syncs.Add(1)
+	return nil
+}
+
+// compact rotates the active segment aside, snapshots the exported state and
+// drops the rotated segment. export runs with no journal lock held. If a
+// previous compaction crashed or failed after rotation (sessions.wal.old
+// still present), rotation is skipped: the snapshot about to be written
+// covers that segment too, so it is simply deleted afterwards.
+func (j *journal) compact(export func() []State) error {
+	j.compactMu.Lock()
+	defer j.compactMu.Unlock()
+
+	oldPath := filepath.Join(j.dir, walOldName)
+	walPath := filepath.Join(j.dir, walName)
+
+	_, statErr := os.Stat(oldPath)
+	leftover := statErr == nil
+
+	j.mu.Lock()
+	if j.f == nil {
+		j.mu.Unlock()
+		return fmt.Errorf("session: journal closed")
+	}
+	if !leftover {
+		if err := j.f.Sync(); err != nil {
+			j.mu.Unlock()
+			return fmt.Errorf("session: sync before rotate: %w", err)
+		}
+		if err := j.f.Close(); err != nil {
+			j.mu.Unlock()
+			return fmt.Errorf("session: close before rotate: %w", err)
+		}
+		j.f = nil
+		if err := os.Rename(walPath, oldPath); err != nil {
+			// Reopen so appends keep flowing even though rotation failed.
+			rerr := j.reopenAppend(walPath)
+			j.mu.Unlock()
+			if rerr != nil {
+				return errors.Join(err, rerr)
+			}
+			return fmt.Errorf("session: rotate journal: %w", err)
+		}
+		f, err := os.OpenFile(walPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			j.mu.Unlock()
+			return fmt.Errorf("session: fresh journal segment: %w", err)
+		}
+		if _, err := f.Write(encodeWALHeader(j.limit, j.window)); err != nil {
+			f.Close()
+			j.mu.Unlock()
+			return fmt.Errorf("session: fresh segment header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			j.mu.Unlock()
+			return fmt.Errorf("session: sync fresh segment: %w", err)
+		}
+		j.f = f
+		j.segRecords = 0
+		j.unsynced = 0
+	}
+	j.mu.Unlock()
+
+	states := export()
+	snap := encodeSnapshot(j.limit, j.window, states)
+	tmp, err := os.CreateTemp(j.dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("session: snapshot temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(snap); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("session: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("session: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("session: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(j.dir, snapName)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("session: publish snapshot: %w", err)
+	}
+	if err := os.Remove(oldPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("session: drop rotated segment: %w", err)
+	}
+	j.compactions.Add(1)
+	return nil
+}
+
+// reopenAppend re-opens the active segment for appending after a failed
+// rotation. Caller holds j.mu.
+func (j *journal) reopenAppend(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("session: reopen journal: %w", err)
+	}
+	j.f = f
+	return nil
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

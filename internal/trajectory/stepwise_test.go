@@ -1,0 +1,180 @@
+package trajectory
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"geoind/internal/geo"
+)
+
+// recordingBudget is a Budget that tracks net charged budget and can be
+// armed to deny spends.
+type recordingBudget struct {
+	charged float64
+	deny    bool
+}
+
+var errDenied = errors.New("denied")
+
+func (b *recordingBudget) Spend(eps float64) error {
+	if b.deny {
+		return errDenied
+	}
+	b.charged += eps
+	return nil
+}
+
+func (b *recordingBudget) Refund(eps float64) { b.charged -= eps }
+
+// failingReporter errors on Report after optionally succeeding n times.
+type failingReporter struct{ eps float64 }
+
+func (f failingReporter) Report(geo.Point) (geo.Point, error) {
+	return geo.Point{}, errors.New("mechanism down")
+}
+func (f failingReporter) Epsilon() float64 { return f.eps }
+
+// TestStepPredictiveMatchesWholeTrace: looping StepPredictive over a trace
+// must be bit-identical to the whole-trace Predictive (same rng consumption,
+// same costs, same releases).
+func TestStepPredictiveMatchesWholeTrace(t *testing.T) {
+	traces, err := Generate(2, genCfg(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PredictiveConfig{Theta: 2.0, EpsTest: 0.1}
+	for _, tr := range traces {
+		whole, err := Predictive(newPL(t, 1.0, 51), tr.Points, cfg, rand.New(rand.NewPCG(5, 5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mech := newPL(t, 1.0, 51)
+		rng := rand.New(rand.NewPCG(5, 5))
+		var st State
+		for i, x := range tr.Points {
+			step, next, err := StepPredictive(mech, Unmetered{}, st, x, cfg, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st = next
+			if step != whole[i] {
+				t.Fatalf("step %d: stepwise %+v != whole-trace %+v", i, step, whole[i])
+			}
+		}
+	}
+}
+
+func TestStepPredictiveBudgetAccounting(t *testing.T) {
+	mech := newPL(t, 1.0, 61)
+	cfg := PredictiveConfig{Theta: 2.0, EpsTest: 0.25}
+	rng := rand.New(rand.NewPCG(6, 6))
+	b := &recordingBudget{}
+
+	// First step: no prior release, charges exactly epsReport.
+	step, st, err := StepPredictive(mech, b, State{}, geo.Point{X: 5, Y: 5}, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasRelease || !step.Fresh || math.Abs(b.charged-1.0) > 1e-12 {
+		t.Fatalf("first step: %+v charged=%g", step, b.charged)
+	}
+
+	// Subsequent steps: net charge always equals the step's Spent.
+	for i := 0; i < 50; i++ {
+		before := b.charged
+		step, st, err = StepPredictive(mech, b, st, geo.Point{X: 5, Y: 5}, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs((b.charged-before)-step.Spent) > 1e-12 {
+			t.Fatalf("step %d: charged %g but Spent %g", i, b.charged-before, step.Spent)
+		}
+	}
+
+	// Denied budget: nothing charged, state unchanged.
+	b.deny = true
+	prev := st
+	if _, st2, err := StepPredictive(mech, b, st, geo.Point{X: 5, Y: 5}, cfg, rng); err == nil || st2 != prev {
+		t.Fatalf("denied spend: err=%v state=%+v", err, st2)
+	}
+}
+
+// TestStepPredictiveRefundsOnMechanismFailure: when the underlying mechanism
+// errors, every charged epsilon (test + report) is refunded — the user
+// revealed nothing.
+func TestStepPredictiveRefundsOnMechanismFailure(t *testing.T) {
+	cfg := PredictiveConfig{Theta: 0.001, EpsTest: 100} // test noise ~0: always fails the test
+	rng := rand.New(rand.NewPCG(7, 7))
+	b := &recordingBudget{}
+	st := State{HasRelease: true, Release: geo.Point{X: 0, Y: 0}}
+	_, st2, err := StepPredictive(failingReporter{eps: 1}, b, st, geo.Point{X: 19, Y: 19}, cfg, rng)
+	if err == nil {
+		t.Fatal("mechanism failure not propagated")
+	}
+	if math.Abs(b.charged) > 1e-12 {
+		t.Fatalf("net charge %g after failed release, want 0", b.charged)
+	}
+	if st2 != st {
+		t.Fatalf("state mutated on failure: %+v", st2)
+	}
+}
+
+func TestEmpiricalAdversaryErrorValidation(t *testing.T) {
+	good := AdversaryConfig{Region: geo.NewSquare(20), Granularity: 16, Eps: 1}
+	cases := []AdversaryConfig{
+		{Region: geo.Rect{}, Granularity: 16, Eps: 1},
+		{Region: geo.NewSquare(20), Granularity: 1, Eps: 1},
+		{Region: geo.NewSquare(20), Granularity: 16, Eps: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := EmpiricalAdversaryError(cfg, nil, nil); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := EmpiricalAdversaryError(good, make([][]geo.Point, 1), nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := EmpiricalAdversaryError(good, [][]geo.Point{{}}, [][]Step{{}}); err == nil {
+		t.Error("zero steps accepted")
+	}
+}
+
+// TestAdversaryErrorOrdersEps: a weaker mechanism (smaller eps) must be
+// harder to attack — the adversary error should clearly decrease as eps
+// grows.
+func TestAdversaryErrorOrdersEps(t *testing.T) {
+	traces, err := Generate(4, genCfg(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := func(eps float64, seed uint64) float64 {
+		t.Helper()
+		mech := newPL(t, eps, seed)
+		pts := make([][]geo.Point, len(traces))
+		runs := make([][]Step, len(traces))
+		for i, tr := range traces {
+			pts[i] = tr.Points
+			steps, err := Independent(mech, tr.Points)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs[i] = steps
+		}
+		cfg := AdversaryConfig{Region: geo.NewSquare(20), Granularity: 24, Eps: eps}
+		e, err := EmpiricalAdversaryError(cfg, pts, runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	weak := attack(0.2, 71) // noisy releases: attacker struggles
+	strong := attack(4.0, 72)
+	if !(weak > strong*1.5) {
+		t.Errorf("adversary error does not order eps: eps=0.2 -> %.3f km, eps=4 -> %.3f km", weak, strong)
+	}
+	if strong <= 0 || weak > 30 {
+		t.Errorf("implausible adversary errors: %g / %g", strong, weak)
+	}
+}

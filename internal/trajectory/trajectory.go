@@ -84,9 +84,83 @@ func (c PredictiveConfig) Validate() error {
 	return nil
 }
 
+// State is the session-resident predictive-mechanism state between steps:
+// the last released location, if any. It lives wherever the caller keeps
+// per-user state (the server keeps it in internal/session; the whole-trace
+// helpers keep it on the stack).
+type State struct {
+	// HasRelease reports whether a previous release exists to predict from.
+	HasRelease bool
+	// Release is the last released (sanitized) location.
+	Release geo.Point
+}
+
+// Budget meters one user's spend for the stepwise API. Spend debits before
+// any noise is drawn (admission control); Refund returns budget whose
+// release never happened. The server backs this with the session store;
+// Unmetered is the whole-trace evaluation backing.
+type Budget interface {
+	Spend(eps float64) error
+	Refund(eps float64)
+}
+
+// Unmetered is a Budget that admits everything (evaluation runs, where the
+// question is how much *would* be spent).
+type Unmetered struct{}
+
+// Spend implements Budget.
+func (Unmetered) Spend(float64) error { return nil }
+
+// Refund implements Budget.
+func (Unmetered) Refund(float64) {}
+
+// StepPredictive advances the predictive mechanism by one point: one true
+// location in, one released location out, with the cross-step state passed
+// explicitly. With a prior release it first charges epsTest and runs the
+// private test; on a pass the previous release is re-released for just
+// epsTest. On a failure (or with no prior release) it charges the report
+// budget and releases afresh. Budget is charged before noise is drawn and
+// fully refunded when the underlying mechanism fails, so a canceled request
+// reveals nothing and costs nothing.
+func StepPredictive(mech Reporter, budget Budget, st State, x geo.Point, cfg PredictiveConfig, rng *rand.Rand) (Step, State, error) {
+	if err := cfg.Validate(); err != nil {
+		return Step{}, st, err
+	}
+	if rng == nil {
+		return Step{}, st, fmt.Errorf("trajectory: nil rng")
+	}
+	charged := 0.0
+	if st.HasRelease {
+		if err := budget.Spend(cfg.EpsTest); err != nil {
+			return Step{}, st, err
+		}
+		charged = cfg.EpsTest
+		noisy := x.Dist(st.Release) + laplace1D(rng, 1/cfg.EpsTest)
+		if noisy <= cfg.Theta {
+			return Step{Released: st.Release, Spent: cfg.EpsTest, Fresh: false}, st, nil
+		}
+		// Failed test: the epsTest is spent either way; fall through to a
+		// fresh report.
+	}
+	if err := budget.Spend(mech.Epsilon()); err != nil {
+		if charged > 0 {
+			budget.Refund(charged)
+		}
+		return Step{}, st, err
+	}
+	charged += mech.Epsilon()
+	z, err := mech.Report(x)
+	if err != nil {
+		budget.Refund(charged)
+		return Step{}, st, err
+	}
+	return Step{Released: z, Spent: charged, Fresh: true}, State{HasRelease: true, Release: z}, nil
+}
+
 // Predictive runs the predictive mechanism over a trace. The first step is
 // always a fresh report. The rng drives the test noise (the underlying
-// mechanism keeps its own randomness).
+// mechanism keeps its own randomness). It is the whole-trace loop over
+// StepPredictive with an unmetered budget.
 func Predictive(mech Reporter, trace []geo.Point, cfg PredictiveConfig, rng *rand.Rand) ([]Step, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -95,32 +169,14 @@ func Predictive(mech Reporter, trace []geo.Point, cfg PredictiveConfig, rng *ran
 		return nil, fmt.Errorf("trajectory: nil rng")
 	}
 	out := make([]Step, 0, len(trace))
-	var prediction geo.Point
-	havePrediction := false
+	var st State
 	for _, x := range trace {
-		if havePrediction {
-			noisy := x.Dist(prediction) + laplace1D(rng, 1/cfg.EpsTest)
-			if noisy <= cfg.Theta {
-				out = append(out, Step{Released: prediction, Spent: cfg.EpsTest, Fresh: false})
-				continue
-			}
-			// Failed test: pay for the test and fall through to a fresh
-			// report.
-			z, err := mech.Report(x)
-			if err != nil {
-				return nil, err
-			}
-			prediction = z
-			out = append(out, Step{Released: z, Spent: cfg.EpsTest + mech.Epsilon(), Fresh: true})
-			continue
-		}
-		z, err := mech.Report(x)
+		step, next, err := StepPredictive(mech, Unmetered{}, st, x, cfg, rng)
 		if err != nil {
 			return nil, err
 		}
-		prediction = z
-		havePrediction = true
-		out = append(out, Step{Released: z, Spent: mech.Epsilon(), Fresh: true})
+		st = next
+		out = append(out, step)
 	}
 	return out, nil
 }

@@ -65,6 +65,24 @@ type TraceConfig struct {
 	Seed       uint64
 }
 
+// AdversaryError measures the privacy of released traces empirically: a
+// Bayesian attacker with population-level mobility knowledge (the empirical
+// prior over a granularity x granularity grid of region) estimates each true
+// point from its release by the posterior mean, and the result is the mean
+// localization error in km. Larger is better for the user. eps calibrates
+// the attacker's likelihood model; use the mechanism's per-report epsilon.
+func AdversaryError(region Rect, granularity int, eps float64, traces [][]Point, runs [][]TraceStep) (float64, error) {
+	e, err := trajectory.EmpiricalAdversaryError(trajectory.AdversaryConfig{
+		Region:      region,
+		Granularity: granularity,
+		Eps:         eps,
+	}, traces, runs)
+	if err != nil {
+		return 0, fmt.Errorf("geoind: %w", err)
+	}
+	return e, nil
+}
+
 // GenerateTraces produces n synthetic mobility traces; the same config
 // always produces the same traces.
 func GenerateTraces(n int, cfg TraceConfig) ([][]Point, error) {
