@@ -29,15 +29,37 @@ type TraceConfig struct {
 
 // traceState is the server-side state of the trace pipeline. The per-user
 // state (budget, last release) lives in the session store; this holds only
-// the shared configuration, the test-noise rng and the counters.
+// the shared configuration, the test-noise rng, the per-user step locks and
+// the counters.
 type traceState struct {
 	cfg TraceConfig
 	rng *rand.Rand // over a locked source: safe for concurrent handlers
+
+	// userLocks serializes predictive steps per user (striped by FNV-1a of
+	// the user ID) so the memo read → step → memo write sequence is atomic
+	// per user. Without it, concurrent same-user steps race on the memo:
+	// several could each pay full epsilon for a fresh report, or one could
+	// re-release a memo another just replaced. Budget admission stays exact
+	// either way — this keeps the memo state and the fresh/memo-hit
+	// counters coherent. Striping bounds memory at the cost of occasional
+	// cross-user serialization (a colliding user waits out another's step,
+	// including its report's solve).
+	userLocks [256]sync.Mutex
 
 	fresh       atomic.Int64
 	memoHits    atomic.Int64
 	independent atomic.Int64
 	denied      atomic.Int64
+}
+
+// userLock returns the stripe lock serializing one user's predictive steps.
+func (ts *traceState) userLock(user string) *sync.Mutex {
+	h := uint32(2166136261)
+	for i := 0; i < len(user); i++ {
+		h ^= uint32(user[i])
+		h *= 16777619
+	}
+	return &ts.userLocks[h%uint32(len(ts.userLocks))]
 }
 
 // lockedSource serializes a rand.Source for concurrent use. rand/v2's Rand
@@ -139,8 +161,11 @@ func (m serverReporter) Epsilon() float64                      { return m.s.mech
 
 // handleTrace serves POST /v1/trace: one true location in, one released
 // location out, with per-user sticky state (budget window + last release) in
-// the session store. Budget is charged before any noise is drawn and fully
-// refunded when the release fails or is canceled.
+// the session store. Budget is charged before any noise is drawn; on a
+// failed or canceled release the report epsilon is refunded, while the
+// prediction test's epsTest — once its noise has been drawn — stays spent,
+// because the test outcome is observable through the response either way
+// (see trajectory.StepPredictive).
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
@@ -198,6 +223,14 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		})
 
 	case "predictive":
+		// One predictive step at a time per user: the memo read, the step
+		// and the memo write must observe each other, or concurrent
+		// same-user requests double-pay for fresh reports / re-release a
+		// stale memo (budget accounting alone is already atomic).
+		lock := ts.userLock(req.UserID)
+		lock.Lock()
+		defer lock.Unlock()
+
 		sess := s.ledger.Sessions()
 		memo, ok := sess.Memo(req.UserID)
 		st := trajectory.State{HasRelease: ok, Release: memo}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -320,6 +321,53 @@ func TestTraceSurvivesRestart(t *testing.T) {
 	}
 	if okBefore && !reused {
 		t.Error("restart never re-released the journaled memo for a stationary user")
+	}
+}
+
+// TestTraceConcurrentSameUser: predictive steps for one user are serialized
+// server-side, so a burst of concurrent requests from a stationary user pays
+// for exactly one fresh report and re-releases it to everyone else. Without
+// the per-user lock, several racing requests would each miss the memo and
+// each pay full epsilon.
+func TestTraceConcurrentSameUser(t *testing.T) {
+	const workers = 20
+	// theta=50 with epsTest=1 makes the stationary test failure probability
+	// ~e^-50: every post-fresh step is a memo hit, deterministically enough.
+	s, ts := newTraceServer(t, 2.0, 100, TraceConfig{Theta: 50, EpsTest: 1, Seed: 13})
+
+	var wg sync.WaitGroup
+	codes := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/trace", "application/json",
+				strings.NewReader(`{"user_id":"frank","x":3,"y":4}`))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, c)
+		}
+	}
+
+	tsState := s.trace.Load()
+	if f := tsState.fresh.Load(); f != 1 {
+		t.Errorf("fresh reports = %d, want exactly 1 for a serialized stationary burst", f)
+	}
+	if h := tsState.memoHits.Load(); h != workers-1 {
+		t.Errorf("memo hits = %d, want %d", h, workers-1)
+	}
+	wantSpent := 2.0 + float64(workers-1)*1.0
+	if spent := 100 - s.ledger.Remaining("frank"); math.Abs(spent-wantSpent) > 1e-9 {
+		t.Errorf("spent %g, want %g (one fresh + %d memo hits)", spent, wantSpent, workers-1)
 	}
 }
 

@@ -41,7 +41,10 @@
 // two steps is recovered by ordered seq-gated replay. A torn record at the
 // tail of a segment (crash mid-append) ends that segment's replay and is
 // truncated away; with SyncEvery=1 that is at most the one record whose
-// write was interrupted.
+// write was interrupted. A segment no longer than its header whose header
+// fails structural checks (crash between creation and the header write
+// landing) is recovered the same way: truncated and re-headed, since no
+// record can have followed it.
 package session
 
 import (
@@ -144,8 +147,10 @@ type JournalStats struct {
 	// during replay. Nonzero after an unclean shutdown is expected (the torn
 	// tail); growth during steady state is not.
 	Anomalies int64 `json:"anomalies"`
-	// Failures counts background compactions that errored (state stays
-	// safe: the journal keeps growing until one succeeds).
+	// Failures counts background compactions that errored and records
+	// dropped because no segment was writable (state stays safe: in-memory
+	// admission control is unaffected, and the journal keeps growing until
+	// a compaction succeeds).
 	Failures int64 `json:"failures"`
 }
 
@@ -429,6 +434,20 @@ func (j *journal) replaySegment(path string, states map[string]State) error {
 		return nil
 	}
 	if err := checkWALHeader(data, j.limit, j.window); err != nil {
+		// A structurally broken header on a segment no longer than the
+		// header itself is the footprint of a crash between segment
+		// creation and the header write reaching disk. No record can have
+		// followed, so nothing is lost: recover like a torn record tail
+		// (truncate; openSegment rewrites the header) instead of refusing
+		// to open. Version and limit/window mismatches require a valid CRC
+		// and stay fatal, as does any broken header with records after it.
+		if len(data) <= walHeaderLen && errors.Is(err, ErrJournal) {
+			j.anomalies.Add(1)
+			if terr := os.Truncate(path, 0); terr != nil {
+				return fmt.Errorf("session: truncate torn journal header: %w", terr)
+			}
+			return nil
+		}
 		return fmt.Errorf("%s: %w", filepath.Base(path), err)
 	}
 	p := walHeaderLen
@@ -512,6 +531,10 @@ func (j *journal) append(rec record) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
+		// No active segment (closed store, or a failed rotation whose
+		// restore also failed): the record is dropped. Count it so the
+		// durability degradation is visible in metrics, not silent.
+		j.failures.Add(1)
 		return
 	}
 	if _, err := j.f.Write(frame); err != nil {
@@ -593,18 +616,21 @@ func (j *journal) compact(export func() []State) error {
 		}
 		f, err := os.OpenFile(walPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 		if err != nil {
+			rerr := j.restoreRotated(oldPath, walPath)
 			j.mu.Unlock()
-			return fmt.Errorf("session: fresh journal segment: %w", err)
+			return errors.Join(fmt.Errorf("session: fresh journal segment: %w", err), rerr)
 		}
 		if _, err := f.Write(encodeWALHeader(j.limit, j.window)); err != nil {
 			f.Close()
+			rerr := j.restoreRotated(oldPath, walPath)
 			j.mu.Unlock()
-			return fmt.Errorf("session: fresh segment header: %w", err)
+			return errors.Join(fmt.Errorf("session: fresh segment header: %w", err), rerr)
 		}
 		if err := f.Sync(); err != nil {
 			f.Close()
+			rerr := j.restoreRotated(oldPath, walPath)
 			j.mu.Unlock()
-			return fmt.Errorf("session: sync fresh segment: %w", err)
+			return errors.Join(fmt.Errorf("session: sync fresh segment: %w", err), rerr)
 		}
 		j.f = f
 		j.segRecords = 0
@@ -653,6 +679,22 @@ func (j *journal) reopenAppend(path string) error {
 	}
 	j.f = f
 	return nil
+}
+
+// restoreRotated undoes a rotation whose fresh segment could not be
+// created: the partial fresh file (at most a header, never any records) is
+// removed, the rotated segment is renamed back into place, and appending
+// resumes on it — so one bad compaction degrades to a retried compaction,
+// not a silently dead journal. If the restore itself fails, j.f stays nil
+// and append counts every dropped record in failures. Caller holds j.mu.
+func (j *journal) restoreRotated(oldPath, walPath string) error {
+	if err := os.Remove(walPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("session: remove partial fresh segment: %w", err)
+	}
+	if err := os.Rename(oldPath, walPath); err != nil {
+		return fmt.Errorf("session: restore rotated segment: %w", err)
+	}
+	return j.reopenAppend(walPath)
 }
 
 func (j *journal) close() error {

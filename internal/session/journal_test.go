@@ -126,6 +126,135 @@ func TestJournalTornTail(t *testing.T) {
 	}
 }
 
+// TestJournalTornHeaderRecovers simulates a crash between segment creation
+// and the header write reaching disk: a segment shorter than its header
+// must be recovered like a torn tail (truncated, re-headed, anomaly
+// counted), not treated as positive corruption that refuses to open.
+func TestJournalTornHeaderRecovers(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Limit: 5, Window: time.Hour, Dir: dir}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spend("u", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Close compacted: the state lives in the snapshot and the active
+	// segment is a bare header. Tear that header short.
+	walPath := filepath.Join(dir, walName)
+	if err := os.Truncate(walPath, int64(walHeaderLen/2)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, cfg)
+	if r := s2.Remaining("u"); r != 3 {
+		t.Fatalf("remaining after torn-header recovery = %g, want 3", r)
+	}
+	if st := s2.Stats(); st.Journal.Anomalies == 0 {
+		t.Fatal("torn header not counted as an anomaly")
+	}
+	// The recovered store must be fully writable again.
+	if err := s2.Spend("u", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := mustOpen(t, cfg)
+	if r := s3.Remaining("u"); r != 2 {
+		t.Fatalf("remaining after recovery round trip = %g, want 2", r)
+	}
+}
+
+// TestJournalCorruptHeaderWithRecordsFails: a broken header on a segment
+// that does contain records is positive corruption, not a torn creation —
+// replaying records framed by an unverified header could mis-account spend.
+func TestJournalCorruptHeaderWithRecordsFails(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Limit: 5, Window: time.Hour, Dir: dir}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spend("u", 1); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.j.close() // keep the record in the segment (no compaction)
+
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[5] ^= 0xFF // corrupt the header, records follow
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(cfg); !errors.Is(err, ErrJournal) {
+		t.Fatalf("open over corrupt header with records: got %v, want ErrJournal", err)
+	}
+}
+
+// TestJournalCountsDroppedAppends: once the journal has no writable segment
+// (here: a closed store), mutations keep being admitted in memory but every
+// dropped record must surface in the failures counter.
+func TestJournalCountsDroppedAppends(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Limit: 5, Window: time.Hour, Dir: dir}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spend("u", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Refund("u", 0.5)
+	if f := s.Stats().Journal.Failures; f != 2 {
+		t.Fatalf("failures after 2 unjournalable mutations = %d, want 2", f)
+	}
+}
+
+// TestJournalReplaceCompacts: Replace on a durable store must not let a
+// restart resurrect users absent from the import — the journal has no
+// tombstones, so Replace has to publish a fresh snapshot synchronously.
+func TestJournalReplaceCompacts(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	cfg := Config{Limit: 5, Window: time.Hour, Clock: clock.Now, Dir: dir}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spend("old", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Replace([]State{{User: "new", Spent: 1, WindowStart: clock.Now()}}); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon without Close, as a crash would: the synchronous compaction
+	// inside Replace is all the durability the import gets.
+	_ = s.j.close()
+
+	s2 := mustOpen(t, cfg)
+	if r := s2.Remaining("new"); math.Abs(r-4) > 1e-12 {
+		t.Fatalf("imported user remaining = %g, want 4", r)
+	}
+	if r := s2.Remaining("old"); r != 5 {
+		t.Fatalf("replaced user resurrected: remaining = %g, want 5", r)
+	}
+	if n := s2.Users(); n != 1 {
+		t.Fatalf("users after replayed import = %d, want 1 (old entry replaced)", n)
+	}
+}
+
 // TestJournalCorruptRecordFails verifies that a bit flip in the middle of a
 // segment (not a torn tail) refuses to open: serving from damaged budget
 // history could let users over-spend.

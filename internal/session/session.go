@@ -427,8 +427,12 @@ func (s *Store) exportOwned() []State {
 }
 
 // Replace atomically-per-shard replaces all session state with the given
-// entries (ledger Load). Every imported entry is journaled so durability
-// covers imported state too.
+// entries (ledger Load). Every imported entry is journaled, and durable
+// stores then compact synchronously: the pre-import segments still carry
+// the replaced users' records and the journal has no tombstone op, so
+// without a fresh snapshot a restart would resurrect users absent from the
+// import. After Replace returns, the on-disk state reflects exactly the
+// imported entries.
 func (s *Store) Replace(states []State) error {
 	for _, st := range states {
 		if st.User == "" {
@@ -458,6 +462,11 @@ func (s *Store) Replace(states []State) error {
 		sh.users[st.User] = e
 		s.logLocked(st.User, e, now)
 		sh.mu.Unlock()
+	}
+	if s.j != nil {
+		if err := s.j.compact(s.exportOwned); err != nil {
+			return fmt.Errorf("session: import compact: %w", err)
+		}
 	}
 	return nil
 }

@@ -102,8 +102,9 @@ func TestStepPredictiveBudgetAccounting(t *testing.T) {
 }
 
 // TestStepPredictiveRefundsOnMechanismFailure: when the underlying mechanism
-// errors, every charged epsilon (test + report) is refunded — the user
-// revealed nothing.
+// errors, only the report epsilon is refunded. The private test already ran
+// — its outcome is observable no matter how the step ends — so its epsTest
+// stays spent; refunding it would hand out free distance probes.
 func TestStepPredictiveRefundsOnMechanismFailure(t *testing.T) {
 	cfg := PredictiveConfig{Theta: 0.001, EpsTest: 100} // test noise ~0: always fails the test
 	rng := rand.New(rand.NewPCG(7, 7))
@@ -113,11 +114,76 @@ func TestStepPredictiveRefundsOnMechanismFailure(t *testing.T) {
 	if err == nil {
 		t.Fatal("mechanism failure not propagated")
 	}
-	if math.Abs(b.charged) > 1e-12 {
-		t.Fatalf("net charge %g after failed release, want 0", b.charged)
+	if math.Abs(b.charged-cfg.EpsTest) > 1e-12 {
+		t.Fatalf("net charge %g after failed release, want epsTest %g kept", b.charged, cfg.EpsTest)
 	}
 	if st2 != st {
 		t.Fatalf("state mutated on failure: %+v", st2)
+	}
+
+	// First step (no prior release, no test run): the whole charge comes
+	// back — nothing was revealed.
+	b2 := &recordingBudget{}
+	_, _, err = StepPredictive(failingReporter{eps: 1}, b2, State{}, geo.Point{X: 19, Y: 19}, cfg, rng)
+	if err == nil {
+		t.Fatal("mechanism failure not propagated on first step")
+	}
+	if math.Abs(b2.charged) > 1e-12 {
+		t.Fatalf("net charge %g after failed first release, want 0", b2.charged)
+	}
+}
+
+// cappedBudget admits spends while the running total stays within limit —
+// the shape of a nearly exhausted ledger window.
+type cappedBudget struct {
+	charged float64
+	limit   float64
+}
+
+func (b *cappedBudget) Spend(eps float64) error {
+	if b.charged+eps > b.limit {
+		return errDenied
+	}
+	b.charged += eps
+	return nil
+}
+
+func (b *cappedBudget) Refund(eps float64) { b.charged -= eps }
+
+// TestStepPredictiveKeepsEpsTestOnDeniedReport: when the test fails and the
+// follow-up report spend is denied, the epsTest must stay spent. The denial
+// itself tells the caller the test failed (a pass would have re-released),
+// so refunding would let a user with remaining budget in [epsTest, eps)
+// probe distance-to-memo repeatedly at zero accounted cost.
+func TestStepPredictiveKeepsEpsTestOnDeniedReport(t *testing.T) {
+	cfg := PredictiveConfig{Theta: 0.001, EpsTest: 0.25} // far point: test always fails
+	rng := rand.New(rand.NewPCG(8, 8))
+	st := State{HasRelease: true, Release: geo.Point{X: 0, Y: 0}}
+	// Admits epsTest (0.25) but not the follow-up report epsilon (1).
+	b := &cappedBudget{limit: 0.5}
+	for i := 0; i < 2; i++ {
+		before := b.charged
+		_, st2, err := StepPredictive(failingReporter{eps: 1}, b, st, geo.Point{X: 19, Y: 19}, cfg, rng)
+		if !errors.Is(err, errDenied) {
+			t.Fatalf("probe %d: err = %v, want denial", i, err)
+		}
+		if st2 != st {
+			t.Fatalf("probe %d: state mutated on denial: %+v", i, st2)
+		}
+		if b.charged <= before {
+			t.Fatalf("probe %d ran for free: charged %g -> %g", i, before, b.charged)
+		}
+	}
+	if math.Abs(b.charged-0.5) > 1e-12 {
+		t.Fatalf("two probes should exhaust the 0.5 budget in epsTest charges, got %g", b.charged)
+	}
+	// A third probe is denied at the test spend itself: no noise drawn, so
+	// nothing is (or needs to be) kept.
+	if _, _, err := StepPredictive(failingReporter{eps: 1}, b, st, geo.Point{X: 19, Y: 19}, cfg, rng); !errors.Is(err, errDenied) {
+		t.Fatalf("exhausted probe: err = %v, want denial", err)
+	}
+	if math.Abs(b.charged-0.5) > 1e-12 {
+		t.Fatalf("denied test spend changed the charge: %g", b.charged)
 	}
 }
 

@@ -119,9 +119,17 @@ func (Unmetered) Refund(float64) {}
 // explicitly. With a prior release it first charges epsTest and runs the
 // private test; on a pass the previous release is re-released for just
 // epsTest. On a failure (or with no prior release) it charges the report
-// budget and releases afresh. Budget is charged before noise is drawn and
-// fully refunded when the underlying mechanism fails, so a canceled request
-// reveals nothing and costs nothing.
+// budget and releases afresh.
+//
+// Budget is charged before any noise is drawn, and the charges compose
+// strictly with what was revealed: once the test noise has been drawn its
+// epsTest stays spent for good, because the test's outcome is observable
+// no matter how the step ends (a pass re-releases, a fail surfaces as a
+// fresh report, a budget denial, or a mechanism error). Refunding it would
+// let a caller run epsTest-DP distance probes for free. Only budget whose
+// noise was never drawn is refunded: the report epsilon when the mechanism
+// fails, which on a first step (no prior release, no test) is the whole
+// charge.
 func StepPredictive(mech Reporter, budget Budget, st State, x geo.Point, cfg PredictiveConfig, rng *rand.Rand) (Step, State, error) {
 	if err := cfg.Validate(); err != nil {
 		return Step{}, st, err
@@ -143,15 +151,16 @@ func StepPredictive(mech Reporter, budget Budget, st State, x geo.Point, cfg Pre
 		// fresh report.
 	}
 	if err := budget.Spend(mech.Epsilon()); err != nil {
-		if charged > 0 {
-			budget.Refund(charged)
-		}
+		// No refund of the epsTest already charged: the test ran, and its
+		// failure is observable through this very denial.
 		return Step{}, st, err
 	}
 	charged += mech.Epsilon()
 	z, err := mech.Report(x)
 	if err != nil {
-		budget.Refund(charged)
+		// The report never happened, so its epsilon goes back; the test's
+		// epsTest (when a test ran) stays spent.
+		budget.Refund(mech.Epsilon())
 		return Step{}, st, err
 	}
 	return Step{Released: z, Spent: charged, Fresh: true}, State{HasRelease: true, Release: z}, nil
